@@ -1,0 +1,32 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Each benchmark regenerates one table or figure of the paper and prints the
+reproduced rows next to the published values.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.cost_model import CostModel
+from repro.ir.dims import bert_large_dims
+
+
+@pytest.fixture(scope="session")
+def env():
+    """The paper's running configuration: BERT-large, B=8, L=512."""
+    return bert_large_dims()
+
+
+@pytest.fixture(scope="session")
+def cost():
+    """The simulated V100 (the paper's evaluation GPU)."""
+    return CostModel()
+
+
+@pytest.fixture(scope="session")
+def sweep_cap():
+    """Sampled-configuration cap for wide fused-kernel spaces."""
+    return 400

@@ -1,0 +1,142 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+* fusion off / element-wise-chains only (greedy) / full paper kernel set;
+* algebraic fusion variants (complementing Table II at the graph level);
+* global SSSP selection vs greedy per-op best vs default layouts;
+* launch-overhead sensitivity (free launches isolate the data-movement win);
+* hardware generation (V100 vs A100): faster compute makes training *more*
+  memory bound (Sec. VIII-B's trend argument).
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.autotuner.tuner import sweep_graph
+from repro.baselines.policy import OURS, PYTORCH
+from repro.baselines.frameworks import framework_schedule
+from repro.configsel.selector import select_configurations
+from repro.fusion.encoder_kernels import apply_paper_fusion
+from repro.fusion.fuser import fuse_greedy
+from repro.hardware.cost_model import CostModel
+from repro.hardware.spec import A100, V100
+from repro.layouts.configspace import default_config
+from repro.transformer.graph_builder import build_encoder_graph
+
+
+def _schedule_total(graph, env, cost, *, mode: str, cap: int = 300) -> float:
+    """Total µs of a graph under one of three configuration policies."""
+    if mode == "default":
+        total = 0.0
+        for op in graph.ops:
+            if op.is_view:
+                continue
+            kt = cost.time_op(op, default_config(op), env)
+            assert kt is not None, op.name
+            total += kt.total_us
+        return total
+    sweeps = sweep_graph(graph, env, cost, cap=cap)
+    if mode == "greedy-best":
+        return sum(s.best.total_us for s in sweeps.values())
+    if mode == "selected":
+        sel = select_configurations(graph, env, cost, sweeps=sweeps, cap=cap)
+        return sel.total_us
+    raise ValueError(mode)
+
+
+def test_fusion_ablation(benchmark, env, cost):
+    """Each fusion level must strictly reduce predicted time and kernels."""
+
+    def run():
+        unfused = build_encoder_graph(qkv_fusion="qkv")
+        greedy = fuse_greedy(unfused, env)
+        paper = apply_paper_fusion(unfused, env)
+        return {
+            "unfused": (_schedule_total(unfused, env, cost, mode="greedy-best"),
+                        sum(1 for o in unfused.ops if not o.is_view)),
+            "greedy": (_schedule_total(greedy, env, cost, mode="greedy-best"),
+                       sum(1 for o in greedy.ops if not o.is_view)),
+            "paper": (_schedule_total(paper, env, cost, mode="greedy-best"),
+                      sum(1 for o in paper.ops if not o.is_view)),
+        }
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== Ablation: fusion level (per-op-best configs) ===")
+    for k, (t, n) in res.items():
+        print(f"  {k:<8s} {t / 1000:6.2f} ms  ({n} kernels)")
+    # Both fusion levels clearly beat the unfused schedule; the curated set
+    # additionally reduces kernel count via sibling merges (its predicted
+    # time is within noise of greedy's: the merges trade launches for
+    # layout coupling).
+    assert res["paper"][0] < res["unfused"][0]
+    assert res["greedy"][0] < res["unfused"][0]
+    assert res["paper"][0] == pytest.approx(res["greedy"][0], rel=0.05)
+    assert res["paper"][1] < res["greedy"][1] < res["unfused"][1]
+
+
+def test_layout_policy_ablation(benchmark, env, cost):
+    """Default layouts << tuned; SSSP pays a bounded consistency premium
+    over the (physically unrealizable) per-op best."""
+
+    def run():
+        fused = apply_paper_fusion(build_encoder_graph(qkv_fusion="qkv"), env)
+        return {
+            mode: _schedule_total(fused, env, cost, mode=mode)
+            for mode in ("default", "greedy-best", "selected")
+        }
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== Ablation: layout policy ===")
+    for k, t in res.items():
+        print(f"  {k:<12s} {t / 1000:6.2f} ms")
+    assert res["greedy-best"] <= res["selected"] <= res["default"]
+    # Tuning matters: default layouts leave >15% on the table.
+    assert res["default"] > 1.15 * res["selected"]
+    # The consistency premium of a real (layout-consistent) schedule.
+    assert res["selected"] < 1.15 * res["greedy-best"]
+
+
+def test_launch_overhead_sensitivity(benchmark, env):
+    """With free kernel launches the fusion speedup persists: the win is
+    data movement, not launch count."""
+
+    def run():
+        out = {}
+        for label, gpu in (("5us", V100), ("free", replace(V100, kernel_launch_us=0.0))):
+            cost = CostModel(gpu)
+            ours = framework_schedule(OURS, env, cost, model="encoder", cap=200)
+            pt = framework_schedule(PYTORCH, env, cost, model="encoder", cap=200)
+            out[label] = pt.total_us / ours.total_us
+        return out
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== Ablation: launch overhead ===")
+    for k, s in res.items():
+        print(f"  launches {k:<5s} speedup vs PyTorch {s:4.2f}x")
+    # The central claim: the speedup is a data-movement win, so it is
+    # essentially unchanged when kernel launches are free.
+    assert res["free"] > 1.15
+    assert res["5us"] == pytest.approx(res["free"], rel=0.10)
+
+
+def test_hardware_generation(benchmark, env):
+    """A100: more compute AND more bandwidth, but compute grows faster, so
+    the memory-bound runtime share grows (Sec. VIII-B)."""
+
+    def run():
+        shares = {}
+        for gpu in (V100, A100):
+            cost = CostModel(gpu)
+            s = framework_schedule(OURS, env, cost, model="encoder", cap=200)
+            from repro.ir.operator import OpClass
+
+            by_class = s.class_runtime()
+            total = sum(by_class.values())
+            shares[gpu.name] = 1.0 - by_class[OpClass.TENSOR_CONTRACTION] / total
+        return shares
+
+    shares = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== Ablation: hardware generation (non-contraction runtime share) ===")
+    for name, share in shares.items():
+        print(f"  {name:<18s} {100 * share:5.1f}% memory-bound-class runtime")
+    assert shares[A100.name] > shares[V100.name]

@@ -1,0 +1,57 @@
+"""Calibration audit: every Table III kernel time, model vs paper.
+
+Prints the per-row ratios and the aggregate statistics that EXPERIMENTS.md
+reports; asserts the cost model is unbiased (geometric mean ~1) and tight
+on the compute-bound anchor rows.
+"""
+
+from repro.analysis.calibration import audit_calibration
+
+
+def test_calibration_audit(benchmark, env, cost):
+    report = benchmark.pedantic(
+        lambda: audit_calibration(env, cost, cap=400), rounds=1, iterations=1
+    )
+    print("\n=== Calibration audit: model / paper time ratios (Table III) ===")
+    print(f"{'row':<42s} {'PT model':>9s} {'PT paper':>9s} {'ratio':>6s}   "
+          f"{'Ours model':>10s} {'Ours paper':>10s} {'ratio':>6s}")
+    for r in report.rows:
+        print(
+            f"{r.label:<42s} {r.model_pt_us:9.0f} {r.paper_pt_us:9.0f} "
+            f"{r.pt_ratio:6.2f}   {r.model_ours_us:10.0f} {r.paper_ours_us:10.0f} "
+            f"{r.ours_ratio:6.2f}"
+        )
+    print(
+        f"\nmedian ratio: PT {report.median_ratio(side='pt'):.2f}, "
+        f"Ours {report.median_ratio(side='ours'):.2f}; "
+        f"geomean: PT {report.geometric_mean_ratio(side='pt'):.2f}, "
+        f"Ours {report.geometric_mean_ratio(side='ours'):.2f}; "
+        f"within 2x: PT {100 * report.within(2.0, side='pt'):.0f}%, "
+        f"Ours {100 * report.within(2.0, side='ours'):.0f}%"
+    )
+
+    assert 0.7 < report.geometric_mean_ratio(side="ours") < 1.3
+    assert report.within(2.0, side="ours") > 0.75
+    assert report.within(2.0, side="pt") > 0.75
+
+
+def test_sensitivity_sweep(benchmark, cost):
+    """Beyond the paper's two (B, L) points: the win persists across the grid
+    and attention's share grows with sequence length."""
+    from repro.analysis.sensitivity import attention_ffn_crossover
+
+    points = benchmark.pedantic(
+        lambda: attention_ffn_crossover(seqs=(128, 512, 1024), cap=150),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n=== Sequence-length sweep (B=8) ===")
+    for p in points:
+        print(
+            f"  L={p.seq:<5d} ours {p.ours_ms:6.2f} ms  speedup {p.speedup:4.2f}x  "
+            f"attention share of fwd {100 * p.attention_share:4.1f}%  "
+            f"memory-bound share {100 * p.memory_bound_share:4.1f}%"
+        )
+    shares = [p.attention_share for p in points]
+    assert shares == sorted(shares)
+    assert all(p.speedup > 1.1 for p in points)

@@ -1,0 +1,75 @@
+"""End-to-end textual claims of Secs. I and VI-C.
+
+* ~22.91% data-movement reduction from fusion;
+* global configuration within ~4% of the per-operator optimum (we accept a
+  wider band; see EXPERIMENTS.md);
+* the B=96 / L=128 re-tuned configuration (paper: PT 18.43 ms,
+  DS 16.19 ms, Ours 16.22 ms — Ours matches DS there);
+* the $85k / $3.6M + 120 MWh savings arithmetic.
+"""
+
+import pytest
+
+from repro.analysis.savings import GPT3_COST_USD, GPT3_ENERGY_MWH, estimate_savings
+from repro.analysis.tables import data_movement_reduction_report, table5
+from repro.autotuner.tuner import sweep_graph
+from repro.configsel.selector import select_configurations
+from repro.fusion.encoder_kernels import apply_paper_fusion
+from repro.ir.dims import bert_alternate_dims
+from repro.transformer.graph_builder import build_encoder_graph
+
+
+def test_data_movement_reduction(benchmark, env):
+    report = benchmark.pedantic(
+        lambda: data_movement_reduction_report(env), rounds=1, iterations=1
+    )
+    print(
+        f"\ndata movement: {report['unfused_mwords']:.0f} Mw -> "
+        f"{report['fused_mwords']:.0f} Mw "
+        f"({100 * report['reduction_fraction']:.2f}% reduction; paper 22.91%)"
+    )
+    assert 0.15 < report["reduction_fraction"] < 0.30
+
+
+def test_selection_near_per_op_optimum(benchmark, env, cost):
+    graph = apply_paper_fusion(build_encoder_graph(qkv_fusion="qkv"), env)
+    sweeps = sweep_graph(graph, env, cost, cap=400)
+
+    def run():
+        sel = select_configurations(graph, env, cost, sweeps=sweeps, cap=400)
+        best_sum = sum(s.best.total_us for s in sweeps.values())
+        return sel.total_us / best_sum
+
+    ratio = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nglobal selection vs per-op best: {ratio:.3f}x (paper: <= 1.04)")
+    assert ratio < 1.15
+
+
+def test_alternate_configuration(benchmark, cost):
+    """Sec. VI-C: B=96, L=128 — DeepSpeed and Ours nearly tie there."""
+    env2 = bert_alternate_dims()
+    data = benchmark.pedantic(lambda: table5(env2, cost, cap=300), rounds=1, iterations=1)
+    totals = {f: d["total_ms"] for f, d in data.items()}
+    print("\n=== B=96, L=128 (paper: PT 18.43, DS 16.19, Ours 16.22 ms) ===")
+    for f, t in totals.items():
+        print(f"  {f:<10s} {t:6.2f} ms")
+    # Ours still beats PyTorch clearly ...
+    assert totals["PyTorch"] / totals["Ours"] > 1.08
+    # ... and the Ours-vs-DeepSpeed gap narrows to a rough tie (within 12%).
+    assert totals["DeepSpeed"] / totals["Ours"] == pytest.approx(1.0, abs=0.12)
+    # Magnitudes: a larger-batch iteration costs in the paper's ~13-22 ms range.
+    assert 10.0 < totals["Ours"] < 25.0
+
+
+def test_cost_savings(benchmark):
+    est = benchmark.pedantic(
+        lambda: estimate_savings(1.30, GPT3_COST_USD, baseline_energy_mwh=GPT3_ENERGY_MWH),
+        rounds=1,
+        iterations=1,
+    )
+    print(
+        f"\nGPT-3 at 1.30x: save ${est.saved_usd / 1e6:.2f}M and "
+        f"{est.saved_mwh:.0f} MWh (paper: $3.6M, >120 MWh)"
+    )
+    assert est.saved_usd > 2.0e6
+    assert est.saved_mwh > 80.0

@@ -1,0 +1,56 @@
+"""Figures 1b and 2 — dataflow graphs with flop / flop-per-word annotations.
+
+Fig. 1b annotates MHA forward: the projections are 8 binary Gflop each at
+~910 flop/word, QKT/Gamma are 4 Gflop at ~102 flop/word, softmax is
+~2.5 flop/word, biases 0.5 flop/word.  Fig. 2 annotates the whole encoder.
+"""
+
+import pytest
+
+from repro.analysis.figures import fig1_mha_dataflow, fig2_encoder_dataflow
+
+
+def test_fig1_mha_dataflow(benchmark, env):
+    rows = benchmark.pedantic(lambda: fig1_mha_dataflow(env), rounds=1, iterations=1)
+    print("\n=== Fig. 1b (reproduced): MHA forward dataflow ===")
+    for r in rows:
+        print(
+            f"  {r.op_class.marker} {r.op_name:<16s} {r.gflop:7.3f} Gflop  "
+            f"{r.flop_per_word:8.1f} flop/word  [{r.movement_class}]"
+        )
+    by_name = {r.op_name: r for r in rows}
+
+    # Paper: each projection is 8G flop at ~910 flop/word.
+    assert by_name["q_proj"].gflop == pytest.approx(8.0, abs=0.1)
+    assert by_name["q_proj"].flop_per_word == pytest.approx(910, rel=0.05)
+    # QKT / Gamma: 4G at ~102 flop/word.
+    assert by_name["qkt"].gflop == pytest.approx(4.0, abs=0.1)
+    assert by_name["qkt"].flop_per_word == pytest.approx(102, rel=0.05)
+    assert by_name["gamma"].flop_per_word == pytest.approx(102, rel=0.05)
+    # Softmax ~2.5 flop/word (IO ~ flop); biases 0.5 (IO > flop).
+    assert 1.0 < by_name["softmax"].flop_per_word < 4.0
+    assert by_name["input_bias_q"].flop_per_word == pytest.approx(0.5, abs=0.1)
+    assert by_name["input_bias_q"].movement_class == "IO > flop"
+    assert by_name["q_proj"].movement_class == "IO < flop"
+
+
+def test_fig2_encoder_dataflow(benchmark, env):
+    rows = benchmark.pedantic(lambda: fig2_encoder_dataflow(env), rounds=1, iterations=1)
+    print("\n=== Fig. 2 (reproduced): encoder fwd+bwd dataflow ===")
+    for r in rows:
+        print(
+            f"  {r.op_class.marker} {r.op_name:<24s} {r.gflop:7.3f} Gflop  "
+            f"{r.flop_per_word:8.1f} flop/word  [{r.movement_class}]"
+        )
+    by_name = {r.op_name: r for r in rows}
+
+    # Fig. 2 annotations: linear layers 32G at ~1024-1365 flop/word;
+    # layernorm ~3.5 flop/word; dropout/residual ~1/3-1/2.
+    assert by_name["linear1"].gflop == pytest.approx(32.0, abs=0.2)
+    assert 900 < by_name["linear1"].flop_per_word < 1500
+    assert 2.0 < by_name["ln1"].flop_per_word < 5.0
+    assert by_name["ffn_dropout"].flop_per_word < 1.0
+    assert by_name["residual1"].movement_class == "IO > flop"
+
+    # Total: the full training graph is ~312.6 binary Gflop.
+    assert sum(r.gflop for r in rows) == pytest.approx(312.6, rel=0.02)

@@ -1,0 +1,36 @@
+"""Figure 6 — the configuration-selection graph and its SSSP solve.
+
+The paper's Fig. 6 shows the layered layout-node graph for a slice of the
+network (QKV-fused + AIB) and notes SSSP solves the whole BERT graph in
+seconds.  The benchmark builds the full encoder configuration graph,
+cross-checks our DAG-relaxation SSSP against networkx Dijkstra, and bounds
+the solve time.
+"""
+
+import time
+
+from repro.analysis.figures import fig6_config_graph_stats
+
+
+def test_fig6_config_graph(benchmark, env, cost):
+    t0 = time.perf_counter()
+    stats = benchmark.pedantic(
+        lambda: fig6_config_graph_stats(env, cost, cap=400), rounds=1, iterations=1
+    )
+    elapsed = time.perf_counter() - t0
+    print("\n=== Fig. 6 (reproduced): configuration-selection graph ===")
+    for k, v in stats.items():
+        print(f"  {k:<24s} {v:,.1f}")
+    print(f"  build+solve wall time   {elapsed:.1f} s")
+
+    # The graph is substantial but SSSP is fast ("seconds for BERT").
+    assert stats["nodes"] > 100
+    assert stats["edges"] > 500
+    assert stats["chain_ops"] == 11  # the fused encoder forward chain
+    assert elapsed < 120
+
+    # Our DAG shortest path agrees with networkx Dijkstra exactly.
+    assert abs(stats["sssp_cost_us"] - stats["sssp_cost_networkx_us"]) < 1e-6
+
+    # The path visits source, one arrival+departure pair per boundary, target.
+    assert stats["path_len"] >= stats["chain_ops"] + 2

@@ -1,0 +1,36 @@
+"""Memory-footprint analysis (extension; supports the paper's Sec. III-D
+setting of 16 GB V100s).
+
+Not a paper table — but the activation-dominated footprint is why the
+paper's mini-batch is 8 at L=512, and fusion's removal of interior tensors
+is measurable here too.
+"""
+
+from repro.analysis.memory import graph_footprint
+from repro.fusion.encoder_kernels import apply_paper_fusion
+from repro.hardware.spec import V100
+from repro.transformer.graph_builder import build_encoder_graph
+
+
+def test_memory_footprint(benchmark, env):
+    def run():
+        unfused = build_encoder_graph(qkv_fusion="qkv")
+        fused = apply_paper_fusion(unfused, env)
+        return graph_footprint(unfused, env), graph_footprint(fused, env)
+
+    before, after = benchmark.pedantic(run, rounds=1, iterations=1)
+    gib = 2.0**30
+    print("\n=== Training memory per encoder layer (B=8, L=512, fp16) ===")
+    for label, fp in (("unfused", before), ("fused", after)):
+        print(
+            f"  {label:<8s} params {fp.parameter_bytes / gib:5.3f} GiB  "
+            f"saved acts {fp.saved_activation_bytes / gib:5.3f} GiB  "
+            f"transient {fp.transient_activation_bytes / gib:5.3f} GiB"
+        )
+
+    # BERT-large: 24 layers of persistent state must fit 16 GB at B=8.
+    assert after.fits(V100, model_copies=24)
+    # Fusion eliminates interim materialization.
+    assert after.transient_activation_bytes < before.transient_activation_bytes
+    # Activations dominate parameters at this batch/sequence size.
+    assert after.saved_activation_bytes > 2 * after.parameter_bytes

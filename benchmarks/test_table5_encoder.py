@@ -1,0 +1,34 @@
+"""Table V — full BERT encoder layer performance.
+
+Paper (ms): forward PT 3.45, TF+XLA 3.2, DS 2.8, Ours 2.63;
+backward 5.69, 5.2, 4.8, 4.38.  Headline factors: 1.30x over PyTorch,
+1.20x over TF+XLA, 1.08x over DeepSpeed.
+"""
+
+import pytest
+
+from repro.analysis.report import format_framework_table
+from repro.analysis.tables import table5
+
+
+def test_table5_encoder(benchmark, env, cost):
+    data = benchmark.pedantic(lambda: table5(env, cost, cap=400), rounds=1, iterations=1)
+    print("\n=== Table V (reproduced; paper fwd 3.45/3.2/2.8/2.63, bwd 5.69/5.2/4.8/4.38) ===")
+    print(format_framework_table(data))
+
+    totals = {f: d["total_ms"] for f, d in data.items()}
+    # Ranking: Ours < DeepSpeed < TF+XLA < PyTorch.
+    assert totals["Ours"] < totals["DeepSpeed"] < totals["TF+XLA"] < totals["PyTorch"]
+
+    # Headline speedups within a generous band of the paper's factors.
+    pt = totals["PyTorch"] / totals["Ours"]
+    tf = totals["TF+XLA"] / totals["Ours"]
+    ds = totals["DeepSpeed"] / totals["Ours"]
+    print(f"speedups vs Ours: PT {pt:.2f}x (paper 1.30), TF+XLA {tf:.2f}x (1.20), DS {ds:.2f}x (1.08)")
+    assert pt == pytest.approx(1.30, abs=0.15)
+    assert tf == pytest.approx(1.20, abs=0.12)
+    assert ds == pytest.approx(1.08, abs=0.08)
+
+    # Absolute magnitudes near the paper's.
+    assert data["Ours"]["forward_ms"] == pytest.approx(2.63, rel=0.15)
+    assert data["Ours"]["backward_ms"] == pytest.approx(4.38, rel=0.15)

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Train an encoder layer end to end with the exact kernels the paper tunes.
+
+The performance analysis is only credible if the same forward/backward
+computation actually learns.  This example trains one (small) BERT encoder
+layer on a synthetic sequence-denoising task using the NumPy kernels, then
+verifies that the optimized (fused) execution schedule computes bit-identical
+outputs to the unfused one on the trained weights.
+
+Run:  python examples/bert_training.py
+"""
+
+import numpy as np
+
+from repro.fusion import apply_paper_fusion
+from repro.runtime import GraphExecutor, encoder_feeds
+from repro.transformer import (
+    ModelDims,
+    build_encoder_graph,
+    train_denoising,
+)
+
+
+def main() -> None:
+    dims = ModelDims(batch=4, seq=16, heads=4, proj=8, ffn_mult=2)
+    print(f"training a {dims.embed}-dim, {dims.heads}-head encoder layer "
+          f"on sequence denoising...")
+
+    result = train_denoising(dims, steps=60, lr=3e-3, seed=0)
+    first, last = result.losses[0], result.losses[-1]
+    print(f"loss: {first:.4f} -> {last:.4f} "
+          f"({100 * (first - last) / first:.1f}% reduction over 60 steps)")
+    assert result.improved, "training must reduce the loss"
+
+    # The trained weights run identically under the fused schedule.
+    env = dims.env()
+    rng = np.random.default_rng(123)
+    x = rng.normal(0, 1, (dims.embed, dims.batch, dims.seq))
+    graph = build_encoder_graph(qkv_fusion="qkv", include_backward=False)
+    fused = apply_paper_fusion(graph, env)
+    feeds = encoder_feeds(result.params, x, qkv_fusion="qkv")
+    y_unfused = GraphExecutor(graph, env).run(feeds)["y"]
+    y_fused = GraphExecutor(fused, env).run(feeds)["y"]
+    assert np.array_equal(y_unfused, y_fused)
+    print("fused schedule reproduces the trained model's output exactly; "
+          "fusion changed data movement, not math.")
+
+
+if __name__ == "__main__":
+    main()

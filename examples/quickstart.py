@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Quickstart: run the paper's four-step recipe on a BERT encoder layer.
+
+This walks the whole pipeline on the paper's running configuration
+(BERT-large, batch 8, sequence length 512, simulated V100):
+
+1. build the dataflow graph and look at its flop/IO profile;
+2. fuse it into the paper's kernel set;
+3. sweep configurations per operator;
+4. select the global layout assignment and compare with PyTorch.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import bert_large_dims, optimize_encoder
+from repro.fusion import apply_paper_fusion
+from repro.ir.analysis import class_flop_fractions
+from repro.transformer import build_encoder_graph
+
+
+def main() -> None:
+    env = bert_large_dims()
+
+    # Step 1: dataflow analysis.
+    graph = build_encoder_graph(qkv_fusion="qkv")
+    print(f"encoder dataflow graph: {len(graph)} operators")
+    print(f"total required flop: {graph.total_flops(env) / 2**30:.1f} binary Gflop")
+    for cls, frac in class_flop_fractions(graph, env).items():
+        print(f"  {cls.marker} {cls.value:<28s} {100 * frac:6.2f}% of flop")
+
+    # Step 2: fusion.
+    fused = apply_paper_fusion(graph, env)
+    before = graph.total_io_words(env) / 1e6
+    after = fused.total_io_words(env) / 1e6
+    print(f"\nfusion: {len(graph)} ops -> {len(fused)} kernels")
+    print(f"data movement: {before:.0f} Mw -> {after:.0f} Mw "
+          f"({100 * (before - after) / before:.1f}% reduction)")
+
+    # Steps 3 + 4: tuning, global selection, and the PyTorch comparison.
+    print("\nrunning configuration sweeps and global selection...")
+    report = optimize_encoder(env)
+    print(report.summary())
+    print(f"  ours:    {report.forward_ms:.2f} ms fwd / {report.backward_ms:.2f} ms bwd")
+    print(f"  pytorch: {report.pytorch_forward_ms:.2f} ms fwd / "
+          f"{report.pytorch_backward_ms:.2f} ms bwd")
+
+
+if __name__ == "__main__":
+    main()

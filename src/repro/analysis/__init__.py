@@ -1,0 +1,81 @@
+"""Table and figure generators for the paper's evaluation section."""
+
+from .figures import (
+    ContractionTile,
+    DataflowAnnotation,
+    fig1_mha_dataflow,
+    fig2_encoder_dataflow,
+    fig4_contraction_tiles,
+    fig5_fused_kernels,
+    fig6_config_graph_stats,
+)
+from .calibration import (
+    CalibrationReport,
+    CalibrationRow,
+    PAPER_TABLE3_US,
+    audit_calibration,
+)
+from .memory import MemoryFootprint, graph_footprint
+from .sensitivity import (
+    SensitivityPoint,
+    attention_ffn_crossover,
+    sweep_problem_sizes,
+)
+from .report import format_framework_table, format_table1, format_table2, format_table3
+from .savings import (
+    BERT_AWS_COST_USD,
+    GPT3_COST_USD,
+    GPT3_ENERGY_MWH,
+    SavingsEstimate,
+    estimate_savings,
+)
+from .tables import (
+    GFLOP,
+    TABLE3_ROWS,
+    Table1Row,
+    Table3Row,
+    data_movement_reduction_report,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+
+__all__ = [
+    "BERT_AWS_COST_USD",
+    "CalibrationReport",
+    "CalibrationRow",
+    "MemoryFootprint",
+    "PAPER_TABLE3_US",
+    "SensitivityPoint",
+    "attention_ffn_crossover",
+    "audit_calibration",
+    "graph_footprint",
+    "sweep_problem_sizes",
+    "ContractionTile",
+    "DataflowAnnotation",
+    "GFLOP",
+    "GPT3_COST_USD",
+    "GPT3_ENERGY_MWH",
+    "SavingsEstimate",
+    "TABLE3_ROWS",
+    "Table1Row",
+    "Table3Row",
+    "data_movement_reduction_report",
+    "estimate_savings",
+    "fig1_mha_dataflow",
+    "fig2_encoder_dataflow",
+    "fig4_contraction_tiles",
+    "fig5_fused_kernels",
+    "fig6_config_graph_stats",
+    "format_framework_table",
+    "format_table1",
+    "format_table2",
+    "format_table3",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+]

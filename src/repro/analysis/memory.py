@@ -1,0 +1,91 @@
+"""Training memory-footprint accounting.
+
+The paper's V100 has 16 GB (Sec. III-D); whether an optimized schedule fits
+depends on the parameters, the activations saved for backward, and the
+dropout masks — all derivable from the dataflow graph.  Fusion changes the
+footprint too: interior tensors of a fused kernel are never materialized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.spec import GPUSpec, V100
+from repro.ir.dims import DimEnv
+from repro.ir.graph import DataflowGraph
+from repro.ir.operator import Stage
+
+__all__ = ["MemoryFootprint", "graph_footprint"]
+
+
+@dataclass(frozen=True)
+class MemoryFootprint:
+    """Byte totals per storage category for one training iteration."""
+
+    parameter_bytes: int
+    gradient_bytes: int
+    #: forward activations alive until their backward consumer runs
+    saved_activation_bytes: int
+    #: forward tensors consumed entirely within the forward pass
+    transient_activation_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return (
+            self.parameter_bytes
+            + self.gradient_bytes
+            + self.saved_activation_bytes
+            + self.transient_activation_bytes
+        )
+
+    def fits(self, gpu: GPUSpec = V100, *, model_copies: int = 1) -> bool:
+        """Whether ``model_copies`` stacked layers of this footprint fit.
+
+        Parameters/gradients/saved activations scale with layer count;
+        transient buffers are reused across layers.
+        """
+        persistent = (
+            self.parameter_bytes + self.gradient_bytes + self.saved_activation_bytes
+        )
+        return persistent * model_copies + self.transient_activation_bytes <= gpu.mem_capacity
+
+
+def graph_footprint(graph: DataflowGraph, env: DimEnv) -> MemoryFootprint:
+    """Account every container of a fwd+bwd graph into footprint categories.
+
+    * parameters: graph inputs flagged ``is_param``;
+    * gradients: outputs of dW-stage operators;
+    * saved activations: forward-produced tensors read by backward operators
+      (including dropout masks and softmax outputs);
+    * transient: forward-produced tensors with only forward consumers —
+      after fusion many of these disappear entirely.
+    """
+    params = 0
+    grads = 0
+    saved = 0
+    transient = 0
+    for name, spec in graph.containers.items():
+        producer = graph.producer_of(name)
+        nbytes = spec.nbytes(env)
+        if producer is None:
+            if spec.is_param:
+                params += nbytes
+            continue
+        op = graph.op(producer)
+        if op.stage is Stage.BACKWARD_DW:
+            grads += nbytes
+            continue
+        if op.stage.is_backward:
+            transient += nbytes  # dX-stage gradients are consumed immediately
+            continue
+        consumers = graph.consumers_of(name)
+        if any(graph.op(c).stage.is_backward for c in consumers):
+            saved += nbytes
+        else:
+            transient += nbytes
+    return MemoryFootprint(
+        parameter_bytes=params,
+        gradient_bytes=grads,
+        saved_activation_bytes=saved,
+        transient_activation_bytes=transient,
+    )

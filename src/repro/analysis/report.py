@@ -1,0 +1,64 @@
+"""Plain-text rendering of the reproduced tables (shared by benchmarks/examples)."""
+
+from __future__ import annotations
+
+from repro.ir.operator import OpClass
+
+from .tables import Table1Row, Table3Row
+
+__all__ = ["format_table1", "format_table2", "format_table3", "format_framework_table"]
+
+
+def format_table1(rows: list[Table1Row]) -> str:
+    lines = ["Operator class                 % flop   % runtime"]
+    for r in rows:
+        lines.append(
+            f"{r.op_class.marker} {r.op_class.value:<27s}"
+            f"{100 * r.flop_fraction:7.2f}  {100 * r.runtime_fraction:9.1f}"
+        )
+    return "\n".join(lines)
+
+
+def format_table2(data: dict[str, dict[str, float]]) -> str:
+    lines = ["            Unfused   QK fused   QKV fused"]
+    for stage in ("forward", "backward"):
+        row = data[stage]
+        lines.append(
+            f"{stage.capitalize():<10s}"
+            f"{row['unfused']:9.0f} {row['qk']:10.0f} {row['qkv']:11.0f}  (us)"
+        )
+    return "\n".join(lines)
+
+
+def format_table3(rows: list[Table3Row], totals: dict[OpClass, dict[str, float]]) -> str:
+    header = (
+        f"{'Operator':<40s} {'Gflop':>7s} {'In(Mw)':>7s} {'Out(Mw)':>8s} "
+        f"{'PT us':>7s} {'PT %pk':>7s} {'Ours us':>8s} {'%pk':>6s} {'MUE':>5s} "
+        f"{'Speedup':>8s}  Kernel"
+    )
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r.marker} {r.label:<38s} {r.gflop:7.3f} {r.input_mwords:7.1f} "
+            f"{r.output_mwords:8.1f} {r.pt_time_us:7.0f} {r.pt_percent_peak:7.1f} "
+            f"{r.ours_time_us:8.0f} {r.ours_percent_peak:6.1f} {r.ours_mue:5.0f} "
+            f"{r.speedup:8.2f}  {r.kernel}"
+        )
+    lines.append("-" * len(header))
+    for cls, t in totals.items():
+        lines.append(
+            f"{cls.marker} {cls.value:<38s} "
+            f"PT {t['pt_us']:8.0f} us   Ours {t['ours_us']:8.0f} us   "
+            f"speedup {t['speedup']:5.2f}"
+        )
+    return "\n".join(lines)
+
+
+def format_framework_table(data: dict[str, dict[str, float]], *, unit: str = "ms") -> str:
+    frameworks = list(data)
+    lines = [" " * 10 + "".join(f"{f:>12s}" for f in frameworks)]
+    keys = list(next(iter(data.values())))
+    for key in keys:
+        row = "".join(f"{data[f].get(key, float('nan')):12.2f}" for f in frameworks)
+        lines.append(f"{key:<10s}{row}")
+    return "\n".join(lines)

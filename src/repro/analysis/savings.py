@@ -1,0 +1,54 @@
+"""Training-cost and energy savings estimates (paper Sec. I).
+
+The introduction quantifies the impact of the 1.30x speedup: "a savings of
+over $85,000 on AWS" for robustly training BERT (RoBERTa-scale) and, for
+GPT-3's estimated $12M training cost, "$3.6M and more than 120 MWh energy".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SavingsEstimate", "estimate_savings", "BERT_AWS_COST_USD", "GPT3_COST_USD", "GPT3_ENERGY_MWH"]
+
+#: Approximate AWS cost of a robust (RoBERTa-scale) BERT pretraining run in
+#: 2020 (1024 V100-days at p3 on-demand pricing).
+BERT_AWS_COST_USD = 370_000.0
+#: The paper's cited GPT-3 training cost estimate.
+GPT3_COST_USD = 12_000_000.0
+#: Energy estimate for that run.
+GPT3_ENERGY_MWH = 400.0
+
+
+@dataclass(frozen=True)
+class SavingsEstimate:
+    """Cost/energy saved by a training-time speedup."""
+
+    speedup: float
+    baseline_cost_usd: float
+    saved_usd: float
+    baseline_energy_mwh: float | None = None
+    saved_mwh: float | None = None
+
+
+def estimate_savings(
+    speedup: float,
+    baseline_cost_usd: float,
+    *,
+    baseline_energy_mwh: float | None = None,
+) -> SavingsEstimate:
+    """Savings from running the same training ``speedup``-times faster.
+
+    A speedup of ``s`` cuts GPU-hours (and thus cost and energy) by a
+    factor ``1 - 1/s``.
+    """
+    if speedup <= 0:
+        raise ValueError("speedup must be positive")
+    frac = max(0.0, 1.0 - 1.0 / speedup)
+    return SavingsEstimate(
+        speedup=speedup,
+        baseline_cost_usd=baseline_cost_usd,
+        saved_usd=baseline_cost_usd * frac,
+        baseline_energy_mwh=baseline_energy_mwh,
+        saved_mwh=None if baseline_energy_mwh is None else baseline_energy_mwh * frac,
+    )

@@ -1,0 +1,20 @@
+"""Exhaustive per-operator configuration tuning (paper Sec. V)."""
+
+from .cache import CacheMismatch, load_sweep, save_sweep, sweep_from_dict, sweep_to_dict
+from .tuner import ConfigMeasurement, SweepResult, sweep_graph, sweep_op
+from .violin import ViolinSummary, render_ascii, summarize
+
+__all__ = [
+    "CacheMismatch",
+    "ConfigMeasurement",
+    "load_sweep",
+    "save_sweep",
+    "sweep_from_dict",
+    "sweep_to_dict",
+    "SweepResult",
+    "ViolinSummary",
+    "render_ascii",
+    "summarize",
+    "sweep_graph",
+    "sweep_op",
+]

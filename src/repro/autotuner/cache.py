@@ -1,0 +1,112 @@
+"""Persistence for sweep results: save and reload tuning artifacts.
+
+Exhaustive sweeps are the expensive part of the recipe; real autotuners
+persist their measurements.  Sweep results round-trip through JSON so a
+tuning session can resume, and a re-measured sweep can be *verified* against
+a stored one (the cost model is deterministic, so any drift means the model
+changed and cached selections are stale).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.hardware.cost_model import KernelTime
+from repro.ir.operator import OpSpec
+from repro.layouts.config import OpConfig
+from repro.layouts.layout import Layout
+
+from .tuner import ConfigMeasurement, SweepResult
+
+__all__ = ["save_sweep", "load_sweep", "sweep_to_dict", "sweep_from_dict", "CacheMismatch"]
+
+
+class CacheMismatch(ValueError):
+    """A cached sweep disagrees with a fresh measurement."""
+
+
+def _config_to_dict(c: OpConfig) -> dict:
+    return {
+        "op_name": c.op_name,
+        "input_layouts": [list(l.dims) for l in c.input_layouts],
+        "output_layouts": [list(l.dims) for l in c.output_layouts],
+        "vector_dim": c.vector_dim,
+        "warp_reduce_dim": c.warp_reduce_dim,
+        "algorithm": c.algorithm,
+        "use_tensor_cores": c.use_tensor_cores,
+    }
+
+
+def _config_from_dict(d: dict) -> OpConfig:
+    return OpConfig(
+        op_name=d["op_name"],
+        input_layouts=tuple(Layout(tuple(x)) for x in d["input_layouts"]),
+        output_layouts=tuple(Layout(tuple(x)) for x in d["output_layouts"]),
+        vector_dim=d["vector_dim"],
+        warp_reduce_dim=d["warp_reduce_dim"],
+        algorithm=d["algorithm"],
+        use_tensor_cores=d["use_tensor_cores"],
+    )
+
+
+def sweep_to_dict(sweep: SweepResult) -> dict:
+    """Serializable form of a sweep (op identity + all measurements)."""
+    return {
+        "op_name": sweep.op.name,
+        "measurements": [
+            {
+                "config": _config_to_dict(m.config),
+                "compute_us": m.time.compute_us,
+                "memory_us": m.time.memory_us,
+                "launch_us": m.time.launch_us,
+            }
+            for m in sweep.measurements
+        ],
+    }
+
+
+def sweep_from_dict(data: dict, op: OpSpec) -> SweepResult:
+    """Rebuild a sweep for ``op`` from its serialized form."""
+    if data["op_name"] != op.name:
+        raise CacheMismatch(
+            f"cached sweep is for {data['op_name']!r}, not {op.name!r}"
+        )
+    measurements = [
+        ConfigMeasurement(
+            config=_config_from_dict(m["config"]),
+            time=KernelTime(
+                compute_us=m["compute_us"],
+                memory_us=m["memory_us"],
+                launch_us=m["launch_us"],
+            ),
+        )
+        for m in data["measurements"]
+    ]
+    return SweepResult(op=op, measurements=measurements)
+
+
+def save_sweep(sweep: SweepResult, path: str | Path) -> None:
+    """Write one sweep to a JSON file."""
+    Path(path).write_text(json.dumps(sweep_to_dict(sweep)))
+
+
+def load_sweep(path: str | Path, op: OpSpec, *, verify_against: SweepResult | None = None) -> SweepResult:
+    """Load a sweep; optionally verify it against a fresh measurement.
+
+    Verification compares the best configuration and its time — enough to
+    detect a changed cost model without re-serializing everything.
+    """
+    data = json.loads(Path(path).read_text())
+    sweep = sweep_from_dict(data, op)
+    if verify_against is not None:
+        fresh = verify_against
+        if (
+            abs(sweep.best.total_us - fresh.best.total_us) > 1e-6
+            or sweep.best.config.key() != fresh.best.config.key()
+        ):
+            raise CacheMismatch(
+                f"cached best for {op.name!r} ({sweep.best.total_us:.3f} us) "
+                f"!= fresh best ({fresh.best.total_us:.3f} us); cost model changed?"
+            )
+    return sweep

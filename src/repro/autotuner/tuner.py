@@ -1,0 +1,155 @@
+"""Exhaustive operator tuning (Step 3 of the recipe, Sec. V).
+
+For every operator the tuner measures (under the cost model) every feasible
+configuration — layouts, vectorization/warp dims, GEMM algorithm, tensor-core
+mode — and records the full runtime distribution.  The distributions are the
+paper's violin plots: Fig. 4 (contractions) and Fig. 5 (fused kernels); the
+per-(input,output)-layout minima feed the configuration-selection graph of
+Step 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.cost_model import CostModel, KernelTime
+from repro.ir.dims import DimEnv
+from repro.ir.graph import DataflowGraph
+from repro.ir.operator import OpClass, OpSpec
+from repro.layouts.config import OpConfig
+from repro.layouts.configspace import contraction_configs, kernel_configs
+from repro.layouts.layout import Layout
+
+__all__ = ["ConfigMeasurement", "SweepResult", "sweep_op", "sweep_graph"]
+
+
+@dataclass(frozen=True)
+class ConfigMeasurement:
+    """One point of a sweep: a configuration and its predicted time."""
+
+    config: OpConfig
+    time: KernelTime
+
+    @property
+    def total_us(self) -> float:
+        return self.time.total_us
+
+
+@dataclass
+class SweepResult:
+    """The full runtime distribution of one operator's configuration space."""
+
+    op: OpSpec
+    measurements: list[ConfigMeasurement] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.measurements.sort(key=lambda m: m.total_us)
+
+    # -- distribution queries ------------------------------------------------
+    @property
+    def best(self) -> ConfigMeasurement:
+        if not self.measurements:
+            raise ValueError(f"no feasible configurations for {self.op.name!r}")
+        return self.measurements[0]
+
+    @property
+    def worst(self) -> ConfigMeasurement:
+        if not self.measurements:
+            raise ValueError(f"no feasible configurations for {self.op.name!r}")
+        return self.measurements[-1]
+
+    @property
+    def num_configs(self) -> int:
+        return len(self.measurements)
+
+    def times_us(self) -> list[float]:
+        return [m.total_us for m in self.measurements]
+
+    def quantile_us(self, q: float) -> float:
+        """Runtime at quantile ``q`` of the (sorted) distribution."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if not self.measurements:
+            raise ValueError(f"no feasible configurations for {self.op.name!r}")
+        idx = round(q * (len(self.measurements) - 1))
+        return self.measurements[idx].total_us
+
+    def at_quantile(self, q: float) -> ConfigMeasurement:
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        idx = round(q * (len(self.measurements) - 1))
+        return self.measurements[idx]
+
+    @property
+    def spread(self) -> float:
+        """worst/best runtime ratio (the length of the violin's tail)."""
+        return self.worst.total_us / self.best.total_us
+
+    # -- layout-conditioned minima (for the configuration graph) ---------------
+    def best_for_layouts(
+        self, input_layouts: tuple[Layout, ...] | None, output_layouts: tuple[Layout, ...] | None
+    ) -> ConfigMeasurement | None:
+        """Fastest configuration matching the given layout constraints.
+
+        ``None`` constraints are wildcards.  Returns None if no measured
+        configuration matches.
+        """
+        for m in self.measurements:  # sorted ascending: first match is best
+            if input_layouts is not None and m.config.input_layouts != input_layouts:
+                continue
+            if output_layouts is not None and m.config.output_layouts != output_layouts:
+                continue
+            return m
+        return None
+
+    def best_with_operand_layout(
+        self, operand_index: int, layout: Layout, *, output: bool = False
+    ) -> ConfigMeasurement | None:
+        """Fastest configuration whose given operand uses ``layout``."""
+        for m in self.measurements:
+            layouts = m.config.output_layouts if output else m.config.input_layouts
+            if operand_index >= len(layouts):
+                return None
+            if layouts[operand_index] == layout:
+                return m
+        return None
+
+
+def sweep_op(
+    op: OpSpec,
+    env: DimEnv,
+    cost: CostModel | None = None,
+    *,
+    cap: int | None = 2000,
+    seed: int = 0x5EED,
+) -> SweepResult:
+    """Measure every feasible configuration of one operator."""
+    cost = cost or CostModel()
+    if op.op_class is OpClass.TENSOR_CONTRACTION:
+        configs = contraction_configs(op, env)
+    else:
+        configs = kernel_configs(op, env, cap=cap, seed=seed)
+    measurements: list[ConfigMeasurement] = []
+    for config in configs:
+        kt = cost.time_op(op, config, env)
+        if kt is None:
+            continue
+        measurements.append(ConfigMeasurement(config=config, time=kt))
+    return SweepResult(op=op, measurements=measurements)
+
+
+def sweep_graph(
+    graph: DataflowGraph,
+    env: DimEnv,
+    cost: CostModel | None = None,
+    *,
+    cap: int | None = 2000,
+) -> dict[str, SweepResult]:
+    """Sweep every non-view operator of a graph; keyed by op name."""
+    cost = cost or CostModel()
+    results: dict[str, SweepResult] = {}
+    for op in graph.ops:
+        if op.is_view:
+            continue
+        results[op.name] = sweep_op(op, env, cost, cap=cap)
+    return results

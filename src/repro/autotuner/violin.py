@@ -1,0 +1,82 @@
+"""Distribution summaries: text-mode violin plots for Figs. 4 and 5.
+
+The paper summarizes each operator's configuration-space runtimes as a
+violin plot — the width encodes how many configurations share a runtime.
+Offline and plot-library-free, we render the same information as histogram
+rows plus summary statistics (best / worst / quartiles / modality), which
+is what the figure benchmarks print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .tuner import SweepResult
+
+__all__ = ["ViolinSummary", "summarize", "render_ascii"]
+
+
+@dataclass(frozen=True)
+class ViolinSummary:
+    """Summary statistics of one operator's runtime distribution."""
+
+    op_name: str
+    num_configs: int
+    best_us: float
+    q25_us: float
+    median_us: float
+    q75_us: float
+    worst_us: float
+    spread: float
+    #: histogram over log-spaced buckets between best and worst
+    histogram: tuple[int, ...]
+
+    @property
+    def long_tailed(self) -> bool:
+        """Fig. 5's observation: fused-kernel distributions have very long
+        tails (a bad configuration is worse by orders of magnitude)."""
+        return self.spread > 10.0
+
+
+def summarize(sweep: SweepResult, *, buckets: int = 12) -> ViolinSummary:
+    """Compute the violin summary of a sweep."""
+    times = sweep.times_us()
+    if not times:
+        raise ValueError(f"no feasible configurations for {sweep.op.name!r}")
+    best, worst = times[0], times[-1]
+    hist = [0] * buckets
+    if worst > best:
+        import math
+
+        log_lo, log_hi = math.log(best), math.log(worst)
+        width = (log_hi - log_lo) / buckets
+        for t in times:
+            idx = min(buckets - 1, int((math.log(t) - log_lo) / width)) if width else 0
+            hist[idx] += 1
+    else:
+        hist[0] = len(times)
+    return ViolinSummary(
+        op_name=sweep.op.name,
+        num_configs=len(times),
+        best_us=best,
+        q25_us=sweep.quantile_us(0.25),
+        median_us=sweep.quantile_us(0.5),
+        q75_us=sweep.quantile_us(0.75),
+        worst_us=worst,
+        spread=worst / best,
+        histogram=tuple(hist),
+    )
+
+
+def render_ascii(summary: ViolinSummary, *, width: int = 40) -> str:
+    """Render one violin as text: header line + histogram bars."""
+    lines = [
+        f"{summary.op_name}: {summary.num_configs} configs, "
+        f"best {summary.best_us:.3g} us, median {summary.median_us:.3g} us, "
+        f"worst {summary.worst_us:.3g} us (spread {summary.spread:.1f}x)"
+    ]
+    peak = max(summary.histogram) or 1
+    for count in summary.histogram:
+        bar = "#" * max(0, round(width * count / peak))
+        lines.append(f"  |{bar}")
+    return "\n".join(lines)

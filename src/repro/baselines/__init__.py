@@ -1,0 +1,26 @@
+"""Simulated framework baselines (PyTorch, TF+XLA, DeepSpeed, cuDNN, Ours)."""
+
+from .frameworks import (
+    CudnnMHAResult,
+    cudnn_mha_times,
+    framework_graph,
+    framework_schedule,
+)
+from .policy import ALL_FRAMEWORKS, DEEPSPEED, OURS, PYTORCH, TF_XLA, FrameworkPolicy
+from .schedule import Schedule, ScheduledKernel, build_schedule
+
+__all__ = [
+    "ALL_FRAMEWORKS",
+    "CudnnMHAResult",
+    "DEEPSPEED",
+    "FrameworkPolicy",
+    "OURS",
+    "PYTORCH",
+    "Schedule",
+    "ScheduledKernel",
+    "TF_XLA",
+    "build_schedule",
+    "cudnn_mha_times",
+    "framework_graph",
+    "framework_schedule",
+]

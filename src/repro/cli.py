@@ -1,0 +1,143 @@
+"""Command-line interface: regenerate any paper table or run the recipe.
+
+Usage::
+
+    python -m repro table1            # operator-class proportions
+    python -m repro table2            # algebraic fusion
+    python -m repro table3            # per-operator breakdown
+    python -m repro table4            # MHA per framework
+    python -m repro table5            # encoder per framework
+    python -m repro optimize          # the full recipe + summary
+    python -m repro optimize --batch 96 --seq 128
+    python -m repro movement          # data-movement reduction report
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.report import (
+    format_framework_table,
+    format_table1,
+    format_table2,
+    format_table3,
+)
+from repro.hardware.cost_model import CostModel
+from repro.ir.dims import bert_large_dims
+
+__all__ = ["main"]
+
+
+def _env(args: argparse.Namespace):
+    return bert_large_dims(batch=args.batch, seq=args.seq)
+
+
+def _cmd_table1(args) -> None:
+    from repro.analysis.tables import table1
+
+    print(format_table1(table1(_env(args), CostModel())))
+
+
+def _cmd_table2(args) -> None:
+    from repro.analysis.tables import table2
+
+    print(format_table2(table2(_env(args), CostModel())))
+
+
+def _cmd_table3(args) -> None:
+    from repro.analysis.tables import table3
+
+    rows, totals = table3(_env(args), CostModel(), cap=args.cap)
+    print(format_table3(rows, totals))
+
+
+def _cmd_table4(args) -> None:
+    from repro.analysis.tables import table4
+
+    print(format_framework_table(table4(_env(args), CostModel(), cap=args.cap)))
+
+
+def _cmd_table5(args) -> None:
+    from repro.analysis.tables import table5
+
+    print(format_framework_table(table5(_env(args), CostModel(), cap=args.cap)))
+
+
+def _cmd_optimize(args) -> None:
+    from repro import optimize_encoder
+
+    report = optimize_encoder(_env(args), cap=args.cap)
+    print(report.summary())
+
+
+def _cmd_roofline(args) -> None:
+    from repro.hardware.roofline import graph_roofline
+    from repro.transformer.graph_builder import build_encoder_graph
+
+    graph = build_encoder_graph(qkv_fusion="qkv")
+    print(f"{'operator':<24s} {'class':<26s} {'flop/B':>8s} {'ridge':>7s}  bound")
+    for pt in graph_roofline(graph, _env(args)):
+        bound = "memory" if pt.memory_bound else "compute"
+        print(
+            f"{pt.op_name:<24s} {pt.op_class.value:<26s} "
+            f"{pt.intensity:8.1f} {pt.ridge:7.1f}  {bound}"
+        )
+
+
+def _cmd_calibrate(args) -> None:
+    from repro.analysis.calibration import audit_calibration
+
+    report = audit_calibration(_env(args), CostModel(), cap=args.cap)
+    for r in report.rows:
+        print(
+            f"{r.label:<42s} PT {r.pt_ratio:5.2f}x   Ours {r.ours_ratio:5.2f}x"
+        )
+    print(
+        f"geomean: PT {report.geometric_mean_ratio(side='pt'):.2f}, "
+        f"Ours {report.geometric_mean_ratio(side='ours'):.2f}"
+    )
+
+
+def _cmd_movement(args) -> None:
+    from repro.analysis.tables import data_movement_reduction_report
+
+    r = data_movement_reduction_report(_env(args))
+    print(
+        f"unfused {r['unfused_mwords']:.0f} Mw -> fused {r['fused_mwords']:.0f} Mw "
+        f"({100 * r['reduction_fraction']:.2f}% reduction)"
+    )
+
+
+_COMMANDS = {
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "table3": _cmd_table3,
+    "table4": _cmd_table4,
+    "table5": _cmd_table5,
+    "optimize": _cmd_optimize,
+    "movement": _cmd_movement,
+    "roofline": _cmd_roofline,
+    "calibrate": _cmd_calibrate,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'Data Movement Is All You Need' (MLSys 2021).",
+    )
+    parser.add_argument("command", choices=sorted(_COMMANDS))
+    parser.add_argument("--batch", type=int, default=8, help="mini-batch size B")
+    parser.add_argument("--seq", type=int, default=512, help="sequence length L")
+    parser.add_argument(
+        "--cap", type=int, default=400,
+        help="sampled-configuration cap for wide kernel sweeps",
+    )
+    args = parser.parse_args(argv)
+    _COMMANDS[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

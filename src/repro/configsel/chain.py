@@ -1,0 +1,157 @@
+"""Primary-chain extraction for the configuration-selection graph.
+
+The paper builds its SSSP graph "beginning from the input data and
+proceeding in the order given by a pre-order depth-first search" over the
+forward dataflow (Sec. VI-A) and simplifies by omitting residual
+connections and running on forward propagation only.  We implement the
+same simplification: the *primary chain* is the path of forward kernels
+along the largest activation from the layer input to the layer output;
+secondary operands (weights, biases, masks, residual skips) have their
+layouts minimized inside each operator's edge weight.
+
+Views (stacked-projection slices, self-attention aliases) do not execute,
+but they change the *naming* of the chain tensor between a producer and a
+consumer; ``project_layout`` maps a layout across a view by positional
+alignment of the trailing dims (all views in the builders are trailing
+aligned: ``qkv_lin[c,p,h,b,j] -> qq_lin[p,h,b,j]``, ``x[i,b,j] ->
+xk[i,b,k]``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.graph import DataflowGraph
+from repro.ir.operator import OpSpec, Stage
+from repro.ir.tensor import TensorSpec
+from repro.layouts.layout import Layout
+
+__all__ = ["ChainStep", "primary_chain", "project_layout", "ChainError"]
+
+
+class ChainError(ValueError):
+    """Raised when no primary chain can be extracted."""
+
+
+@dataclass(frozen=True)
+class ChainStep:
+    """One operator on the primary chain."""
+
+    op_name: str
+    in_tensor: str
+    in_index: int  # operand slot of ``in_tensor`` in the op's inputs
+    out_tensor: str
+    out_index: int  # operand slot of ``out_tensor`` in the op's outputs
+
+
+def project_layout(
+    layout: Layout, from_spec: TensorSpec, to_spec: TensorSpec
+) -> Layout | None:
+    """Map a layout of ``from_spec`` across a view to ``to_spec``.
+
+    The trailing ``len(to_spec.dims)`` dims of the view source align
+    positionally with the view's dims; leading (stacking) dims are dropped.
+    Returns None when the projection does not yield a full permutation
+    (e.g. a stacking dim interleaved between payload dims).
+    """
+    if from_spec.rank < to_spec.rank:
+        return None
+    tail = from_spec.dims[from_spec.rank - to_spec.rank :]
+    rename = dict(zip(tail, to_spec.dims))
+    projected = tuple(rename[d] for d in layout.dims if d in rename)
+    if set(projected) != set(to_spec.dims) or len(projected) != to_spec.rank:
+        return None
+    return Layout(projected)
+
+
+def _primary_output(graph: DataflowGraph, op: OpSpec) -> tuple[str, int]:
+    """The chain output: the output whose forward consumer comes earliest.
+
+    Following the earliest consumer implements the paper's pre-order DFS
+    over the forward dataflow (e.g. AIB's chain output is ``qq`` feeding
+    QKT, not ``vv`` feeding the later Gamma contraction).  Outputs with no
+    forward consumers (saved masks/statistics) rank last.
+    """
+    topo_index = {o.name: i for i, o in enumerate(graph.ops)}
+    big = len(graph.ops) + 1
+
+    def earliest_forward_consumer(tensor: str) -> int:
+        best = big
+        for c in graph.consumers_of(tensor):
+            cop = graph.op(c)
+            if cop.stage is not Stage.FORWARD:
+                continue
+            if cop.is_view:
+                for t in cop.outputs:
+                    best = min(best, earliest_forward_consumer(t.name))
+            else:
+                best = min(best, topo_index[c])
+        return best
+
+    ranked = sorted(
+        (earliest_forward_consumer(t.name), idx, t.name)
+        for idx, t in enumerate(op.outputs)
+    )
+    _, idx, name = ranked[0]
+    return name, idx
+
+
+def _view_leads_forward(graph: DataflowGraph, tensor: str) -> bool:
+    for c in graph.consumers_of(tensor):
+        op = graph.op(c)
+        if op.is_view and op.stage is Stage.FORWARD:
+            for t in op.outputs:
+                if _has_forward_consumer(graph, t.name) or _view_leads_forward(graph, t.name):
+                    return True
+    return False
+
+
+def _has_forward_consumer(graph: DataflowGraph, tensor: str) -> bool:
+    return any(
+        not graph.op(c).is_view and graph.op(c).stage is Stage.FORWARD
+        for c in graph.consumers_of(tensor)
+    )
+
+
+def primary_chain(graph: DataflowGraph, *, source: str = "x") -> list[ChainStep]:
+    """Extract the forward primary chain starting at container ``source``."""
+    topo_index = {op.name: i for i, op in enumerate(graph.ops)}
+    current = source
+    steps: list[ChainStep] = []
+    visited: set[str] = set()
+    while True:
+        if current in visited:
+            raise ChainError(f"chain revisits tensor {current!r}")
+        visited.add(current)
+        kernel_consumers = [
+            graph.op(c)
+            for c in graph.consumers_of(current)
+            if not graph.op(c).is_view and graph.op(c).stage is Stage.FORWARD
+        ]
+        if not kernel_consumers:
+            view_consumers = [
+                graph.op(c)
+                for c in graph.consumers_of(current)
+                if graph.op(c).is_view and graph.op(c).stage is Stage.FORWARD
+            ]
+            if not view_consumers:
+                break  # reached the layer output
+            view = min(view_consumers, key=lambda o: topo_index[o.name])
+            current = view.outputs[0].name
+            continue
+        op = min(kernel_consumers, key=lambda o: topo_index[o.name])
+        in_index = next(i for i, t in enumerate(op.inputs) if t.name == current)
+        out_name, out_index = _primary_output(graph, op)
+        steps.append(
+            ChainStep(
+                op_name=op.name,
+                in_tensor=current,
+                in_index=in_index,
+                out_tensor=out_name,
+                out_index=out_index,
+            )
+        )
+        current = out_name
+    if not steps:
+        raise ChainError(f"no forward chain found from {source!r}")
+    return steps

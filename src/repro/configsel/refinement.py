@@ -1,0 +1,156 @@
+"""Local-search refinement of a selected configuration.
+
+The SSSP pass optimizes the forward chain exactly but infers the remaining
+operators greedily in topological order, so early pins are made without
+seeing late consumers.  This pass closes part of that gap by coordinate
+descent: repeatedly revisit each operator, re-choose its configuration given
+*all* current pins, and accept changes that reduce the end-to-end total
+(kernel times plus the transposes implied by every layout disagreement).
+
+The paper reports its (also approximate) selection lands within 4% of the
+per-operator optimum; refinement moves our assembly toward that bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.autotuner.tuner import ConfigMeasurement, SweepResult
+from repro.hardware.cost_model import CostModel
+from repro.ir.dims import DimEnv
+from repro.ir.graph import DataflowGraph
+from repro.layouts.layout import Layout
+
+from .selector import SelectedConfiguration, TransposeInsertion
+
+__all__ = ["RefinementResult", "refine_selection"]
+
+
+@dataclass(frozen=True)
+class RefinementResult:
+    """Outcome of the coordinate-descent refinement."""
+
+    selection: SelectedConfiguration
+    initial_total_us: float
+    refined_total_us: float
+    rounds: int
+    moves: int
+
+    @property
+    def improvement(self) -> float:
+        """Fractional reduction of total time."""
+        if self.initial_total_us == 0:
+            return 0.0
+        return 1.0 - self.refined_total_us / self.initial_total_us
+
+
+def _operand_layout_pairs(op, m: ConfigMeasurement):
+    yield from zip(op.inputs, m.config.input_layouts)
+    yield from zip(op.outputs, m.config.output_layouts)
+
+
+def _evaluate(
+    graph: DataflowGraph,
+    chosen: dict[str, ConfigMeasurement],
+    env: DimEnv,
+    cost: CostModel,
+) -> tuple[float, list[TransposeInsertion]]:
+    """Total time of an assignment: kernels + transposes for every tensor
+    whose producer and a consumer disagree on layout.
+
+    Layout authority belongs to the producer (or the first consumer for
+    graph inputs); each disagreeing consumer pays one transpose.
+    """
+    total = 0.0
+    layout_of: dict[str, Layout] = {}
+    # Producers claim layouts first.
+    for op in graph.ops:
+        if op.is_view or op.name not in chosen:
+            continue
+        m = chosen[op.name]
+        total += m.total_us
+        for t, l in zip(op.outputs, m.config.output_layouts):
+            layout_of[t.name] = l
+    transposes: list[TransposeInsertion] = []
+    for op in graph.ops:
+        if op.is_view or op.name not in chosen:
+            continue
+        m = chosen[op.name]
+        for t, l in zip(op.inputs, m.config.input_layouts):
+            owner = layout_of.get(t.name)
+            if owner is None:
+                layout_of[t.name] = l  # graph input: first consumer decides
+            elif owner != l:
+                tr = TransposeInsertion(
+                    tensor=t.name,
+                    from_layout=owner,
+                    to_layout=l,
+                    time_us=cost.time_transpose(t, env).total_us,
+                    before_op=op.name,
+                )
+                transposes.append(tr)
+                total += tr.time_us
+    return total, transposes
+
+
+def refine_selection(
+    graph: DataflowGraph,
+    selection: SelectedConfiguration,
+    sweeps: dict[str, SweepResult],
+    env: DimEnv,
+    cost: CostModel | None = None,
+    *,
+    max_rounds: int = 3,
+    candidates_per_op: int = 48,
+) -> RefinementResult:
+    """Coordinate-descent over per-operator configurations.
+
+    For each operator, try its ``candidates_per_op`` fastest sweep points;
+    keep the one minimizing the *global* total under the
+    producer-authoritative transpose accounting.  Deterministic and
+    monotone: the total never increases.
+    """
+    cost = cost or CostModel()
+    chosen = dict(selection.chosen)
+    initial_total, _ = _evaluate(graph, chosen, env, cost)
+    best_total = initial_total
+    moves = 0
+    rounds_done = 0
+    for _ in range(max_rounds):
+        rounds_done += 1
+        improved = False
+        for op in graph.ops:
+            if op.is_view or op.name not in chosen:
+                continue
+            sweep = sweeps[op.name]
+            current = chosen[op.name]
+            for m in sweep.measurements[:candidates_per_op]:
+                if m.config.key() == current.config.key():
+                    continue
+                chosen[op.name] = m
+                total, _ = _evaluate(graph, chosen, env, cost)
+                if total < best_total - 1e-9:
+                    best_total = total
+                    current = m
+                    moves += 1
+                    improved = True
+                else:
+                    chosen[op.name] = current
+        if not improved:
+            break
+
+    final_total, transposes = _evaluate(graph, chosen, env, cost)
+    refined = SelectedConfiguration(
+        chain=selection.chain,
+        chosen=chosen,
+        pinned_layouts=dict(selection.pinned_layouts),
+        transposes=transposes,
+        chain_cost_us=selection.chain_cost_us,
+    )
+    return RefinementResult(
+        selection=refined,
+        initial_total_us=initial_total,
+        refined_total_us=final_total,
+        rounds=rounds_done,
+        moves=moves,
+    )

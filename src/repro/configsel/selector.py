@@ -1,0 +1,538 @@
+"""Global configuration selection (Sec. VI-A) and end-to-end assembly.
+
+Builds the layered configuration DAG over the forward primary chain
+(Fig. 6), runs SSSP to pick the globally best layout sequence — allowing
+locally suboptimal operators when a layout change downstream pays off
+("Sometimes locally suboptimal layouts need to be selected to improve
+performance globally", Sec. VI-B) — then infers the configurations of all
+remaining operators (backward, dW, residual side chains) from the pinned
+activation layouts, inserting explicit transposes where no compatible
+configuration exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.autotuner.tuner import ConfigMeasurement, SweepResult, sweep_graph
+from repro.hardware.cost_model import CostModel
+from repro.ir.dims import DimEnv
+from repro.ir.graph import DataflowGraph
+from repro.ir.operator import OpClass, OpSpec
+from repro.layouts.layout import Layout
+
+from .chain import ChainStep, primary_chain, project_layout
+from .sssp import ConfigGraph, SSSPError, shortest_path
+
+__all__ = ["SelectedConfiguration", "TransposeInsertion", "select_configurations",
+           "build_config_graph"]
+
+_SOURCE = ("source",)
+_TARGET = ("target",)
+
+
+@dataclass(frozen=True)
+class TransposeInsertion:
+    """An explicit layout-change kernel inserted between two operators."""
+
+    tensor: str
+    from_layout: Layout
+    to_layout: Layout
+    time_us: float
+    before_op: str
+
+
+@dataclass
+class SelectedConfiguration:
+    """The assembled end-to-end implementation."""
+
+    chain: list[ChainStep]
+    chosen: dict[str, ConfigMeasurement]
+    pinned_layouts: dict[str, Layout]
+    transposes: list[TransposeInsertion] = field(default_factory=list)
+    chain_cost_us: float = 0.0
+
+    def op_time_us(self, op_name: str) -> float:
+        return self.chosen[op_name].total_us
+
+    @property
+    def transpose_us(self) -> float:
+        return sum(t.time_us for t in self.transposes)
+
+    @property
+    def total_us(self) -> float:
+        """End-to-end predicted time: all kernels plus inserted transposes."""
+        return sum(m.total_us for m in self.chosen.values()) + self.transpose_us
+
+    def stage_total_us(self, graph: DataflowGraph, *, backward: bool) -> float:
+        total = 0.0
+        for name, m in self.chosen.items():
+            op = graph.op(name)
+            if op.stage.is_backward == backward:
+                total += m.total_us
+        for t in self.transposes:
+            op = graph.op(t.before_op)
+            if op.stage.is_backward == backward:
+                total += t.time_us
+        return total
+
+
+def build_config_graph(
+    graph: DataflowGraph,
+    chain: list[ChainStep],
+    sweeps: dict[str, SweepResult],
+    env: DimEnv,
+    cost: CostModel,
+) -> ConfigGraph:
+    """The layered Fig.-6 DAG: layout nodes per chain boundary, operator
+    edges weighted by layout-conditioned minima, and transpose edges."""
+    cg = ConfigGraph()
+    cg.add_node(_SOURCE)
+    cg.add_node(_TARGET)
+
+    def boundary_layouts(step_idx: int) -> list[Layout]:
+        step = chain[step_idx]
+        spec = graph.container(step.in_tensor)
+        from repro.layouts.layout import all_layouts
+
+        return list(all_layouts(spec.dims))
+
+    # Each boundary is split into an arrival and a departure column so that
+    # transpose edges (arrival layout -> departure layout) keep the graph a
+    # DAG; operator edges leave departures and enter the next arrival.
+    def arr(step_idx: int, layout: Layout):
+        return ("t", step_idx, layout.dims)
+
+    def dep(step_idx: int, layout: Layout):
+        return ("dep", step_idx, layout.dims)
+
+    # Source: the layer input's layout is free to choose.
+    for l in boundary_layouts(0):
+        cg.add_edge(_SOURCE, arr(0, l), 0.0)
+
+    for idx, step in enumerate(chain):
+        sweep = sweeps[step.op_name]
+        out_spec = graph.container(step.out_tensor)
+        next_spec = graph.container(chain[idx + 1].in_tensor) if idx + 1 < len(chain) else None
+
+        # Transpose edges within this boundary (0-cost to stay put).
+        in_spec = graph.container(step.in_tensor)
+        t_time = cost.time_transpose(in_spec, env).total_us
+        layouts = boundary_layouts(idx)
+        for a in layouts:
+            cg.add_edge(arr(idx, a), dep(idx, a), 0.0)
+            for b in layouts:
+                if a != b:
+                    cg.add_edge(arr(idx, a), dep(idx, b), t_time)
+
+        # Operator edges: (in layout at this boundary) -> (projected out
+        # layout at the next boundary), weighted by the layout-conditioned
+        # minimum runtime.
+        grouped: dict[tuple[tuple[str, ...], tuple[str, ...] | None], float] = {}
+        for m in sweep.measurements:
+            lin = m.config.input_layouts[step.in_index]
+            lout = m.config.output_layouts[step.out_index]
+            if next_spec is not None:
+                projected = (
+                    lout
+                    if step.out_tensor == chain[idx + 1].in_tensor
+                    else project_layout(lout, out_spec, next_spec)
+                )
+                if projected is None:
+                    continue
+                key = (lin.dims, projected.dims)
+            else:
+                key = (lin.dims, None)
+            if key not in grouped or m.total_us < grouped[key]:
+                grouped[key] = m.total_us
+        if not grouped:
+            raise SSSPError(f"no usable configurations for chain op {step.op_name!r}")
+        for (lin_dims, lout_dims), w in grouped.items():
+            src = dep(idx, Layout(lin_dims))
+            dst = _TARGET if lout_dims is None else arr(idx + 1, Layout(lout_dims))
+            cg.add_edge(src, dst, w)
+    return cg
+
+
+def _decode_path(
+    chain: list[ChainStep], path: list
+) -> tuple[list[tuple[Layout, Layout | None]], list[tuple[int, Layout, Layout]]]:
+    """Decode the SSSP path.
+
+    Returns per-step ``(consumed layout, produced arrival layout or None)``
+    plus the chain transposes as ``(step index, from, to)`` triples.
+    """
+    arrivals: dict[int, Layout] = {}
+    departures: dict[int, Layout] = {}
+    for nd in path:
+        if isinstance(nd, tuple) and len(nd) == 3:
+            kind, idx, dims = nd
+            if kind == "t":
+                arrivals[idx] = Layout(dims)
+            elif kind == "dep":
+                departures[idx] = Layout(dims)
+    steps: list[tuple[Layout, Layout | None]] = []
+    transposes: list[tuple[int, Layout, Layout]] = []
+    for i in range(len(chain)):
+        consumed = departures[i]
+        if arrivals[i] != consumed:
+            transposes.append((i, arrivals[i], consumed))
+        steps.append((consumed, arrivals.get(i + 1)))
+    return steps, transposes
+
+
+def select_configurations(
+    graph: DataflowGraph,
+    env: DimEnv,
+    cost: CostModel | None = None,
+    *,
+    sweeps: dict[str, SweepResult] | None = None,
+    source: str = "x",
+    cap: int | None = 1000,
+) -> SelectedConfiguration:
+    """Run Step 4: global layout selection and full-graph assembly."""
+    cost = cost or CostModel()
+    if sweeps is None:
+        sweeps = sweep_graph(graph, env, cost, cap=cap)
+    chain = primary_chain(graph, source=source)
+    cg = build_config_graph(graph, chain, sweeps, env, cost)
+    chain_cost, path = shortest_path(cg, _SOURCE, _TARGET)
+    boundary, chain_transposes = _decode_path(chain, path)
+
+    chosen: dict[str, ConfigMeasurement] = {}
+    pinned: dict[str, Layout] = {}
+    transposes: list[TransposeInsertion] = []
+    for idx, from_l, to_l in chain_transposes:
+        spec = graph.container(chain[idx].in_tensor)
+        transposes.append(
+            TransposeInsertion(
+                tensor=spec.name,
+                from_layout=from_l,
+                to_layout=to_l,
+                time_us=cost.time_transpose(spec, env).total_us,
+                before_op=chain[idx].op_name,
+            )
+        )
+
+    # 1. Chain operators: honor the SSSP-selected boundary layouts.  Among
+    #    near-tie configurations matching the boundary we prefer default
+    #    layouts for the free operands (coherence for later inference).
+    for step, (lin, lnext) in zip(chain, boundary):
+        sweep = sweeps[step.op_name]
+        op = graph.op(step.op_name)
+        out_spec = graph.container(step.out_tensor)
+        next_spec = (
+            graph.container(chain[chain.index(step) + 1].in_tensor)
+            if lnext is not None
+            else None
+        )
+
+        def matches(m: ConfigMeasurement) -> bool:
+            if m.config.input_layouts[step.in_index] != lin:
+                return False
+            if lnext is not None:
+                lout = m.config.output_layouts[step.out_index]
+                projected = (
+                    lout
+                    if next_spec is not None and step.out_tensor == next_spec.name
+                    else project_layout(lout, out_spec, next_spec)
+                )
+                if projected != lnext:
+                    return False
+            return True
+
+        best: ConfigMeasurement | None = None
+        candidates: list[ConfigMeasurement] = []
+        for m in sweep.measurements:
+            if best is not None and m.total_us > best.total_us * 1.5:
+                break
+            if matches(m):
+                if best is None:
+                    best = m
+                candidates.append(m)
+        if best is None:
+            raise SSSPError(f"decoded path has no configuration for {step.op_name!r}")
+
+        def chain_penalty(m: ConfigMeasurement) -> float:
+            p = 0.0
+            for t, l in _iter_operand_layouts(op, m):
+                if t.name in pinned:
+                    if pinned[t.name] != l:
+                        # Mismatching an already-pinned operand needs a real
+                        # transpose: charge it in full.
+                        p += cost.time_transpose(t, env).total_us
+                elif l.dims != t.dims and t.rank > 1:
+                    p += 0.5 * cost.time_transpose(t, env).total_us
+            return p
+
+        pick = min(candidates, key=lambda m: m.total_us + chain_penalty(m))
+        # Flexible chain kernels: also try free operands in default layouts
+        # with re-optimized vector/warp dims (the sparse sampled sweep may
+        # miss the coherent point entirely).
+        if (
+            op.op_class is not OpClass.TENSOR_CONTRACTION
+            and lnext is not None
+            and next_spec is not None
+            and step.out_tensor == next_spec.name
+        ):
+            temp_pins = dict(pinned)
+            temp_pins[step.in_tensor] = lin
+            temp_pins[step.out_tensor] = lnext
+            constructed = _construct_consistent(op, sweep, temp_pins, env, cost)
+            if constructed is not None and (
+                constructed.total_us + chain_penalty(constructed)
+                < pick.total_us + chain_penalty(pick)
+            ):
+                pick = constructed
+        chosen[step.op_name] = pick
+        # Record real transposes for operands that were pinned earlier and
+        # mismatch (e.g. the residual skip of BDRLN1 reading ``x`` in a
+        # different layout than the projection chose).
+        for t, l in _iter_operand_layouts(op, pick):
+            if t.name in pinned and pinned[t.name] != l:
+                transposes.append(
+                    TransposeInsertion(
+                        tensor=t.name,
+                        from_layout=pinned[t.name],
+                        to_layout=l,
+                        time_us=cost.time_transpose(t, env).total_us,
+                        before_op=step.op_name,
+                    )
+                )
+        _pin_config(op, pick, pinned, overwrite=False)
+        # The SSSP boundary decision overrides any earlier soft pin.
+        pinned[step.in_tensor] = lin
+
+    # 2. Remaining operators, contractions first: the expensive GEMMs get
+    #    the layout freedom; the flexible memory-bound kernels then adapt to
+    #    whatever layouts are pinned (they accept any combination).
+    remaining = [op for op in graph.ops if not op.is_view and op.name not in chosen]
+    contractions = [
+        op for op in remaining if op.op_class is OpClass.TENSOR_CONTRACTION
+    ]
+    flexible = [op for op in remaining if op.op_class is not OpClass.TENSOR_CONTRACTION]
+
+    for op in contractions:
+        sweep = sweeps[op.name]
+        consistent = _best_coherent(op, sweep, pinned, env, cost)
+        # Running in a different layout plus explicit transposes may beat the
+        # best pin-consistent GEMM (the paper's transpose-vs-layout
+        # tradeoff).  Scanning all configurations lets the fallback choose
+        # *which* operand to transpose — mismatching a small weight-gradient
+        # tensor is far cheaper than mismatching a sequence-sized activation.
+        best_alt: ConfigMeasurement | None = None
+        best_alt_needed: list[TransposeInsertion] = []
+        best_alt_cost = float("inf")
+        for m in sweep.measurements:
+            if m.total_us >= best_alt_cost:
+                break  # sorted: no later config can win even transpose-free
+            needed = [
+                TransposeInsertion(
+                    tensor=t.name,
+                    from_layout=pinned[t.name],
+                    to_layout=layout,
+                    time_us=cost.time_transpose(t, env).total_us,
+                    before_op=op.name,
+                )
+                for t, layout in _iter_operand_layouts(op, m)
+                if t.name in pinned and pinned[t.name] != layout
+            ]
+            total = m.total_us + sum(t.time_us for t in needed)
+            if total < best_alt_cost:
+                best_alt, best_alt_needed, best_alt_cost = m, needed, total
+        if consistent is not None and consistent.total_us <= best_alt_cost:
+            chosen[op.name] = consistent
+            _pin_config(op, consistent, pinned, overwrite=False)
+        else:
+            assert best_alt is not None
+            chosen[op.name] = best_alt
+            transposes.extend(best_alt_needed)
+            _pin_config(op, best_alt, pinned, overwrite=False)
+
+    for op in flexible:
+        sweep = sweeps[op.name]
+        match = _best_consistent(op, sweep, pinned)
+        constructed = _construct_consistent(op, sweep, pinned, env, cost)
+        if constructed is not None and (
+            match is None or constructed.total_us < match.total_us
+        ):
+            match = constructed
+        if match is None:
+            match = sweep.best
+        # A badly pinned operand can make even the re-optimized consistent
+        # kernel slow; transposing some operands and running a faster config
+        # may win (the same tradeoff the SSSP transpose edges encode).  The
+        # scan picks which operands to transpose.
+        alt: ConfigMeasurement | None = None
+        alt_needed: list[TransposeInsertion] = []
+        alt_cost = match.total_us
+        for m in sweep.measurements:
+            if m.total_us >= alt_cost:
+                break
+            needed = [
+                TransposeInsertion(
+                    tensor=t.name,
+                    from_layout=pinned[t.name],
+                    to_layout=layout,
+                    time_us=cost.time_transpose(t, env).total_us,
+                    before_op=op.name,
+                )
+                for t, layout in _iter_operand_layouts(op, m)
+                if t.name in pinned and pinned[t.name] != layout
+            ]
+            total = m.total_us + sum(t.time_us for t in needed)
+            if total < alt_cost:
+                alt, alt_needed, alt_cost = m, needed, total
+        if alt is not None:
+            chosen[op.name] = alt
+            transposes.extend(alt_needed)
+            _pin_config(op, alt, pinned, overwrite=False)
+        else:
+            chosen[op.name] = match
+            _pin_config(op, match, pinned, overwrite=False)
+
+    return SelectedConfiguration(
+        chain=chain,
+        chosen=chosen,
+        pinned_layouts=pinned,
+        transposes=transposes,
+        chain_cost_us=chain_cost,
+    )
+
+
+def _iter_operand_layouts(op: OpSpec, m: ConfigMeasurement):
+    for t, l in zip(op.inputs, m.config.input_layouts):
+        yield t, l
+    for t, l in zip(op.outputs, m.config.output_layouts):
+        yield t, l
+
+
+def _pin_config(
+    op: OpSpec, m: ConfigMeasurement, pinned: dict[str, Layout], *, overwrite: bool = True
+) -> None:
+    for t, l in _iter_operand_layouts(op, m):
+        if overwrite or t.name not in pinned:
+            pinned[t.name] = l
+
+
+def _best_consistent(
+    op: OpSpec, sweep: SweepResult, pinned: dict[str, Layout]
+) -> ConfigMeasurement | None:
+    for m in sweep.measurements:  # ascending time
+        ok = True
+        for t, l in _iter_operand_layouts(op, m):
+            if t.name in pinned and pinned[t.name] != l:
+                ok = False
+                break
+        if ok:
+            return m
+    return None
+
+
+def _best_coherent(
+    op: OpSpec,
+    sweep: SweepResult,
+    pinned: dict[str, Layout],
+    env: DimEnv,
+    cost: CostModel,
+    *,
+    tolerance: float = 1.5,
+) -> ConfigMeasurement | None:
+    """Best pin-consistent config under a layout-externality surrogate.
+
+    GEMM distributions have several near-equal modes (Fig. 4: "many slightly
+    different data layouts could be used with little impact on performance"),
+    so the choice among them should account for downstream costs: an operand
+    left in a non-default layout forces adjacent memory-bound kernels to
+    either access it strided or transpose it.  We charge each non-default
+    unpinned operand half its transpose cost and minimize the penalized
+    time over all consistent configurations within ``tolerance`` of the
+    fastest one.  This internalizes the paper's "locally suboptimal layouts
+    ... improve performance globally" tradeoff.
+    """
+    best = _best_consistent(op, sweep, pinned)
+    if best is None:
+        return None
+    limit = best.total_us * tolerance
+
+    def penalty(m: ConfigMeasurement) -> float:
+        p = 0.0
+        for t, l in _iter_operand_layouts(op, m):
+            if t.name not in pinned and l.dims != t.dims and t.rank > 1:
+                p += 0.5 * cost.time_transpose(t, env).total_us
+        return p
+
+    winner: ConfigMeasurement | None = None
+    winner_score = float("inf")
+    for m in sweep.measurements:
+        if m.total_us > limit:
+            break
+        ok = all(
+            pinned.get(t.name, l) == l for t, l in _iter_operand_layouts(op, m)
+        )
+        if not ok:
+            continue
+        score = m.total_us + penalty(m)
+        if score < winner_score:
+            winner, winner_score = m, score
+    return winner or best
+
+
+def _coherence(op: OpSpec, m: ConfigMeasurement, pinned: dict[str, Layout]) -> int:
+    """How many unpinned operands this config keeps in default layout."""
+    score = 0
+    for t, l in _iter_operand_layouts(op, m):
+        if t.name not in pinned and l.dims == t.dims:
+            score += 1
+    return score
+
+
+def _construct_consistent(
+    op: OpSpec,
+    sweep: SweepResult,
+    pinned: dict[str, Layout],
+    env: DimEnv,
+    cost: CostModel,
+) -> ConfigMeasurement | None:
+    """Build the best pin-consistent configuration for a flexible kernel.
+
+    Pinned operands keep their pinned layouts; free operands are tried both
+    in the sweep-best layouts and in default layouts (coherence); the
+    vectorization and warp-reduce dims are re-optimized under each choice.
+    """
+    best_cfg = sweep.best.config
+    layout_variants: list[tuple[tuple[Layout, ...], tuple[Layout, ...]]] = []
+    layout_variants.append(
+        (
+            tuple(pinned.get(t.name, l) for t, l in zip(op.inputs, best_cfg.input_layouts)),
+            tuple(pinned.get(t.name, l) for t, l in zip(op.outputs, best_cfg.output_layouts)),
+        )
+    )
+    layout_variants.append(
+        (
+            tuple(pinned.get(t.name, Layout(t.dims)) for t in op.inputs),
+            tuple(pinned.get(t.name, Layout(t.dims)) for t in op.outputs),
+        )
+    )
+    vec_options: list[str | None] = list(op.ispace.all_dims) or [None]
+    warp_options: list[str | None] = list(op.ispace.reduction) or [None]
+    best: ConfigMeasurement | None = None
+    from repro.layouts.config import OpConfig
+
+    for in_layouts, out_layouts in layout_variants:
+        for vec in vec_options:
+            for warp in warp_options:
+                config = OpConfig(
+                    op_name=op.name,
+                    input_layouts=in_layouts,
+                    output_layouts=out_layouts,
+                    vector_dim=vec,
+                    warp_reduce_dim=warp,
+                )
+                kt = cost.time_op(op, config, env)
+                if kt is None:
+                    continue
+                m = ConfigMeasurement(config=config, time=kt)
+                if best is None or m.total_us < best.total_us:
+                    best = m
+    return best

@@ -1,0 +1,103 @@
+"""Single-source shortest path over the configuration DAG.
+
+The configuration graph is a layered DAG (Sec. VI-A: "Because this graph is
+a DAG ... SSSP takes linear time asymptotically"), so one topological
+relaxation pass suffices.  A networkx Dijkstra cross-check is provided and
+the test suite asserts both agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+__all__ = ["ConfigGraph", "shortest_path", "shortest_path_networkx", "SSSPError"]
+
+
+class SSSPError(ValueError):
+    """Raised when the target is unreachable or the graph is malformed."""
+
+
+@dataclass
+class ConfigGraph:
+    """A weighted DAG with hashable nodes and parallel-edge-minimizing adds."""
+
+    edges: dict[tuple[object, object], float] = field(default_factory=dict)
+    succ: dict[object, list[object]] = field(default_factory=dict)
+    nodes: set = field(default_factory=set)
+
+    def add_node(self, node) -> None:
+        self.nodes.add(node)
+        self.succ.setdefault(node, [])
+
+    def add_edge(self, u, v, weight: float) -> None:
+        """Add an edge, keeping only the lightest among parallel edges."""
+        if weight < 0:
+            raise SSSPError(f"negative edge weight {weight} on {u} -> {v}")
+        self.add_node(u)
+        self.add_node(v)
+        key = (u, v)
+        if key not in self.edges or weight < self.edges[key]:
+            if key not in self.edges:
+                self.succ[u].append(v)
+            self.edges[key] = weight
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def _topo_order(self) -> list:
+        indeg = {n: 0 for n in self.nodes}
+        for (_, v) in self.edges:
+            indeg[v] += 1
+        ready = [n for n, d in indeg.items() if d == 0]
+        order = []
+        while ready:
+            n = ready.pop()
+            order.append(n)
+            for v in self.succ.get(n, []):
+                indeg[v] -= 1
+                if indeg[v] == 0:
+                    ready.append(v)
+        if len(order) != len(self.nodes):
+            raise SSSPError("configuration graph contains a cycle")
+        return order
+
+
+def shortest_path(graph: ConfigGraph, source, target) -> tuple[float, list]:
+    """DAG shortest path by topological relaxation; returns (cost, path)."""
+    if source not in graph.nodes or target not in graph.nodes:
+        raise SSSPError("source/target missing from graph")
+    dist: dict[object, float] = {n: float("inf") for n in graph.nodes}
+    prev: dict[object, object] = {}
+    dist[source] = 0.0
+    for node in graph._topo_order():
+        d = dist[node]
+        if d == float("inf"):
+            continue
+        for v in graph.succ.get(node, []):
+            w = graph.edges[(node, v)]
+            if d + w < dist[v]:
+                dist[v] = d + w
+                prev[v] = node
+    if dist[target] == float("inf"):
+        raise SSSPError("target unreachable in configuration graph")
+    path = [target]
+    while path[-1] != source:
+        path.append(prev[path[-1]])
+    path.reverse()
+    return dist[target], path
+
+
+def shortest_path_networkx(graph: ConfigGraph, source, target) -> tuple[float, list]:
+    """Cross-check implementation on networkx's Dijkstra."""
+    g = nx.DiGraph()
+    g.add_nodes_from(graph.nodes)
+    for (u, v), w in graph.edges.items():
+        g.add_edge(u, v, weight=w)
+    try:
+        cost, path = nx.single_source_dijkstra(g, source, target, weight="weight")
+    except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
+        raise SSSPError(str(exc)) from exc
+    return cost, path

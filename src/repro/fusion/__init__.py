@@ -1,0 +1,28 @@
+"""Fusion: data-movement reduction by kernel merging (paper Sec. IV)."""
+
+from .algebraic import (
+    AlgebraicFusionResult,
+    PROJECTION_OPS,
+    measure_variant,
+    table2_sweep,
+)
+from .encoder_kernels import FUSED_KERNEL_NAMES, PAPER_KERNELS, apply_paper_fusion
+from .fuser import FusionError, fuse_greedy, fuse_ops
+from .rules import FusionPattern, can_fuse_pair, classify_pattern, shapes_compatible
+
+__all__ = [
+    "AlgebraicFusionResult",
+    "FUSED_KERNEL_NAMES",
+    "FusionError",
+    "FusionPattern",
+    "PAPER_KERNELS",
+    "PROJECTION_OPS",
+    "apply_paper_fusion",
+    "can_fuse_pair",
+    "classify_pattern",
+    "fuse_greedy",
+    "fuse_ops",
+    "measure_variant",
+    "shapes_compatible",
+    "table2_sweep",
+]

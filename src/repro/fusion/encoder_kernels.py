@@ -1,0 +1,105 @@
+"""The paper's named fused kernels for the BERT encoder layer (Sec. IV-A).
+
+Applying ``apply_paper_fusion`` to the unfused encoder graph produces
+exactly the kernel set of Table III:
+
+========  ==========================================================
+kernel    constituent operators
+========  ==========================================================
+AIB       attention input biases (q, k, v)
+SM        scaled softmax + attention dropout
+BDRLN1    attention output bias + dropout + residual + layernorm-1
+BRD       FFN bias + ReLU + dropout
+BDRLN2    FFN output bias + dropout + residual + layernorm-2
+BSB       backward layernorm-2 scale & bias
+BLNRD2    backward layernorm-2 dX + dropout dX (saves the skip grad)
+BDRB      backward bias dW + dropout dX + ReLU dX + bias dW
+EBSB      backward residual add + layernorm-1 scale & bias
+BLNRD1    backward layernorm-1 dX + dropout dX
+BAOB      backward attention output bias dW
+BS        backward attention dropout + scaled softmax
+BAIB      backward attention input bias dWs
+BEI       backward encoder-input residual add
+========  ==========================================================
+
+Single-member "groups" (BSB, BAOB, BEI) only re-label the operator — they
+are already one kernel; the label keeps Table III's row grouping intact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.ir.dims import DimEnv
+from repro.ir.graph import DataflowGraph
+
+from .fuser import fuse_ops
+
+__all__ = ["PAPER_KERNELS", "apply_paper_fusion", "FUSED_KERNEL_NAMES"]
+
+
+@dataclass(frozen=True)
+class KernelGroup:
+    label: str
+    members: tuple[str, ...]
+    #: Sibling groups merge dataflow-independent ops; their pairwise
+    #: iteration-space check is waived (sizes still match; Sec. IV's
+    #: "fewer kernel launches by merging iteration spaces" case).
+    sibling: bool = False
+
+
+#: Order matters: forward kernels first, then backward in Table III order.
+PAPER_KERNELS: tuple[KernelGroup, ...] = (
+    KernelGroup("AIB", ("input_bias_q", "input_bias_k", "input_bias_v"), sibling=True),
+    KernelGroup("SM", ("softmax", "attn_dropout")),
+    KernelGroup("BDRLN1", ("attn_out_bias", "attn_resid_dropout", "residual1", "ln1")),
+    KernelGroup("BRD", ("linear1_bias", "relu", "ffn_dropout")),
+    KernelGroup("BDRLN2", ("linear2_bias", "ffn_resid_dropout", "residual2", "ln2")),
+    KernelGroup("BSB", ("ln2_dw",)),
+    KernelGroup("BLNRD2", ("ln2_dx", "ffn_resid_dropout_dx")),
+    KernelGroup(
+        "BDRB",
+        ("linear2_bias_dw", "ffn_dropout_dx", "relu_dx", "linear1_bias_dw"),
+        sibling=True,
+    ),
+    KernelGroup("EBSB", ("residual2_grad", "ln1_dw")),
+    KernelGroup("BLNRD1", ("ln1_dx", "attn_resid_dropout_dx")),
+    KernelGroup("BAOB", ("attn_out_bias_dw",)),
+    KernelGroup("BS", ("attn_dropout_dx", "softmax_dx")),
+    KernelGroup(
+        "BAIB", ("input_bias_q_dw", "input_bias_k_dw", "input_bias_v_dw"), sibling=True
+    ),
+    KernelGroup("BEI", ("encoder_input_grad",)),
+)
+
+FUSED_KERNEL_NAMES = tuple(k.label for k in PAPER_KERNELS)
+
+
+def apply_paper_fusion(graph: DataflowGraph, env: DimEnv) -> DataflowGraph:
+    """Fuse the unfused encoder/MHA graph into the paper's kernel set.
+
+    Groups whose member operators are absent from the graph (e.g. backward
+    kernels on a forward-only graph, encoder kernels on an MHA graph) are
+    skipped, so the same routine serves every graph variant.
+    """
+    g = graph
+    for group in PAPER_KERNELS:
+        present = [m for m in group.members if m in g]
+        if not present:
+            continue
+        if len(present) == 1:
+            # Re-label only: already a single kernel.
+            op = g.op(present[0])
+            relabeled = replace(op, kernel_label=group.label)
+            g = g.replace_ops([present[0]], [relabeled])
+            continue
+        g = fuse_ops(
+            g,
+            present,
+            group.label,
+            env=env,
+            kernel_label=group.label,
+            check_compatibility=not group.sibling,
+        )
+    g.validate()
+    return g

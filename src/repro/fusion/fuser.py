@@ -1,0 +1,261 @@
+"""The fusion transformation: merge operator groups into single kernels.
+
+``fuse_ops`` contracts a set of graph nodes into one fused operator whose
+
+* **flop** is the sum over members (same computation, one kernel);
+* **IO** omits interior edges — tensors produced and consumed entirely
+  within the group stay in registers/shared memory (this is the mechanism
+  behind the paper's 22.91% data-movement reduction);
+* **iteration space** is the merged space (drives the fused kernel's
+  configuration space in Step 3).
+
+``fuse_greedy`` implements the paper's "we attempt to fuse maximally":
+repeatedly fuse fusible producer/consumer pairs of non-contraction
+operators until no pattern matches.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.ir.dims import DimEnv
+from repro.ir.graph import DataflowGraph, GraphValidationError
+from repro.ir.iteration_space import IterationSpace
+from repro.ir.operator import OpClass, OpSpec
+from repro.ir.tensor import TensorSpec
+
+from .rules import can_fuse_pair
+
+__all__ = ["fuse_ops", "fuse_greedy", "FusionError"]
+
+
+class FusionError(ValueError):
+    """Raised when a requested fusion is illegal."""
+
+
+def _merged_space(members: list[OpSpec]) -> IterationSpace:
+    independent: list[str] = []
+    reduction: list[str] = []
+    for op in members:
+        for d in op.ispace.independent:
+            if d not in independent and d not in reduction:
+                independent.append(d)
+        for d in op.ispace.reduction:
+            if d not in reduction:
+                reduction.append(d)
+                if d in independent:
+                    independent.remove(d)
+    return IterationSpace(tuple(independent), tuple(reduction))
+
+
+def _check_no_outside_path(graph: DataflowGraph, group: set[str]) -> None:
+    """Contraction legality: no dataflow path between members leaves the group.
+
+    If some outside op is reachable from a member and a member is reachable
+    from that outside op, contracting the group would create a cycle.
+    """
+    consumers_of_op: dict[str, set[str]] = {}
+    for op in graph.ops:
+        succ: set[str] = set()
+        for t in op.outputs:
+            succ.update(graph.consumers_of(t.name))
+        consumers_of_op[op.name] = succ
+
+    # Ops reachable from the group via at least one outside hop.
+    reachable: set[str] = set()
+    frontier = deque()
+    for name in group:
+        for nxt in consumers_of_op[name]:
+            if nxt not in group:
+                frontier.append(nxt)
+    while frontier:
+        cur = frontier.popleft()
+        if cur in reachable:
+            continue
+        reachable.add(cur)
+        for nxt in consumers_of_op[cur]:
+            if nxt not in reachable:
+                frontier.append(nxt)
+    # If any reachable outside op feeds a group member, contraction is illegal.
+    for name in group:
+        op = graph.op(name)
+        for t in op.inputs:
+            producer = graph.producer_of(t.name)
+            if producer is not None and producer in reachable:
+                raise FusionError(
+                    f"fusing {sorted(group)} would create a cycle through "
+                    f"{producer!r}"
+                )
+
+
+def fuse_ops(
+    graph: DataflowGraph,
+    member_names: list[str],
+    fused_name: str,
+    *,
+    env: DimEnv,
+    kernel_label: str = "",
+    check_compatibility: bool = True,
+) -> DataflowGraph:
+    """Return a new graph with ``member_names`` replaced by one fused operator."""
+    if len(member_names) < 1:
+        raise FusionError("fusion group must be non-empty")
+    members = [graph.op(n) for n in member_names]
+    for op in members:
+        if op.op_class is OpClass.TENSOR_CONTRACTION:
+            raise FusionError(f"cannot fuse contraction {op.name!r} (Sec. IV-C)")
+        if op.is_view:
+            raise FusionError(f"cannot fuse view {op.name!r}")
+    group = set(member_names)
+    _check_no_outside_path(graph, group)
+
+    if check_compatibility and len(members) > 1:
+        # Every member must be size-compatible with at least one other member
+        # (the group is built from pairwise-fusible pieces).
+        for op in members:
+            if not any(
+                other is not op and can_fuse_pair(op, other, env) for other in members
+            ):
+                raise FusionError(
+                    f"{op.name!r} is iteration-space incompatible with the rest "
+                    f"of group {sorted(group)}"
+                )
+
+    produced: dict[str, TensorSpec] = {}
+    for op in members:
+        for t in op.outputs:
+            produced[t.name] = t
+
+    inputs: list[TensorSpec] = []
+    seen_in: set[str] = set()
+    for op in members:
+        for t in op.inputs:
+            if t.name in produced or t.name in seen_in:
+                continue
+            seen_in.add(t.name)
+            inputs.append(t)
+
+    outputs: list[TensorSpec] = []
+    for op in members:
+        for t in op.outputs:
+            consumers = set(graph.consumers_of(t.name))
+            if consumers and consumers <= group:
+                continue  # interior edge: never touches main memory
+            outputs.append(t)
+
+    op_class = (
+        OpClass.STAT_NORMALIZATION
+        if any(m.op_class is OpClass.STAT_NORMALIZATION for m in members)
+        else OpClass.ELEMENTWISE
+    )
+    stage = members[0].stage
+    fused = OpSpec(
+        name=fused_name,
+        op_class=op_class,
+        inputs=tuple(inputs),
+        outputs=tuple(outputs),
+        ispace=_merged_space(members),
+        flop_per_point=0.0,  # unused: flop comes from members
+        stage=stage,
+        fused_from=tuple(member_names),
+        kernel_label=kernel_label or fused_name,
+        members=tuple(members),
+    )
+    return _rebuild(graph, group, fused)
+
+
+def _rebuild(graph: DataflowGraph, removed: set[str], fused: OpSpec) -> DataflowGraph:
+    """Rebuild the graph with the group contracted, in a valid topo order."""
+    remaining = [op for op in graph.ops if op.name not in removed]
+    new_ops = remaining + [fused]
+
+    interior = {
+        t.name
+        for name in removed
+        for t in graph.op(name).outputs
+        if t.name not in {o.name for o in fused.outputs}
+    }
+
+    produced_by: dict[str, str] = {}
+    for op in new_ops:
+        for t in op.outputs:
+            produced_by[t.name] = op.name
+    ops_by_name = {op.name: op for op in new_ops}
+
+    # Kahn's algorithm, stable w.r.t. the original order.
+    order_index = {op.name: i for i, op in enumerate(graph.ops)}
+    order_index[fused.name] = min(order_index[n] for n in removed)
+    indeg: dict[str, int] = {op.name: 0 for op in new_ops}
+    dependents: dict[str, list[str]] = {op.name: [] for op in new_ops}
+    for op in new_ops:
+        deps = set()
+        for t in op.inputs:
+            if t.name in interior:
+                raise GraphValidationError(
+                    f"{op.name!r} reads interior tensor {t.name!r} eliminated by fusion"
+                )
+            p = produced_by.get(t.name)
+            if p is not None and p != op.name:
+                deps.add(p)
+        indeg[op.name] = len(deps)
+        for p in deps:
+            dependents[p].append(op.name)
+
+    ready = sorted((n for n, d in indeg.items() if d == 0), key=order_index.__getitem__)
+    out = DataflowGraph(graph.name)
+    for t in graph.graph_inputs:
+        out.add_input(t)
+    scheduled = 0
+    while ready:
+        name = ready.pop(0)
+        out.add_op(ops_by_name[name])
+        scheduled += 1
+        became_ready = []
+        for nxt in dependents[name]:
+            indeg[nxt] -= 1
+            if indeg[nxt] == 0:
+                became_ready.append(nxt)
+        ready.extend(became_ready)
+        ready.sort(key=order_index.__getitem__)
+    if scheduled != len(new_ops):
+        raise GraphValidationError("fusion produced a cyclic graph")
+    out.validate()
+    return out
+
+
+def fuse_greedy(graph: DataflowGraph, env: DimEnv) -> DataflowGraph:
+    """Fuse maximally: repeatedly merge fusible producer/consumer pairs.
+
+    This is the generic Step-2 pass.  It discovers the chain-shaped kernels
+    (SM, BRD, BDRLN, BLNRD, BS, ...) automatically; the curated grouping in
+    :mod:`repro.fusion.encoder_kernels` additionally applies the sibling
+    merges (AIB, BAIB, BDRB, ...) with the paper's kernel names.
+    """
+    g = graph
+    counter = 0
+    changed = True
+    while changed:
+        changed = False
+        for op in g.ops:
+            if op.op_class is OpClass.TENSOR_CONTRACTION or op.is_view:
+                continue
+            for t in op.outputs:
+                for consumer_name in g.consumers_of(t.name):
+                    consumer = g.op(consumer_name)
+                    if not can_fuse_pair(op, consumer, env):
+                        continue
+                    try:
+                        fused_name = f"fused{counter}_{op.name}+{consumer.name}"
+                        g = fuse_ops(
+                            g, [op.name, consumer.name], fused_name, env=env
+                        )
+                        counter += 1
+                        changed = True
+                        break
+                    except FusionError:
+                        continue
+                if changed:
+                    break
+            if changed:
+                break
+    return g

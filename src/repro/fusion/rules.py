@@ -1,0 +1,98 @@
+"""Fusion legality rules (Sec. IV).
+
+The paper detects fusion opportunities by iteration-space analysis: "Two
+operators can be fused if their iteration space implementations are
+compatible: They are either the same or the only difference is that one
+operator performs a reduction.  The order and *size* of dimensions ... must
+match."  Sizes — not names — decide compatibility, so the key-sequence dim
+``k`` and query-sequence dim ``j`` (equal in self-attention) are fusible.
+
+Four structural patterns arise in the encoder graph (Fig. 3):
+
+1. **sibling** — independent operators over size-identical iteration spaces
+   reading from related data (fewer kernel launches; e.g. AIB, BAIB);
+2. **map chain** — a producer/consumer chain of element-wise maps
+   (e.g. bias → dropout → residual inside BDRLN);
+3. **reduction-then-map** — a reduction whose result feeds a map over the
+   same space (two-loop implementation; e.g. softmax inside SM, layernorm
+   inside BDRLN);
+4. **map-with-reduction** — an element-wise map fused with a reduction over
+   the same points (e.g. the residual add + layernorm-dW pair in EBSB).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.ir.dims import DimEnv
+from repro.ir.iteration_space import IterationSpace
+from repro.ir.operator import OpClass, OpSpec
+
+__all__ = ["FusionPattern", "shapes_compatible", "can_fuse_pair", "classify_pattern"]
+
+
+class FusionPattern(Enum):
+    SIBLING = "sibling"
+    MAP_CHAIN = "map-chain"
+    REDUCTION_THEN_MAP = "reduction-then-map"
+    MAP_WITH_REDUCTION = "map-with-reduction"
+
+
+def _ind_shape(space: IterationSpace, env: DimEnv) -> tuple[int, ...]:
+    return tuple(env[d] for d in space.independent)
+
+
+def _red_shape(space: IterationSpace, env: DimEnv) -> tuple[int, ...]:
+    return tuple(env[d] for d in space.reduction)
+
+
+def shapes_compatible(a: IterationSpace, b: IterationSpace, env: DimEnv) -> bool:
+    """Size-based iteration-space compatibility (the paper's fusion test).
+
+    Compatible iff the independent extents match (ordered) and the reduction
+    extents are equal or one side has none; additionally a pure map over the
+    *full* space (independent covering the other's independent+reduction
+    extents) is compatible with a reducing op over the same points
+    (pattern 4).
+    """
+    ia, ib = _ind_shape(a, env), _ind_shape(b, env)
+    ra, rb = _red_shape(a, env), _red_shape(b, env)
+    if ia == ib:
+        return not ra or not rb or ra == rb
+    # Pattern 4: one op's independent space equals the other's full space.
+    if not ra and sorted(ia) == sorted(ib + rb):
+        return True
+    if not rb and sorted(ib) == sorted(ia + ra):
+        return True
+    return False
+
+
+def can_fuse_pair(producer: OpSpec, consumer: OpSpec, env: DimEnv) -> bool:
+    """Whether two (chain-adjacent or sibling) operators may fuse.
+
+    Tensor contractions never fuse with this mechanism (Sec. IV-C: only
+    trivial scaling folds into cuBLAS calls) and views are free already.
+    """
+    for op in (producer, consumer):
+        if op.op_class is OpClass.TENSOR_CONTRACTION or op.is_view:
+            return False
+    # Reduction must not be *followed by* an op iterating a different space:
+    # "we fuse until either a reduction dimension or iteration space changes".
+    return shapes_compatible(producer.ispace, consumer.ispace, env)
+
+
+def classify_pattern(producer: OpSpec, consumer: OpSpec, env: DimEnv) -> FusionPattern | None:
+    """Which Fig. 3 pattern a fusible pair instantiates (None if not fusible)."""
+    if not can_fuse_pair(producer, consumer, env):
+        return None
+    produced = {t.name for t in producer.outputs}
+    connected = any(t.name in produced for t in consumer.inputs)
+    p_red = producer.ispace.has_reduction
+    c_red = consumer.ispace.has_reduction
+    if not connected:
+        return FusionPattern.SIBLING
+    if p_red and not c_red:
+        return FusionPattern.REDUCTION_THEN_MAP
+    if c_red and not p_red:
+        return FusionPattern.MAP_WITH_REDUCTION
+    return FusionPattern.MAP_CHAIN

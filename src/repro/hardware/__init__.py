@@ -1,0 +1,41 @@
+"""Simulated GPU substrate: machine specs, roofline cost model, MUE metric.
+
+This package substitutes for the paper's V100 testbed (see DESIGN.md,
+"Substitutions"): all "measurements" of kernel time in the reproduction are
+deterministic analytic predictions from these models.
+"""
+
+from .cost_model import CostModel, KernelTime
+from .efficiency import (
+    Efficiency,
+    VECTOR_WIDTH_FP16,
+    best_algorithm,
+    contraction_efficiency,
+    heuristic_algorithm,
+    kernel_efficiency,
+    op_efficiency,
+)
+from .mue import mue, op_mue
+from .roofline import RooflinePoint, graph_roofline, op_roofline, ridge_intensity
+from .spec import A100, GPUSpec, V100
+
+__all__ = [
+    "A100",
+    "RooflinePoint",
+    "graph_roofline",
+    "op_roofline",
+    "ridge_intensity",
+    "CostModel",
+    "Efficiency",
+    "GPUSpec",
+    "KernelTime",
+    "V100",
+    "VECTOR_WIDTH_FP16",
+    "best_algorithm",
+    "contraction_efficiency",
+    "heuristic_algorithm",
+    "kernel_efficiency",
+    "mue",
+    "op_efficiency",
+    "op_mue",
+]

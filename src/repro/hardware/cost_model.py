@@ -1,0 +1,144 @@
+"""Roofline cost model: the hardware-measurement substitute.
+
+Predicted kernel time is
+
+    ``t = launch_overhead + max(flop / (peak_flops · eff_c),
+                                bytes / (peak_bw · eff_m))``
+
+with efficiencies from :mod:`repro.hardware.efficiency`.  The max() is the
+roofline: a kernel is *memory bound* when the bandwidth term dominates and
+*compute bound* otherwise — exactly the dichotomy the paper's MUE-vs-%peak
+analysis draws (Sec. IV-B: "a kernel is memory bound if its MUE is larger
+than the achieved peak flop/s").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.dims import DimEnv
+from repro.ir.operator import OpClass, OpSpec
+from repro.ir.tensor import TensorSpec
+from repro.layouts.config import OpConfig
+from repro.layouts.configspace import default_config
+from repro.layouts.layout import transpose_cost_bytes
+
+from .efficiency import Efficiency, op_efficiency
+from .spec import GPUSpec, V100
+
+__all__ = ["KernelTime", "CostModel"]
+
+
+@dataclass(frozen=True)
+class KernelTime:
+    """Predicted timing decomposition of one kernel launch."""
+
+    compute_us: float
+    memory_us: float
+    launch_us: float
+
+    @property
+    def total_us(self) -> float:
+        return self.launch_us + max(self.compute_us, self.memory_us)
+
+    @property
+    def bound(self) -> str:
+        """Which roofline term dominates: "compute", "memory", or "launch"."""
+        body = max(self.compute_us, self.memory_us)
+        if self.launch_us > body:
+            return "launch"
+        return "compute" if self.compute_us >= self.memory_us else "memory"
+
+    def __add__(self, other: "KernelTime") -> "KernelTime":
+        """Sequential composition (sums all components; totals add)."""
+        return KernelTime(
+            compute_us=self.compute_us + other.compute_us,
+            memory_us=self.memory_us + other.memory_us,
+            launch_us=self.launch_us + other.launch_us,
+        )
+
+
+class CostModel:
+    """Predicts kernel times for operators under configurations on a GPU."""
+
+    def __init__(self, gpu: GPUSpec = V100) -> None:
+        self.gpu = gpu
+
+    # -- core prediction -----------------------------------------------------
+    def time_op(
+        self,
+        op: OpSpec,
+        config: OpConfig | None = None,
+        env: DimEnv | None = None,
+        *,
+        extra_overhead_us: float = 0.0,
+    ) -> KernelTime | None:
+        """Predicted time of one operator as a single kernel.
+
+        Returns ``None`` for contraction configurations that are not
+        GEMM-mappable (infeasible points of the sweep).
+        """
+        if env is None:
+            raise ValueError("env is required")
+        if config is None:
+            config = default_config(op)
+        eff = op_efficiency(op, config, env, self.gpu)
+        if eff is None:
+            return None
+        return self._time_from_eff(op.flops(env), op.io_bytes(env), eff, op.op_class,
+                                   extra_overhead_us)
+
+    def _time_from_eff(
+        self,
+        flop: float,
+        nbytes: float,
+        eff: Efficiency,
+        op_class: OpClass,
+        extra_overhead_us: float = 0.0,
+    ) -> KernelTime:
+        peak = self.gpu.peak_flops(tensor_cores=eff.tensor_cores)
+        compute_us = 1e6 * flop / (peak * eff.compute) if flop > 0 else 0.0
+        memory_us = 1e6 * nbytes / (self.gpu.mem_bandwidth * eff.memory)
+        return KernelTime(
+            compute_us=compute_us,
+            memory_us=memory_us,
+            launch_us=self.gpu.kernel_launch_us + extra_overhead_us,
+        )
+
+    # -- auxiliary kernels ------------------------------------------------------
+    def time_transpose(self, spec: TensorSpec, env: DimEnv) -> KernelTime:
+        """An out-of-place layout change: a well-coalesced copy kernel.
+
+        Used by the configuration-selection graph, where changing layouts
+        between operators costs a transpose (Sec. VI: "the benefit of running
+        two operators in different layouts may outweigh the overhead of
+        transposing data").
+        """
+        nbytes = transpose_cost_bytes(spec, env)
+        # Dedicated transpose kernels tile through shared memory and reach a
+        # high fraction of peak bandwidth.
+        eff = Efficiency(compute=0.4, memory=0.80, tensor_cores=False)
+        return self._time_from_eff(0.0, nbytes, eff, OpClass.ELEMENTWISE)
+
+    def achieved_bandwidth(self, nbytes: float, time_us: float) -> float:
+        """Bytes/s realized by a kernel that moved ``nbytes`` in ``time_us``."""
+        if time_us <= 0:
+            raise ValueError("time must be positive")
+        return nbytes / (time_us * 1e-6)
+
+    def achieved_flops(self, flop: float, time_us: float) -> float:
+        if time_us <= 0:
+            raise ValueError("time must be positive")
+        return flop / (time_us * 1e-6)
+
+    def percent_of_peak(self, op: OpSpec, flop: float, time_us: float,
+                        *, tensor_cores: bool | None = None) -> float:
+        """Percent of the class-appropriate peak (Table III's "% peak").
+
+        The paper uses the tensor-core peak for contractions and the FP16
+        peak for everything else (Sec. III-D).
+        """
+        if tensor_cores is None:
+            tensor_cores = op.op_class is OpClass.TENSOR_CONTRACTION
+        peak = self.gpu.peak_flops(tensor_cores=tensor_cores)
+        return 100.0 * self.achieved_flops(flop, time_us) / peak

@@ -1,0 +1,60 @@
+"""Memory Usage Efficiency (MUE), Sec. III-C.
+
+``MUE = Q/D · B/B̂ · 100`` where
+
+* ``Q``  — the I/O lower bound of the operation (for our operators: every
+  external input read once, every external output written once; the fused
+  operator's operand list already reflects what must touch DRAM);
+* ``D``  — bytes the *implementation* actually moves (an unfused
+  implementation of the same logical operation moves more: every interim
+  tensor is written and re-read);
+* ``B``  — achieved bandwidth (``D`` / runtime), ``B̂`` — peak bandwidth.
+
+An implementation that both performs minimal I/O and saturates DRAM scores
+100.  The paper notes 100% is often unattainable for multi-tensor operators
+because peak DRAM bandwidth needs a single highly regular stream.
+"""
+
+from __future__ import annotations
+
+from repro.ir.dims import DimEnv
+from repro.ir.operator import OpSpec
+
+from .spec import GPUSpec, V100
+
+__all__ = ["mue", "op_mue"]
+
+
+def mue(q_bytes: float, d_bytes: float, time_us: float, gpu: GPUSpec = V100) -> float:
+    """MUE score in [0, 100] for an implementation.
+
+    Raises if the implementation claims to move less than the lower bound.
+    """
+    if q_bytes <= 0 or d_bytes <= 0:
+        raise ValueError("byte counts must be positive")
+    if time_us <= 0:
+        raise ValueError("time must be positive")
+    if d_bytes + 1e-9 < q_bytes:
+        raise ValueError(f"implementation moves {d_bytes} B < lower bound {q_bytes} B")
+    achieved_bw = d_bytes / (time_us * 1e-6)
+    score = (q_bytes / d_bytes) * (achieved_bw / gpu.mem_bandwidth) * 100.0
+    return min(100.0, score)
+
+
+def op_mue(
+    op: OpSpec,
+    time_us: float,
+    env: DimEnv,
+    gpu: GPUSpec = V100,
+    *,
+    implementation_bytes: float | None = None,
+) -> float:
+    """MUE of an operator executed in ``time_us``.
+
+    ``implementation_bytes`` defaults to the operator's own I/O volume
+    (i.e. a fused single-pass implementation with ``D = Q``); pass the summed
+    kernel bytes when scoring a multi-kernel (unfused) implementation.
+    """
+    q = op.io_bytes(env)
+    d = implementation_bytes if implementation_bytes is not None else q
+    return mue(q, d, time_us, gpu)

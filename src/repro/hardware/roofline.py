@@ -1,0 +1,80 @@
+"""Roofline analysis: operational intensity, ridge points, bound prediction.
+
+The paper's memory-bound diagnosis is a roofline argument; this module makes
+it explicit and queryable: for any operator, compute its operational
+intensity (flop per byte), place it against a GPU's ridge point, and
+predict — *before any measurement* — whether it is compute or memory bound.
+The paper uses exactly this pre-measurement reasoning: "This insight aids in
+analyzing the bottlenecks of general DNNs and automated tuning of operators,
+prior to measuring their performance" (Sec. IV-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.dims import DimEnv
+from repro.ir.graph import DataflowGraph
+from repro.ir.operator import OpClass, OpSpec
+
+from .spec import GPUSpec, V100
+
+__all__ = ["RooflinePoint", "ridge_intensity", "op_roofline", "graph_roofline"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One operator placed on the roofline."""
+
+    op_name: str
+    op_class: OpClass
+    intensity: float  # flop per byte moved
+    ridge: float  # the GPU's ridge intensity for this op's peak
+    #: attainable flop/s at this intensity (the roofline itself)
+    attainable_flops: float
+
+    @property
+    def memory_bound(self) -> bool:
+        return self.intensity < self.ridge
+
+    @property
+    def headroom(self) -> float:
+        """How far under / over the ridge the op sits (ratio)."""
+        return self.intensity / self.ridge
+
+
+def ridge_intensity(gpu: GPUSpec = V100, *, tensor_cores: bool = True) -> float:
+    """The ridge point: flop/byte where compute and bandwidth peaks meet."""
+    return gpu.peak_flops(tensor_cores=tensor_cores) / gpu.mem_bandwidth
+
+
+def op_roofline(op: OpSpec, env: DimEnv, gpu: GPUSpec = V100) -> RooflinePoint:
+    """Place one operator on its class-appropriate roofline."""
+    nbytes = op.io_bytes(env)
+    flop = op.flops(env)
+    tc = op.op_class is OpClass.TENSOR_CONTRACTION
+    ridge = ridge_intensity(gpu, tensor_cores=tc)
+    intensity = flop / nbytes if nbytes else float("inf")
+    peak = gpu.peak_flops(tensor_cores=tc)
+    attainable = min(peak, intensity * gpu.mem_bandwidth)
+    return RooflinePoint(
+        op_name=op.name,
+        op_class=op.op_class,
+        intensity=intensity,
+        ridge=ridge,
+        attainable_flops=attainable,
+    )
+
+
+def graph_roofline(
+    graph: DataflowGraph, env: DimEnv, gpu: GPUSpec = V100
+) -> list[RooflinePoint]:
+    """Roofline placement for every kernel of a graph.
+
+    For the BERT encoder this reproduces the paper's diagnosis: every
+    statistical-normalization and element-wise operator sits left of the
+    ridge (memory bound) while the large contractions sit right of it.
+    """
+    return [
+        op_roofline(op, env, gpu) for op in graph.ops if not op.is_view
+    ]

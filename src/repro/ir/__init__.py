@@ -1,0 +1,52 @@
+"""Dataflow intermediate representation (the reproduction's SDFG analog).
+
+The IR provides the analyzable training-process representation that Step 1
+of the paper's recipe requires: named-dimension tensors, class-tagged
+operators with iteration spaces, and a dataflow graph whose edges carry
+exact data-movement volumes.
+"""
+
+from .analysis import (
+    OpAnnotation,
+    annotate,
+    class_flop_fractions,
+    data_movement_reduction,
+    unique_io_words,
+)
+from .export import to_dot, to_json
+from .dims import DimEnv, bert_alternate_dims, bert_large_dims, small_test_dims
+from .dtypes import FP16, FP32, FP64, DType
+from .graph import DataflowGraph, Edge, GraphValidationError
+from .iteration_space import Compatibility, IterationSpace
+from .operator import FlopIoSummary, OpClass, OpSpec, Stage
+from .tensor import TensorSpec
+from .views import view_spec
+
+__all__ = [
+    "view_spec",
+    "to_dot",
+    "to_json",
+    "Compatibility",
+    "DataflowGraph",
+    "DimEnv",
+    "DType",
+    "Edge",
+    "FlopIoSummary",
+    "FP16",
+    "FP32",
+    "FP64",
+    "GraphValidationError",
+    "IterationSpace",
+    "OpAnnotation",
+    "OpClass",
+    "OpSpec",
+    "Stage",
+    "TensorSpec",
+    "annotate",
+    "bert_alternate_dims",
+    "bert_large_dims",
+    "class_flop_fractions",
+    "data_movement_reduction",
+    "small_test_dims",
+    "unique_io_words",
+]

@@ -1,0 +1,42 @@
+"""Element datatypes used for data-movement accounting.
+
+The paper trains in mixed precision (Sec. III-D): FP16 storage with FP32
+accumulation.  Because the subject of study is *data movement*, the datatype
+matters only through its byte width; numerics in the NumPy execution engine
+always run at float32 or float64 and are checked at tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DType", "FP16", "FP32", "FP64"]
+
+
+@dataclass(frozen=True)
+class DType:
+    """An element type: a name, a byte width, and a NumPy compute dtype."""
+
+    name: str
+    itemsize: int
+    np_dtype: np.dtype
+
+    def __post_init__(self) -> None:
+        if self.itemsize <= 0:
+            raise ValueError("itemsize must be positive")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+    def bytes_for(self, num_elements: int) -> int:
+        """Total bytes occupied by ``num_elements`` elements."""
+        if num_elements < 0:
+            raise ValueError("num_elements must be non-negative")
+        return num_elements * self.itemsize
+
+
+FP16 = DType("fp16", 2, np.dtype(np.float16))
+FP32 = DType("fp32", 4, np.dtype(np.float32))
+FP64 = DType("fp64", 8, np.dtype(np.float64))

@@ -1,0 +1,121 @@
+"""Graph export: DOT (graphviz) and JSON renderings of dataflow graphs.
+
+The paper's figures are SDFG renderings; this module produces equivalent
+artifacts offline — a DOT file styled like Figs. 1b/2 (operator class
+shapes, flop/IO edge annotations, movement-class coloring) and a JSON dump
+for external tooling.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .dims import DimEnv
+from .graph import DataflowGraph
+from .operator import OpClass
+
+__all__ = ["to_dot", "to_json"]
+
+_CLASS_STYLE = {
+    OpClass.TENSOR_CONTRACTION: ("triangle", "#a0c4ff"),
+    OpClass.STAT_NORMALIZATION: ("box", "#ffd6a5"),
+    OpClass.ELEMENTWISE: ("ellipse", "#caffbf"),
+}
+
+_MOVEMENT_COLOR = {
+    "IO > flop": "#d62828",  # data movement dominates: red
+    "IO ~ flop": "#f77f00",
+    "IO < flop": "#2a9d8f",  # compute dominates: green
+}
+
+
+def _quote(s: str) -> str:
+    return '"' + s.replace('"', '\\"') + '"'
+
+
+def to_dot(graph: DataflowGraph, env: DimEnv, *, include_views: bool = False) -> str:
+    """Render the graph as DOT, styled like the paper's dataflow figures.
+
+    Operators are shaped by class and colored by their flop-to-IO movement
+    class; data containers are plain boxes; edge labels carry the access
+    volume in megawords.
+    """
+    lines = [
+        f"digraph {_quote(graph.name)} {{",
+        "  rankdir=TB;",
+        "  node [fontname=Helvetica fontsize=10];",
+    ]
+    emitted_containers: set[str] = set()
+
+    def container_node(name: str) -> None:
+        if name in emitted_containers:
+            return
+        emitted_containers.add(name)
+        spec = graph.container(name)
+        label = f"{name}\\n[{','.join(spec.dims)}]"
+        lines.append(
+            f"  {_quote('t_' + name)} [shape=box style=rounded label={_quote(label)}];"
+        )
+
+    for op in graph.ops:
+        if op.is_view and not include_views:
+            continue
+        shape, fill = _CLASS_STYLE[op.op_class]
+        color = _MOVEMENT_COLOR.get(op.movement_class(env), "#999999")
+        flop = op.flops(env)
+        label = f"{op.name}\\n{flop / 2**30:.2f} Gflop"
+        lines.append(
+            f"  {_quote('op_' + op.name)} [shape={shape} style=filled "
+            f"fillcolor={_quote(fill)} color={_quote(color)} penwidth=2 "
+            f"label={_quote(label)}];"
+        )
+        for t in op.inputs:
+            container_node(t.name)
+            mw = t.volume(env) / 1e6
+            lines.append(
+                f"  {_quote('t_' + t.name)} -> {_quote('op_' + op.name)} "
+                f"[label={_quote(f'{mw:.1f} Mw')}];"
+            )
+        for t in op.outputs:
+            container_node(t.name)
+            mw = t.volume(env) / 1e6
+            lines.append(
+                f"  {_quote('op_' + op.name)} -> {_quote('t_' + t.name)} "
+                f"[label={_quote(f'{mw:.1f} Mw')}];"
+            )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def to_json(graph: DataflowGraph, env: DimEnv) -> str:
+    """Serialize structure + analysis annotations as JSON."""
+    ops = []
+    for op in graph.ops:
+        ops.append(
+            {
+                "name": op.name,
+                "class": op.op_class.value,
+                "stage": op.stage.value,
+                "is_view": op.is_view,
+                "kernel_label": op.kernel_label,
+                "einsum": op.einsum,
+                "inputs": [t.name for t in op.inputs],
+                "outputs": [t.name for t in op.outputs],
+                "flop": op.flops(env),
+                "io_bytes": op.io_bytes(env),
+                "independent_dims": list(op.ispace.independent),
+                "reduction_dims": list(op.ispace.reduction),
+            }
+        )
+    containers = {
+        name: {
+            "dims": list(spec.dims),
+            "dtype": spec.dtype.name,
+            "is_param": spec.is_param,
+            "bytes": spec.nbytes(env),
+        }
+        for name, spec in graph.containers.items()
+    }
+    return json.dumps(
+        {"name": graph.name, "operators": ops, "containers": containers}, indent=2
+    )

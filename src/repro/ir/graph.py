@@ -1,0 +1,273 @@
+"""The stateful dataflow graph: containers, operators, movement edges.
+
+This is the reproduction's analog of DaCe's SDFG (Sec. II-C): a bipartite
+graph between *data containers* (:class:`~repro.ir.tensor.TensorSpec`) and
+*operators* (:class:`~repro.ir.operator.OpSpec`) where every edge represents
+exact data movement.  The graph supports the dataflow analyses of Sec. III-A:
+flop / IO annotation, operator-class aggregation (Table I), and the global
+data-movement accounting used for the 22.91% reduction claim (Sec. VI-C).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from .dims import DimEnv
+from .operator import FlopIoSummary, OpClass, OpSpec, Stage
+from .tensor import TensorSpec
+
+__all__ = ["DataflowGraph", "GraphValidationError", "Edge"]
+
+
+class GraphValidationError(ValueError):
+    """Raised when a dataflow graph is structurally inconsistent."""
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A data-movement edge: container -> op (read) or op -> container (write)."""
+
+    tensor: str
+    op: str
+    direction: str  # "read" | "write"
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("read", "write"):
+            raise ValueError(f"bad edge direction {self.direction!r}")
+
+
+class DataflowGraph:
+    """An append-only dataflow multigraph over named tensors and operators.
+
+    Containers are identified by tensor name; an operator's inputs reference
+    containers either produced by earlier operators or declared as graph
+    inputs (parameters, activations entering the layer).
+    """
+
+    def __init__(self, name: str = "graph") -> None:
+        self.name = name
+        self._ops: dict[str, OpSpec] = {}
+        self._op_order: list[str] = []
+        self._containers: dict[str, TensorSpec] = {}
+        self._producer: dict[str, str] = {}
+        self._consumers: dict[str, list[str]] = defaultdict(list)
+        self._graph_inputs: dict[str, TensorSpec] = {}
+
+    # -- construction -----------------------------------------------------------
+    def add_input(self, tensor: TensorSpec) -> TensorSpec:
+        """Declare a graph input container (activation or parameter)."""
+        existing = self._containers.get(tensor.name)
+        if existing is not None:
+            if existing != tensor:
+                raise GraphValidationError(
+                    f"container {tensor.name!r} re-declared with a different spec"
+                )
+            return tensor
+        self._containers[tensor.name] = tensor
+        self._graph_inputs[tensor.name] = tensor
+        return tensor
+
+    def add_op(self, op: OpSpec) -> OpSpec:
+        """Append an operator; inputs must already exist as containers."""
+        if op.name in self._ops:
+            raise GraphValidationError(f"duplicate operator name {op.name!r}")
+        for t in op.inputs:
+            existing = self._containers.get(t.name)
+            if existing is None:
+                raise GraphValidationError(
+                    f"operator {op.name!r} reads undefined container {t.name!r}"
+                )
+            if existing.dims != t.dims:
+                raise GraphValidationError(
+                    f"operator {op.name!r} reads {t.name!r} with dims {t.dims}, "
+                    f"but the container has dims {existing.dims}"
+                )
+        for t in op.outputs:
+            if t.name in self._producer:
+                raise GraphValidationError(
+                    f"container {t.name!r} written by both "
+                    f"{self._producer[t.name]!r} and {op.name!r}"
+                )
+            if t.name in self._graph_inputs:
+                raise GraphValidationError(
+                    f"operator {op.name!r} writes graph input {t.name!r}"
+                )
+            self._containers[t.name] = t
+            self._producer[t.name] = op.name
+        for t in op.inputs:
+            self._consumers[t.name].append(op.name)
+        self._ops[op.name] = op
+        self._op_order.append(op.name)
+        return op
+
+    # -- accessors -----------------------------------------------------------
+    @property
+    def ops(self) -> tuple[OpSpec, ...]:
+        """Operators in insertion (topological) order."""
+        return tuple(self._ops[n] for n in self._op_order)
+
+    @property
+    def op_names(self) -> tuple[str, ...]:
+        return tuple(self._op_order)
+
+    def op(self, name: str) -> OpSpec:
+        try:
+            return self._ops[name]
+        except KeyError:
+            raise KeyError(f"no operator {name!r} in graph {self.name!r}") from None
+
+    def container(self, name: str) -> TensorSpec:
+        try:
+            return self._containers[name]
+        except KeyError:
+            raise KeyError(f"no container {name!r} in graph {self.name!r}") from None
+
+    @property
+    def containers(self) -> dict[str, TensorSpec]:
+        return dict(self._containers)
+
+    @property
+    def graph_inputs(self) -> tuple[TensorSpec, ...]:
+        return tuple(self._graph_inputs.values())
+
+    def producer_of(self, tensor_name: str) -> str | None:
+        """Name of the op producing a container, or None for graph inputs."""
+        return self._producer.get(tensor_name)
+
+    def consumers_of(self, tensor_name: str) -> tuple[str, ...]:
+        return tuple(self._consumers.get(tensor_name, ()))
+
+    def graph_outputs(self) -> tuple[TensorSpec, ...]:
+        """Containers that are produced but never consumed."""
+        return tuple(
+            self._containers[n]
+            for n in self._producer
+            if not self._consumers.get(n)
+        )
+
+    def edges(self) -> Iterator[Edge]:
+        for op in self.ops:
+            for t in op.inputs:
+                yield Edge(t.name, op.name, "read")
+            for t in op.outputs:
+                yield Edge(t.name, op.name, "write")
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __contains__(self, op_name: str) -> bool:
+        return op_name in self._ops
+
+    def __iter__(self) -> Iterator[OpSpec]:
+        return iter(self.ops)
+
+    # -- validation -----------------------------------------------------------
+    def validate(self) -> None:
+        """Check structural invariants; raise GraphValidationError on failure."""
+        seen: set[str] = set(self._graph_inputs)
+        for op in self.ops:
+            for t in op.inputs:
+                if t.name not in seen:
+                    raise GraphValidationError(
+                        f"operator {op.name!r} reads {t.name!r} before it is produced"
+                    )
+            for t in op.outputs:
+                seen.add(t.name)
+        # Iteration-space dims must cover every operand dim (sanity of counts).
+        for op in self.ops:
+            if op.is_view:
+                continue  # views re-index storage; dims legitimately differ
+            space_dims = set(op.ispace.all_dims)
+            for t in op.inputs + op.outputs:
+                extra = set(t.dims) - space_dims
+                if extra:
+                    raise GraphValidationError(
+                        f"operator {op.name!r}: operand {t.name!r} has dims "
+                        f"{sorted(extra)} outside the iteration space"
+                    )
+
+    # -- dataflow analyses (Sec. III-A) ----------------------------------------
+    def total_flops(self, env: DimEnv) -> float:
+        return sum(op.flops(env) for op in self.ops)
+
+    def total_io_bytes(self, env: DimEnv) -> int:
+        """Sum of per-operator IO assuming every operator runs as a kernel."""
+        return sum(op.io_bytes(env) for op in self.ops)
+
+    def total_io_words(self, env: DimEnv) -> int:
+        return sum(op.io_words(env) for op in self.ops)
+
+    def class_breakdown(self, env: DimEnv) -> dict[OpClass, FlopIoSummary]:
+        """Aggregate flop/IO per operator class (backs Table I)."""
+        acc: dict[OpClass, FlopIoSummary] = {}
+        for op in self.ops:
+            s = op.summary(env)
+            acc[op.op_class] = acc[op.op_class] + s if op.op_class in acc else s
+        return acc
+
+    def stage_ops(self, stage: Stage) -> tuple[OpSpec, ...]:
+        return tuple(op for op in self.ops if op.stage is stage)
+
+    def forward_ops(self) -> tuple[OpSpec, ...]:
+        return self.stage_ops(Stage.FORWARD)
+
+    def backward_ops(self) -> tuple[OpSpec, ...]:
+        return tuple(op for op in self.ops if op.stage.is_backward)
+
+    # -- transformation helpers -------------------------------------------------
+    def replace_ops(self, removed: Iterable[str], added: Iterable[OpSpec]) -> "DataflowGraph":
+        """A new graph with ``removed`` op names replaced by ``added`` ops.
+
+        The added ops are inserted at the position of the first removed op,
+        preserving topological validity for the fusion transformations used
+        here (fusions always replace a contiguous producer/consumer chain).
+        """
+        removed_set = set(removed)
+        missing = removed_set - set(self._ops)
+        if missing:
+            raise KeyError(f"cannot remove unknown ops: {sorted(missing)}")
+        new = DataflowGraph(self.name)
+        for t in self._graph_inputs.values():
+            new.add_input(t)
+        added_list = list(added)
+        inserted = False
+        for name in self._op_order:
+            if name in removed_set:
+                if not inserted:
+                    for op in added_list:
+                        new.add_op(op)
+                    inserted = True
+                continue
+            new.add_op(self._ops[name])
+        if not inserted:
+            for op in added_list:
+                new.add_op(op)
+        return new
+
+    def subgraph(self, op_names: Iterable[str], name: str | None = None) -> "DataflowGraph":
+        """Induced subgraph over the given ops (inputs become graph inputs)."""
+        keep = [n for n in self._op_order if n in set(op_names)]
+        produced = {t.name for n in keep for t in self._ops[n].outputs}
+        new = DataflowGraph(name or f"{self.name}-sub")
+        for n in keep:
+            for t in self._ops[n].inputs:
+                if t.name not in produced:
+                    new.add_input(self._containers[t.name])
+        for n in keep:
+            new.add_op(self._ops[n])
+        return new
+
+    # -- rendering -----------------------------------------------------------
+    def describe(self, env: DimEnv) -> str:
+        """Human-readable dump with flop / flop-per-word annotations (Fig. 2 style)."""
+        lines = [f"DataflowGraph {self.name!r}: {len(self)} ops"]
+        for op in self.ops:
+            s = op.summary(env)
+            lines.append(
+                f"  {op.op_class.marker} {op.name:<24s} "
+                f"flop={s.flop / 1e9:8.3f}G  io={s.words_moved / 1e6:8.2f}Mw  "
+                f"flop/word={s.flop_per_word:8.2f}  [{op.movement_class(env)}]"
+            )
+        return "\n".join(lines)

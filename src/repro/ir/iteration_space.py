@@ -1,0 +1,137 @@
+"""Iteration spaces: the fusion-legality abstraction of Sec. IV.
+
+The paper detects fusion opportunities by analyzing operator *iteration
+spaces*:
+
+* every operator has **independent** dimensions (parallel loops);
+* statistical normalizations additionally have **reduction** dimensions;
+* tensor contractions have reduction dimensions plus *special* independent
+  dimensions private to each input operand (the ``M``/``N`` GEMM dims).
+
+Two operators can be fused if their iteration-space implementations are
+compatible: either identical, or differing only in that one performs a
+reduction (Sec. IV, "Two operators can be fused if ...").  When only the
+outermost independent dimensions match, *partial* fusion is possible: the
+shared outer loops are merged and the inner spaces are run sequentially
+inside.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from .dims import DimEnv
+
+__all__ = ["IterationSpace", "Compatibility"]
+
+
+class Compatibility(Enum):
+    """Result of an iteration-space compatibility query."""
+
+    IDENTICAL = "identical"
+    #: Same independent space; exactly one side also reduces.
+    REDUCTION_EXTENSION = "reduction-extension"
+    #: Outermost independent dims shared; inner spaces sequenced (partial fusion).
+    PARTIAL = "partial"
+    INCOMPATIBLE = "incompatible"
+
+    @property
+    def fusible(self) -> bool:
+        return self is not Compatibility.INCOMPATIBLE
+
+
+@dataclass(frozen=True)
+class IterationSpace:
+    """Independent and reduction dimensions of one operator.
+
+    Dimension order is significant: it is the loop-nest order, outermost
+    first, matching the paper's requirement that "the order and size of
+    dimensions and the implementation for each must match".
+    """
+
+    independent: tuple[str, ...]
+    reduction: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.independent, tuple):
+            object.__setattr__(self, "independent", tuple(self.independent))
+        if not isinstance(self.reduction, tuple):
+            object.__setattr__(self, "reduction", tuple(self.reduction))
+        overlap = set(self.independent) & set(self.reduction)
+        if overlap:
+            raise ValueError(f"dims {sorted(overlap)} are both independent and reduction")
+
+    # -- basic queries --------------------------------------------------------
+    @property
+    def all_dims(self) -> tuple[str, ...]:
+        return self.independent + self.reduction
+
+    @property
+    def has_reduction(self) -> bool:
+        return bool(self.reduction)
+
+    def size(self, env: DimEnv) -> int:
+        """Total number of iteration points."""
+        return env.volume(self.all_dims)
+
+    def parallel_size(self, env: DimEnv) -> int:
+        """Number of independent (parallelizable) iteration points."""
+        return env.volume(self.independent)
+
+    # -- fusion legality ------------------------------------------------------
+    def compatibility(self, other: "IterationSpace") -> Compatibility:
+        """Classify how this space composes with ``other`` (in that order).
+
+        ``self`` is the producer (runs first), ``other`` the consumer.
+        """
+        if self.independent == other.independent:
+            if self.reduction == other.reduction:
+                return Compatibility.IDENTICAL
+            if not self.reduction or not other.reduction:
+                return Compatibility.REDUCTION_EXTENSION
+            return Compatibility.INCOMPATIBLE
+        shared = self._shared_outer(other)
+        if shared:
+            return Compatibility.PARTIAL
+        return Compatibility.INCOMPATIBLE
+
+    def _shared_outer(self, other: "IterationSpace") -> tuple[str, ...]:
+        """Longest common prefix of independent dims (shareable outer loops)."""
+        shared: list[str] = []
+        for a, b in zip(self.independent, other.independent):
+            if a != b:
+                break
+            shared.append(a)
+        return tuple(shared)
+
+    def fuse(self, other: "IterationSpace") -> "IterationSpace":
+        """The iteration space of the fused operator ``self ; other``.
+
+        Raises ``ValueError`` if the spaces are incompatible.
+        """
+        compat = self.compatibility(other)
+        if compat is Compatibility.INCOMPATIBLE:
+            raise ValueError(f"cannot fuse {self} with {other}")
+        if compat is Compatibility.IDENTICAL:
+            return self
+        if compat is Compatibility.REDUCTION_EXTENSION:
+            reduction = self.reduction or other.reduction
+            return IterationSpace(self.independent, reduction)
+        # Partial fusion: shared outer independent dims; the union of the
+        # remaining dims becomes the (sequenced) inner space.  We keep the
+        # consumer's inner ordering after the producer's, de-duplicated.
+        shared = self._shared_outer(other)
+        inner: list[str] = []
+        for d in self.independent + other.independent:
+            if d not in shared and d not in inner:
+                inner.append(d)
+        reduction: list[str] = []
+        for d in self.reduction + other.reduction:
+            if d not in reduction:
+                reduction.append(d)
+        return IterationSpace(shared + tuple(inner), tuple(reduction))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        red = f" / red[{','.join(self.reduction)}]" if self.reduction else ""
+        return f"[{','.join(self.independent)}]{red}"

@@ -1,0 +1,80 @@
+"""Tensor specifications: the data containers of the dataflow IR.
+
+A :class:`TensorSpec` is purely structural — an ordered tuple of named
+dimensions plus a datatype.  Concrete sizes come from a
+:class:`~repro.ir.dims.DimEnv` at analysis time, and concrete memory
+arrangement from a :class:`~repro.layouts.layout.Layout` at tuning time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .dims import DimEnv
+from .dtypes import FP16, DType
+
+__all__ = ["TensorSpec"]
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """A named tensor with ordered named dimensions.
+
+    Parameters
+    ----------
+    name:
+        Unique container name within a dataflow graph (e.g. ``"qq"``).
+    dims:
+        Ordered dimension names, e.g. ``("p", "h", "b", "j")``.  The order is
+        the *logical* index order used in einsum strings; physical layout is
+        chosen separately.
+    dtype:
+        Element type; defaults to FP16 as in the paper's mixed-precision
+        setting.
+    is_param:
+        Whether this tensor is a learned parameter (weights / biases).  Used
+        when partitioning backward ops into dX and dW stages.
+    """
+
+    name: str
+    dims: tuple[str, ...]
+    dtype: DType = FP16
+    is_param: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tensor name must be non-empty")
+        if not isinstance(self.dims, tuple):
+            object.__setattr__(self, "dims", tuple(self.dims))
+        if len(set(self.dims)) != len(self.dims):
+            raise ValueError(f"tensor {self.name!r} has repeated dims: {self.dims}")
+
+    # -- size accounting ----------------------------------------------------
+    def volume(self, env: DimEnv) -> int:
+        """Number of elements under the given dimension sizes."""
+        return env.volume(self.dims)
+
+    def nbytes(self, env: DimEnv) -> int:
+        """Bytes occupied under the given dimension sizes."""
+        return self.dtype.bytes_for(self.volume(env))
+
+    def shape(self, env: DimEnv) -> tuple[int, ...]:
+        return env.shape(self.dims)
+
+    @property
+    def rank(self) -> int:
+        return len(self.dims)
+
+    # -- derivation helpers ---------------------------------------------------
+    def renamed(self, name: str) -> "TensorSpec":
+        """A copy of this spec under a different container name."""
+        return TensorSpec(name=name, dims=self.dims, dtype=self.dtype, is_param=self.is_param)
+
+    def grad(self) -> "TensorSpec":
+        """The spec of this tensor's gradient (``d<name>``, same shape)."""
+        return TensorSpec(
+            name=f"d{self.name}", dims=self.dims, dtype=self.dtype, is_param=False
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}[{','.join(self.dims)}]:{self.dtype.name}"

@@ -1,0 +1,49 @@
+"""Zero-cost view operators: aliasing without data movement.
+
+Two situations in the transformer graphs need re-indexed reads of existing
+storage rather than new tensors:
+
+* **self-attention aliasing** — the same activation ``x[i,b,j]`` feeds the
+  key/value projections indexed by the key sequence dim ``k`` (Sec. II-B1:
+  "Self-attention uses the same tensor for all three inputs");
+* **stacked-projection slicing** — algebraic fusion computes
+  ``[Q̃ K̃ Ṽ] = [W_Q W_K W_V] X`` as one contraction (Sec. IV-D); the per-head
+  query/key/value tensors are then constant-stride slices of the result.
+
+A view is an :class:`~repro.ir.operator.OpSpec` with ``is_view=True``: it
+keeps the dataflow graph a pure producer/consumer structure while costing
+zero flop and zero bytes.
+"""
+
+from __future__ import annotations
+
+from .iteration_space import IterationSpace
+from .operator import OpClass, OpSpec, Stage
+from .tensor import TensorSpec
+
+__all__ = ["view_spec"]
+
+
+def view_spec(
+    name: str,
+    base: TensorSpec,
+    view: TensorSpec,
+    *,
+    stage: Stage = Stage.FORWARD,
+) -> OpSpec:
+    """A zero-cost aliasing node exposing ``base``'s storage as ``view``.
+
+    The view may rename dims (``x[i,b,j]`` -> ``xk[i,b,k]``) or select a
+    slice of a stacked tensor (``qkv[c,p,h,b,j]`` -> ``qq[p,h,b,j]``), so
+    the view's volume must not exceed the base's.
+    """
+    return OpSpec(
+        name=name,
+        op_class=OpClass.ELEMENTWISE,
+        inputs=(base,),
+        outputs=(view,),
+        ispace=IterationSpace(view.dims),
+        flop_per_point=0.0,
+        stage=stage,
+        is_view=True,
+    )

@@ -1,0 +1,35 @@
+"""Data layouts, operator configurations, and GEMM mapping (paper Sec. V)."""
+
+from .config import HEURISTIC_ALGORITHM, NUM_GEMM_ALGORITHMS, OpConfig
+from .configspace import (
+    contraction_configs,
+    default_config,
+    kernel_configs,
+    op_configs,
+)
+from .gemm_mapping import (
+    DimRoles,
+    GemmShape,
+    classify_dims,
+    default_gemm_shape,
+    map_to_gemm,
+)
+from .layout import Layout, all_layouts, transpose_cost_bytes
+
+__all__ = [
+    "DimRoles",
+    "GemmShape",
+    "HEURISTIC_ALGORITHM",
+    "Layout",
+    "NUM_GEMM_ALGORITHMS",
+    "OpConfig",
+    "all_layouts",
+    "classify_dims",
+    "contraction_configs",
+    "default_config",
+    "default_gemm_shape",
+    "kernel_configs",
+    "map_to_gemm",
+    "op_configs",
+    "transpose_cost_bytes",
+]

@@ -1,0 +1,75 @@
+"""Operator configurations: the tunable knobs of Step 3.
+
+An :class:`OpConfig` fixes everything the autotuner can vary for one
+operator (Sec. V):
+
+* a physical :class:`~repro.layouts.layout.Layout` per input and output;
+* the **vectorization dimension** (Sec. V-B);
+* the **warp-reduce / CUDA-thread dimension** for kernels that reduce or
+  distribute over two candidate dims (BSB, EBSB, BDRB, BRD, BEI);
+* the **GEMM algorithm** index for contractions (Sec. V-A: "we consider
+  every possible cuBLAS algorithm for each layout").
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+from .layout import Layout
+
+__all__ = ["OpConfig", "NUM_GEMM_ALGORITHMS", "HEURISTIC_ALGORITHM"]
+
+#: Number of simulated cuBLAS GEMM algorithms per shape (cublasGemmEx exposes
+#: a comparable handful of tensor-op algorithms).
+NUM_GEMM_ALGORITHMS = 8
+
+#: Sentinel meaning "let the library's heuristic choose" (what frameworks do).
+HEURISTIC_ALGORITHM = -1
+
+
+@dataclass(frozen=True)
+class OpConfig:
+    """A complete parameterization of one operator implementation."""
+
+    op_name: str
+    input_layouts: tuple[Layout, ...]
+    output_layouts: tuple[Layout, ...]
+    vector_dim: str | None = None
+    warp_reduce_dim: str | None = None
+    algorithm: int = HEURISTIC_ALGORITHM
+    use_tensor_cores: bool = True
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.input_layouts, tuple):
+            object.__setattr__(self, "input_layouts", tuple(self.input_layouts))
+        if not isinstance(self.output_layouts, tuple):
+            object.__setattr__(self, "output_layouts", tuple(self.output_layouts))
+        if self.algorithm != HEURISTIC_ALGORITHM and not (
+            0 <= self.algorithm < NUM_GEMM_ALGORITHMS
+        ):
+            raise ValueError(f"algorithm index {self.algorithm} out of range")
+
+    # -- identity ---------------------------------------------------------------
+    def key(self) -> str:
+        """Stable, human-readable identity string (also seeds jitter)."""
+        ins = "/".join(str(l) for l in self.input_layouts)
+        outs = "/".join(str(l) for l in self.output_layouts)
+        return (
+            f"{self.op_name}|in:{ins}|out:{outs}|vec:{self.vector_dim}"
+            f"|warp:{self.warp_reduce_dim}|algo:{self.algorithm}"
+            f"|tc:{int(self.use_tensor_cores)}"
+        )
+
+    def seed(self, salt: str = "") -> int:
+        """Deterministic 32-bit seed derived from the config identity."""
+        return zlib.crc32((self.key() + "#" + salt).encode())
+
+    def layout_of(self, tensor_name: str, tensor_names_in: tuple[str, ...],
+                  tensor_names_out: tuple[str, ...]) -> Layout:
+        """Look up the layout chosen for a named operand."""
+        if tensor_name in tensor_names_in:
+            return self.input_layouts[tensor_names_in.index(tensor_name)]
+        if tensor_name in tensor_names_out:
+            return self.output_layouts[tensor_names_out.index(tensor_name)]
+        raise KeyError(f"{tensor_name!r} is not an operand of {self.op_name!r}")

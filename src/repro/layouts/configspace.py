@@ -1,0 +1,146 @@
+"""Enumeration of the feasible configuration space per operator (Sec. V).
+
+For contractions the space is: every layout permutation triple that maps to
+a (batched) GEMM, crossed with every GEMM algorithm and tensor-core mode.
+For fused / normalization / element-wise kernels: all combinations of
+per-operand layout permutations crossed with vectorization and warp-reduce
+dimension choices.
+
+Full Cartesian products explode for wide fused kernels (BRD touches four 3-D
+tensors), so the generator supports deterministic subsampling to a size cap,
+which preserves the distributional picture Figs. 4/5 rely on while keeping
+sweeps tractable.  The cap and seed are explicit parameters; ``cap=None``
+enumerates exhaustively.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from collections.abc import Iterator, Sequence
+
+from repro.ir.dims import DimEnv
+from repro.ir.operator import OpClass, OpSpec
+from repro.ops.einsum_utils import parse_einsum
+
+from .config import NUM_GEMM_ALGORITHMS, OpConfig
+from .gemm_mapping import map_to_gemm
+from .layout import Layout, all_layouts
+
+__all__ = [
+    "contraction_configs",
+    "kernel_configs",
+    "op_configs",
+    "default_config",
+]
+
+
+def contraction_configs(
+    op: OpSpec,
+    env: DimEnv,
+    *,
+    algorithms: Sequence[int] | None = None,
+    tensor_core_modes: Sequence[bool] = (True, False),
+) -> Iterator[OpConfig]:
+    """All GEMM-mappable layout/algorithm/TC configurations of a contraction."""
+    if op.op_class is not OpClass.TENSOR_CONTRACTION:
+        raise ValueError(f"{op.name!r} is not a contraction")
+    spec = parse_einsum(op.einsum)
+    algos = list(algorithms) if algorithms is not None else list(range(NUM_GEMM_ALGORITHMS))
+    a_spec, b_spec = op.inputs[0], op.inputs[1]
+    c_spec = op.outputs[0]
+    for la in all_layouts(a_spec.dims):
+        for lb in all_layouts(b_spec.dims):
+            for lc in all_layouts(c_spec.dims):
+                if map_to_gemm(spec, la, lb, lc, env) is None:
+                    continue
+                for tc in tensor_core_modes:
+                    for algo in algos:
+                        yield OpConfig(
+                            op_name=op.name,
+                            input_layouts=(la, lb),
+                            output_layouts=(lc,),
+                            algorithm=algo,
+                            use_tensor_cores=tc,
+                        )
+
+
+def kernel_configs(
+    op: OpSpec,
+    env: DimEnv,
+    *,
+    cap: int | None = 2000,
+    seed: int = 0x5EED,
+) -> Iterator[OpConfig]:
+    """Layout/vector/warp configurations of a non-contraction kernel.
+
+    Operands of rank <= 1 (biases, per-dim scales) have a single layout and
+    are skipped in the product.  When the full product exceeds ``cap``,
+    a deterministic uniform subsample of exactly ``cap`` configurations is
+    produced (always including the all-default-layout point).
+    """
+    if op.op_class is OpClass.TENSOR_CONTRACTION:
+        raise ValueError(f"use contraction_configs for {op.name!r}")
+    operand_specs = list(op.inputs) + list(op.outputs)
+    layout_choices: list[list[Layout]] = [
+        list(all_layouts(t.dims)) if t.rank > 1 else [Layout(t.dims)]
+        for t in operand_specs
+    ]
+    vec_choices: list[str | None] = list(op.ispace.all_dims) or [None]
+    warp_choices: list[str | None] = (
+        list(op.ispace.reduction) if op.ispace.reduction else [None]
+    )
+
+    sizes = [len(c) for c in layout_choices] + [len(vec_choices), len(warp_choices)]
+    total = 1
+    for s in sizes:
+        total *= s
+
+    def build(indices: Sequence[int]) -> OpConfig:
+        n_in = len(op.inputs)
+        layouts = [layout_choices[i][indices[i]] for i in range(len(layout_choices))]
+        vec = vec_choices[indices[len(layout_choices)]]
+        warp = warp_choices[indices[len(layout_choices) + 1]]
+        return OpConfig(
+            op_name=op.name,
+            input_layouts=tuple(layouts[:n_in]),
+            output_layouts=tuple(layouts[n_in:]),
+            vector_dim=vec,
+            warp_reduce_dim=warp,
+        )
+
+    if cap is None or total <= cap:
+        for flat in itertools.product(*(range(s) for s in sizes)):
+            yield build(flat)
+        return
+
+    rng = random.Random(seed)
+    yield build([0] * len(sizes))  # always include the default point
+    seen = {tuple([0] * len(sizes))}
+    while len(seen) < cap:
+        flat = tuple(rng.randrange(s) for s in sizes)
+        if flat in seen:
+            continue
+        seen.add(flat)
+        yield build(flat)
+
+
+def op_configs(op: OpSpec, env: DimEnv, **kwargs) -> Iterator[OpConfig]:
+    """Dispatch to the right enumerator for the operator's class."""
+    if op.op_class is OpClass.TENSOR_CONTRACTION:
+        return contraction_configs(op, env)
+    return kernel_configs(op, env, **kwargs)
+
+
+def default_config(op: OpSpec) -> OpConfig:
+    """The untuned configuration: spec-order layouts, innermost-dim
+    vectorization, first reduction dim for warp reduces, heuristic GEMM algo."""
+    vec = op.ispace.all_dims[-1] if op.ispace.all_dims else None
+    warp = op.ispace.reduction[0] if op.ispace.reduction else None
+    return OpConfig(
+        op_name=op.name,
+        input_layouts=tuple(Layout(t.dims) for t in op.inputs),
+        output_layouts=tuple(Layout(t.dims) for t in op.outputs),
+        vector_dim=vec,
+        warp_reduce_dim=warp,
+    )

@@ -1,0 +1,206 @@
+"""Mapping einsum contractions onto (batched) GEMM calls.
+
+Per Sec. III-B the paper restricts tensor contractions to shapes that
+cuBLAS supports: plain and batched matrix-matrix multiplication.  Given an
+einsum and concrete operand layouts, this module decides whether the triple
+maps to a single GEMM call and extracts its ``(M, N, K, batch, transA,
+transB)`` description — the quantities Fig. 4's tiles are labeled with.
+
+Dimension roles for ``C = A · B``:
+
+* **batch** dims appear in A, B and C (the ``B`` of a batched MMM);
+* **M** dims appear in A and C only;
+* **N** dims appear in B and C only;
+* **K** dims appear in A and B only (contracted).
+
+A layout triple is GEMM-mappable iff every operand's dims split into three
+*contiguous blocks* — batch, rows, cols — each in a consistent intra-group
+order across operands.  The blocks may appear in any order: strided batched
+GEMM (``cublasGemmStridedBatchedEx``) takes an arbitrary leading dimension
+and batch stride, so e.g. ``kk[p,h,b,k]`` with batch ``(h,b)`` is a valid
+operand (rows ``p`` with stride ``h*b*k``, batch stride ``k``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import prod
+
+from repro.ir.dims import DimEnv
+
+from .layout import Layout
+from repro.ops.einsum_utils import EinsumSpec, parse_einsum
+
+__all__ = ["GemmShape", "DimRoles", "classify_dims", "map_to_gemm", "default_gemm_shape"]
+
+
+@dataclass(frozen=True)
+class DimRoles:
+    """Role assignment of every dim of a two-operand contraction."""
+
+    batch: tuple[str, ...]
+    m: tuple[str, ...]
+    n: tuple[str, ...]
+    k: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class GemmShape:
+    """One (batched) GEMM call: C[M,N] += A[M,K] · B[K,N] per batch element."""
+
+    m: int
+    n: int
+    k: int
+    batch: int
+    trans_a: bool
+    trans_b: bool
+
+    @property
+    def flops(self) -> float:
+        return 2.0 * self.m * self.n * self.k * self.batch
+
+    def canonical(self) -> "GemmShape":
+        """Shape with M >= N, as the paper labels its Fig. 4 tiles.
+
+        Swapping operand order of a GEMM swaps M and N; Fig. 4 merges both
+        orders into one tile labeled with ``M > N``.
+        """
+        if self.m >= self.n:
+            return self
+        return GemmShape(
+            m=self.n, n=self.m, k=self.k, batch=self.batch,
+            trans_a=not self.trans_b, trans_b=not self.trans_a,
+        )
+
+    def label(self) -> str:
+        return f"M: {self.m}, N: {self.n}, K: {self.k}, B: {self.batch}"
+
+
+def classify_dims(spec: EinsumSpec | str) -> DimRoles:
+    """Assign batch/M/N/K roles to every dim of a 2-operand einsum."""
+    if isinstance(spec, str):
+        spec = parse_einsum(spec)
+    if spec.num_inputs != 2:
+        raise ValueError(f"GEMM mapping requires 2 operands, got {spec.num_inputs}")
+    a, b = (set(s) for s in spec.input_subscripts)
+    c = set(spec.output_subscript)
+    order = spec.output_subscript + "".join(spec.reduction_dims)
+
+    def pick(pred) -> tuple[str, ...]:
+        return tuple(d for d in order if pred(d))
+
+    batch = pick(lambda d: d in a and d in b and d in c)
+    m_dims = pick(lambda d: d in a and d not in b and d in c)
+    n_dims = pick(lambda d: d in b and d not in a and d in c)
+    k_dims = pick(lambda d: d in a and d in b and d not in c)
+    leftover = (a | b | c) - set(batch) - set(m_dims) - set(n_dims) - set(k_dims)
+    if leftover:
+        raise ValueError(
+            f"einsum {spec.spec!r} has dims {sorted(leftover)} that fit no GEMM role"
+        )
+    return DimRoles(batch=batch, m=m_dims, n=n_dims, k=k_dims)
+
+
+def _matrix_view(layout: Layout, batch: tuple[str, ...], rows: tuple[str, ...],
+                 cols: tuple[str, ...]) -> tuple[bool, bool] | None:
+    """Check one operand is a (strided) batched 2-D matrix in this layout.
+
+    The layout must decompose into up to three contiguous blocks — the batch
+    group, the rows group, and the cols group — each in exactly the given
+    intra-group order; the blocks themselves may appear in any order (the
+    leading dimension and batch stride of a strided batched GEMM absorb the
+    block permutation).  Returns ``(ok, transposed)`` where ``transposed``
+    means the cols block is *outer* relative to the rows block (the matrix
+    is stored column-major / needs ``op = T``); ``None`` if not mappable.
+    """
+    present_batch = tuple(d for d in batch if d in set(layout.dims))
+    groups = [g for g in (present_batch, rows, cols) if g]
+    # Every dim must belong to exactly one group.
+    grouped = {d for g in groups for d in g}
+    if grouped != set(layout.dims) or len(grouped) != len(layout.dims):
+        return None
+    # Each group must occupy consecutive positions in its declared order.
+    for g in groups:
+        if not layout.is_contiguous_group(g):
+            return None
+    if not rows or not cols:
+        return (True, False)
+    # Transposed iff the cols block starts before the rows block.
+    rows_pos = layout.dims.index(rows[0])
+    cols_pos = layout.dims.index(cols[0])
+    return (True, cols_pos < rows_pos)
+
+
+def map_to_gemm(
+    spec: EinsumSpec | str,
+    layout_a: Layout,
+    layout_b: Layout,
+    layout_c: Layout,
+    env: DimEnv,
+) -> GemmShape | None:
+    """Map a contraction with concrete layouts to a GEMM, or None if illegal.
+
+    The intra-group dim order is taken from operand C for M and N and from
+    operand A for K; all operands must agree with it (consistent strides).
+    """
+    if isinstance(spec, str):
+        spec = parse_einsum(spec)
+    roles = classify_dims(spec)
+
+    c_order = layout_c.dims
+    m_group = tuple(d for d in c_order if d in set(roles.m))
+    n_group = tuple(d for d in c_order if d in set(roles.n))
+    k_group = tuple(d for d in layout_a.dims if d in set(roles.k))
+    batch_group = tuple(d for d in c_order if d in set(roles.batch))
+
+    va = _matrix_view(layout_a, batch_group, m_group, k_group)
+    vb = _matrix_view(layout_b, batch_group, k_group, n_group)
+    vc = _matrix_view(layout_c, batch_group, m_group, n_group)
+    if va is None or vb is None or vc is None:
+        return None
+    if vc[1]:
+        # C stored N-major: equivalent to computing C^T = B^T A^T; swap roles.
+        shape = map_to_gemm(
+            _swapped(spec), layout_b, layout_a, layout_c_swapped(layout_c), env
+        )
+        if shape is None:
+            return None
+        return shape
+    return GemmShape(
+        m=prod(env[d] for d in m_group) if m_group else 1,
+        n=prod(env[d] for d in n_group) if n_group else 1,
+        k=prod(env[d] for d in k_group) if k_group else 1,
+        batch=prod(env[d] for d in batch_group) if batch_group else 1,
+        trans_a=va[1],
+        trans_b=vb[1],
+    )
+
+
+def _swapped(spec: EinsumSpec) -> EinsumSpec:
+    """The einsum with operand order swapped (same output)."""
+    a, b = spec.input_subscripts
+    return parse_einsum(f"{b},{a}->{spec.output_subscript}")
+
+
+def layout_c_swapped(layout_c: Layout) -> Layout:
+    """Identity helper kept for symmetry/readability of map_to_gemm."""
+    return layout_c
+
+
+def default_gemm_shape(spec: EinsumSpec | str, env: DimEnv) -> GemmShape:
+    """The GEMM shape under default (spec-order) layouts.
+
+    Used for Fig. 4 tile labels; raises if even the default layout triple is
+    not mappable (does not happen for the paper's contractions).
+    """
+    if isinstance(spec, str):
+        spec = parse_einsum(spec)
+    roles = classify_dims(spec)
+    return GemmShape(
+        m=prod(env[d] for d in roles.m) if roles.m else 1,
+        n=prod(env[d] for d in roles.n) if roles.n else 1,
+        k=prod(env[d] for d in roles.k) if roles.k else 1,
+        batch=prod(env[d] for d in roles.batch) if roles.batch else 1,
+        trans_a=False,
+        trans_b=False,
+    )

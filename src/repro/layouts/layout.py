@@ -1,0 +1,97 @@
+"""Physical data layouts: permutations of a tensor's named dimensions.
+
+A :class:`Layout` orders a tensor's dims from outermost (slowest-varying) to
+innermost (fastest-varying, i.e. contiguous in memory).  Layout choice is the
+paper's Step 3 lever: it decides vectorization legality, memory coalescing,
+and which (batched) GEMM shapes a contraction can map to (Sec. V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import permutations
+from typing import Iterator
+
+from repro.ir.dims import DimEnv
+from repro.ir.tensor import TensorSpec
+
+__all__ = ["Layout", "all_layouts", "transpose_cost_bytes"]
+
+
+@dataclass(frozen=True)
+class Layout:
+    """Physical dimension order, outermost first; ``dims[-1]`` is contiguous."""
+
+    dims: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.dims, tuple):
+            object.__setattr__(self, "dims", tuple(self.dims))
+        if len(set(self.dims)) != len(self.dims):
+            raise ValueError(f"layout has repeated dims: {self.dims}")
+
+    # -- structure ------------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        return len(self.dims)
+
+    @property
+    def contiguous_dim(self) -> str:
+        """The innermost (unit-stride) dimension."""
+        if not self.dims:
+            raise ValueError("scalar layout has no contiguous dim")
+        return self.dims[-1]
+
+    def matches(self, spec: TensorSpec) -> bool:
+        """Whether this layout is a permutation of the spec's dims."""
+        return set(self.dims) == set(spec.dims) and len(self.dims) == spec.rank
+
+    def strides(self, env: DimEnv) -> dict[str, int]:
+        """Element strides per dim under concrete sizes."""
+        strides: dict[str, int] = {}
+        acc = 1
+        for d in reversed(self.dims):
+            strides[d] = acc
+            acc *= env[d]
+        return strides
+
+    # -- feature queries used by the efficiency model ---------------------------
+    def is_vectorizable_along(self, dim: str, env: DimEnv, vector_width: int = 8) -> bool:
+        """True if vector loads of ``vector_width`` elements are legal on ``dim``.
+
+        Requires the dim to be innermost (unit stride) and its extent to be a
+        multiple of the vector width (128-bit vectors = 8 fp16 elements).
+        """
+        return dim == self.contiguous_dim and env[dim] % vector_width == 0
+
+    def permutation_from(self, other: "Layout") -> tuple[int, ...]:
+        """Axis permutation taking ``other``'s order to this order."""
+        if set(other.dims) != set(self.dims):
+            raise ValueError(f"layouts over different dims: {other.dims} vs {self.dims}")
+        return tuple(other.dims.index(d) for d in self.dims)
+
+    def group_positions(self, group: tuple[str, ...]) -> list[int]:
+        """Positions of ``group``'s dims within this layout."""
+        return [self.dims.index(d) for d in group if d in self.dims]
+
+    def is_contiguous_group(self, group: tuple[str, ...]) -> bool:
+        """Whether the dims of ``group`` occupy consecutive layout positions
+        *in the same relative order* as given."""
+        pos = self.group_positions(group)
+        if len(pos) != len(group):
+            return False
+        return all(b == a + 1 for a, b in zip(pos, pos[1:]))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return "".join(self.dims)
+
+
+def all_layouts(dims: tuple[str, ...]) -> Iterator[Layout]:
+    """All physical layouts (dim permutations) of a tensor."""
+    for perm in permutations(dims):
+        yield Layout(perm)
+
+
+def transpose_cost_bytes(spec: TensorSpec, env: DimEnv) -> int:
+    """Bytes moved by an out-of-place layout change: read + write the tensor."""
+    return 2 * spec.nbytes(env)

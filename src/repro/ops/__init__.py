@@ -1,0 +1,70 @@
+"""Operator library: IR spec builders plus NumPy reference kernels.
+
+Each operator provides (a) an :class:`~repro.ir.operator.OpSpec` constructor
+for dataflow analysis and (b) forward/backward NumPy kernels used by the
+execution engine and correctness tests.
+"""
+
+from .contraction import (
+    contraction_forward,
+    contraction_grad_specs,
+    contraction_grads,
+    contraction_spec,
+)
+from .einsum_utils import EinsumSpec, grad_einsum, parse_einsum
+from .elementwise import (
+    bias_forward,
+    bias_grad_param,
+    bias_spec,
+    dropout_backward,
+    dropout_forward,
+    dropout_spec,
+    gelu_backward,
+    gelu_forward,
+    relu_backward,
+    relu_forward,
+    relu_spec,
+    residual_forward,
+    residual_spec,
+)
+from .layernorm import (
+    layernorm_backward_dw,
+    layernorm_backward_dx,
+    layernorm_dw_spec,
+    layernorm_dx_spec,
+    layernorm_forward,
+    layernorm_spec,
+)
+from .softmax import softmax_backward, softmax_forward, softmax_spec
+
+__all__ = [
+    "EinsumSpec",
+    "bias_forward",
+    "bias_grad_param",
+    "bias_spec",
+    "contraction_forward",
+    "contraction_grad_specs",
+    "contraction_grads",
+    "contraction_spec",
+    "dropout_backward",
+    "dropout_forward",
+    "dropout_spec",
+    "gelu_backward",
+    "gelu_forward",
+    "grad_einsum",
+    "layernorm_backward_dw",
+    "layernorm_backward_dx",
+    "layernorm_dw_spec",
+    "layernorm_dx_spec",
+    "layernorm_forward",
+    "layernorm_spec",
+    "parse_einsum",
+    "relu_backward",
+    "relu_forward",
+    "relu_spec",
+    "residual_forward",
+    "residual_spec",
+    "softmax_backward",
+    "softmax_forward",
+    "softmax_spec",
+]

@@ -1,0 +1,98 @@
+"""Tensor contraction operators (△): spec builders and NumPy kernels.
+
+Contractions are the compute-dominant class (99.8% of flop, Table I).  They
+are expressed as einsums and, per Sec. III-B, restricted to shapes mappable
+onto (batched) matrix-matrix multiplication; legality of a given mapping is
+checked in :mod:`repro.layouts.gemm_mapping`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ir.dtypes import FP16, DType
+from repro.ir.operator import OpClass, OpSpec, Stage
+from repro.ir.tensor import TensorSpec
+
+from .einsum_utils import EinsumSpec, grad_einsum, parse_einsum
+
+__all__ = [
+    "contraction_spec",
+    "contraction_forward",
+    "contraction_grads",
+    "contraction_grad_specs",
+]
+
+
+def contraction_spec(
+    name: str,
+    einsum: str,
+    input_names: tuple[str, ...],
+    output_name: str,
+    *,
+    dtype: DType = FP16,
+    stage: Stage = Stage.FORWARD,
+    param_inputs: tuple[int, ...] = (),
+) -> OpSpec:
+    """Build the OpSpec for a contraction from its einsum string.
+
+    ``param_inputs`` flags which operand indices are learned parameters
+    (weights), used for dX/dW stage bookkeeping.
+    """
+    parsed = parse_einsum(einsum)
+    if len(input_names) != parsed.num_inputs:
+        raise ValueError(
+            f"{name!r}: {len(input_names)} input names for "
+            f"{parsed.num_inputs}-operand einsum {einsum!r}"
+        )
+    inputs = tuple(
+        TensorSpec(
+            nm, parsed.operand_dims(i), dtype=dtype, is_param=(i in param_inputs)
+        )
+        for i, nm in enumerate(input_names)
+    )
+    output = TensorSpec(output_name, parsed.output_dims, dtype=dtype)
+    return OpSpec(
+        name=name,
+        op_class=OpClass.TENSOR_CONTRACTION,
+        inputs=inputs,
+        outputs=(output,),
+        ispace=parsed.iteration_space(),
+        flop_per_point=2.0,
+        einsum=einsum,
+        stage=stage,
+    )
+
+
+def contraction_forward(einsum: str, *operands: np.ndarray) -> np.ndarray:
+    """Execute a contraction with float32 accumulation (mixed-precision rule)."""
+    parsed = parse_einsum(einsum)
+    if len(operands) != parsed.num_inputs:
+        raise ValueError(f"expected {parsed.num_inputs} operands, got {len(operands)}")
+    out = np.einsum(einsum, *[np.asarray(a, dtype=np.float32) for a in operands])
+    return np.ascontiguousarray(out, dtype=np.float32)
+
+
+def contraction_grad_specs(einsum: str) -> tuple[EinsumSpec, ...]:
+    """Gradient einsum specs, one per operand."""
+    parsed = parse_einsum(einsum)
+    return tuple(grad_einsum(parsed, i) for i in range(parsed.num_inputs))
+
+
+def contraction_grads(
+    einsum: str, grad_out: np.ndarray, *operands: np.ndarray
+) -> tuple[np.ndarray, ...]:
+    """Gradients of a contraction w.r.t. every operand.
+
+    For ``C = einsum(spec, A, B)``: ``dA = einsum(grad_spec_A, dC, B)`` and
+    symmetrically for ``dB``.  This is the dX/dW decomposition of Sec. II-A.
+    """
+    parsed = parse_einsum(einsum)
+    grads: list[np.ndarray] = []
+    for i in range(parsed.num_inputs):
+        gspec = grad_einsum(parsed, i)
+        others = [operands[j] for j in range(parsed.num_inputs) if j != i]
+        grads.append(
+            contraction_forward(gspec.spec, grad_out, *others)
+        )
+    return tuple(grads)

@@ -1,0 +1,210 @@
+"""Element-wise operators (○): bias, activations, dropout, residual, scale.
+
+These are the least compute-intensive class (0.03% of flop but 13.5% of
+runtime under PyTorch, Table I) — precisely the operators whose cost is
+almost pure data movement and which fusion targets first.
+
+Flop accounting follows the paper's Table III conventions:
+
+* bias / residual / dropout-apply: 1 flop per output element;
+* ReLU: 0 flop (Table III lists "—");
+* the dropout *mask* is an explicit output (Table III counts dropout output
+  as value + mask, e.g. 8.3 Mw out for a 4.1 Mw activation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ir.dtypes import FP16, DType
+from repro.ir.iteration_space import IterationSpace
+from repro.ir.operator import OpClass, OpSpec, Stage
+from repro.ir.tensor import TensorSpec
+
+__all__ = [
+    "bias_spec",
+    "relu_spec",
+    "dropout_spec",
+    "residual_spec",
+    "bias_forward",
+    "bias_grad_param",
+    "relu_forward",
+    "relu_backward",
+    "gelu_forward",
+    "gelu_backward",
+    "dropout_forward",
+    "dropout_backward",
+    "residual_forward",
+]
+
+
+# ---------------------------------------------------------------------------
+# Spec builders
+# ---------------------------------------------------------------------------
+
+def bias_spec(
+    name: str,
+    x: TensorSpec,
+    bias_dims: tuple[str, ...],
+    output_name: str,
+    *,
+    bias_name: str | None = None,
+    stage: Stage = Stage.FORWARD,
+    dtype: DType = FP16,
+) -> OpSpec:
+    """``y = x + b`` with ``b`` broadcast over the dims absent from it."""
+    extra = set(bias_dims) - set(x.dims)
+    if extra:
+        raise ValueError(f"bias dims {sorted(extra)} not present in input {x.name!r}")
+    bias = TensorSpec(bias_name or f"{name}_b", bias_dims, dtype=dtype, is_param=True)
+    out = TensorSpec(output_name, x.dims, dtype=dtype)
+    return OpSpec(
+        name=name,
+        op_class=OpClass.ELEMENTWISE,
+        inputs=(x, bias),
+        outputs=(out,),
+        ispace=IterationSpace(x.dims),
+        flop_per_point=1.0,
+        stage=stage,
+    )
+
+
+def relu_spec(name: str, x: TensorSpec, output_name: str, *, stage: Stage = Stage.FORWARD) -> OpSpec:
+    out = TensorSpec(output_name, x.dims, dtype=x.dtype)
+    return OpSpec(
+        name=name,
+        op_class=OpClass.ELEMENTWISE,
+        inputs=(x,),
+        outputs=(out,),
+        ispace=IterationSpace(x.dims),
+        flop_per_point=0.0,  # Table III counts ReLU as flop-free
+        stage=stage,
+    )
+
+
+def dropout_spec(
+    name: str,
+    x: TensorSpec,
+    output_name: str,
+    *,
+    mask_name: str | None = None,
+    stage: Stage = Stage.FORWARD,
+) -> OpSpec:
+    """Dropout producing the scaled output and the saved mask."""
+    out = TensorSpec(output_name, x.dims, dtype=x.dtype)
+    mask = TensorSpec(mask_name or f"{output_name}_mask", x.dims, dtype=x.dtype)
+    return OpSpec(
+        name=name,
+        op_class=OpClass.ELEMENTWISE,
+        inputs=(x,),
+        outputs=(out, mask),
+        ispace=IterationSpace(x.dims),
+        flop_per_point=1.0,
+        stage=stage,
+    )
+
+
+def residual_spec(
+    name: str,
+    x: TensorSpec,
+    skip: TensorSpec,
+    output_name: str,
+    *,
+    stage: Stage = Stage.FORWARD,
+) -> OpSpec:
+    if x.dims != skip.dims:
+        raise ValueError(f"residual operands disagree: {x.dims} vs {skip.dims}")
+    out = TensorSpec(output_name, x.dims, dtype=x.dtype)
+    return OpSpec(
+        name=name,
+        op_class=OpClass.ELEMENTWISE,
+        inputs=(x, skip),
+        outputs=(out,),
+        ispace=IterationSpace(x.dims),
+        flop_per_point=1.0,
+        stage=stage,
+    )
+
+
+# ---------------------------------------------------------------------------
+# NumPy kernels
+# ---------------------------------------------------------------------------
+
+def _broadcast_bias(x_dims: tuple[str, ...], bias_dims: tuple[str, ...], b: np.ndarray) -> np.ndarray:
+    """Reshape/transpose ``b`` (logical dims ``bias_dims``) to broadcast over ``x_dims``."""
+    if b.ndim != len(bias_dims):
+        raise ValueError(f"bias has rank {b.ndim}, dims say {len(bias_dims)}")
+    # Bring bias axes into the order they appear within x_dims.
+    order = sorted(range(len(bias_dims)), key=lambda i: x_dims.index(bias_dims[i]))
+    bt = np.transpose(b, order)
+    shape = [1] * len(x_dims)
+    for axis_in_bt, i in enumerate(order):
+        shape[x_dims.index(bias_dims[i])] = b.shape[i]
+    return bt.reshape(shape)
+
+
+def bias_forward(
+    x: np.ndarray, b: np.ndarray, x_dims: tuple[str, ...], bias_dims: tuple[str, ...]
+) -> np.ndarray:
+    """``y = x + broadcast(b)`` where ``b`` spans a subset of ``x``'s dims."""
+    return x + _broadcast_bias(x_dims, bias_dims, b)
+
+
+def bias_grad_param(
+    dy: np.ndarray, x_dims: tuple[str, ...], bias_dims: tuple[str, ...]
+) -> np.ndarray:
+    """dW stage of a bias: sum grad over the broadcast dims."""
+    reduce_axes = tuple(i for i, d in enumerate(x_dims) if d not in bias_dims)
+    g = dy.sum(axis=reduce_axes) if reduce_axes else dy.copy()
+    # Result axes are in x_dims order restricted to bias dims; permute to bias_dims order.
+    kept = [d for d in x_dims if d in bias_dims]
+    perm = [kept.index(d) for d in bias_dims]
+    return np.transpose(g, perm)
+
+
+def relu_forward(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def relu_backward(dy: np.ndarray, x: np.ndarray) -> np.ndarray:
+    return dy * (x > 0.0)
+
+
+def gelu_forward(x: np.ndarray) -> np.ndarray:
+    """tanh-approximation GELU (used by BERT variants; optional activation)."""
+    c = np.sqrt(2.0 / np.pi)
+    return 0.5 * x * (1.0 + np.tanh(c * (x + 0.044715 * x**3)))
+
+
+def gelu_backward(dy: np.ndarray, x: np.ndarray) -> np.ndarray:
+    c = np.sqrt(2.0 / np.pi)
+    inner = c * (x + 0.044715 * x**3)
+    t = np.tanh(inner)
+    dinner = c * (1.0 + 3 * 0.044715 * x**2)
+    return dy * (0.5 * (1.0 + t) + 0.5 * x * (1.0 - t**2) * dinner)
+
+
+def dropout_forward(
+    x: np.ndarray, p: float, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Inverted dropout: returns ``(y, mask)`` with ``y = x * mask``.
+
+    The mask already includes the ``1/(1-p)`` scale so backward is a single
+    multiply, matching the fused kernels' structure.
+    """
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    if p == 0.0:
+        mask = np.ones_like(x)
+    else:
+        keep = rng.random(x.shape) >= p
+        mask = keep.astype(x.dtype) / (1.0 - p)
+    return x * mask, mask
+
+
+def dropout_backward(dy: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    return dy * mask
+
+
+def residual_forward(x: np.ndarray, skip: np.ndarray) -> np.ndarray:
+    return x + skip

@@ -1,0 +1,93 @@
+"""Softmax (⬜): the statistical-normalization core of attention.
+
+The paper's MHA applies ``dropout(softmax(scaler * beta))`` (Fig. 1a); after
+fusion this whole chain is the ``SM`` kernel ("softmax with scaling and
+dropout", Sec. IV-A) and its backward is ``BS`` ("backward dropout and
+softmax with scaling").
+
+Flop accounting (per element of the attention matrix): scale 1, max-subtract
+2 (reduction + subtract), exp 1, sum-normalize 2 (reduction + divide) — 5 for
+plain scaled softmax, plus 1 for the dropout multiply, matching Table III's
+~0.19 Gflop for the 33.5 Mw attention tensor within rounding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ir.iteration_space import IterationSpace
+from repro.ir.operator import OpClass, OpSpec, Stage
+from repro.ir.tensor import TensorSpec
+
+__all__ = [
+    "softmax_spec",
+    "softmax_forward",
+    "softmax_backward",
+    "SOFTMAX_FLOP_PER_POINT",
+    "SCALED_SOFTMAX_FLOP_PER_POINT",
+]
+
+#: max-subtract (2) + exp (1) + sum + divide (2)
+SOFTMAX_FLOP_PER_POINT = 5.0
+#: plus the scaling multiply
+SCALED_SOFTMAX_FLOP_PER_POINT = 6.0
+
+
+def softmax_spec(
+    name: str,
+    x: TensorSpec,
+    output_name: str,
+    *,
+    axis_dim: str,
+    scaled: bool = True,
+    mask: TensorSpec | None = None,
+    stage: Stage = Stage.FORWARD,
+) -> OpSpec:
+    """Scaled softmax normalizing over ``axis_dim`` (``k`` in attention).
+
+    ``mask`` is an optional additive attention mask (e.g. ``[j, k]`` causal
+    masking, Sec. II-B1: "MHA may also have a masking step").  The mask adds
+    one read per point but no extra flop-of-note (it folds into the scale
+    pass of the fused SM kernel).
+    """
+    if axis_dim not in x.dims:
+        raise ValueError(f"softmax axis {axis_dim!r} not in input dims {x.dims}")
+    if mask is not None and not set(mask.dims) <= set(x.dims):
+        raise ValueError(f"mask dims {mask.dims} not a subset of input dims {x.dims}")
+    independent = tuple(d for d in x.dims if d != axis_dim)
+    out = TensorSpec(output_name, x.dims, dtype=x.dtype)
+    inputs = (x,) if mask is None else (x, mask)
+    return OpSpec(
+        name=name,
+        op_class=OpClass.STAT_NORMALIZATION,
+        inputs=inputs,
+        outputs=(out,),
+        ispace=IterationSpace(independent, (axis_dim,)),
+        flop_per_point=SCALED_SOFTMAX_FLOP_PER_POINT if scaled else SOFTMAX_FLOP_PER_POINT,
+        stage=stage,
+    )
+
+
+def softmax_forward(
+    x: np.ndarray, axis: int = -1, scale: float = 1.0, mask: np.ndarray | None = None
+) -> np.ndarray:
+    """Numerically-stable scaled softmax: ``softmax(scale * x + mask)``.
+
+    ``mask`` is an additive attention mask (e.g. ``-inf`` on disallowed
+    positions for the "seeing the future" prevention of Sec. II-B1).
+    """
+    z = scale * np.asarray(x, dtype=np.float32)
+    if mask is not None:
+        z = z + mask
+    z = z - z.max(axis=axis, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def softmax_backward(dy: np.ndarray, y: np.ndarray, axis: int = -1, scale: float = 1.0) -> np.ndarray:
+    """Backward through scaled softmax given its output ``y``.
+
+    ``dx = scale * y * (dy - sum(dy * y))`` along the normalized axis.
+    """
+    inner = (dy * y).sum(axis=axis, keepdims=True)
+    return scale * y * (dy - inner)

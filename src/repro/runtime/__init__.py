@@ -1,0 +1,6 @@
+"""NumPy execution of dataflow graphs (correctness substrate)."""
+
+from .executor import ExecutionError, GraphExecutor
+from .feeds import encdec_mha_feeds, encoder_feeds, mha_feeds
+
+__all__ = ["ExecutionError", "GraphExecutor", "encdec_mha_feeds", "encoder_feeds", "mha_feeds"]

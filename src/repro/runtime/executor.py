@@ -1,0 +1,268 @@
+"""NumPy execution engine for encoder/MHA dataflow graphs.
+
+The cost model predicts *performance*; this executor establishes
+*correctness*: it runs any graph the builders/fusion passes produce — fused
+or unfused, any algebraic-fusion variant — on real arrays, so tests can
+assert bit-level equivalence between transformed and reference schedules
+(fusion must never change the computation, Sec. II-C).
+
+Fused operators execute their members in sequence; interior tensors live
+only inside the fused "kernel" (here: the Python call), mirroring the
+registers/shared-memory residency of the real fused kernels.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Callable
+
+import numpy as np
+
+from repro.ir.dims import DimEnv
+from repro.ir.graph import DataflowGraph
+from repro.ir.operator import OpClass, OpSpec
+from repro.ops.elementwise import (
+    bias_forward,
+    bias_grad_param,
+    dropout_backward,
+    dropout_forward,
+    relu_backward,
+    relu_forward,
+    residual_forward,
+)
+from repro.ops.layernorm import (
+    layernorm_backward_dw,
+    layernorm_backward_dx,
+    layernorm_forward,
+)
+from repro.ops.softmax import softmax_backward, softmax_forward
+
+__all__ = ["GraphExecutor", "ExecutionError"]
+
+
+class ExecutionError(RuntimeError):
+    """Raised when the executor cannot interpret or run an operator."""
+
+
+class GraphExecutor:
+    """Interprets a dataflow graph over NumPy arrays.
+
+    Parameters
+    ----------
+    graph:
+        Any graph built by :mod:`repro.transformer.graph_builder`, optionally
+        transformed by the fusion passes.
+    env:
+        Concrete dimension sizes (must match the fed arrays).
+    dropout_p:
+        Dropout probability.  Masks are generated deterministically per
+        operator from ``seed``, so two executors with equal seeds produce
+        identical results — the property the fused-vs-unfused tests rely on.
+    """
+
+    def __init__(
+        self,
+        graph: DataflowGraph,
+        env: DimEnv,
+        *,
+        dropout_p: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        self.graph = graph
+        self.env = env
+        self.dropout_p = dropout_p
+        self.seed = seed
+
+    # -- public API ----------------------------------------------------------
+    def run(self, feeds: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+        """Execute the graph; returns the full container environment."""
+        ctx: dict[str, np.ndarray] = {}
+        for t in self.graph.graph_inputs:
+            if t.name not in feeds:
+                raise ExecutionError(f"missing feed for graph input {t.name!r}")
+            arr = np.asarray(feeds[t.name], dtype=np.float64)
+            expect = t.shape(self.env)
+            if arr.shape != expect:
+                raise ExecutionError(
+                    f"feed {t.name!r} has shape {arr.shape}, expected {expect}"
+                )
+            ctx[t.name] = arr
+        for op in self.graph.ops:
+            self._execute(op, ctx)
+        return ctx
+
+    # -- execution ------------------------------------------------------------
+    def _execute(self, op: OpSpec, ctx: dict[str, np.ndarray]) -> None:
+        if op.members:
+            # Recurse: greedy fusion builds nested fusion products.
+            for member in op.members:
+                self._execute(member, ctx)
+            return
+        self._execute_primitive(op, ctx)
+
+    def _rng_for(self, op_name: str) -> np.random.Generator:
+        return np.random.default_rng((self.seed, zlib.crc32(op_name.encode())))
+
+    def _softmax_scale(self) -> float:
+        return 1.0 / np.sqrt(self.env["p"])
+
+    def _execute_primitive(self, op: OpSpec, ctx: dict[str, np.ndarray]) -> None:
+        args = [ctx[t.name] for t in op.inputs]
+        if op.is_view:
+            self._execute_view(op, args, ctx)
+            return
+        if op.op_class is OpClass.TENSOR_CONTRACTION:
+            ctx[op.outputs[0].name] = np.einsum(op.einsum, *args)
+            return
+        handler = self._handlers().get(self._kind(op.name))
+        if handler is None:
+            raise ExecutionError(f"no kernel handler for operator {op.name!r}")
+        handler(self, op, args, ctx)
+
+    # -- view semantics --------------------------------------------------------
+    @staticmethod
+    def _slice_index(view_name: str, base_name: str, stack: int) -> int:
+        """Which stacked slice a slice view selects.
+
+        QKV stacks order (q, k, v); the QK stack is (q, k); the
+        encoder/decoder KV stack is (k, v).
+        """
+        kv_stack = base_name.startswith("kv")
+        table = {
+            "slice_qq": 0,
+            "slice_kk": 0 if kv_stack else 1,
+            "slice_vv": 1 if kv_stack else 2,
+        }
+        idx = table[view_name]
+        if idx >= stack:
+            raise ExecutionError(
+                f"{view_name}: stacked tensor {base_name!r} has only {stack} slices"
+            )
+        return idx
+
+    def _execute_view(self, op: OpSpec, args: list[np.ndarray], ctx: dict) -> None:
+        name = op.name
+        out = op.outputs[0]
+        if name.startswith("slice_"):
+            idx = self._slice_index(name, op.inputs[0].name, args[0].shape[0])
+            ctx[out.name] = args[0][idx]
+        elif name.startswith("pack_"):
+            ctx[out.name] = np.stack(args, axis=0)
+        elif len(args) == 1 and args[0].size == out.volume(self.env):
+            # Pure rename/alias (x_as_keys, d_x_alias, ...).
+            ctx[out.name] = args[0].reshape(out.shape(self.env))
+        else:
+            raise ExecutionError(f"cannot interpret view {name!r}")
+
+    # -- kernel kinds ------------------------------------------------------------
+    @staticmethod
+    def _kind(name: str) -> str:
+        """Map an operator name to its kernel family."""
+        if name.endswith("_dw") and ("bias" in name or name.startswith(("ln", "attn_out_bias"))):
+            if name.startswith(("ln1_dw", "ln2_dw")):
+                return "layernorm_dw"
+            return "bias_dw"
+        if name.endswith("_dx"):
+            if name.startswith(("ln1_dx", "ln2_dx")):
+                return "layernorm_dx"
+            if "dropout" in name:
+                return "dropout_dx"
+            if name.startswith("relu"):
+                return "relu_dx"
+            if name.startswith("softmax"):
+                return "softmax_dx"
+        if "bias" in name and not name.endswith("_dw"):
+            return "bias"
+        if "dropout" in name:
+            return "dropout"
+        if name == "relu":
+            return "relu"
+        if name.startswith("residual") or name.endswith("_grad") or name.endswith("grad_add"):
+            return "add"
+        if name.startswith("softmax"):
+            return "softmax"
+        if name.startswith(("ln1", "ln2")):
+            return "layernorm"
+        return name
+
+    # -- kernel implementations ---------------------------------------------------
+    def _k_bias(self, op: OpSpec, args, ctx) -> None:
+        x_spec, b_spec = op.inputs[0], op.inputs[1]
+        ctx[op.outputs[0].name] = bias_forward(args[0], args[1], x_spec.dims, b_spec.dims)
+
+    def _k_bias_dw(self, op: OpSpec, args, ctx) -> None:
+        dy_spec = op.inputs[0]
+        ctx[op.outputs[0].name] = bias_grad_param(
+            args[0], dy_spec.dims, op.outputs[0].dims
+        )
+
+    def _k_relu(self, op: OpSpec, args, ctx) -> None:
+        ctx[op.outputs[0].name] = relu_forward(args[0])
+
+    def _k_relu_dx(self, op: OpSpec, args, ctx) -> None:
+        ctx[op.outputs[0].name] = relu_backward(args[0], args[1])
+
+    def _k_dropout(self, op: OpSpec, args, ctx) -> None:
+        y, mask = dropout_forward(args[0], self.dropout_p, self._rng_for(op.name))
+        ctx[op.outputs[0].name] = y
+        ctx[op.outputs[1].name] = mask
+
+    def _k_dropout_dx(self, op: OpSpec, args, ctx) -> None:
+        ctx[op.outputs[0].name] = dropout_backward(args[0], args[1])
+
+    def _k_add(self, op: OpSpec, args, ctx) -> None:
+        acc = args[0]
+        for other in args[1:]:
+            acc = residual_forward(acc, other)
+        ctx[op.outputs[0].name] = acc
+
+    def _k_softmax(self, op: OpSpec, args, ctx) -> None:
+        mask = None
+        if len(args) == 2:
+            # Additive attention mask over (j, k); broadcast to (h, b, j, k).
+            mask = args[1]
+        ctx[op.outputs[0].name] = softmax_forward(
+            args[0], axis=-1, scale=self._softmax_scale(), mask=mask
+        )
+
+    def _k_softmax_dx(self, op: OpSpec, args, ctx) -> None:
+        dy, y = args[0], args[1]
+        ctx[op.outputs[0].name] = softmax_backward(
+            dy, y, axis=-1, scale=self._softmax_scale()
+        )
+
+    def _k_layernorm(self, op: OpSpec, args, ctx) -> None:
+        x, g, b = args[0], args[1], args[2]
+        y, _, _ = layernorm_forward(x, g, b, axis=0)
+        ctx[op.outputs[0].name] = y
+
+    def _k_layernorm_dx(self, op: OpSpec, args, ctx) -> None:
+        dy, x, g = args[0], args[1], args[2]
+        mean = x.mean(axis=0, keepdims=True)
+        inv_std = 1.0 / np.sqrt(x.var(axis=0, keepdims=True) + 1e-5)
+        ctx[op.outputs[0].name] = layernorm_backward_dx(dy, x, g, mean, inv_std, axis=0)
+
+    def _k_layernorm_dw(self, op: OpSpec, args, ctx) -> None:
+        dy, x = args[0], args[1]
+        mean = x.mean(axis=0, keepdims=True)
+        inv_std = 1.0 / np.sqrt(x.var(axis=0, keepdims=True) + 1e-5)
+        dg, db = layernorm_backward_dw(dy, x, mean, inv_std, axis=0)
+        ctx[op.outputs[0].name] = dg
+        ctx[op.outputs[1].name] = db
+
+    @classmethod
+    def _handlers(cls) -> dict[str, Callable]:
+        return {
+            "bias": cls._k_bias,
+            "bias_dw": cls._k_bias_dw,
+            "relu": cls._k_relu,
+            "relu_dx": cls._k_relu_dx,
+            "dropout": cls._k_dropout,
+            "dropout_dx": cls._k_dropout_dx,
+            "add": cls._k_add,
+            "softmax": cls._k_softmax,
+            "softmax_dx": cls._k_softmax_dx,
+            "layernorm": cls._k_layernorm,
+            "layernorm_dx": cls._k_layernorm_dx,
+            "layernorm_dw": cls._k_layernorm_dw,
+        }

@@ -1,0 +1,99 @@
+"""Feed dictionaries: adapt parameter containers to graph inputs.
+
+The graph builders name their inputs (``wq`` / ``wqk`` / ``wqkv`` depending
+on the algebraic-fusion variant); this module maps an
+:class:`~repro.transformer.params.EncoderParams` or
+:class:`~repro.transformer.params.MHAParams` onto those names.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.transformer.graph_builder import QKVFusion
+from repro.transformer.params import EncoderParams, MHAParams
+
+__all__ = ["mha_feeds", "encoder_feeds", "encdec_mha_feeds"]
+
+
+def _projection_feeds(p: MHAParams, qkv_fusion: QKVFusion) -> dict[str, np.ndarray]:
+    if qkv_fusion == "qkv":
+        return {"wqkv": np.stack([p.wq, p.wk, p.wv], axis=0)}
+    if qkv_fusion == "qk":
+        return {"wqk": np.stack([p.wq, p.wk], axis=0), "wv": p.wv}
+    return {"wq": p.wq, "wk": p.wk, "wv": p.wv}
+
+
+def mha_feeds(
+    params: MHAParams,
+    x: np.ndarray,
+    *,
+    qkv_fusion: QKVFusion,
+    d_attn_out: np.ndarray | None = None,
+) -> dict[str, np.ndarray]:
+    """Inputs for a self-attention MHA graph."""
+    feeds = {
+        "x": x,
+        "bq": params.bq,
+        "bk": params.bk,
+        "bv": params.bv,
+        "wo": params.wo,
+        "bo": params.bo,
+    }
+    feeds.update(_projection_feeds(params, qkv_fusion))
+    if d_attn_out is not None:
+        feeds["d_attn_out"] = d_attn_out
+    return feeds
+
+
+def encoder_feeds(
+    params: EncoderParams,
+    x: np.ndarray,
+    *,
+    qkv_fusion: QKVFusion,
+    dy: np.ndarray | None = None,
+) -> dict[str, np.ndarray]:
+    """Inputs for a full encoder-layer graph."""
+    feeds = mha_feeds(params.mha, x, qkv_fusion=qkv_fusion)
+    feeds.update(
+        {
+            "ln1_g": params.ln1_g,
+            "ln1_b": params.ln1_b,
+            "w1": params.w1,
+            "b1": params.b1,
+            "w2": params.w2,
+            "b2": params.b2,
+            "ln2_g": params.ln2_g,
+            "ln2_b": params.ln2_b,
+        }
+    )
+    if dy is not None:
+        feeds["dy"] = dy
+    return feeds
+
+
+def encdec_mha_feeds(
+    params: MHAParams,
+    xq: np.ndarray,
+    xkv: np.ndarray,
+    *,
+    kv_fusion: str = "kv",
+) -> dict[str, np.ndarray]:
+    """Inputs for an encoder/decoder attention graph
+    (:func:`repro.transformer.general_attention.build_encdec_mha_graph`)."""
+    feeds = {
+        "xq": xq,
+        "xkv": xkv,
+        "wq": params.wq,
+        "bq": params.bq,
+        "bk": params.bk,
+        "bv": params.bv,
+        "wo": params.wo,
+        "bo": params.bo,
+    }
+    if kv_fusion == "kv":
+        feeds["wkv"] = np.stack([params.wk, params.wv], axis=0)
+    else:
+        feeds["wk"] = params.wk
+        feeds["wv"] = params.wv
+    return feeds

@@ -1,0 +1,62 @@
+"""Transformer models: MHA and BERT encoder (NumPy reference + IR builders)."""
+
+from .encoder import EncoderActivations, encoder_backward, encoder_forward
+from .general_attention import (
+    KVFusion,
+    build_encdec_mha_graph,
+    encdec_mha_forward,
+)
+from .graph_builder import (
+    MHA_TENSORS,
+    QKVFusion,
+    build_encoder_graph,
+    build_gpt_decoder_graph,
+    build_mha_graph,
+)
+from .mha import MHAActivations, MHAGrads, mha_backward, mha_forward
+from .model import BertModel, ModelTimeEstimate, estimate_model_time
+from .params import (
+    EncoderParams,
+    MHAParams,
+    ModelDims,
+    init_encoder_params,
+    init_mha_params,
+)
+from .training import (
+    AdamState,
+    TrainResult,
+    adam_step,
+    denoising_batch,
+    train_denoising,
+)
+
+__all__ = [
+    "AdamState",
+    "BertModel",
+    "KVFusion",
+    "ModelTimeEstimate",
+    "build_encdec_mha_graph",
+    "encdec_mha_forward",
+    "estimate_model_time",
+    "EncoderActivations",
+    "EncoderParams",
+    "MHAActivations",
+    "MHAGrads",
+    "MHAParams",
+    "MHA_TENSORS",
+    "ModelDims",
+    "QKVFusion",
+    "TrainResult",
+    "adam_step",
+    "build_encoder_graph",
+    "build_gpt_decoder_graph",
+    "build_mha_graph",
+    "denoising_batch",
+    "encoder_backward",
+    "encoder_forward",
+    "init_encoder_params",
+    "init_mha_params",
+    "mha_backward",
+    "mha_forward",
+    "train_denoising",
+]

@@ -1,0 +1,177 @@
+"""BERT encoder layer: NumPy forward and backward (Fig. 2).
+
+Structure (post-LN BERT):
+
+    x ──► MHA(self) ─► +bias ─► dropout ─► (+x) ─► LN₁ ─► y₁
+    y₁ ─► linear₁ ─► +bias ─► ReLU ─► dropout ─► linear₂ ─► +bias
+       ─► dropout ─► (+y₁) ─► LN₂ ─► y₂
+
+The backward pass mirrors Table III's backward rows exactly (including the
+split of LayerNorm into dX and dW stages and the residual bookkeeping that
+the fused BLNRD/EBSB/BEI kernels implement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ops.elementwise import (
+    dropout_backward,
+    dropout_forward,
+    gelu_backward,
+    gelu_forward,
+    relu_backward,
+    relu_forward,
+)
+from repro.ops.layernorm import (
+    layernorm_backward_dw,
+    layernorm_backward_dx,
+    layernorm_forward,
+)
+
+from .mha import MHAActivations, mha_backward, mha_forward
+from .params import EncoderParams
+
+__all__ = ["EncoderActivations", "encoder_forward", "encoder_backward"]
+
+
+@dataclass
+class EncoderActivations:
+    """All saved forward intermediates of one encoder layer."""
+
+    x: np.ndarray  # layer input [i,b,j]
+    mha: MHAActivations
+    attn_drop: np.ndarray
+    attn_drop_mask: np.ndarray
+    resid1: np.ndarray
+    ln1_out: np.ndarray
+    ln1_mean: np.ndarray
+    ln1_inv_std: np.ndarray
+    lin1_out: np.ndarray  # pre-bias [u,b,j]
+    lin1_bias_out: np.ndarray
+    act: np.ndarray  # post-ReLU
+    ffn_drop: np.ndarray
+    ffn_drop_mask: np.ndarray
+    lin2_out: np.ndarray  # pre-bias [i,b,j]
+    lin2_bias_out: np.ndarray
+    out_drop: np.ndarray
+    out_drop_mask: np.ndarray
+    resid2: np.ndarray
+    ln2_out: np.ndarray  # layer output y2
+    ln2_mean: np.ndarray
+    ln2_inv_std: np.ndarray
+    #: FFN activation function used ("relu" or "gelu"); backward must match.
+    activation: str = "relu"
+
+
+def encoder_forward(
+    params: EncoderParams,
+    x: np.ndarray,
+    *,
+    dropout_p: float = 0.1,
+    rng: np.random.Generator | None = None,
+    attn_mask: np.ndarray | None = None,
+    activation: str = "relu",
+) -> EncoderActivations:
+    """Forward pass of one encoder layer; input/output are ``[i, b, j]``.
+
+    ``activation`` selects the FFN nonlinearity: BERT's original code uses
+    GELU, the paper's analysis uses ReLU (Fig. 2); both are supported.
+    """
+    if rng is None:
+        rng = np.random.default_rng(0)
+    if activation not in ("relu", "gelu"):
+        raise ValueError(f"unknown activation {activation!r}")
+
+    mha_acts = mha_forward(
+        params.mha, x, x, x, dropout_p=dropout_p, rng=rng, attn_mask=attn_mask
+    )
+    attn_drop, attn_drop_mask = dropout_forward(mha_acts.out, dropout_p, rng)
+    resid1 = attn_drop + x
+    ln1_out, ln1_mean, ln1_inv_std = layernorm_forward(
+        resid1, params.ln1_g, params.ln1_b, axis=0
+    )
+
+    lin1_out = np.einsum("ui,ibj->ubj", params.w1, ln1_out)
+    lin1_bias_out = lin1_out + params.b1[:, None, None]
+    act_fn = relu_forward if activation == "relu" else gelu_forward
+    act = act_fn(lin1_bias_out)
+    ffn_drop, ffn_drop_mask = dropout_forward(act, dropout_p, rng)
+
+    lin2_out = np.einsum("iu,ubj->ibj", params.w2, ffn_drop)
+    lin2_bias_out = lin2_out + params.b2[:, None, None]
+    out_drop, out_drop_mask = dropout_forward(lin2_bias_out, dropout_p, rng)
+    resid2 = out_drop + ln1_out
+    ln2_out, ln2_mean, ln2_inv_std = layernorm_forward(
+        resid2, params.ln2_g, params.ln2_b, axis=0
+    )
+
+    return EncoderActivations(
+        x=x, mha=mha_acts,
+        attn_drop=attn_drop, attn_drop_mask=attn_drop_mask,
+        resid1=resid1, ln1_out=ln1_out, ln1_mean=ln1_mean, ln1_inv_std=ln1_inv_std,
+        lin1_out=lin1_out, lin1_bias_out=lin1_bias_out, act=act,
+        ffn_drop=ffn_drop, ffn_drop_mask=ffn_drop_mask,
+        lin2_out=lin2_out, lin2_bias_out=lin2_bias_out,
+        out_drop=out_drop, out_drop_mask=out_drop_mask,
+        resid2=resid2, ln2_out=ln2_out, ln2_mean=ln2_mean, ln2_inv_std=ln2_inv_std,
+        activation=activation,
+    )
+
+
+def encoder_backward(
+    params: EncoderParams, acts: EncoderActivations, dy: np.ndarray
+) -> tuple[EncoderParams, np.ndarray]:
+    """Backward pass; returns ``(param_grads, dx)``.
+
+    Comments name the fused backward kernel (Sec. IV-A) implementing each
+    group of statements.
+    """
+    g = params.zeros_like()
+
+    # BSB: LayerNorm-2 scale/bias gradients.
+    g.ln2_g, g.ln2_b = layernorm_backward_dw(
+        dy, acts.resid2, acts.ln2_mean, acts.ln2_inv_std, axis=0
+    )
+    # BLNRD: LayerNorm-2 dX + output-dropout dX, saving d_resid2 for the skip.
+    d_resid2 = layernorm_backward_dx(
+        dy, acts.resid2, params.ln2_g, acts.ln2_mean, acts.ln2_inv_std, axis=0
+    )
+    d_lin2_bias_out = dropout_backward(d_resid2, acts.out_drop_mask)
+
+    # BDRB part 1: linear-2 bias dW.
+    g.b2 = d_lin2_bias_out.sum(axis=(1, 2))
+    # Linear+Bias dX / Linear dW for linear-2.
+    d_ffn_drop = np.einsum("iu,ibj->ubj", params.w2, d_lin2_bias_out)
+    g.w2 = np.einsum("ibj,ubj->iu", d_lin2_bias_out, acts.ffn_drop)
+
+    # BDRB part 2: dropout dX, activation dX, linear-1 bias dW.
+    d_act = dropout_backward(d_ffn_drop, acts.ffn_drop_mask)
+    act_bwd = relu_backward if acts.activation == "relu" else gelu_backward
+    d_lin1_bias_out = act_bwd(d_act, acts.lin1_bias_out)
+    g.b1 = d_lin1_bias_out.sum(axis=(1, 2))
+
+    # Linear+Bias dX / Linear dW for linear-1.
+    d_ln1_from_ffn = np.einsum("ui,ubj->ibj", params.w1, d_lin1_bias_out)
+    g.w1 = np.einsum("ubj,ibj->ui", d_lin1_bias_out, acts.ln1_out)
+
+    # EBSB: residual add (ffn path + saved skip) and LayerNorm-1 dW.
+    d_ln1_out = d_ln1_from_ffn + d_resid2
+    g.ln1_g, g.ln1_b = layernorm_backward_dw(
+        d_ln1_out, acts.resid1, acts.ln1_mean, acts.ln1_inv_std, axis=0
+    )
+    # BLNRD: LayerNorm-1 dX + attention-output-dropout dX, saving d_resid1.
+    d_resid1 = layernorm_backward_dx(
+        d_ln1_out, acts.resid1, params.ln1_g, acts.ln1_mean, acts.ln1_inv_std, axis=0
+    )
+    d_mha_out = dropout_backward(d_resid1, acts.attn_drop_mask)
+
+    # MHA backward (BAOB, Out dX/dW, Gamma, BS, QKT, Q/K/V, BAIB inside).
+    mha_grads = mha_backward(params.mha, acts.mha, d_mha_out)
+    g.mha = mha_grads.params
+
+    # BEI: encoder-input residual: dx = d(q)+d(k)+d(v) + saved d_resid1 skip.
+    dx = mha_grads.dq + mha_grads.dk + mha_grads.dv + d_resid1
+    return g, dx

@@ -1,0 +1,109 @@
+"""General and encoder/decoder attention (Sec. II-B1, Sec. IV-D).
+
+The encoder uses *self*-attention (q = k = v).  The paper notes two other
+MHA classes: **general** attention (three distinct inputs) and
+**encoder/decoder** attention (keys = values, from the encoder output) —
+and that algebraic fusion "can also be adapted to fuse keys and values in
+encoder/decoder attention": ``[K̃ Ṽ] = [W_K W_V] X_enc``.
+
+This module provides the graph builder and the NumPy execution for both,
+including the KV-fused variant with its stacking dim ``d``.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+from repro.ir.graph import DataflowGraph
+from repro.ir.tensor import TensorSpec
+from repro.ir.views import view_spec
+from repro.ops.contraction import contraction_spec
+from repro.ops.elementwise import bias_spec, dropout_spec
+from repro.ops.softmax import softmax_spec
+
+from .mha import MHAActivations, mha_forward
+from .params import MHAParams
+
+__all__ = ["KVFusion", "build_encdec_mha_graph", "encdec_mha_forward"]
+
+KVFusion = Literal["unfused", "kv"]
+
+
+def build_encdec_mha_graph(
+    *, kv_fusion: KVFusion = "kv", name: str | None = None
+) -> DataflowGraph:
+    """Encoder/decoder attention forward graph.
+
+    Queries come from the decoder stream ``xq[i,b,j]``; keys and values both
+    come from the encoder output ``xkv[i,b,k]`` — so ``W_K`` and ``W_V`` can
+    be stacked into one projection (the paper's KV fusion).
+    """
+    g = DataflowGraph(name or f"encdec-mha-{kv_fusion}")
+    xq = g.add_input(TensorSpec("xq", ("i", "b", "j")))
+    xkv = g.add_input(TensorSpec("xkv", ("i", "b", "k")))
+
+    g.add_input(TensorSpec("wq", ("p", "h", "i"), is_param=True))
+    g.add_op(
+        contraction_spec("q_proj", "phi,ibj->phbj", ("wq", "xq"), "qq_lin",
+                         param_inputs=(0,))
+    )
+    if kv_fusion == "kv":
+        g.add_input(TensorSpec("wkv", ("d", "p", "h", "i"), is_param=True))
+        g.add_op(
+            contraction_spec("kv_proj", "dphi,ibk->dphbk", ("wkv", "xkv"), "kv_lin",
+                             param_inputs=(0,))
+        )
+        kv_lin = g.container("kv_lin")
+        g.add_op(view_spec("slice_kk", kv_lin, TensorSpec("kk_lin", ("p", "h", "b", "k"))))
+        g.add_op(view_spec("slice_vv", kv_lin, TensorSpec("vv_lin", ("w", "h", "b", "k"))))
+    else:
+        g.add_input(TensorSpec("wk", ("p", "h", "i"), is_param=True))
+        g.add_input(TensorSpec("wv", ("w", "h", "i"), is_param=True))
+        g.add_op(
+            contraction_spec("k_proj", "phi,ibk->phbk", ("wk", "xkv"), "kk_lin",
+                             param_inputs=(0,))
+        )
+        g.add_op(
+            contraction_spec("v_proj", "whi,ibk->whbk", ("wv", "xkv"), "vv_lin",
+                             param_inputs=(0,))
+        )
+
+    g.add_input(TensorSpec("bq", ("p", "h"), is_param=True))
+    g.add_input(TensorSpec("bk", ("p", "h"), is_param=True))
+    g.add_input(TensorSpec("bv", ("w", "h"), is_param=True))
+    g.add_op(bias_spec("input_bias_q", g.container("qq_lin"), ("p", "h"), "qq",
+                       bias_name="bq"))
+    g.add_op(bias_spec("input_bias_k", g.container("kk_lin"), ("p", "h"), "kk",
+                       bias_name="bk"))
+    g.add_op(bias_spec("input_bias_v", g.container("vv_lin"), ("w", "h"), "vv",
+                       bias_name="bv"))
+
+    g.add_op(contraction_spec("qkt", "phbk,phbj->hbjk", ("kk", "qq"), "beta"))
+    g.add_op(softmax_spec("softmax", g.container("beta"), "alpha_sm", axis_dim="k"))
+    g.add_op(dropout_spec("attn_dropout", g.container("alpha_sm"), "alpha",
+                          mask_name="alpha_mask"))
+    g.add_op(contraction_spec("gamma", "whbk,hbjk->whbj", ("vv", "alpha"), "gamma_out"))
+
+    g.add_input(TensorSpec("wo", ("w", "h", "i"), is_param=True))
+    g.add_input(TensorSpec("bo", ("i",), is_param=True))
+    g.add_op(contraction_spec("attn_out", "whi,whbj->ibj", ("wo", "gamma_out"),
+                              "attn_lin", param_inputs=(0,)))
+    g.add_op(bias_spec("attn_out_bias", g.container("attn_lin"), ("i",), "attn_out",
+                       bias_name="bo"))
+    g.validate()
+    return g
+
+
+def encdec_mha_forward(
+    params: MHAParams,
+    xq: np.ndarray,
+    xkv: np.ndarray,
+    *,
+    dropout_p: float = 0.1,
+    rng: np.random.Generator | None = None,
+) -> MHAActivations:
+    """Encoder/decoder attention: queries from ``xq``, keys/values from
+    ``xkv`` (both projections read the same tensor)."""
+    return mha_forward(params, xq, xkv, xkv, dropout_p=dropout_p, rng=rng)

@@ -1,0 +1,506 @@
+"""Dataflow-graph builders for MHA and the BERT encoder layer.
+
+These construct the *unfused* operator graphs (one logical operator per
+node, Figs. 1b and 2) that Step 1 of the recipe analyzes and Steps 2-4
+transform.  The builders support the three algebraic-fusion variants of the
+Q/K/V input projections (Sec. IV-D):
+
+* ``"unfused"`` — three separate batched MMMs (TensorFlow+XLA's choice);
+* ``"qk"``      — ``[W_Q W_K]`` stacked, ``W_V`` separate;
+* ``"qkv"``     — ``[W_Q W_K W_V]`` fully stacked (PyTorch's and the
+  paper's choice; Table II shows it is fastest).
+
+Stacked projections introduce the stacking dims ``c`` (=3) / ``d`` (=2) and
+zero-cost view nodes that slice the stacked result back into ``qq/kk/vv``.
+In backward, a zero-cost *pack* view reassembles the stacked gradient — the
+real implementation writes the three gradient tensors directly into one
+buffer, so no data moves.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+from repro.ir.graph import DataflowGraph
+from repro.ir.iteration_space import IterationSpace
+from repro.ir.operator import OpClass, OpSpec, Stage
+from repro.ir.tensor import TensorSpec
+from repro.ir.views import view_spec
+from repro.ops.contraction import contraction_spec
+from repro.ops.elementwise import bias_spec, dropout_spec, relu_spec, residual_spec
+from repro.ops.layernorm import layernorm_dw_spec, layernorm_dx_spec, layernorm_spec
+from repro.ops.softmax import softmax_spec
+
+__all__ = [
+    "MHA_TENSORS",
+    "QKVFusion",
+    "build_encoder_graph",
+    "build_gpt_decoder_graph",
+    "build_mha_graph",
+]
+
+QKVFusion = Literal["unfused", "qk", "qkv"]
+
+#: Names of the MHA activation containers (for tests and examples).
+MHA_TENSORS = (
+    "qq", "kk", "vv", "beta", "alpha_sm", "alpha", "gamma_out", "attn_lin", "attn_out",
+)
+
+
+# ---------------------------------------------------------------------------
+# Small spec helpers
+# ---------------------------------------------------------------------------
+
+def _bias_dw_spec(
+    name: str, dy: TensorSpec, bias_dims: tuple[str, ...], out_name: str
+) -> OpSpec:
+    """dW of a bias: a reduction over the broadcast dims (class ⬜ in Table III)."""
+    reduce_dims = tuple(d for d in dy.dims if d not in bias_dims)
+    out = TensorSpec(out_name, bias_dims, dtype=dy.dtype)
+    return OpSpec(
+        name=name,
+        op_class=OpClass.STAT_NORMALIZATION,
+        inputs=(dy,),
+        outputs=(out,),
+        ispace=IterationSpace(bias_dims, reduce_dims),
+        flop_per_point=1.0,
+        stage=Stage.BACKWARD_DW,
+    )
+
+
+def _dropout_dx_spec(name: str, dy: TensorSpec, mask: TensorSpec, out_name: str) -> OpSpec:
+    out = TensorSpec(out_name, dy.dims, dtype=dy.dtype)
+    return OpSpec(
+        name=name,
+        op_class=OpClass.ELEMENTWISE,
+        inputs=(dy, mask),
+        outputs=(out,),
+        ispace=IterationSpace(dy.dims),
+        flop_per_point=1.0,
+        stage=Stage.BACKWARD_DX,
+    )
+
+
+def _relu_dx_spec(name: str, dy: TensorSpec, pre_act: TensorSpec, out_name: str) -> OpSpec:
+    out = TensorSpec(out_name, dy.dims, dtype=dy.dtype)
+    return OpSpec(
+        name=name,
+        op_class=OpClass.ELEMENTWISE,
+        inputs=(dy, pre_act),
+        outputs=(out,),
+        ispace=IterationSpace(dy.dims),
+        flop_per_point=1.0,
+        stage=Stage.BACKWARD_DX,
+    )
+
+
+def _add_spec(
+    name: str, terms: tuple[TensorSpec, ...], out_name: str, *, stage: Stage
+) -> OpSpec:
+    dims = terms[0].dims
+    for t in terms:
+        if t.dims != dims:
+            raise ValueError(f"add operands disagree: {t.dims} vs {dims}")
+    out = TensorSpec(out_name, dims, dtype=terms[0].dtype)
+    return OpSpec(
+        name=name,
+        op_class=OpClass.ELEMENTWISE,
+        inputs=terms,
+        outputs=(out,),
+        ispace=IterationSpace(dims),
+        flop_per_point=float(len(terms) - 1),
+        stage=stage,
+    )
+
+
+def _softmax_dx_spec(name: str, dy: TensorSpec, y: TensorSpec, out_name: str,
+                     *, axis_dim: str) -> OpSpec:
+    independent = tuple(d for d in dy.dims if d != axis_dim)
+    out = TensorSpec(out_name, dy.dims, dtype=dy.dtype)
+    return OpSpec(
+        name=name,
+        op_class=OpClass.STAT_NORMALIZATION,
+        inputs=(dy, y),
+        outputs=(out,),
+        ispace=IterationSpace(independent, (axis_dim,)),
+        flop_per_point=5.0,
+        stage=Stage.BACKWARD_DX,
+    )
+
+
+# ---------------------------------------------------------------------------
+# MHA forward
+# ---------------------------------------------------------------------------
+
+def _mha_forward(g: DataflowGraph, qkv_fusion: QKVFusion, *, masked: bool = False) -> None:
+    """Append MHA forward ops for self-attention on input ``x[i,b,j]``."""
+    x = g.add_input(TensorSpec("x", ("i", "b", "j")))
+    xk = TensorSpec("xk", ("i", "b", "k"))
+    g.add_op(view_spec("x_as_keys", x, xk))
+
+    if qkv_fusion == "qkv":
+        g.add_input(TensorSpec("wqkv", ("c", "p", "h", "i"), is_param=True))
+        g.add_op(
+            contraction_spec(
+                "qkv_proj", "cphi,ibj->cphbj", ("wqkv", "x"), "qkv_lin",
+                param_inputs=(0,),
+            )
+        )
+        qkv_lin = g.container("qkv_lin")
+        g.add_op(view_spec("slice_qq", qkv_lin, TensorSpec("qq_lin", ("p", "h", "b", "j"))))
+        g.add_op(view_spec("slice_kk", qkv_lin, TensorSpec("kk_lin", ("p", "h", "b", "k"))))
+        g.add_op(view_spec("slice_vv", qkv_lin, TensorSpec("vv_lin", ("w", "h", "b", "k"))))
+    elif qkv_fusion == "qk":
+        g.add_input(TensorSpec("wqk", ("d", "p", "h", "i"), is_param=True))
+        g.add_input(TensorSpec("wv", ("w", "h", "i"), is_param=True))
+        g.add_op(
+            contraction_spec(
+                "qk_proj", "dphi,ibj->dphbj", ("wqk", "x"), "qk_lin", param_inputs=(0,)
+            )
+        )
+        qk_lin = g.container("qk_lin")
+        g.add_op(view_spec("slice_qq", qk_lin, TensorSpec("qq_lin", ("p", "h", "b", "j"))))
+        g.add_op(view_spec("slice_kk", qk_lin, TensorSpec("kk_lin", ("p", "h", "b", "k"))))
+        g.add_op(
+            contraction_spec(
+                "v_proj", "whi,ibk->whbk", ("wv", "xk"), "vv_lin", param_inputs=(0,)
+            )
+        )
+    else:  # unfused
+        g.add_input(TensorSpec("wq", ("p", "h", "i"), is_param=True))
+        g.add_input(TensorSpec("wk", ("p", "h", "i"), is_param=True))
+        g.add_input(TensorSpec("wv", ("w", "h", "i"), is_param=True))
+        g.add_op(
+            contraction_spec("q_proj", "phi,ibj->phbj", ("wq", "x"), "qq_lin",
+                             param_inputs=(0,))
+        )
+        g.add_op(
+            contraction_spec("k_proj", "phi,ibk->phbk", ("wk", "xk"), "kk_lin",
+                             param_inputs=(0,))
+        )
+        g.add_op(
+            contraction_spec("v_proj", "whi,ibk->whbk", ("wv", "xk"), "vv_lin",
+                             param_inputs=(0,))
+        )
+
+    # Input biases (fused later into AIB).
+    g.add_input(TensorSpec("bq", ("p", "h"), is_param=True))
+    g.add_input(TensorSpec("bk", ("p", "h"), is_param=True))
+    g.add_input(TensorSpec("bv", ("w", "h"), is_param=True))
+    g.add_op(bias_spec("input_bias_q", g.container("qq_lin"), ("p", "h"), "qq",
+                       bias_name="bq"))
+    g.add_op(bias_spec("input_bias_k", g.container("kk_lin"), ("p", "h"), "kk",
+                       bias_name="bk"))
+    g.add_op(bias_spec("input_bias_v", g.container("vv_lin"), ("w", "h"), "vv",
+                       bias_name="bv"))
+
+    # Attention core.
+    g.add_op(contraction_spec("qkt", "phbk,phbj->hbjk", ("kk", "qq"), "beta"))
+    mask_spec = None
+    if masked:
+        mask_spec = g.add_input(TensorSpec("attn_mask", ("j", "k")))
+    g.add_op(
+        softmax_spec(
+            "softmax", g.container("beta"), "alpha_sm", axis_dim="k", mask=mask_spec
+        )
+    )
+    g.add_op(dropout_spec("attn_dropout", g.container("alpha_sm"), "alpha",
+                          mask_name="alpha_mask"))
+    g.add_op(contraction_spec("gamma", "whbk,hbjk->whbj", ("vv", "alpha"), "gamma_out"))
+
+    # Output projection + bias.
+    g.add_input(TensorSpec("wo", ("w", "h", "i"), is_param=True))
+    g.add_input(TensorSpec("bo", ("i",), is_param=True))
+    g.add_op(contraction_spec("attn_out", "whi,whbj->ibj", ("wo", "gamma_out"),
+                              "attn_lin", param_inputs=(0,)))
+    g.add_op(bias_spec("attn_out_bias", g.container("attn_lin"), ("i",), "attn_out",
+                       bias_name="bo"))
+
+
+# ---------------------------------------------------------------------------
+# MHA backward
+# ---------------------------------------------------------------------------
+
+def _mha_backward(g: DataflowGraph, qkv_fusion: QKVFusion, d_out_name: str) -> str:
+    """Append MHA backward ops; returns the name of the summed input gradient."""
+    d_attn_out = g.container(d_out_name)
+
+    # Output bias dW (BAOB) and output projection backward.
+    g.add_op(_bias_dw_spec("attn_out_bias_dw", d_attn_out, ("i",), "d_bo"))
+    g.add_op(
+        contraction_spec("attn_out_dx", "whi,ibj->whbj", ("wo", d_out_name), "d_gamma",
+                         stage=Stage.BACKWARD_DX)
+    )
+    g.add_op(
+        contraction_spec("attn_out_dw", "ibj,whbj->whi", (d_out_name, "gamma_out"),
+                         "d_wo", stage=Stage.BACKWARD_DW)
+    )
+
+    # Gamma backward.
+    g.add_op(
+        contraction_spec("gamma_dx1", "whbk,whbj->hbjk", ("vv", "d_gamma"), "d_alpha",
+                         stage=Stage.BACKWARD_DX)
+    )
+    g.add_op(
+        contraction_spec("gamma_dx2", "whbj,hbjk->whbk", ("d_gamma", "alpha"), "d_vv",
+                         stage=Stage.BACKWARD_DX)
+    )
+
+    # Dropout + softmax backward (BS).
+    g.add_op(_dropout_dx_spec("attn_dropout_dx", g.container("d_alpha"),
+                              g.container("alpha_mask"), "d_alpha_sm"))
+    g.add_op(_softmax_dx_spec("softmax_dx", g.container("d_alpha_sm"),
+                              g.container("alpha_sm"), "d_beta", axis_dim="k"))
+
+    # QKT backward.
+    g.add_op(
+        contraction_spec("qkt_dx1", "hbjk,phbj->phbk", ("d_beta", "qq"), "d_kk",
+                         stage=Stage.BACKWARD_DX)
+    )
+    g.add_op(
+        contraction_spec("qkt_dx2", "hbjk,phbk->phbj", ("d_beta", "kk"), "d_qq",
+                         stage=Stage.BACKWARD_DX)
+    )
+
+    # Input bias dW (BAIB).
+    g.add_op(_bias_dw_spec("input_bias_q_dw", g.container("d_qq"), ("p", "h"), "d_bq"))
+    g.add_op(_bias_dw_spec("input_bias_k_dw", g.container("d_kk"), ("p", "h"), "d_bk"))
+    g.add_op(_bias_dw_spec("input_bias_v_dw", g.container("d_vv"), ("w", "h"), "d_bv"))
+
+    # Projection backward, per algebraic-fusion variant.
+    if qkv_fusion == "qkv":
+        d_qkv = TensorSpec("d_qkv", ("c", "p", "h", "b", "j"))
+        pack = OpSpec(
+            name="pack_d_qkv",
+            op_class=OpClass.ELEMENTWISE,
+            inputs=(g.container("d_qq"), g.container("d_kk"), g.container("d_vv")),
+            outputs=(d_qkv,),
+            ispace=IterationSpace(d_qkv.dims),
+            flop_per_point=0.0,
+            stage=Stage.BACKWARD_DX,
+            is_view=True,
+        )
+        g.add_op(pack)
+        g.add_op(
+            contraction_spec("qkv_proj_dx", "cphi,cphbj->ibj", ("wqkv", "d_qkv"),
+                             "d_x_proj", stage=Stage.BACKWARD_DX)
+        )
+        g.add_op(
+            contraction_spec("qkv_proj_dw", "cphbj,ibj->cphi", ("d_qkv", "x"),
+                             "d_wqkv", stage=Stage.BACKWARD_DW)
+        )
+        return "d_x_proj"
+    if qkv_fusion == "qk":
+        d_qk = TensorSpec("d_qk", ("d", "p", "h", "b", "j"))
+        g.add_op(
+            OpSpec(
+                name="pack_d_qk",
+                op_class=OpClass.ELEMENTWISE,
+                inputs=(g.container("d_qq"), g.container("d_kk")),
+                outputs=(d_qk,),
+                ispace=IterationSpace(d_qk.dims),
+                flop_per_point=0.0,
+                stage=Stage.BACKWARD_DX,
+                is_view=True,
+            )
+        )
+        g.add_op(
+            contraction_spec("qk_proj_dx", "dphi,dphbj->ibj", ("wqk", "d_qk"),
+                             "d_x_qk", stage=Stage.BACKWARD_DX)
+        )
+        g.add_op(
+            contraction_spec("qk_proj_dw", "dphbj,ibj->dphi", ("d_qk", "x"),
+                             "d_wqk", stage=Stage.BACKWARD_DW)
+        )
+        g.add_op(
+            contraction_spec("v_proj_dx", "whi,whbk->ibk", ("wv", "d_vv"), "d_x_v_k",
+                             stage=Stage.BACKWARD_DX)
+        )
+        g.add_op(
+            contraction_spec("v_proj_dw", "whbk,ibk->whi", ("d_vv", "xk"), "d_wv",
+                             stage=Stage.BACKWARD_DW)
+        )
+        g.add_op(view_spec("d_x_v_as_j", g.container("d_x_v_k"),
+                           TensorSpec("d_x_v", ("i", "b", "j")),
+                           stage=Stage.BACKWARD_DX))
+        g.add_op(_add_spec("qk_v_grad_add",
+                           (g.container("d_x_qk"), g.container("d_x_v")),
+                           "d_x_proj", stage=Stage.BACKWARD_DX))
+        return "d_x_proj"
+
+    # unfused
+    g.add_op(contraction_spec("q_proj_dx", "phi,phbj->ibj", ("wq", "d_qq"), "d_x_q",
+                              stage=Stage.BACKWARD_DX))
+    g.add_op(contraction_spec("q_proj_dw", "phbj,ibj->phi", ("d_qq", "x"), "d_wq",
+                              stage=Stage.BACKWARD_DW))
+    g.add_op(contraction_spec("k_proj_dx", "phi,phbk->ibk", ("wk", "d_kk"), "d_x_k_k",
+                              stage=Stage.BACKWARD_DX))
+    g.add_op(contraction_spec("k_proj_dw", "phbk,ibk->phi", ("d_kk", "xk"), "d_wk",
+                              stage=Stage.BACKWARD_DW))
+    g.add_op(contraction_spec("v_proj_dx", "whi,whbk->ibk", ("wv", "d_vv"), "d_x_v_k",
+                              stage=Stage.BACKWARD_DX))
+    g.add_op(contraction_spec("v_proj_dw", "whbk,ibk->whi", ("d_vv", "xk"), "d_wv",
+                              stage=Stage.BACKWARD_DW))
+    g.add_op(view_spec("d_x_k_as_j", g.container("d_x_k_k"),
+                       TensorSpec("d_x_k", ("i", "b", "j")), stage=Stage.BACKWARD_DX))
+    g.add_op(view_spec("d_x_v_as_j", g.container("d_x_v_k"),
+                       TensorSpec("d_x_v", ("i", "b", "j")), stage=Stage.BACKWARD_DX))
+    g.add_op(_add_spec("qkv_grad_add",
+                       (g.container("d_x_q"), g.container("d_x_k"),
+                        g.container("d_x_v")),
+                       "d_x_proj", stage=Stage.BACKWARD_DX))
+    return "d_x_proj"
+
+
+# ---------------------------------------------------------------------------
+# Public builders
+# ---------------------------------------------------------------------------
+
+def build_mha_graph(
+    *, qkv_fusion: QKVFusion = "unfused", include_backward: bool = True,
+    masked: bool = False, name: str | None = None,
+) -> DataflowGraph:
+    """The multi-head self-attention dataflow graph (Fig. 1b + its backward).
+
+    ``masked=True`` adds an additive attention mask input (``attn_mask[j,k]``,
+    e.g. causal masking during training, Sec. II-B1).
+    """
+    g = DataflowGraph(name or f"mha-{qkv_fusion}")
+    _mha_forward(g, qkv_fusion, masked=masked)
+    if include_backward:
+        g.add_input(TensorSpec("d_attn_out", ("i", "b", "j")))
+        d_x_proj = _mha_backward(g, qkv_fusion, "d_attn_out")
+        g.add_op(view_spec("d_x_alias", g.container(d_x_proj),
+                           TensorSpec("d_x", ("i", "b", "j")),
+                           stage=Stage.BACKWARD_DX))
+    g.validate()
+    return g
+
+
+def build_encoder_graph(
+    *, qkv_fusion: QKVFusion = "qkv", include_backward: bool = True,
+    masked: bool = False, name: str | None = None,
+) -> DataflowGraph:
+    """The full BERT encoder layer dataflow graph (Fig. 2).
+
+    Forward + backward, unfused: one node per logical operator, matching
+    Table III's per-operator rows.  ``masked=True`` adds the additive
+    attention-mask input.
+    """
+    g = DataflowGraph(name or f"encoder-{qkv_fusion}")
+    _mha_forward(g, qkv_fusion, masked=masked)
+
+    # Post-attention: bias -> dropout -> residual -> layernorm (BDRLN).
+    g.add_op(dropout_spec("attn_resid_dropout", g.container("attn_out"), "attn_drop",
+                          mask_name="attn_drop_mask"))
+    g.add_op(residual_spec("residual1", g.container("attn_drop"), g.container("x"),
+                           "resid1"))
+    g.add_input(TensorSpec("ln1_g", ("i",), is_param=True))
+    g.add_input(TensorSpec("ln1_b", ("i",), is_param=True))
+    g.add_op(layernorm_spec("ln1", g.container("resid1"), "ln1_out", norm_dim="i",
+                            scale_name="ln1_g", bias_name="ln1_b"))
+
+    # Feed-forward network.
+    g.add_input(TensorSpec("w1", ("u", "i"), is_param=True))
+    g.add_input(TensorSpec("b1", ("u",), is_param=True))
+    g.add_op(contraction_spec("linear1", "ui,ibj->ubj", ("w1", "ln1_out"), "lin1_lin",
+                              param_inputs=(0,)))
+    g.add_op(bias_spec("linear1_bias", g.container("lin1_lin"), ("u",), "lin1_biased",
+                       bias_name="b1"))
+    g.add_op(relu_spec("relu", g.container("lin1_biased"), "act"))
+    g.add_op(dropout_spec("ffn_dropout", g.container("act"), "ffn_drop",
+                          mask_name="ffn_drop_mask"))
+
+    g.add_input(TensorSpec("w2", ("i", "u"), is_param=True))
+    g.add_input(TensorSpec("b2", ("i",), is_param=True))
+    g.add_op(contraction_spec("linear2", "iu,ubj->ibj", ("w2", "ffn_drop"), "lin2_lin",
+                              param_inputs=(0,)))
+    g.add_op(bias_spec("linear2_bias", g.container("lin2_lin"), ("i",), "lin2_biased",
+                       bias_name="b2"))
+    g.add_op(dropout_spec("ffn_resid_dropout", g.container("lin2_biased"), "out_drop",
+                          mask_name="out_drop_mask"))
+    g.add_op(residual_spec("residual2", g.container("out_drop"),
+                           g.container("ln1_out"), "resid2"))
+    g.add_input(TensorSpec("ln2_g", ("i",), is_param=True))
+    g.add_input(TensorSpec("ln2_b", ("i",), is_param=True))
+    g.add_op(layernorm_spec("ln2", g.container("resid2"), "y", norm_dim="i",
+                            scale_name="ln2_g", bias_name="ln2_b"))
+
+    if not include_backward:
+        g.validate()
+        return g
+
+    # ---------------- backward ----------------
+    g.add_input(TensorSpec("dy", ("i", "b", "j")))
+    dy = g.container("dy")
+
+    # LayerNorm-2 backward (BSB / BLNRD).
+    g.add_op(layernorm_dw_spec("ln2_dw", dy, g.container("resid2"), norm_dim="i",
+                               dscale_name="d_ln2_g", dbias_name="d_ln2_b"))
+    g.add_op(layernorm_dx_spec("ln2_dx", dy, g.container("resid2"),
+                               g.container("ln2_g"), "d_resid2", norm_dim="i"))
+    g.add_op(_dropout_dx_spec("ffn_resid_dropout_dx", g.container("d_resid2"),
+                              g.container("out_drop_mask"), "d_lin2_biased"))
+
+    # Linear-2 backward.
+    g.add_op(_bias_dw_spec("linear2_bias_dw", g.container("d_lin2_biased"), ("i",),
+                           "d_b2"))
+    g.add_op(contraction_spec("linear2_dx", "iu,ibj->ubj", ("w2", "d_lin2_biased"),
+                              "d_ffn_drop", stage=Stage.BACKWARD_DX))
+    g.add_op(contraction_spec("linear2_dw", "ibj,ubj->iu", ("d_lin2_biased", "ffn_drop"),
+                              "d_w2", stage=Stage.BACKWARD_DW))
+
+    # Dropout/ReLU/bias backward (BDRB with linear2_bias_dw and linear1_bias_dw).
+    g.add_op(_dropout_dx_spec("ffn_dropout_dx", g.container("d_ffn_drop"),
+                              g.container("ffn_drop_mask"), "d_act"))
+    g.add_op(_relu_dx_spec("relu_dx", g.container("d_act"), g.container("lin1_biased"),
+                           "d_lin1_biased"))
+    g.add_op(_bias_dw_spec("linear1_bias_dw", g.container("d_lin1_biased"), ("u",),
+                           "d_b1"))
+
+    # Linear-1 backward.
+    g.add_op(contraction_spec("linear1_dx", "ui,ubj->ibj", ("w1", "d_lin1_biased"),
+                              "d_ln1_ffn", stage=Stage.BACKWARD_DX))
+    g.add_op(contraction_spec("linear1_dw", "ubj,ibj->ui", ("d_lin1_biased", "ln1_out"),
+                              "d_w1", stage=Stage.BACKWARD_DW))
+
+    # Residual-2 gradient add + LayerNorm-1 dW (EBSB) and dX (BLNRD).
+    g.add_op(_add_spec("residual2_grad", (g.container("d_ln1_ffn"),
+                                          g.container("d_resid2")),
+                       "d_ln1_out", stage=Stage.BACKWARD_DX))
+    g.add_op(layernorm_dw_spec("ln1_dw", g.container("d_ln1_out"),
+                               g.container("resid1"), norm_dim="i",
+                               dscale_name="d_ln1_g", dbias_name="d_ln1_b"))
+    g.add_op(layernorm_dx_spec("ln1_dx", g.container("d_ln1_out"),
+                               g.container("resid1"), g.container("ln1_g"),
+                               "d_resid1", norm_dim="i"))
+    g.add_op(_dropout_dx_spec("attn_resid_dropout_dx", g.container("d_resid1"),
+                              g.container("attn_drop_mask"), "d_attn_out"))
+
+    # MHA backward.
+    d_x_proj = _mha_backward(g, qkv_fusion, "d_attn_out")
+
+    # Encoder-input residual (BEI): dx = projection grads + saved skip grad.
+    g.add_op(_add_spec("encoder_input_grad",
+                       (g.container(d_x_proj), g.container("d_resid1")),
+                       "d_x", stage=Stage.BACKWARD_DX))
+    g.validate()
+    return g
+
+
+def build_gpt_decoder_graph(
+    *, qkv_fusion: QKVFusion = "qkv", include_backward: bool = True,
+    name: str | None = None,
+) -> DataflowGraph:
+    """A GPT-2/3-style decoder layer (Sec. VIII: "Additional transformer
+    networks ... only differ by dimensions and minor aspects").
+
+    Structurally an encoder layer with causally-masked self-attention; the
+    whole recipe — fusion, tuning, selection — applies unchanged.
+    """
+    return build_encoder_graph(
+        qkv_fusion=qkv_fusion,
+        include_backward=include_backward,
+        masked=True,
+        name=name or f"gpt-decoder-{qkv_fusion}",
+    )

@@ -1,0 +1,109 @@
+"""Multi-layer BERT model: stacked encoder layers (Sec. VI-C: "Our
+implementation can also be extended to support a full training pipeline by
+stacking our optimized layers").
+
+The per-layer optimization is identical for every layer (they share shapes),
+so a full-model time estimate is the optimized per-layer schedule scaled by
+depth plus the (unoptimized, small) embedding/output components the paper
+excludes from its analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .encoder import EncoderActivations, encoder_backward, encoder_forward
+from .params import EncoderParams, ModelDims, init_encoder_params
+
+__all__ = ["BertModel", "ModelTimeEstimate", "estimate_model_time"]
+
+
+class BertModel:
+    """A stack of encoder layers sharing one configuration.
+
+    Pure NumPy; forward returns per-layer activations so backward can run
+    layer by layer in reverse (standard backprop through the stack).
+    """
+
+    def __init__(
+        self, dims: ModelDims, num_layers: int, *, rng: np.random.Generator | None = None
+    ) -> None:
+        if num_layers < 1:
+            raise ValueError("need at least one layer")
+        rng = rng or np.random.default_rng(0)
+        self.dims = dims
+        self.layers: list[EncoderParams] = [
+            init_encoder_params(dims, rng) for _ in range(num_layers)
+        ]
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    def num_parameters(self) -> int:
+        return sum(p.num_parameters() for p in self.layers)
+
+    def forward(
+        self, x: np.ndarray, *, dropout_p: float = 0.0, seed: int = 0
+    ) -> list[EncoderActivations]:
+        """Run all layers; activation ``i`` feeds layer ``i+1``."""
+        acts: list[EncoderActivations] = []
+        h = x
+        for i, params in enumerate(self.layers):
+            a = encoder_forward(
+                params, h, dropout_p=dropout_p, rng=np.random.default_rng((seed, i))
+            )
+            acts.append(a)
+            h = a.ln2_out
+        return acts
+
+    def backward(
+        self, acts: list[EncoderActivations], dy: np.ndarray
+    ) -> tuple[list[EncoderParams], np.ndarray]:
+        """Backprop through the stack; returns per-layer grads and dX."""
+        if len(acts) != self.num_layers:
+            raise ValueError("activation count does not match layer count")
+        grads: list[EncoderParams] = [None] * self.num_layers  # type: ignore[list-item]
+        d = dy
+        for i in reversed(range(self.num_layers)):
+            g, d = encoder_backward(self.layers[i], acts[i], d)
+            grads[i] = g
+        return grads, d
+
+
+@dataclass(frozen=True)
+class ModelTimeEstimate:
+    """Per-iteration time decomposition for a stacked model."""
+
+    num_layers: int
+    layer_us: float
+    #: embeddings + output head, not optimized by the recipe (Sec. III:
+    #: "other components ... are not a significant component of the runtime")
+    other_us: float
+
+    @property
+    def total_us(self) -> float:
+        return self.num_layers * self.layer_us + self.other_us
+
+    @property
+    def layer_fraction(self) -> float:
+        return self.num_layers * self.layer_us / self.total_us
+
+
+def estimate_model_time(
+    layer_us: float, *, num_layers: int = 24, other_fraction: float = 0.05
+) -> ModelTimeEstimate:
+    """Scale an optimized per-layer time to a full model (BERT-large: 24).
+
+    ``other_fraction`` is the share of total time spent outside encoder
+    layers (embedding lookups, the output head, optimizer step).
+    """
+    if not 0.0 <= other_fraction < 1.0:
+        raise ValueError("other_fraction must be in [0, 1)")
+    if num_layers < 1:
+        raise ValueError("need at least one layer")
+    layers_total = num_layers * layer_us
+    other = layers_total * other_fraction / (1.0 - other_fraction)
+    return ModelTimeEstimate(num_layers=num_layers, layer_us=layer_us, other_us=other)

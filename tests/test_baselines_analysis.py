@@ -1,0 +1,158 @@
+"""Integration tests: framework baselines, tables, figures, savings."""
+
+import pytest
+
+from repro.analysis.figures import fig1_mha_dataflow, fig5_fused_kernels
+from repro.analysis.report import (
+    format_framework_table,
+    format_table1,
+    format_table2,
+    format_table3,
+)
+from repro.analysis.savings import estimate_savings
+from repro.analysis.tables import (
+    data_movement_reduction_report,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+from repro.baselines.frameworks import cudnn_mha_times, framework_schedule
+from repro.baselines.policy import ALL_FRAMEWORKS, DEEPSPEED, OURS, PYTORCH, TF_XLA
+from repro.hardware.cost_model import CostModel
+from repro.ir.dims import bert_large_dims
+from repro.ir.operator import OpClass
+
+ENV = bert_large_dims()
+COST = CostModel()
+CAP = 300
+
+
+@pytest.fixture(scope="module")
+def schedules():
+    return {
+        p.name: framework_schedule(p, ENV, COST, model="encoder", cap=CAP)
+        for p in ALL_FRAMEWORKS
+    }
+
+
+class TestSchedules:
+    def test_pytorch_launches_more_kernels(self, schedules):
+        """PyTorch is unfused: far more kernel launches than the fused ones."""
+        assert len(schedules["PyTorch"].kernels) > len(schedules["Ours"].kernels)
+        assert len(schedules["PyTorch"].kernels) > len(schedules["DeepSpeed"].kernels)
+
+    def test_ordering(self, schedules):
+        totals = {name: s.total_us for name, s in schedules.items()}
+        assert totals["Ours"] < totals["DeepSpeed"]
+        assert totals["DeepSpeed"] < totals["TF+XLA"]
+        assert totals["TF+XLA"] < totals["PyTorch"]
+
+    def test_stage_split_sums_to_total(self, schedules):
+        for s in schedules.values():
+            fwd = s.stage_us(backward=False)
+            bwd = s.stage_us(backward=True)
+            assert fwd + bwd == pytest.approx(s.total_us, rel=1e-6)
+
+    def test_kernels_have_metrics(self, schedules):
+        for s in schedules.values():
+            for k in s.kernels:
+                assert k.time_us > 0
+                assert 0 <= k.mue <= 100
+                assert k.percent_peak >= 0
+
+    def test_class_runtime_sums(self, schedules):
+        s = schedules["PyTorch"]
+        by_class = s.class_runtime()
+        assert sum(by_class.values()) == pytest.approx(
+            sum(k.time_us for k in s.kernels)
+        )
+
+    def test_kernel_by_name_lookup(self, schedules):
+        s = schedules["Ours"]
+        assert s.kernel_by_name("qkv_proj").name == "qkv_proj"
+        with pytest.raises(KeyError):
+            s.kernel_by_name("nope")
+
+
+class TestCudnn:
+    def test_orders_of_magnitude_slower(self):
+        c = cudnn_mha_times(ENV, COST)
+        assert c.forward_us > 50_000  # paper: 131 ms
+        assert c.backward_us > c.forward_us
+        assert c.forward_kernels > ENV["b"] * ENV["h"] * ENV["j"]
+
+
+class TestTables:
+    def test_table1_fractions_sum(self):
+        rows = table1(ENV, COST)
+        assert sum(r.flop_fraction for r in rows) == pytest.approx(1.0)
+        assert sum(r.runtime_fraction for r in rows) == pytest.approx(1.0)
+        text = format_table1(rows)
+        assert "tensor contraction" in text
+
+    def test_table2_structure(self):
+        data = table2(ENV, COST)
+        assert set(data) == {"forward", "backward"}
+        assert set(data["forward"]) == {"unfused", "qk", "qkv"}
+        assert "Unfused" in format_table2(data)
+
+    def test_table3_rows_and_render(self):
+        rows, totals = table3(ENV, COST, cap=CAP)
+        assert len(rows) == 32
+        assert all(r.pt_time_us > 0 and r.ours_time_us > 0 for r in rows)
+        text = format_table3(rows, totals)
+        assert "AIB" in text and "Speedup" in text
+        # Overall kernel-level speedup in the paper's band (1.20x +- slack).
+        pt = sum(t["pt_us"] for t in totals.values())
+        ours = sum(t["ours_us"] for t in totals.values())
+        assert 1.05 < pt / ours < 1.6
+
+    def test_table4_includes_cudnn(self):
+        data = table4(ENV, COST, cap=CAP)
+        assert set(data) == {"PyTorch", "TF+XLA", "DeepSpeed", "Ours", "cuDNN"}
+        assert "cuDNN" in format_framework_table(data)
+
+    def test_table5_framework_columns(self):
+        data = table5(ENV, COST, cap=CAP)
+        for f in ("PyTorch", "TF+XLA", "DeepSpeed", "Ours"):
+            assert data[f]["total_ms"] == pytest.approx(
+                data[f]["forward_ms"] + data[f]["backward_ms"], rel=1e-6
+            )
+
+    def test_data_movement_report(self):
+        r = data_movement_reduction_report(ENV)
+        assert r["fused_mwords"] < r["unfused_mwords"]
+        assert 0.0 < r["reduction_fraction"] < 1.0
+
+
+class TestFigures:
+    def test_fig1_rows(self):
+        rows = fig1_mha_dataflow(ENV)
+        names = [r.op_name for r in rows]
+        assert "q_proj" in names and "softmax" in names and "attn_out" in names
+
+    def test_fig5_kernels_long_tailed(self):
+        out = fig5_fused_kernels(ENV, COST, cap=400)
+        assert "SM" in out and "AIB" in out
+        assert out["SM"].long_tailed
+
+
+class TestSavings:
+    def test_fraction_formula(self):
+        est = estimate_savings(1.30, 1000.0)
+        assert est.saved_usd == pytest.approx(1000 * (1 - 1 / 1.3))
+
+    def test_energy_optional(self):
+        est = estimate_savings(2.0, 100.0)
+        assert est.saved_mwh is None
+        est2 = estimate_savings(2.0, 100.0, baseline_energy_mwh=10.0)
+        assert est2.saved_mwh == pytest.approx(5.0)
+
+    def test_speedup_of_one_saves_nothing(self):
+        assert estimate_savings(1.0, 100.0).saved_usd == 0.0
+
+    def test_invalid_speedup(self):
+        with pytest.raises(ValueError):
+            estimate_savings(0.0, 100.0)

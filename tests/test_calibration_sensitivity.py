@@ -1,0 +1,74 @@
+"""Tests for the calibration audit and the sensitivity sweeps."""
+
+import pytest
+
+from repro.analysis.calibration import PAPER_TABLE3_US, audit_calibration
+from repro.analysis.sensitivity import attention_ffn_crossover, sweep_problem_sizes
+from repro.hardware.cost_model import CostModel
+from repro.ir.dims import bert_large_dims
+
+ENV = bert_large_dims()
+COST = CostModel()
+
+
+class TestCalibration:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return audit_calibration(ENV, COST, cap=250)
+
+    def test_covers_all_table3_rows(self, report):
+        assert len(report.rows) == len(PAPER_TABLE3_US) == 32
+
+    def test_median_within_forty_percent(self, report):
+        """The model's median row lands within 1.4x of the paper's time,
+        on both the PyTorch and the Ours side."""
+        assert 1 / 1.4 < report.median_ratio(side="ours") < 1.4
+        assert 1 / 1.4 < report.median_ratio(side="pt") < 1.4
+
+    def test_geomean_unbiased(self, report):
+        """No large systematic bias: geometric-mean ratio within ~30%."""
+        assert 0.7 < report.geometric_mean_ratio(side="ours") < 1.3
+        assert 0.7 < report.geometric_mean_ratio(side="pt") < 1.3
+
+    def test_majority_within_2x(self, report):
+        assert report.within(2.0, side="ours") > 0.75
+        assert report.within(2.0, side="pt") > 0.75
+
+    def test_headline_rows_tight(self, report):
+        """The big GEMM rows — the calibration anchors — are within 25%."""
+        anchors = {"Q, K, V", "Linear (1)", "Linear (2)", "Q, K, V dX"}
+        for row in report.rows:
+            if row.label in anchors:
+                assert 0.75 < row.ours_ratio < 1.35, (row.label, row.ours_ratio)
+
+
+class TestSensitivity:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return sweep_problem_sizes(batches=(2, 8), seqs=(128, 512), cap=120)
+
+    def test_grid_shape(self, grid):
+        assert len(grid) == 4
+        assert all(p.ours_ms > 0 for p in grid)
+
+    def test_speedup_everywhere(self, grid):
+        """The fusion+layout win persists across the (B, L) grid."""
+        for p in grid:
+            assert p.speedup > 1.1, (p.batch, p.seq)
+
+    def test_bigger_problems_take_longer(self, grid):
+        by_key = {(p.batch, p.seq): p.ours_ms for p in grid}
+        assert by_key[(8, 512)] > by_key[(2, 512)]
+        assert by_key[(8, 512)] > by_key[(8, 128)]
+
+    def test_attention_share_grows_with_sequence(self):
+        """Attention is O(L^2); the FFN is O(L): longer sequences shift
+        forward time toward attention."""
+        points = attention_ffn_crossover(seqs=(128, 512, 1024), cap=100)
+        shares = [p.attention_share for p in points]
+        assert shares[0] < shares[-1]
+        assert shares == sorted(shares)
+
+    def test_memory_bound_share_positive_everywhere(self, grid):
+        for p in grid:
+            assert 0.05 < p.memory_bound_share < 0.9

@@ -1,0 +1,225 @@
+"""Tests for chain extraction, SSSP, and global configuration selection."""
+
+import pytest
+
+from repro.autotuner.tuner import sweep_graph
+from repro.configsel.chain import ChainError, primary_chain, project_layout
+from repro.configsel.selector import select_configurations
+from repro.configsel.sssp import (
+    ConfigGraph,
+    SSSPError,
+    shortest_path,
+    shortest_path_networkx,
+)
+from repro.fusion.encoder_kernels import apply_paper_fusion
+from repro.hardware.cost_model import CostModel
+from repro.ir.dims import bert_large_dims
+from repro.ir.tensor import TensorSpec
+from repro.layouts.layout import Layout
+from repro.transformer.graph_builder import build_encoder_graph, build_mha_graph
+
+ENV = bert_large_dims()
+COST = CostModel()
+
+
+@pytest.fixture(scope="module")
+def fused_encoder():
+    return apply_paper_fusion(build_encoder_graph(qkv_fusion="qkv"), ENV)
+
+
+@pytest.fixture(scope="module")
+def encoder_sweeps(fused_encoder):
+    return sweep_graph(fused_encoder, ENV, COST, cap=400)
+
+
+@pytest.fixture(scope="module")
+def selection(fused_encoder, encoder_sweeps):
+    return select_configurations(
+        fused_encoder, ENV, COST, sweeps=encoder_sweeps, cap=400
+    )
+
+
+class TestProjectLayout:
+    def test_identity(self):
+        a = TensorSpec("x", ("i", "b", "j"))
+        b = TensorSpec("xk", ("i", "b", "k"))
+        out = project_layout(Layout(("j", "b", "i")), a, b)
+        assert out == Layout(("k", "b", "i"))
+
+    def test_drop_stacking_dim(self):
+        base = TensorSpec("qkv", ("c", "p", "h", "b", "j"))
+        view = TensorSpec("qq", ("p", "h", "b", "j"))
+        out = project_layout(Layout(("c", "b", "j", "p", "h")), base, view)
+        assert out == Layout(("b", "j", "p", "h"))
+
+    def test_interleaved_stacking_dim_unprojectable(self):
+        base = TensorSpec("qkv", ("c", "p", "h"))
+        view = TensorSpec("qq", ("p", "h"))
+        # c interleaved between payload dims: projection still drops it and
+        # yields a valid permutation of (p, h).
+        out = project_layout(Layout(("p", "c", "h")), base, view)
+        assert out == Layout(("p", "h"))
+
+    def test_rank_too_small(self):
+        base = TensorSpec("q", ("p", "h"))
+        view = TensorSpec("big", ("p", "h", "b"))
+        assert project_layout(Layout(("p", "h")), base, view) is None
+
+
+class TestPrimaryChain:
+    def test_fused_encoder_chain(self, fused_encoder):
+        chain = primary_chain(fused_encoder)
+        names = [s.op_name for s in chain]
+        assert names == [
+            "qkv_proj", "AIB", "qkt", "SM", "gamma", "attn_out",
+            "BDRLN1", "linear1", "BRD", "linear2", "BDRLN2",
+        ]
+
+    def test_unfused_encoder_chain_passes_through_all_stages(self):
+        g = build_encoder_graph(qkv_fusion="unfused")
+        names = [s.op_name for s in primary_chain(g)]
+        assert names[0] == "q_proj"
+        assert names[-1] == "ln2"
+        assert "softmax" in names
+
+    def test_mha_chain(self):
+        g = apply_paper_fusion(build_mha_graph(qkv_fusion="qkv"), ENV)
+        names = [s.op_name for s in primary_chain(g)]
+        assert names[0] == "qkv_proj"
+        assert names[-1] == "attn_out_bias" or "attn_out" in names
+
+    def test_missing_source_raises(self, fused_encoder):
+        with pytest.raises((ChainError, KeyError)):
+            primary_chain(fused_encoder, source="nonexistent")
+
+    def test_chain_tensors_connect(self, fused_encoder):
+        chain = primary_chain(fused_encoder)
+        for step in chain:
+            op = fused_encoder.op(step.op_name)
+            assert op.inputs[step.in_index].name == step.in_tensor
+            assert op.outputs[step.out_index].name == step.out_tensor
+
+
+class TestSSSP:
+    def _diamond(self):
+        g = ConfigGraph()
+        g.add_edge("s", "a", 1.0)
+        g.add_edge("s", "b", 5.0)
+        g.add_edge("a", "t", 10.0)
+        g.add_edge("b", "t", 1.0)
+        return g
+
+    def test_shortest_path_diamond(self):
+        cost, path = shortest_path(self._diamond(), "s", "t")
+        assert cost == 6.0
+        assert path == ["s", "b", "t"]
+
+    def test_matches_networkx(self):
+        g = self._diamond()
+        own, _ = shortest_path(g, "s", "t")
+        nx, _ = shortest_path_networkx(g, "s", "t")
+        assert own == pytest.approx(nx)
+
+    def test_parallel_edges_keep_min(self):
+        g = ConfigGraph()
+        g.add_edge("s", "t", 5.0)
+        g.add_edge("s", "t", 2.0)
+        cost, _ = shortest_path(g, "s", "t")
+        assert cost == 2.0
+
+    def test_unreachable(self):
+        g = ConfigGraph()
+        g.add_edge("s", "a", 1.0)
+        g.add_node("t")
+        with pytest.raises(SSSPError, match="unreachable"):
+            shortest_path(g, "s", "t")
+
+    def test_cycle_detected(self):
+        g = ConfigGraph()
+        g.add_edge("a", "b", 1.0)
+        g.add_edge("b", "a", 1.0)
+        with pytest.raises(SSSPError, match="cycle"):
+            shortest_path(g, "a", "b")
+
+    def test_negative_weight_rejected(self):
+        g = ConfigGraph()
+        with pytest.raises(SSSPError):
+            g.add_edge("a", "b", -1.0)
+
+    def test_brute_force_agreement_on_layered_graph(self):
+        """DAG relaxation equals exhaustive path enumeration."""
+        import itertools
+        import random
+
+        rnd = random.Random(0)
+        layers = [["s"], ["a0", "a1", "a2"], ["b0", "b1"], ["t"]]
+        g = ConfigGraph()
+        weights = {}
+        for l1, l2 in zip(layers, layers[1:]):
+            for u in l1:
+                for v in l2:
+                    w = rnd.uniform(1, 10)
+                    g.add_edge(u, v, w)
+                    weights[(u, v)] = w
+        best = min(
+            weights[("s", a)] + weights[(a, b)] + weights[(b, "t")]
+            for a in layers[1]
+            for b in layers[2]
+        )
+        cost, _ = shortest_path(g, "s", "t")
+        assert cost == pytest.approx(best)
+
+
+class TestSelection:
+    def test_covers_every_kernel(self, fused_encoder, selection):
+        kernel_ops = [op.name for op in fused_encoder.ops if not op.is_view]
+        assert set(selection.chosen) == set(kernel_ops)
+
+    def test_total_within_paper_band_of_per_op_best(self, encoder_sweeps, selection):
+        """Sec. VI-A: within 4% of per-op best; our assembly stays under 15%."""
+        best_sum = sum(sw.best.total_us for sw in encoder_sweeps.values())
+        assert selection.total_us / best_sum < 1.15
+
+    def test_sssp_cross_check(self, fused_encoder, encoder_sweeps):
+        from repro.configsel.chain import primary_chain
+        from repro.configsel.selector import _SOURCE, _TARGET, build_config_graph
+
+        chain = primary_chain(fused_encoder)
+        cg = build_config_graph(fused_encoder, chain, encoder_sweeps, ENV, COST)
+        own, _ = shortest_path(cg, _SOURCE, _TARGET)
+        nx, _ = shortest_path_networkx(cg, _SOURCE, _TARGET)
+        assert own == pytest.approx(nx)
+
+    def test_pinned_layouts_are_consistent(self, fused_encoder, selection):
+        """Every chosen config honors the pinned layout of its operands,
+        unless an explicit transpose was inserted for that tensor."""
+        transposed = {(t.before_op, t.tensor) for t in selection.transposes}
+        for name, m in selection.chosen.items():
+            op = fused_encoder.op(name)
+            for t, l in zip(op.inputs, m.config.input_layouts):
+                pin = selection.pinned_layouts.get(t.name)
+                if pin is not None and pin != l:
+                    assert (name, t.name) in transposed
+
+    def test_forward_faster_than_default_schedule(self, fused_encoder, selection):
+        """Global selection beats running everything in default layouts."""
+        from repro.layouts.configspace import default_config
+
+        default_total = 0.0
+        for op in fused_encoder.ops:
+            if op.is_view:
+                continue
+            kt = COST.time_op(op, default_config(op), ENV)
+            assert kt is not None
+            default_total += kt.total_us
+        assert selection.total_us < default_total
+
+    def test_alternate_dims_selection_works(self):
+        """Sec. VI-C: the recipe re-tunes for B=96, L=128."""
+        from repro.ir.dims import bert_alternate_dims
+
+        env2 = bert_alternate_dims()
+        g = apply_paper_fusion(build_encoder_graph(qkv_fusion="qkv"), env2)
+        sel = select_configurations(g, env2, COST, cap=200)
+        assert sel.total_us > 0
+        assert len(sel.chosen) == sum(1 for op in g.ops if not op.is_view)

@@ -1,0 +1,140 @@
+"""Edge-case and invariance tests across modules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.dims import DimEnv, bert_large_dims
+from repro.ir.operator import FlopIoSummary
+from repro.ir.tensor import TensorSpec
+from repro.ir.views import view_spec
+from repro.ops.layernorm import layernorm_forward
+from repro.ops.softmax import softmax_forward
+
+ENV = bert_large_dims()
+
+
+class TestFlopIoSummary:
+    def test_addition(self):
+        a = FlopIoSummary(flop=10, input_words=2, output_words=3, bytes_moved=10)
+        b = FlopIoSummary(flop=20, input_words=5, output_words=7, bytes_moved=24)
+        c = a + b
+        assert c.flop == 30
+        assert c.words_moved == 17
+        assert c.bytes_moved == 34
+
+    def test_flop_per_word_zero_words(self):
+        s = FlopIoSummary(flop=10, input_words=0, output_words=0, bytes_moved=0)
+        assert s.flop_per_word == float("inf")
+
+
+class TestViews:
+    def test_view_renames_dims(self):
+        base = TensorSpec("x", ("i", "b", "j"))
+        view = TensorSpec("xk", ("i", "b", "k"))
+        v = view_spec("alias", base, view)
+        assert v.is_view
+        assert v.inputs[0].name == "x"
+        assert v.outputs[0].dims == ("i", "b", "k")
+
+    def test_view_in_graph_is_transparent_to_totals(self):
+        from repro.transformer.graph_builder import build_mha_graph
+
+        g = build_mha_graph(qkv_fusion="qkv", include_backward=False)
+        views = [op for op in g.ops if op.is_view]
+        assert views
+        assert all(op.flops(ENV) == 0 and op.io_bytes(ENV) == 0 for op in views)
+
+
+class TestNormalizationInvariances:
+    @given(
+        rows=st.integers(4, 12), cols=st.integers(2, 6),
+        shift=st.floats(min_value=-5, max_value=5),
+        seed=st.integers(0, 999),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_layernorm_shift_invariance(self, rows, cols, shift, seed):
+        """LayerNorm is invariant to constant shifts along the normalized
+        axis — the property making the residual-then-normalize structure
+        stable."""
+        rng = np.random.default_rng(seed)
+        x = rng.normal(0, 1, (rows, cols))
+        g = rng.normal(1, 0.1, rows)
+        b = rng.normal(0, 0.1, rows)
+        y1, _, _ = layernorm_forward(x, g, b, axis=0)
+        y2, _, _ = layernorm_forward(x + shift, g, b, axis=0)
+        np.testing.assert_allclose(y1, y2, atol=1e-6)
+
+    @given(
+        rows=st.integers(1, 6), cols=st.integers(2, 8),
+        shift=st.floats(min_value=-50, max_value=50),
+        seed=st.integers(0, 999),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_softmax_shift_invariance(self, rows, cols, shift, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(0, 1, (rows, cols))
+        y1 = softmax_forward(x)
+        y2 = softmax_forward(x + shift)
+        np.testing.assert_allclose(y1, y2, atol=1e-5)
+
+
+class TestDimEnvEdges:
+    def test_single_dim(self):
+        env = DimEnv({"a": 1})
+        assert env.volume(("a",)) == 1
+        assert env.shape(("a",)) == (1,)
+
+    def test_empty_volume_is_one(self):
+        assert DimEnv({"a": 5}).volume(()) == 1
+
+
+class TestGraphEdgeCases:
+    def test_empty_graph_totals(self):
+        from repro.ir.graph import DataflowGraph
+
+        g = DataflowGraph("empty")
+        assert g.total_flops(ENV) == 0
+        assert g.total_io_bytes(ENV) == 0
+        assert len(g) == 0
+        assert list(g.edges()) == []
+
+    def test_replace_unknown_op_raises(self):
+        from repro.ir.graph import DataflowGraph
+
+        g = DataflowGraph("g")
+        with pytest.raises(KeyError):
+            g.replace_ops(["nope"], [])
+
+    def test_op_lookup_errors(self):
+        from repro.ir.graph import DataflowGraph
+
+        g = DataflowGraph("g")
+        with pytest.raises(KeyError):
+            g.op("missing")
+        with pytest.raises(KeyError):
+            g.container("missing")
+
+
+class TestSweepEdgeCases:
+    def test_empty_sweep_best_raises(self):
+        from repro.autotuner.tuner import SweepResult
+        from repro.ops.elementwise import bias_spec
+
+        x = TensorSpec("x", ("a", "b"))
+        op = bias_spec("b", x, ("a",), "y")
+        sweep = SweepResult(op=op, measurements=[])
+        with pytest.raises(ValueError):
+            _ = sweep.best
+        with pytest.raises(ValueError):
+            sweep.quantile_us(0.5)
+
+    def test_cap_one(self):
+        from repro.layouts.configspace import kernel_configs
+        from repro.ops.elementwise import bias_spec
+
+        x = TensorSpec("x", ("p", "h", "b", "j"))
+        op = bias_spec("b", x, ("p", "h"), "y")
+        configs = list(kernel_configs(op, ENV, cap=1))
+        assert len(configs) == 1

@@ -1,0 +1,219 @@
+"""Tests for the extension features: encoder/decoder attention with KV
+fusion, the memory-footprint estimator, the stacked model, and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.memory import MemoryFootprint, graph_footprint
+from repro.cli import main as cli_main
+from repro.hardware.spec import V100
+from repro.ir.dims import bert_large_dims
+from repro.transformer.general_attention import (
+    build_encdec_mha_graph,
+    encdec_mha_forward,
+)
+from repro.transformer.graph_builder import build_encoder_graph
+from repro.transformer.mha import mha_forward
+from repro.transformer.model import BertModel, estimate_model_time
+from repro.transformer.params import ModelDims, init_mha_params
+
+ENV = bert_large_dims()
+DIMS = ModelDims.tiny()
+
+
+class TestEncDecAttention:
+    @pytest.mark.parametrize("kv_fusion", ["unfused", "kv"])
+    def test_graph_validates(self, kv_fusion):
+        g = build_encdec_mha_graph(kv_fusion=kv_fusion)
+        g.validate()
+        assert "qkt" in g and "gamma" in g
+
+    def test_kv_fusion_reads_encoder_output_once(self):
+        """The KV-fused projection reads x_enc once (paper Sec. IV-D)."""
+        fused = build_encdec_mha_graph(kv_fusion="kv")
+        unfused = build_encdec_mha_graph(kv_fusion="unfused")
+        xkv_words = fused.container("xkv").volume(ENV)
+        kv_reads_fused = fused.op("kv_proj").input_words(ENV)
+        kv_reads_unfused = unfused.op("k_proj").input_words(ENV) + unfused.op(
+            "v_proj"
+        ).input_words(ENV)
+        assert kv_reads_unfused - kv_reads_fused == pytest.approx(xkv_words)
+
+    def test_kv_fused_flop_unchanged(self):
+        fused = build_encdec_mha_graph(kv_fusion="kv")
+        unfused = build_encdec_mha_graph(kv_fusion="unfused")
+        assert fused.total_flops(ENV) == pytest.approx(unfused.total_flops(ENV))
+
+    def test_numerics_match_general_mha(self):
+        rng = np.random.default_rng(5)
+        params = init_mha_params(DIMS, rng, std=0.3)
+        i, b, j = DIMS.embed, DIMS.batch, DIMS.seq
+        xq = rng.normal(0, 1, (i, b, j))
+        xkv = rng.normal(0, 1, (i, b, j))
+        a1 = encdec_mha_forward(params, xq, xkv, dropout_p=0.0)
+        a2 = mha_forward(params, xq, xkv, xkv, dropout_p=0.0)
+        np.testing.assert_array_equal(a1.out, a2.out)
+
+
+class TestMemoryFootprint:
+    @pytest.fixture(scope="class")
+    def footprint(self):
+        g = build_encoder_graph(qkv_fusion="qkv")
+        return graph_footprint(g, ENV)
+
+    def test_parameter_bytes_match_bert_layer(self, footprint):
+        """A BERT-large encoder layer has ~12.6M parameters (fp16 -> ~25 MB)."""
+        params = footprint.parameter_bytes / 2  # words
+        assert params == pytest.approx(12.6e6, rel=0.02)
+
+    def test_saved_activations_dominate(self, footprint):
+        """Training memory is activation-dominated at B=8, L=512."""
+        assert footprint.saved_activation_bytes > footprint.parameter_bytes
+
+    def test_total_is_sum(self, footprint):
+        assert footprint.total_bytes == (
+            footprint.parameter_bytes
+            + footprint.gradient_bytes
+            + footprint.saved_activation_bytes
+            + footprint.transient_activation_bytes
+        )
+
+    def test_one_layer_fits_v100(self, footprint):
+        assert footprint.fits(V100, model_copies=1)
+
+    def test_many_layers_overflow(self, footprint):
+        assert not footprint.fits(V100, model_copies=200)
+
+    def test_fusion_reduces_transients(self):
+        from repro.fusion.encoder_kernels import apply_paper_fusion
+
+        g = build_encoder_graph(qkv_fusion="qkv")
+        f = apply_paper_fusion(g, ENV)
+        before = graph_footprint(g, ENV)
+        after = graph_footprint(f, ENV)
+        assert after.transient_activation_bytes < before.transient_activation_bytes
+        # Saved-for-backward tensors are untouched by fusion.
+        assert after.saved_activation_bytes == before.saved_activation_bytes
+
+
+class TestBertModel:
+    def test_forward_backward_shapes(self):
+        model = BertModel(DIMS, num_layers=3, rng=np.random.default_rng(0))
+        x = np.random.default_rng(1).normal(0, 1, (DIMS.embed, DIMS.batch, DIMS.seq))
+        acts = model.forward(x)
+        assert len(acts) == 3
+        dy = np.ones_like(x)
+        grads, dx = model.backward(acts, dy)
+        assert len(grads) == 3
+        assert dx.shape == x.shape
+
+    def test_stacked_gradcheck_input(self):
+        """dX through a 2-layer stack matches finite differences."""
+        model = BertModel(DIMS, num_layers=2, rng=np.random.default_rng(2))
+        # float64 weights for finite differences
+        for layer in model.layers:
+            for name, arr in layer.named():
+                pass
+        rng = np.random.default_rng(3)
+        x = rng.normal(0, 1, (DIMS.embed, DIMS.batch, DIMS.seq))
+        w = rng.normal(0, 1, x.shape)
+
+        def loss(x_):
+            acts = model.forward(x_)
+            return float((acts[-1].ln2_out * w).sum())
+
+        acts = model.forward(x)
+        _, dx = model.backward(acts, w)
+        eps = 1e-4
+        for idx in [(0, 0, 0), (3, 1, 2)]:
+            x2 = x.copy()
+            x2[idx] += eps
+            num = (loss(x2) - loss(x)) / eps
+            assert dx[idx] == pytest.approx(num, rel=2e-2, abs=1e-4)
+
+    def test_layer_count_validation(self):
+        with pytest.raises(ValueError):
+            BertModel(DIMS, num_layers=0)
+
+    def test_num_parameters_scales(self):
+        m1 = BertModel(DIMS, num_layers=1)
+        m3 = BertModel(DIMS, num_layers=3)
+        assert m3.num_parameters() == 3 * m1.num_parameters()
+
+
+class TestModelTimeEstimate:
+    def test_bert_large_scaling(self):
+        est = estimate_model_time(7100.0, num_layers=24, other_fraction=0.05)
+        assert est.total_us == pytest.approx(24 * 7100.0 / 0.95, rel=1e-6)
+        assert est.layer_fraction == pytest.approx(0.95)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_model_time(1.0, num_layers=0)
+        with pytest.raises(ValueError):
+            estimate_model_time(1.0, other_fraction=1.0)
+
+
+class TestCLI:
+    def test_movement_command(self, capsys):
+        assert cli_main(["movement"]) == 0
+        out = capsys.readouterr().out
+        assert "reduction" in out
+
+    def test_table1_command(self, capsys):
+        assert cli_main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "tensor contraction" in out
+
+    def test_table2_command(self, capsys):
+        assert cli_main(["table2"]) == 0
+        assert "QKV fused" in capsys.readouterr().out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            cli_main(["nope"])
+
+
+class TestEncDecExecution:
+    """The encoder/decoder attention graph executes correctly (both KV
+    variants), matching the NumPy reference."""
+
+    @pytest.mark.parametrize("kv_fusion", ["unfused", "kv"])
+    def test_matches_reference(self, kv_fusion):
+        from repro.runtime import GraphExecutor, encdec_mha_feeds
+
+        rng = np.random.default_rng(17)
+        params = init_mha_params(DIMS, rng, std=0.3)
+        i, b, j = DIMS.embed, DIMS.batch, DIMS.seq
+        xq = rng.normal(0, 1, (i, b, j))
+        xkv = rng.normal(0, 1, (i, b, j))
+        g = build_encdec_mha_graph(kv_fusion=kv_fusion)
+        env = DIMS.env()
+        ctx = GraphExecutor(g, env, dropout_p=0.0).run(
+            encdec_mha_feeds(params, xq, xkv, kv_fusion=kv_fusion)
+        )
+        ref = encdec_mha_forward(params, xq, xkv, dropout_p=0.0)
+        np.testing.assert_allclose(ctx["attn_out"], ref.out, atol=1e-6)
+
+    def test_kv_variants_agree(self):
+        from repro.runtime import GraphExecutor, encdec_mha_feeds
+
+        rng = np.random.default_rng(18)
+        params = init_mha_params(DIMS, rng, std=0.3)
+        i, b, j = DIMS.embed, DIMS.batch, DIMS.seq
+        xq = rng.normal(0, 1, (i, b, j))
+        xkv = rng.normal(0, 1, (i, b, j))
+        env = DIMS.env()
+        outs = {}
+        for kv_fusion in ("unfused", "kv"):
+            g = build_encdec_mha_graph(kv_fusion=kv_fusion)
+            ctx = GraphExecutor(g, env, dropout_p=0.0).run(
+                encdec_mha_feeds(params, xq, xkv, kv_fusion=kv_fusion)
+            )
+            outs[kv_fusion] = ctx["attn_out"]
+        np.testing.assert_allclose(outs["unfused"], outs["kv"], atol=1e-10)
+
+    def test_roofline_command(self, capsys):
+        assert cli_main(["roofline"]) == 0
+        out = capsys.readouterr().out
+        assert "memory" in out and "compute" in out

@@ -1,0 +1,248 @@
+"""Unit tests for fusion rules, the fuser, the paper kernel set, and
+algebraic fusion."""
+
+import pytest
+
+from repro.fusion.algebraic import measure_variant, table2_sweep
+from repro.fusion.encoder_kernels import FUSED_KERNEL_NAMES, apply_paper_fusion
+from repro.fusion.fuser import FusionError, fuse_greedy, fuse_ops
+from repro.fusion.rules import (
+    FusionPattern,
+    can_fuse_pair,
+    classify_pattern,
+    shapes_compatible,
+)
+from repro.ir.dims import DimEnv, bert_large_dims
+from repro.ir.graph import DataflowGraph
+from repro.ir.iteration_space import IterationSpace
+from repro.ir.operator import OpClass, OpSpec
+from repro.ir.tensor import TensorSpec
+from repro.transformer.graph_builder import build_encoder_graph, build_mha_graph
+
+ENV = bert_large_dims()
+SMALL = DimEnv({"a": 4, "b": 8, "r": 16, "q": 8})
+
+
+def _op(name, ins, outs, *, ispace, op_class=OpClass.ELEMENTWISE, dims=("a", "b")):
+    return OpSpec(
+        name=name,
+        op_class=op_class,
+        inputs=tuple(TensorSpec(n, dims) for n in ins),
+        outputs=tuple(TensorSpec(n, dims) for n in outs),
+        ispace=ispace,
+        flop_per_point=1.0,
+    )
+
+
+class TestShapeCompatibility:
+    def test_same_independent_shapes(self):
+        a = IterationSpace(("a", "b"))
+        b = IterationSpace(("a", "q"))  # b and q have equal size 8
+        assert shapes_compatible(a, b, SMALL)
+
+    def test_j_k_equivalence(self):
+        """Self-attention: spaces over j and k (equal sizes) are fusible."""
+        a = IterationSpace(("p", "h", "b", "j"))
+        b = IterationSpace(("p", "h", "b", "k"))
+        assert shapes_compatible(a, b, ENV)
+
+    def test_different_sizes_incompatible(self):
+        a = IterationSpace(("a",))
+        b = IterationSpace(("r",))
+        assert not shapes_compatible(a, b, SMALL)
+
+    def test_reduction_extension(self):
+        m = IterationSpace(("a", "b"))
+        r = IterationSpace(("a", "b"), ("r",))
+        assert shapes_compatible(m, r, SMALL)
+        assert shapes_compatible(r, m, SMALL)
+
+    def test_two_distinct_reductions_incompatible(self):
+        r1 = IterationSpace(("a",), ("b",))
+        r2 = IterationSpace(("a",), ("r",))
+        assert not shapes_compatible(r1, r2, SMALL)
+
+    def test_pattern4_map_with_reduction(self):
+        """EBSB: residual over [i,b,j] + layernorm dW reducing [b,j]."""
+        residual = IterationSpace(("a", "b", "r"))
+        ln_dw = IterationSpace(("a",), ("b", "r"))
+        assert shapes_compatible(residual, ln_dw, SMALL)
+
+
+class TestCanFusePair:
+    def test_contraction_never_fuses(self):
+        c = OpSpec(
+            name="mm",
+            op_class=OpClass.TENSOR_CONTRACTION,
+            inputs=(TensorSpec("x", ("a", "b")), TensorSpec("w", ("b",))),
+            outputs=(TensorSpec("y", ("a",)),),
+            ispace=IterationSpace(("a",), ("b",)),
+            einsum="ab,b->a",
+        )
+        e = _op("e", ["y"], ["z"], ispace=IterationSpace(("a",)), dims=("a",))
+        assert not can_fuse_pair(c, e, SMALL)
+
+    def test_classify_map_chain(self):
+        p = _op("p", ["x"], ["t"], ispace=IterationSpace(("a", "b")))
+        c = _op("c", ["t"], ["y"], ispace=IterationSpace(("a", "b")))
+        assert classify_pattern(p, c, SMALL) is FusionPattern.MAP_CHAIN
+
+    def test_classify_sibling(self):
+        p = _op("p", ["x"], ["t"], ispace=IterationSpace(("a", "b")))
+        c = _op("c", ["x2"], ["y"], ispace=IterationSpace(("a", "b")))
+        assert classify_pattern(p, c, SMALL) is FusionPattern.SIBLING
+
+    def test_classify_reduction_then_map(self):
+        p = _op(
+            "p", ["x"], ["t"],
+            ispace=IterationSpace(("a",), ("b",)),
+            op_class=OpClass.STAT_NORMALIZATION,
+        )
+        c = _op("c", ["t"], ["y"], ispace=IterationSpace(("a",)), dims=("a",))
+        # consumer space [a] vs producer [a]/red[b]: reduction extension.
+        assert classify_pattern(p, c, SMALL) is FusionPattern.REDUCTION_THEN_MAP
+
+
+class TestFuseOps:
+    def _graph(self):
+        g = DataflowGraph("g")
+        g.add_input(TensorSpec("x", ("a", "b")))
+        g.add_op(_op("f", ["x"], ["t"], ispace=IterationSpace(("a", "b"))))
+        g.add_op(_op("g", ["t"], ["u"], ispace=IterationSpace(("a", "b"))))
+        g.add_op(_op("h", ["u"], ["y"], ispace=IterationSpace(("a", "b"))))
+        return g
+
+    def test_chain_fusion_removes_interior(self):
+        g = fuse_ops(self._graph(), ["f", "g", "h"], "fgh", env=SMALL)
+        fused = g.op("fgh")
+        assert [t.name for t in fused.inputs] == ["x"]
+        assert [t.name for t in fused.outputs] == ["y"]
+        assert fused.flops(SMALL) == 3 * 32  # members' flop preserved
+
+    def test_partial_fusion_keeps_externally_used(self):
+        g = self._graph()
+        g.add_op(_op("ext", ["t"], ["z"], ispace=IterationSpace(("a", "b"))))
+        fused = fuse_ops(g, ["f", "g"], "fg", env=SMALL)
+        names = [t.name for t in fused.op("fg").outputs]
+        assert "t" in names  # t is needed by ext
+        assert "u" in names
+
+    def test_io_reduction_measured(self):
+        g0 = self._graph()
+        g1 = fuse_ops(g0, ["f", "g", "h"], "fgh", env=SMALL)
+        assert g1.total_io_words(SMALL) < g0.total_io_words(SMALL)
+
+    def test_cycle_through_outside_op_rejected(self):
+        g = DataflowGraph("g")
+        g.add_input(TensorSpec("x", ("a", "b")))
+        g.add_op(_op("f", ["x"], ["t"], ispace=IterationSpace(("a", "b"))))
+        g.add_op(_op("mid", ["t"], ["m"], ispace=IterationSpace(("a", "b"))))
+        g.add_op(_op("g", ["m"], ["y"], ispace=IterationSpace(("a", "b"))))
+        with pytest.raises(FusionError, match="cycle"):
+            fuse_ops(g, ["f", "g"], "fg", env=SMALL)
+
+    def test_contraction_in_group_rejected(self):
+        g = DataflowGraph("g")
+        g.add_input(TensorSpec("x", ("a", "b")))
+        g.add_input(TensorSpec("w", ("b",)))
+        g.add_op(
+            OpSpec(
+                name="mm",
+                op_class=OpClass.TENSOR_CONTRACTION,
+                inputs=(TensorSpec("x", ("a", "b")), TensorSpec("w", ("b",))),
+                outputs=(TensorSpec("y", ("a",)),),
+                ispace=IterationSpace(("a",), ("b",)),
+                einsum="ab,b->a",
+            )
+        )
+        with pytest.raises(FusionError, match="contraction"):
+            fuse_ops(g, ["mm"], "f", env=SMALL)
+
+    def test_incompatible_shapes_rejected(self):
+        g = DataflowGraph("g")
+        g.add_input(TensorSpec("x", ("a", "b")))
+        g.add_op(_op("f", ["x"], ["t"], ispace=IterationSpace(("a", "b"))))
+        g.add_op(
+            OpSpec(
+                name="g2",
+                op_class=OpClass.ELEMENTWISE,
+                inputs=(TensorSpec("t", ("a", "b")),),
+                outputs=(TensorSpec("y", ("r",)),),
+                ispace=IterationSpace(("r",)),
+            )
+        )
+        with pytest.raises(FusionError, match="incompatible"):
+            fuse_ops(g, ["f", "g2"], "fg", env=SMALL)
+
+    def test_result_is_topologically_valid(self):
+        g = self._graph()
+        g2 = fuse_ops(g, ["g", "h"], "gh", env=SMALL)
+        g2.validate()
+        assert g2.op_names.index("f") < g2.op_names.index("gh")
+
+
+class TestPaperKernels:
+    def test_encoder_kernel_set_complete(self):
+        g = apply_paper_fusion(build_encoder_graph(qkv_fusion="qkv"), ENV)
+        labels = {op.kernel_label for op in g.ops if op.kernel_label}
+        assert labels == set(FUSED_KERNEL_NAMES) - {"BLNRD1"} | {"BLNRD1"}
+        assert len(labels) == 14
+
+    def test_mha_only_gets_subset(self):
+        g = apply_paper_fusion(build_mha_graph(qkv_fusion="qkv"), ENV)
+        labels = {op.kernel_label for op in g.ops if op.kernel_label}
+        assert "AIB" in labels and "SM" in labels and "BS" in labels
+        assert "BRD" not in labels  # FFN kernels absent from MHA
+
+    def test_fusion_reduces_encoder_data_movement(self):
+        """Sec. VI-C: ~22.91% data-movement reduction (we accept 15-30%)."""
+        unfused = build_encoder_graph(qkv_fusion="qkv")
+        fused = apply_paper_fusion(unfused, ENV)
+        before = unfused.total_io_words(ENV)
+        after = fused.total_io_words(ENV)
+        reduction = (before - after) / before
+        assert 0.15 < reduction < 0.30
+
+    def test_sm_keeps_backward_outputs(self):
+        """Table III: SM's outputs are alpha + mask + saved softmax (100.6 Mw)."""
+        g = apply_paper_fusion(build_encoder_graph(qkv_fusion="qkv"), ENV)
+        sm = g.op("SM")
+        assert sm.output_words(ENV) / 1e6 == pytest.approx(100.6, abs=1.0)
+
+    def test_fused_flop_equals_member_flop(self):
+        unfused = build_encoder_graph(qkv_fusion="qkv")
+        fused = apply_paper_fusion(unfused, ENV)
+        assert fused.total_flops(ENV) == pytest.approx(unfused.total_flops(ENV))
+
+    def test_greedy_finds_chain_fusions(self):
+        unfused = build_encoder_graph(qkv_fusion="qkv")
+        greedy = fuse_greedy(unfused, ENV)
+        curated = apply_paper_fusion(unfused, ENV)
+        # Greedy discovers the chains; curated additionally merges siblings.
+        assert len(greedy) < len(unfused)
+        assert len(curated) <= len(greedy)
+
+    def test_idempotent_on_missing_groups(self):
+        fwd_only = build_encoder_graph(qkv_fusion="qkv", include_backward=False)
+        g = apply_paper_fusion(fwd_only, ENV)
+        labels = {op.kernel_label for op in g.ops if op.kernel_label}
+        assert "BS" not in labels  # backward kernels skipped
+        assert "SM" in labels
+
+
+class TestAlgebraicFusion:
+    def test_table2_ordering(self):
+        """Table II: QKV fused < QK fused < unfused, fwd and bwd."""
+        res = table2_sweep(ENV)
+        assert res["qkv"].forward_us < res["qk"].forward_us < res["unfused"].forward_us
+        assert res["qkv"].backward_us <= res["qk"].backward_us <= res["unfused"].backward_us
+
+    def test_kernel_counts(self):
+        assert measure_variant("unfused", ENV).forward_kernels == 3
+        assert measure_variant("qkv", ENV).forward_kernels == 1
+
+    def test_magnitudes_near_paper(self):
+        """Paper forward: 345 / 294 / 275 us; allow 25% band."""
+        res = table2_sweep(ENV)
+        assert res["unfused"].forward_us == pytest.approx(345, rel=0.25)
+        assert res["qkv"].forward_us == pytest.approx(275, rel=0.25)

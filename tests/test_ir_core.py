@@ -1,0 +1,177 @@
+"""Unit tests for TensorSpec, IterationSpace, OpSpec, and dtypes."""
+
+import numpy as np
+import pytest
+
+from repro.ir.dims import DimEnv, bert_large_dims
+from repro.ir.dtypes import FP16, FP32, FP64, DType
+from repro.ir.iteration_space import Compatibility, IterationSpace
+from repro.ir.operator import OpClass, OpSpec, Stage
+from repro.ir.tensor import TensorSpec
+from repro.ir.views import view_spec
+
+ENV = DimEnv({"a": 4, "b": 6, "c": 8, "r": 16})
+
+
+class TestDTypes:
+    def test_widths(self):
+        assert FP16.itemsize == 2
+        assert FP32.itemsize == 4
+        assert FP64.itemsize == 8
+
+    def test_bytes_for(self):
+        assert FP16.bytes_for(10) == 20
+        with pytest.raises(ValueError):
+            FP16.bytes_for(-1)
+
+    def test_invalid_itemsize(self):
+        with pytest.raises(ValueError):
+            DType("bad", 0, np.dtype(np.float32))
+
+
+class TestTensorSpec:
+    def test_volume_bytes_shape(self):
+        t = TensorSpec("x", ("a", "b"))
+        assert t.volume(ENV) == 24
+        assert t.nbytes(ENV) == 48  # fp16
+        assert t.shape(ENV) == (4, 6)
+        assert t.rank == 2
+
+    def test_fp32_bytes(self):
+        t = TensorSpec("x", ("a",), dtype=FP32)
+        assert t.nbytes(ENV) == 16
+
+    def test_rejects_repeated_dims(self):
+        with pytest.raises(ValueError):
+            TensorSpec("x", ("a", "a"))
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            TensorSpec("", ("a",))
+
+    def test_grad_spec(self):
+        t = TensorSpec("w", ("a", "b"), is_param=True)
+        g = t.grad()
+        assert g.name == "dw"
+        assert g.dims == t.dims
+        assert not g.is_param
+
+    def test_renamed(self):
+        t = TensorSpec("x", ("a", "b"))
+        assert t.renamed("y").name == "y"
+        assert t.renamed("y").dims == t.dims
+
+
+class TestIterationSpace:
+    def test_basic_sizes(self):
+        s = IterationSpace(("a", "b"), ("r",))
+        assert s.size(ENV) == 4 * 6 * 16
+        assert s.parallel_size(ENV) == 24
+        assert s.has_reduction
+        assert s.all_dims == ("a", "b", "r")
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            IterationSpace(("a",), ("a",))
+
+    def test_identical_compatibility(self):
+        s = IterationSpace(("a", "b"))
+        assert s.compatibility(IterationSpace(("a", "b"))) is Compatibility.IDENTICAL
+
+    def test_reduction_extension(self):
+        map_ = IterationSpace(("a", "b"))
+        red = IterationSpace(("a", "b"), ("r",))
+        assert map_.compatibility(red) is Compatibility.REDUCTION_EXTENSION
+        assert red.compatibility(map_) is Compatibility.REDUCTION_EXTENSION
+
+    def test_two_different_reductions_incompatible(self):
+        s1 = IterationSpace(("a",), ("b",))
+        s2 = IterationSpace(("a",), ("r",))
+        assert s1.compatibility(s2) is Compatibility.INCOMPATIBLE
+
+    def test_partial_shares_outer_prefix(self):
+        s1 = IterationSpace(("a", "b"))
+        s2 = IterationSpace(("a", "c"))
+        assert s1.compatibility(s2) is Compatibility.PARTIAL
+
+    def test_no_shared_prefix_incompatible(self):
+        s1 = IterationSpace(("b", "a"))
+        s2 = IterationSpace(("c", "a"))
+        assert s1.compatibility(s2) is Compatibility.INCOMPATIBLE
+
+    def test_fuse_identical(self):
+        s = IterationSpace(("a",), ("r",))
+        assert s.fuse(s) == s
+
+    def test_fuse_reduction_extension(self):
+        fused = IterationSpace(("a",)).fuse(IterationSpace(("a",), ("r",)))
+        assert fused == IterationSpace(("a",), ("r",))
+
+    def test_fuse_partial_merges_inner(self):
+        fused = IterationSpace(("a", "b")).fuse(IterationSpace(("a", "c")))
+        assert fused.independent == ("a", "b", "c")
+
+    def test_fuse_incompatible_raises(self):
+        with pytest.raises(ValueError):
+            IterationSpace(("a",), ("b",)).fuse(IterationSpace(("a",), ("r",)))
+
+
+class TestOpSpec:
+    def _op(self, **kw):
+        defaults = dict(
+            name="op",
+            op_class=OpClass.ELEMENTWISE,
+            inputs=(TensorSpec("x", ("a", "b")),),
+            outputs=(TensorSpec("y", ("a", "b")),),
+            ispace=IterationSpace(("a", "b")),
+            flop_per_point=1.0,
+        )
+        defaults.update(kw)
+        return OpSpec(**defaults)
+
+    def test_flop_and_io(self):
+        op = self._op()
+        assert op.flops(ENV) == 24
+        assert op.input_words(ENV) == 24
+        assert op.output_words(ENV) == 24
+        assert op.io_bytes(ENV) == 96  # 48 in + 48 out at fp16
+
+    def test_contraction_requires_einsum(self):
+        with pytest.raises(ValueError):
+            self._op(op_class=OpClass.TENSOR_CONTRACTION)
+
+    def test_view_has_zero_cost(self):
+        v = view_spec("v", TensorSpec("x", ("a", "b")), TensorSpec("xv", ("a", "b")))
+        assert v.flops(ENV) == 0
+        assert v.io_bytes(ENV) == 0
+        assert v.is_view
+
+    def test_members_flop_sums(self):
+        m1 = self._op(name="m1")
+        m2 = self._op(name="m2", flop_per_point=2.0)
+        fused = self._op(name="f", members=(m1, m2))
+        assert fused.flops(ENV) == 24 + 48
+
+    def test_movement_class_thresholds(self):
+        # 1 flop/point, 2 words moved per point -> ratio 0.5 -> IO > flop
+        assert self._op().movement_class(ENV) == "IO > flop"
+        heavy = self._op(flop_per_point=100.0)
+        assert heavy.movement_class(ENV) == "IO < flop"
+
+    def test_stage_flags(self):
+        assert not Stage.FORWARD.is_backward
+        assert Stage.BACKWARD_DX.is_backward
+        assert Stage.BACKWARD_DW.is_backward
+
+    def test_markers(self):
+        assert OpClass.TENSOR_CONTRACTION.marker == "△"
+        assert OpClass.STAT_NORMALIZATION.marker == "⬜"
+        assert OpClass.ELEMENTWISE.marker == "○"
+
+    def test_negative_flop_rejected(self):
+        with pytest.raises(ValueError):
+            self._op(flop_per_point=-1.0)
+
+    def test_no_outputs_rejected(self):
+        with pytest.raises(ValueError):
+            self._op(outputs=())

@@ -1,0 +1,81 @@
+"""Unit tests for repro.ir.dims."""
+
+import pytest
+
+from repro.ir.dims import DimEnv, bert_alternate_dims, bert_large_dims, small_test_dims
+
+
+class TestDimEnv:
+    def test_mapping_protocol(self):
+        env = DimEnv({"a": 2, "b": 3})
+        assert env["a"] == 2
+        assert len(env) == 2
+        assert set(env) == {"a", "b"}
+        assert dict(env) == {"a": 2, "b": 3}
+
+    def test_unknown_dim_raises_with_known_names(self):
+        env = DimEnv({"a": 2})
+        with pytest.raises(KeyError, match="unknown dimension"):
+            env["z"]
+
+    def test_rejects_nonpositive_sizes(self):
+        with pytest.raises(ValueError):
+            DimEnv({"a": 0})
+        with pytest.raises(ValueError):
+            DimEnv({"a": -5})
+
+    def test_rejects_bad_names(self):
+        with pytest.raises(ValueError):
+            DimEnv({"": 2})
+
+    def test_volume_and_shape(self):
+        env = DimEnv({"a": 2, "b": 3, "c": 5})
+        assert env.volume(("a", "b")) == 6
+        assert env.volume(()) == 1
+        assert env.shape(("c", "a")) == (5, 2)
+
+    def test_with_sizes_does_not_mutate(self):
+        env = DimEnv({"a": 2})
+        env2 = env.with_sizes(a=7, b=1)
+        assert env["a"] == 2
+        assert env2["a"] == 7
+        assert env2["b"] == 1
+
+    def test_subset(self):
+        env = DimEnv({"a": 2, "b": 3})
+        assert dict(env.subset(["b"])) == {"b": 3}
+
+    def test_hashable(self):
+        assert hash(DimEnv({"a": 2, "b": 3})) == hash(DimEnv({"b": 3, "a": 2}))
+
+
+class TestStandardEnvs:
+    def test_bert_large_matches_paper(self):
+        """Sec. III-D: B=8, L=512, N=1024, H=16, P=64."""
+        env = bert_large_dims()
+        assert env["b"] == 8
+        assert env["j"] == env["k"] == 512
+        assert env["h"] == 16
+        assert env["p"] == env["w"] == 64
+        assert env["i"] == 1024
+        assert env["u"] == 4096
+
+    def test_embedding_is_heads_times_projection(self):
+        env = bert_large_dims()
+        assert env["i"] == env["h"] * env["p"]
+
+    def test_stacking_dims(self):
+        env = bert_large_dims()
+        assert env["c"] == 3
+        assert env["d"] == 2
+
+    def test_alternate_config(self):
+        """Sec. VI-C re-tuned configuration: B=96, L=128."""
+        env = bert_alternate_dims()
+        assert env["b"] == 96
+        assert env["j"] == 128
+        assert env["i"] == 1024
+
+    def test_small_dims_are_small(self):
+        env = small_test_dims()
+        assert all(size <= 8 for size in env.sizes.values())

@@ -1,0 +1,180 @@
+"""Unit tests for the dataflow graph and its analyses."""
+
+import pytest
+
+from repro.ir.analysis import (
+    annotate,
+    class_flop_fractions,
+    data_movement_reduction,
+    unique_io_words,
+)
+from repro.ir.dims import DimEnv
+from repro.ir.graph import DataflowGraph, GraphValidationError
+from repro.ir.iteration_space import IterationSpace
+from repro.ir.operator import OpClass, OpSpec, Stage
+from repro.ir.tensor import TensorSpec
+
+ENV = DimEnv({"a": 4, "b": 8})
+
+
+def _ew(name, in_names, out_names, *, stage=Stage.FORWARD, flop=1.0,
+        op_class=OpClass.ELEMENTWISE):
+    return OpSpec(
+        name=name,
+        op_class=op_class,
+        inputs=tuple(TensorSpec(n, ("a", "b")) for n in in_names),
+        outputs=tuple(TensorSpec(n, ("a", "b")) for n in out_names),
+        ispace=IterationSpace(("a", "b")),
+        flop_per_point=flop,
+        stage=stage,
+    )
+
+
+def _chain_graph():
+    g = DataflowGraph("chain")
+    g.add_input(TensorSpec("x", ("a", "b")))
+    g.add_op(_ew("f", ["x"], ["t1"]))
+    g.add_op(_ew("g", ["t1"], ["t2"]))
+    g.add_op(_ew("h", ["t2"], ["y"]))
+    return g
+
+
+class TestConstruction:
+    def test_chain_builds_and_validates(self):
+        g = _chain_graph()
+        g.validate()
+        assert len(g) == 3
+        assert g.op_names == ("f", "g", "h")
+
+    def test_reading_undefined_container_rejected(self):
+        g = DataflowGraph()
+        with pytest.raises(GraphValidationError, match="undefined container"):
+            g.add_op(_ew("f", ["nope"], ["t"]))
+
+    def test_double_write_rejected(self):
+        g = DataflowGraph()
+        g.add_input(TensorSpec("x", ("a", "b")))
+        g.add_op(_ew("f", ["x"], ["t"]))
+        with pytest.raises(GraphValidationError, match="written by both"):
+            g.add_op(_ew("g", ["x"], ["t"]))
+
+    def test_duplicate_op_name_rejected(self):
+        g = DataflowGraph()
+        g.add_input(TensorSpec("x", ("a", "b")))
+        g.add_op(_ew("f", ["x"], ["t"]))
+        with pytest.raises(GraphValidationError, match="duplicate"):
+            g.add_op(_ew("f", ["x"], ["t2"]))
+
+    def test_writing_graph_input_rejected(self):
+        g = DataflowGraph()
+        g.add_input(TensorSpec("x", ("a", "b")))
+        with pytest.raises(GraphValidationError, match="graph input"):
+            g.add_op(_ew("f", ["x"], ["x2", "x"]))
+
+    def test_dims_mismatch_on_read_rejected(self):
+        g = DataflowGraph()
+        g.add_input(TensorSpec("x", ("a", "b")))
+        bad = OpSpec(
+            name="f",
+            op_class=OpClass.ELEMENTWISE,
+            inputs=(TensorSpec("x", ("b", "a")),),
+            outputs=(TensorSpec("t", ("a", "b")),),
+            ispace=IterationSpace(("a", "b")),
+        )
+        with pytest.raises(GraphValidationError, match="dims"):
+            g.add_op(bad)
+
+    def test_redeclaring_input_same_spec_ok(self):
+        g = DataflowGraph()
+        t = TensorSpec("x", ("a", "b"))
+        g.add_input(t)
+        g.add_input(t)  # no error
+        with pytest.raises(GraphValidationError):
+            g.add_input(TensorSpec("x", ("b", "a")))
+
+
+class TestQueries:
+    def test_producer_consumer(self):
+        g = _chain_graph()
+        assert g.producer_of("t1") == "f"
+        assert g.producer_of("x") is None
+        assert g.consumers_of("t1") == ("g",)
+        assert g.consumers_of("y") == ()
+
+    def test_graph_outputs(self):
+        g = _chain_graph()
+        assert [t.name for t in g.graph_outputs()] == ["y"]
+
+    def test_edges(self):
+        g = _chain_graph()
+        edges = list(g.edges())
+        assert len(edges) == 6  # 3 ops x (1 read + 1 write)
+
+    def test_stage_partition(self):
+        g = DataflowGraph()
+        g.add_input(TensorSpec("x", ("a", "b")))
+        g.add_op(_ew("f", ["x"], ["t"]))
+        g.add_op(_ew("fb", ["t"], ["dt"], stage=Stage.BACKWARD_DX))
+        assert [o.name for o in g.forward_ops()] == ["f"]
+        assert [o.name for o in g.backward_ops()] == ["fb"]
+
+    def test_subgraph(self):
+        g = _chain_graph()
+        sub = g.subgraph(["g", "h"])
+        assert len(sub) == 2
+        assert [t.name for t in sub.graph_inputs] == ["t1"]
+        sub.validate()
+
+
+class TestAnalyses:
+    def test_total_flops_and_io(self):
+        g = _chain_graph()
+        assert g.total_flops(ENV) == 3 * 32
+        assert g.total_io_words(ENV) == 3 * 64
+        assert g.total_io_bytes(ENV) == 3 * 128
+
+    def test_class_breakdown(self):
+        g = DataflowGraph()
+        g.add_input(TensorSpec("x", ("a", "b")))
+        g.add_op(_ew("e", ["x"], ["t"]))
+        g.add_op(_ew("n", ["t"], ["y"], op_class=OpClass.STAT_NORMALIZATION, flop=5.0))
+        bd = g.class_breakdown(ENV)
+        assert bd[OpClass.ELEMENTWISE].flop == 32
+        assert bd[OpClass.STAT_NORMALIZATION].flop == 160
+
+    def test_class_flop_fractions_sum_to_one(self):
+        g = _chain_graph()
+        fracs = class_flop_fractions(g, ENV)
+        assert sum(fracs.values()) == pytest.approx(1.0)
+
+    def test_annotate(self):
+        g = _chain_graph()
+        anns = annotate(g, ENV)
+        assert [a.name for a in anns] == ["f", "g", "h"]
+        assert all(a.summary.flop == 32 for a in anns)
+
+    def test_unique_io_words_drops_interior(self):
+        g = _chain_graph()
+        # Fusing all three ops: t1 and t2 are interior.
+        words = unique_io_words(list(g.ops), ENV)
+        assert words == 64  # x in + y out
+
+    def test_data_movement_reduction(self):
+        g = _chain_graph()
+        fused = DataflowGraph("fused")
+        fused.add_input(TensorSpec("x", ("a", "b")))
+        fused.add_op(_ew("fgh", ["x"], ["y"]))
+        red = data_movement_reduction(g, fused, ENV)
+        assert red == pytest.approx((192 - 64) / 192)
+
+    def test_replace_ops(self):
+        g = _chain_graph()
+        merged = _ew("fg", ["x"], ["t2"])
+        g2 = g.replace_ops(["f", "g"], [merged])
+        g2.validate()
+        assert g2.op_names == ("fg", "h")
+
+    def test_describe_contains_all_ops(self):
+        text = _chain_graph().describe(ENV)
+        for name in ("f", "g", "h"):
+            assert name in text

@@ -1,0 +1,246 @@
+"""Unit tests for layouts, GEMM mapping, and configuration spaces."""
+
+import pytest
+
+from repro.ir.dims import DimEnv, bert_large_dims
+from repro.ir.tensor import TensorSpec
+from repro.layouts.config import HEURISTIC_ALGORITHM, NUM_GEMM_ALGORITHMS, OpConfig
+from repro.layouts.configspace import (
+    contraction_configs,
+    default_config,
+    kernel_configs,
+)
+from repro.layouts.gemm_mapping import (
+    classify_dims,
+    default_gemm_shape,
+    map_to_gemm,
+)
+from repro.layouts.layout import Layout, all_layouts, transpose_cost_bytes
+from repro.ops.contraction import contraction_spec
+from repro.ops.elementwise import bias_spec
+from repro.ops.softmax import softmax_spec
+
+ENV = bert_large_dims()
+
+
+class TestLayout:
+    def test_strides_row_major(self):
+        env = DimEnv({"a": 2, "b": 3, "c": 4})
+        l = Layout(("a", "b", "c"))
+        assert l.strides(env) == {"c": 1, "b": 4, "a": 12}
+
+    def test_contiguous_dim(self):
+        assert Layout(("a", "b")).contiguous_dim == "b"
+
+    def test_repeated_dims_rejected(self):
+        with pytest.raises(ValueError):
+            Layout(("a", "a"))
+
+    def test_vectorizable(self):
+        env = DimEnv({"a": 16, "b": 7})
+        assert Layout(("b", "a")).is_vectorizable_along("a", env)
+        assert not Layout(("a", "b")).is_vectorizable_along("a", env)  # not inner
+        assert not Layout(("a", "b")).is_vectorizable_along("b", env)  # 7 % 8 != 0
+
+    def test_permutation_from(self):
+        a = Layout(("x", "y", "z"))
+        b = Layout(("z", "x", "y"))
+        perm = b.permutation_from(a)
+        assert tuple(a.dims[i] for i in perm) == b.dims
+
+    def test_all_layouts_count(self):
+        assert len(list(all_layouts(("a", "b", "c")))) == 6
+
+    def test_is_contiguous_group(self):
+        l = Layout(("a", "b", "c", "d"))
+        assert l.is_contiguous_group(("b", "c"))
+        assert not l.is_contiguous_group(("c", "b"))  # order must match
+        assert not l.is_contiguous_group(("a", "c"))
+
+    def test_transpose_cost_is_two_passes(self):
+        t = TensorSpec("x", ("i", "b", "j"))
+        assert transpose_cost_bytes(t, ENV) == 2 * t.nbytes(ENV)
+
+
+class TestDimRoles:
+    def test_linear_layer_roles(self):
+        roles = classify_dims("ui,ibj->ubj")
+        assert roles.batch == ()
+        assert set(roles.m) == {"u"} or set(roles.n) == {"u"}
+        assert roles.k == ("i",)
+
+    def test_batched_attention_roles(self):
+        roles = classify_dims("phbk,phbj->hbjk")
+        assert set(roles.batch) == {"h", "b"}
+        assert roles.k == ("p",)
+        assert set(roles.m) | set(roles.n) == {"j", "k"}
+
+    def test_three_operand_rejected(self):
+        with pytest.raises(ValueError):
+            classify_dims("ab,bc,cd->ad")
+
+
+class TestGemmMapping:
+    def test_default_shapes_match_fig4_labels(self):
+        """Fig. 4 tile labels for key contractions."""
+        s = default_gemm_shape("cphi,ibj->cphbj", ENV).canonical()
+        assert (s.m, s.n, s.k, s.batch) == (4096, 3072, 1024, 1)
+        s = default_gemm_shape("phbk,phbj->hbjk", ENV).canonical()
+        assert (s.m, s.n, s.k, s.batch) == (512, 512, 64, 128)
+        s = default_gemm_shape("ui,ibj->ubj", ENV).canonical()
+        assert (s.m, s.n, s.k, s.batch) == (4096, 4096, 1024, 1)
+        s = default_gemm_shape("whbk,hbjk->whbj", ENV).canonical()
+        assert (s.m, s.n, s.k, s.batch) == (512, 64, 512, 128)
+
+    def test_canonical_swaps_to_m_ge_n(self):
+        from repro.layouts.gemm_mapping import GemmShape
+
+        s = GemmShape(m=10, n=20, k=5, batch=1, trans_a=False, trans_b=False)
+        c = s.canonical()
+        assert c.m == 20 and c.n == 10
+        assert c.flops == s.flops
+
+    def test_default_layouts_mappable(self):
+        op = contraction_spec("lin", "ui,ibj->ubj", ("w", "x"), "y")
+        shape = map_to_gemm(
+            "ui,ibj->ubj",
+            Layout(("u", "i")),
+            Layout(("i", "b", "j")),
+            Layout(("u", "b", "j")),
+            ENV,
+        )
+        assert shape is not None
+
+    def test_batch_dim_innermost_is_strided_batched(self):
+        """Strided batched GEMM absorbs any block order, including an
+        innermost batch dim (the batch stride is then 1)."""
+        shape = map_to_gemm(
+            "gab,gbc->gac",
+            Layout(("g", "a", "b")),
+            Layout(("g", "b", "c")),
+            Layout(("a", "c", "g")),
+            DimEnv({"g": 2, "a": 4, "b": 4, "c": 4}),
+        )
+        assert shape is not None
+        assert shape.batch == 2
+
+    def test_default_attention_layouts_mappable(self):
+        """QKT's spec-order layouts (batch dims h,b in the middle) map."""
+        shape = map_to_gemm(
+            "phbk,phbj->hbjk",
+            Layout(("p", "h", "b", "k")),
+            Layout(("p", "h", "b", "j")),
+            Layout(("h", "b", "j", "k")),
+            ENV,
+        )
+        assert shape is not None
+        assert shape.batch == 128
+
+    def test_transposed_operand_detected(self):
+        shape = map_to_gemm(
+            "ab,bc->ac",
+            Layout(("b", "a")),  # A stored K-major: transposed
+            Layout(("b", "c")),
+            Layout(("a", "c")),
+            DimEnv({"a": 4, "b": 5, "c": 6}),
+        )
+        assert shape is not None
+        assert shape.trans_a
+
+    def test_interleaved_groups_not_mappable(self):
+        # A's M and K dims interleaved -> not a strided 2-D matrix.
+        shape = map_to_gemm(
+            "amb,bc->amc",  # m dims a,m? -> dims a,m in A and C; b contracted
+            Layout(("a", "b", "m")),
+            Layout(("b", "c")),
+            Layout(("a", "m", "c")),
+            DimEnv({"a": 2, "m": 3, "b": 4, "c": 5}),
+        )
+        assert shape is None
+
+    def test_flops(self):
+        from repro.layouts.gemm_mapping import GemmShape
+
+        s = GemmShape(m=2, n=3, k=4, batch=5, trans_a=False, trans_b=False)
+        assert s.flops == 2 * 2 * 3 * 4 * 5
+
+
+class TestOpConfig:
+    def test_key_is_stable_and_unique(self):
+        l = Layout(("a", "b"))
+        c1 = OpConfig("op", (l,), (l,), vector_dim="b")
+        c2 = OpConfig("op", (l,), (l,), vector_dim="a")
+        assert c1.key() == c1.key()
+        assert c1.key() != c2.key()
+
+    def test_seed_deterministic(self):
+        l = Layout(("a", "b"))
+        c = OpConfig("op", (l,), (l,))
+        assert c.seed() == c.seed()
+        assert c.seed("x") != c.seed("y")
+
+    def test_algorithm_range_checked(self):
+        l = Layout(("a", "b"))
+        with pytest.raises(ValueError):
+            OpConfig("op", (l,), (l,), algorithm=NUM_GEMM_ALGORITHMS)
+        OpConfig("op", (l,), (l,), algorithm=HEURISTIC_ALGORITHM)  # ok
+
+    def test_layout_of(self):
+        lin = Layout(("a", "b"))
+        lout = Layout(("b", "a"))
+        c = OpConfig("op", (lin,), (lout,))
+        assert c.layout_of("x", ("x",), ("y",)) == lin
+        assert c.layout_of("y", ("x",), ("y",)) == lout
+        with pytest.raises(KeyError):
+            c.layout_of("z", ("x",), ("y",))
+
+
+class TestConfigSpaces:
+    def test_contraction_space_feasible_and_bounded(self):
+        op = contraction_spec("lin", "ui,ibj->ubj", ("w", "x"), "y")
+        configs = list(contraction_configs(op, ENV))
+        assert 0 < len(configs) < 2 * 2 * 6 * 6 * 8 * 2
+
+    def test_kernel_space_cap(self):
+        x = TensorSpec("qq", ("p", "h", "b", "j"))
+        op = bias_spec("aib", x, ("p", "h"), "out")
+        capped = list(kernel_configs(op, ENV, cap=50))
+        assert len(capped) == 50
+        assert len(set(c.key() for c in capped)) == 50  # all distinct
+
+    def test_kernel_space_exhaustive_when_small(self):
+        x = TensorSpec("x", ("a", "b"))
+        op = bias_spec("b", x, ("a",), "y")
+        env = DimEnv({"a": 4, "b": 8})
+        configs = list(kernel_configs(op, env, cap=10_000))
+        # x has 2 layouts, bias 1, out 2; vector dim 2 choices; no reduction.
+        assert len(configs) == 2 * 2 * 2
+
+    def test_cap_includes_default_point(self):
+        x = TensorSpec("qq", ("p", "h", "b", "j"))
+        op = bias_spec("aib", x, ("p", "h"), "out")
+        first = next(iter(kernel_configs(op, ENV, cap=5)))
+        assert first.input_layouts[0] == Layout(x.dims)
+
+    def test_cap_deterministic(self):
+        x = TensorSpec("qq", ("p", "h", "b", "j"))
+        op = bias_spec("aib", x, ("p", "h"), "out")
+        a = [c.key() for c in kernel_configs(op, ENV, cap=30, seed=1)]
+        b = [c.key() for c in kernel_configs(op, ENV, cap=30, seed=1)]
+        assert a == b
+
+    def test_default_config_uses_spec_order(self):
+        x = TensorSpec("beta", ("h", "b", "j", "k"))
+        op = softmax_spec("sm", x, "alpha", axis_dim="k")
+        cfg = default_config(op)
+        assert cfg.input_layouts[0] == Layout(x.dims)
+        assert cfg.warp_reduce_dim == "k"
+
+    def test_wrong_class_dispatch_errors(self):
+        op = contraction_spec("lin", "ui,ibj->ubj", ("w", "x"), "y")
+        with pytest.raises(ValueError):
+            list(kernel_configs(op, ENV))
+        x = TensorSpec("x", ("a", "b"))
+        bop = bias_spec("b", x, ("a",), "y")
+        with pytest.raises(ValueError):
+            list(contraction_configs(bop, ENV))

@@ -1,0 +1,318 @@
+"""Unit tests for the operator library: einsum utils and NumPy kernels."""
+
+import numpy as np
+import pytest
+
+from repro.ir.dims import DimEnv, bert_large_dims
+from repro.ops.contraction import (
+    contraction_forward,
+    contraction_grad_specs,
+    contraction_grads,
+    contraction_spec,
+)
+from repro.ops.einsum_utils import grad_einsum, parse_einsum
+from repro.ops.elementwise import (
+    bias_forward,
+    bias_grad_param,
+    bias_spec,
+    dropout_backward,
+    dropout_forward,
+    gelu_backward,
+    gelu_forward,
+    relu_backward,
+    relu_forward,
+    residual_forward,
+)
+from repro.ops.layernorm import (
+    layernorm_backward_dw,
+    layernorm_backward_dx,
+    layernorm_forward,
+    layernorm_spec,
+)
+from repro.ops.softmax import softmax_backward, softmax_forward, softmax_spec
+from repro.ir.tensor import TensorSpec
+
+RNG = np.random.default_rng(42)
+
+
+class TestEinsumParsing:
+    def test_basic(self):
+        spec = parse_einsum("ab,bc->ac")
+        assert spec.input_subscripts == ("ab", "bc")
+        assert spec.output_subscript == "ac"
+        assert spec.reduction_dims == ("b",)
+
+    def test_mha_projection(self):
+        spec = parse_einsum("phi,ibj->phbj")
+        assert spec.reduction_dims == ("i",)
+        assert spec.output_dims == ("p", "h", "b", "j")
+        space = spec.iteration_space()
+        assert space.independent == ("p", "h", "b", "j")
+        assert space.reduction == ("i",)
+
+    def test_flops_is_2mnk(self):
+        env = DimEnv({"a": 3, "b": 4, "c": 5})
+        assert parse_einsum("ab,bc->ac").flops(env) == 2 * 3 * 4 * 5
+
+    def test_requires_explicit_output(self):
+        with pytest.raises(ValueError):
+            parse_einsum("ab,bc")
+
+    def test_rejects_repeated_subscript(self):
+        with pytest.raises(ValueError):
+            parse_einsum("aa,ab->ab")
+
+    def test_rejects_unknown_output_dim(self):
+        with pytest.raises(ValueError):
+            parse_einsum("ab,bc->ad")
+
+    def test_rejects_ellipsis(self):
+        with pytest.raises(ValueError):
+            parse_einsum("...a,ab->...b")
+
+
+class TestGradEinsum:
+    @pytest.mark.parametrize(
+        "spec,wrt,expected",
+        [
+            ("ab,bc->ac", 0, "ac,bc->ab"),
+            ("ab,bc->ac", 1, "ac,ab->bc"),
+            ("phi,ibj->phbj", 0, "phbj,ibj->phi"),
+            ("phi,ibj->phbj", 1, "phbj,phi->ibj"),
+            ("whbk,hbjk->whbj", 1, "whbj,whbk->hbjk"),
+        ],
+    )
+    def test_grad_specs(self, spec, wrt, expected):
+        assert grad_einsum(spec, wrt).spec == expected
+
+    def test_out_of_range(self):
+        with pytest.raises(IndexError):
+            grad_einsum("ab,bc->ac", 2)
+
+    def test_gradients_match_numerics(self):
+        a = RNG.normal(size=(3, 4))
+        b = RNG.normal(size=(4, 5))
+        c = contraction_forward("ab,bc->ac", a, b)
+        w = RNG.normal(size=c.shape)
+        da, db = contraction_grads("ab,bc->ac", w, a, b)
+        eps = 1e-4
+
+        def loss(a_, b_):
+            return float((contraction_forward("ab,bc->ac", a_, b_) * w).sum())
+
+        a2 = a.copy()
+        a2[1, 2] += eps
+        num = (loss(a2, b) - loss(a, b)) / eps
+        assert da[1, 2] == pytest.approx(num, rel=1e-2)
+
+    def test_batched_contraction_grads_shapes(self):
+        q = RNG.normal(size=(2, 3, 4, 5))  # phbk
+        k = RNG.normal(size=(2, 3, 4, 6))  # phbj
+        out = contraction_forward("phbk,phbj->hbjk", q, k)
+        assert out.shape == (3, 4, 6, 5)
+        g1, g2 = contraction_grads("phbk,phbj->hbjk", np.ones_like(out), q, k)
+        assert g1.shape == q.shape and g2.shape == k.shape
+
+
+class TestContractionSpec:
+    def test_paper_flop_counts(self):
+        """Table III: stacked QKV = 24 binary Gflop, linear1 = 32."""
+        env = bert_large_dims()
+        qkv = contraction_spec("qkv", "cphi,ibj->cphbj", ("w", "x"), "out")
+        assert qkv.flops(env) / 2**30 == pytest.approx(24.0)
+        lin = contraction_spec("lin1", "ui,ibj->ubj", ("w", "x"), "out")
+        assert lin.flops(env) / 2**30 == pytest.approx(32.0)
+
+    def test_paper_io_counts(self):
+        """Table III: QKV inputs 7.3 Mw, outputs 12.5 Mw."""
+        env = bert_large_dims()
+        qkv = contraction_spec("qkv", "cphi,ibj->cphbj", ("w", "x"), "out")
+        assert qkv.input_words(env) / 1e6 == pytest.approx(7.34, abs=0.05)
+        assert qkv.output_words(env) / 1e6 == pytest.approx(12.58, abs=0.05)
+
+    def test_param_flag(self):
+        op = contraction_spec("q", "phi,ibj->phbj", ("w", "x"), "o", param_inputs=(0,))
+        assert op.inputs[0].is_param and not op.inputs[1].is_param
+
+    def test_name_count_mismatch(self):
+        with pytest.raises(ValueError):
+            contraction_spec("q", "ab,bc->ac", ("w",), "o")
+
+
+class TestElementwise:
+    def test_bias_broadcast_matches_manual(self):
+        x = RNG.normal(size=(2, 3, 4))  # dims p,b,j
+        b = RNG.normal(size=(2,))  # dims p
+        y = bias_forward(x, b, ("p", "b", "j"), ("p",))
+        np.testing.assert_allclose(y, x + b[:, None, None])
+
+    def test_bias_2d_broadcast(self):
+        x = RNG.normal(size=(2, 3, 4, 5))  # p,h,b,j
+        b = RNG.normal(size=(2, 3))  # p,h
+        y = bias_forward(x, b, ("p", "h", "b", "j"), ("p", "h"))
+        np.testing.assert_allclose(y, x + b[:, :, None, None])
+
+    def test_bias_permuted_dims(self):
+        x = RNG.normal(size=(3, 2, 4))  # h,p,j
+        b = RNG.normal(size=(2, 3))  # declared (p,h)
+        y = bias_forward(x, b, ("h", "p", "j"), ("p", "h"))
+        np.testing.assert_allclose(y, x + b.T[:, :, None])
+
+    def test_bias_grad_param_reduces_broadcast_dims(self):
+        dy = RNG.normal(size=(2, 3, 4))
+        g = bias_grad_param(dy, ("p", "b", "j"), ("p",))
+        np.testing.assert_allclose(g, dy.sum(axis=(1, 2)))
+
+    def test_bias_grad_param_permuted(self):
+        dy = RNG.normal(size=(3, 2, 4))  # h,p,j
+        g = bias_grad_param(dy, ("h", "p", "j"), ("p", "h"))
+        np.testing.assert_allclose(g, dy.sum(axis=2).T)
+
+    def test_relu(self):
+        x = np.array([-1.0, 0.0, 2.0])
+        np.testing.assert_array_equal(relu_forward(x), [0, 0, 2])
+        np.testing.assert_array_equal(relu_backward(np.ones(3), x), [0, 0, 1])
+
+    def test_gelu_matches_numeric_grad(self):
+        x = RNG.normal(size=(10,))
+        eps = 1e-5
+        num = (gelu_forward(x + eps) - gelu_forward(x - eps)) / (2 * eps)
+        np.testing.assert_allclose(gelu_backward(np.ones(10), x), num, rtol=1e-4)
+
+    def test_dropout_inverted_scaling(self):
+        x = np.ones((1000,))
+        y, mask = dropout_forward(x, 0.5, np.random.default_rng(0))
+        # Inverted dropout: E[y] = x.
+        assert y.mean() == pytest.approx(1.0, abs=0.1)
+        kept = mask > 0
+        np.testing.assert_allclose(y[kept], 2.0)
+        np.testing.assert_allclose(y[~kept], 0.0)
+
+    def test_dropout_zero_p_is_identity(self):
+        x = RNG.normal(size=(5, 5))
+        y, mask = dropout_forward(x, 0.0, np.random.default_rng(0))
+        np.testing.assert_array_equal(y, x)
+        np.testing.assert_array_equal(mask, np.ones_like(x))
+
+    def test_dropout_invalid_p(self):
+        with pytest.raises(ValueError):
+            dropout_forward(np.ones(3), 1.0, np.random.default_rng(0))
+
+    def test_dropout_backward_is_mask_multiply(self):
+        x = RNG.normal(size=(100,))
+        _, mask = dropout_forward(x, 0.3, np.random.default_rng(1))
+        dy = RNG.normal(size=(100,))
+        np.testing.assert_array_equal(dropout_backward(dy, mask), dy * mask)
+
+    def test_residual(self):
+        a, b = RNG.normal(size=(3,)), RNG.normal(size=(3,))
+        np.testing.assert_array_equal(residual_forward(a, b), a + b)
+
+    def test_bias_spec_rejects_foreign_dims(self):
+        x = TensorSpec("x", ("a", "b"))
+        with pytest.raises(ValueError):
+            bias_spec("bad", x, ("z",), "y")
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        x = RNG.normal(size=(4, 7))
+        y = softmax_forward(x, axis=-1)
+        np.testing.assert_allclose(y.sum(axis=-1), np.ones(4), rtol=1e-6)
+
+    def test_numerically_stable_for_large_inputs(self):
+        x = np.array([[1e4, 1e4 + 1.0]])
+        y = softmax_forward(x, axis=-1)
+        assert np.isfinite(y).all()
+
+    def test_scale_applied_before_softmax(self):
+        x = RNG.normal(size=(3, 5))
+        np.testing.assert_allclose(
+            softmax_forward(x, scale=0.5), softmax_forward(0.5 * x), rtol=1e-6
+        )
+
+    def test_additive_mask(self):
+        x = RNG.normal(size=(2, 4))
+        mask = np.array([[0, 0, -np.inf, -np.inf]] * 2)
+        y = softmax_forward(x, mask=mask)
+        np.testing.assert_allclose(y[:, 2:], 0.0)
+
+    def test_backward_matches_numeric(self):
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=(3, 6))
+        scale = 0.7
+        w = rng.normal(size=(3, 6))
+        y = softmax_forward(x, scale=scale)
+        dx = softmax_backward(w, y, scale=scale)
+        # softmax_forward computes in float32: eps must stay well above its
+        # rounding at unit-scale inputs.
+        eps = 1e-4
+        for idx in [(1, 3), (0, 0), (2, 5)]:
+            x2 = x.copy()
+            x2[idx] += eps
+            num = ((softmax_forward(x2, scale=scale) - y) * w).sum() / eps
+            assert dx[idx] == pytest.approx(num, rel=5e-3, abs=2e-4)
+
+    def test_spec_classification(self):
+        x = TensorSpec("beta", ("h", "b", "j", "k"))
+        op = softmax_spec("sm", x, "alpha", axis_dim="k")
+        assert op.ispace.reduction == ("k",)
+        assert op.ispace.independent == ("h", "b", "j")
+
+    def test_spec_rejects_missing_axis(self):
+        x = TensorSpec("beta", ("h", "b", "j", "k"))
+        with pytest.raises(ValueError):
+            softmax_spec("sm", x, "alpha", axis_dim="z")
+
+
+class TestLayerNorm:
+    def test_normalizes_mean_and_var(self):
+        x = RNG.normal(2.0, 3.0, size=(16, 4, 5))
+        g = np.ones(16)
+        b = np.zeros(16)
+        y, mean, inv_std = layernorm_forward(x, g, b, axis=0)
+        np.testing.assert_allclose(y.mean(axis=0), 0.0, atol=1e-7)
+        np.testing.assert_allclose(y.std(axis=0), 1.0, rtol=1e-3)
+
+    def test_scale_bias_applied(self):
+        x = RNG.normal(size=(8, 3))
+        g = RNG.normal(size=(8,))
+        b = RNG.normal(size=(8,))
+        y, mean, inv_std = layernorm_forward(x, g, b, axis=0)
+        xhat = (x - mean) * inv_std
+        np.testing.assert_allclose(y, g[:, None] * xhat + b[:, None], rtol=1e-6)
+
+    def test_backward_dx_matches_numeric(self):
+        x = RNG.normal(size=(6, 4)).astype(np.float64)
+        g = RNG.normal(size=(6,))
+        b = RNG.normal(size=(6,))
+        w = RNG.normal(size=(6, 4))
+        y, mean, inv_std = layernorm_forward(x, g, b, axis=0)
+        dx = layernorm_backward_dx(w, x, g, mean, inv_std, axis=0)
+        eps = 1e-6
+        x2 = x.copy()
+        x2[2, 1] += eps
+        y2, _, _ = layernorm_forward(x2, g, b, axis=0)
+        num = ((y2 - y) * w).sum() / eps
+        assert dx[2, 1] == pytest.approx(num, rel=1e-3)
+
+    def test_backward_dw_matches_numeric(self):
+        x = RNG.normal(size=(6, 4))
+        g = RNG.normal(size=(6,))
+        b = RNG.normal(size=(6,))
+        w = RNG.normal(size=(6, 4))
+        y, mean, inv_std = layernorm_forward(x, g, b, axis=0)
+        dg, db = layernorm_backward_dw(w, x, mean, inv_std, axis=0)
+        eps = 1e-6
+        g2 = g.copy()
+        g2[3] += eps
+        y2, _, _ = layernorm_forward(x, g2, b, axis=0)
+        assert dg[3] == pytest.approx(((y2 - y) * w).sum() / eps, rel=1e-3)
+        np.testing.assert_allclose(db, w.sum(axis=1), rtol=1e-6)
+
+    def test_spec_structure(self):
+        x = TensorSpec("resid", ("i", "b", "j"))
+        op = layernorm_spec("ln", x, "out", norm_dim="i")
+        assert op.ispace.reduction == ("i",)
+        assert len(op.inputs) == 3  # x, scale, bias
+        assert op.inputs[1].is_param and op.inputs[2].is_param

@@ -1,0 +1,301 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from __future__ import annotations
+
+import string
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.configsel.sssp import ConfigGraph, shortest_path, shortest_path_networkx
+from repro.hardware.cost_model import CostModel
+from repro.hardware.efficiency import kernel_efficiency
+from repro.hardware.mue import mue
+from repro.hardware.spec import V100
+from repro.ir.dims import DimEnv
+from repro.ir.iteration_space import Compatibility, IterationSpace
+from repro.ir.tensor import TensorSpec
+from repro.layouts.config import OpConfig
+from repro.layouts.configspace import kernel_configs
+from repro.layouts.gemm_mapping import classify_dims, map_to_gemm
+from repro.layouts.layout import Layout, all_layouts
+from repro.ops.contraction import contraction_forward, contraction_grads
+from repro.ops.einsum_utils import grad_einsum, parse_einsum
+from repro.ops.elementwise import bias_spec, dropout_forward
+from repro.ops.softmax import softmax_backward, softmax_forward
+
+# -- strategies ---------------------------------------------------------------
+
+dim_names = st.lists(
+    st.sampled_from(list("abcdefgh")), min_size=1, max_size=4, unique=True
+).map(tuple)
+
+
+@st.composite
+def dim_envs(draw, names=None):
+    if names is None:
+        names = draw(dim_names)
+    sizes = {n: draw(st.integers(min_value=1, max_value=16)) for n in names}
+    return DimEnv(sizes)
+
+
+@st.composite
+def layouts_of(draw, dims):
+    perm = draw(st.permutations(list(dims)))
+    return Layout(tuple(perm))
+
+
+# -- Layout properties -----------------------------------------------------------
+
+
+class TestLayoutProperties:
+    @given(dims=dim_names, data=st.data())
+    def test_permutation_roundtrip(self, dims, data):
+        """permutation_from is invertible: applying it to the source order
+        reproduces the target order."""
+        a = data.draw(layouts_of(dims))
+        b = data.draw(layouts_of(dims))
+        perm = b.permutation_from(a)
+        assert tuple(a.dims[i] for i in perm) == b.dims
+
+    @given(dims=dim_names, data=st.data())
+    def test_strides_are_consistent_with_volume(self, dims, data):
+        env = data.draw(dim_envs(dims))
+        layout = data.draw(layouts_of(dims))
+        strides = layout.strides(env)
+        # The outermost dim's stride times its size equals the volume.
+        outer = layout.dims[0]
+        assert strides[outer] * env[outer] == env.volume(dims)
+        # Innermost is unit stride.
+        assert strides[layout.contiguous_dim] == 1
+
+    @given(dims=dim_names)
+    def test_all_layouts_are_distinct_permutations(self, dims):
+        ls = list(all_layouts(dims))
+        assert len(ls) == len(set(l.dims for l in ls))
+        for l in ls:
+            assert sorted(l.dims) == sorted(dims)
+
+
+# -- Einsum gradient properties ----------------------------------------------------
+
+
+class TestEinsumProperties:
+    @given(
+        m=st.integers(2, 5), n=st.integers(2, 5), k=st.integers(2, 5),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_gemm_gradient_matches_directional_derivative(self, m, n, k, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(m, k))
+        b = rng.normal(size=(k, n))
+        w = rng.normal(size=(m, n))
+        da, db = contraction_grads("ab,bc->ac", w, a, b)
+        # Directional (central) derivative along a random direction.  The
+        # forward runs in float32, so eps must stay well above its rounding.
+        va = rng.normal(size=a.shape)
+        eps = 1e-3
+        fp = float((contraction_forward("ab,bc->ac", a + eps * va, b) * w).sum())
+        fm = float((contraction_forward("ab,bc->ac", a - eps * va, b) * w).sum())
+        assert (da * va).sum() == pytest.approx((fp - fm) / (2 * eps), rel=5e-3, abs=5e-3)
+
+    @given(st.sampled_from([
+        "ab,bc->ac", "phi,ibj->phbj", "whbk,hbjk->whbj", "ui,ibj->ubj",
+        "cphi,ibj->cphbj", "hbjk,phbk->phbj",
+    ]))
+    def test_grad_spec_dims_match_operand(self, spec):
+        parsed = parse_einsum(spec)
+        for i in range(parsed.num_inputs):
+            g = grad_einsum(parsed, i)
+            assert g.output_subscript == parsed.input_subscripts[i]
+
+    @given(st.sampled_from(["ab,bc->ac", "phi,ibj->phbj", "phbk,phbj->hbjk"]))
+    def test_roles_partition_all_dims(self, spec):
+        roles = classify_dims(spec)
+        parsed = parse_einsum(spec)
+        every = set(roles.batch) | set(roles.m) | set(roles.n) | set(roles.k)
+        assert every == {d for s in parsed.input_subscripts for d in s} | set(
+            parsed.output_subscript
+        )
+
+
+# -- Iteration-space properties ------------------------------------------------------
+
+
+class TestIterationSpaceProperties:
+    @given(dims=dim_names, data=st.data())
+    def test_compatibility_identical_is_reflexive(self, dims, data):
+        n_red = data.draw(st.integers(0, len(dims) - 1)) if len(dims) > 1 else 0
+        space = IterationSpace(dims[: len(dims) - n_red], dims[len(dims) - n_red :])
+        assert space.compatibility(space) is Compatibility.IDENTICAL
+
+    @given(dims=dim_names, data=st.data())
+    def test_fuse_preserves_dims(self, dims, data):
+        """Fusing compatible spaces never loses a dimension."""
+        n_red = data.draw(st.integers(0, len(dims) - 1)) if len(dims) > 1 else 0
+        a = IterationSpace(dims[: len(dims) - n_red], dims[len(dims) - n_red :])
+        b = IterationSpace(a.independent)  # reduction-free companion
+        if b.compatibility(a).fusible:
+            fused = b.fuse(a)
+            assert set(fused.all_dims) >= set(a.all_dims)
+
+
+# -- GEMM mapping properties -----------------------------------------------------------
+
+
+class TestGemmMappingProperties:
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_mapped_flops_invariant_under_layout(self, data):
+        """Whatever the layouts, a feasible mapping computes the same flop."""
+        env = DimEnv({"a": 4, "b": 6, "c": 8, "g": 2})
+        spec = parse_einsum("gab,gbc->gac")
+        la = data.draw(layouts_of(("g", "a", "b")))
+        lb = data.draw(layouts_of(("g", "b", "c")))
+        lc = data.draw(layouts_of(("g", "a", "c")))
+        shape = map_to_gemm(spec, la, lb, lc, env)
+        if shape is not None:
+            assert shape.flops == spec.flops(env)
+
+    @given(data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_canonical_has_m_ge_n(self, data):
+        env = DimEnv({"a": 4, "b": 6, "c": 8, "g": 2})
+        la = data.draw(layouts_of(("g", "a", "b")))
+        lb = data.draw(layouts_of(("g", "b", "c")))
+        lc = data.draw(layouts_of(("g", "a", "c")))
+        shape = map_to_gemm("gab,gbc->gac", la, lb, lc, env)
+        if shape is not None:
+            c = shape.canonical()
+            assert c.m >= c.n
+
+
+# -- Cost model / MUE properties ------------------------------------------------------
+
+
+class TestCostModelProperties:
+    ENV = DimEnv({"p": 8, "h": 4, "b": 8, "j": 16})
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_kernel_time_positive_and_deterministic(self, seed):
+        x = TensorSpec("x", ("p", "h", "b", "j"))
+        op = bias_spec("bias", x, ("p", "h"), "y")
+        configs = list(kernel_configs(op, self.ENV, cap=5, seed=seed))
+        cm = CostModel(V100)
+        for c in configs:
+            t1 = cm.time_op(op, c, self.ENV)
+            t2 = cm.time_op(op, c, self.ENV)
+            assert t1.total_us == t2.total_us
+            assert t1.total_us > 0
+
+    @given(
+        q=st.floats(min_value=1e3, max_value=1e9),
+        extra=st.floats(min_value=1.0, max_value=10.0),
+        t=st.floats(min_value=0.1, max_value=1e6),
+    )
+    def test_mue_bounds_and_monotonicity(self, q, extra, t):
+        """MUE is in (0, 100] and never improves with redundant movement at
+        fixed bandwidth utilisation."""
+        score_min = mue(q, q * extra, t * extra, V100)
+        score_opt = mue(q, q, t, V100)
+        assert 0 < score_min <= 100
+        assert 0 < score_opt <= 100
+        # Same achieved bandwidth, but D > Q: lower score.
+        assert score_min <= score_opt + 1e-9
+
+    @given(scale=st.floats(min_value=1.1, max_value=8.0))
+    def test_more_bytes_never_faster(self, scale):
+        """Roofline sanity: scaling all tensor extents up can't reduce time."""
+        env_small = DimEnv({"p": 8, "h": 4, "b": 8, "j": 16})
+        env_big = DimEnv({"p": 8, "h": 4, "b": 8, "j": int(16 * scale)})
+        x = TensorSpec("x", ("p", "h", "b", "j"))
+        op = bias_spec("bias", x, ("p", "h"), "y")
+        cm = CostModel(V100)
+        from repro.layouts.configspace import default_config
+
+        t_small = cm.time_op(op, default_config(op), env_small).total_us
+        t_big = cm.time_op(op, default_config(op), env_big).total_us
+        assert t_big >= t_small
+
+
+# -- SSSP properties ----------------------------------------------------------------
+
+
+class TestSSSPProperties:
+    @given(
+        n_mid=st.integers(1, 6),
+        n_mid2=st.integers(1, 6),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_networkx_on_random_layered_dags(self, n_mid, n_mid2, seed):
+        import random
+
+        rnd = random.Random(seed)
+        g = ConfigGraph()
+        mids = [f"a{i}" for i in range(n_mid)]
+        mids2 = [f"b{i}" for i in range(n_mid2)]
+        for a in mids:
+            g.add_edge("s", a, rnd.uniform(0, 10))
+        for a in mids:
+            for b in mids2:
+                if rnd.random() < 0.8:
+                    g.add_edge(a, b, rnd.uniform(0, 10))
+        for b in mids2:
+            g.add_edge(b, "t", rnd.uniform(0, 10))
+        try:
+            own, path_own = shortest_path(g, "s", "t")
+        except Exception:
+            return  # disconnected draw: nothing to compare
+        nx_cost, _ = shortest_path_networkx(g, "s", "t")
+        assert own == pytest.approx(nx_cost)
+        # The reported path's edge weights sum to the reported cost.
+        total = sum(
+            g.edges[(u, v)] for u, v in zip(path_own, path_own[1:])
+        )
+        assert total == pytest.approx(own)
+
+
+# -- NumPy kernel properties -----------------------------------------------------------
+
+
+class TestKernelProperties:
+    @given(
+        rows=st.integers(1, 6), cols=st.integers(2, 8), seed=st.integers(0, 9999),
+        scale=st.floats(min_value=0.1, max_value=2.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_softmax_simplex(self, rows, cols, seed, scale):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(rows, cols))
+        y = softmax_forward(x, scale=scale)
+        assert (y >= 0).all()
+        np.testing.assert_allclose(y.sum(axis=-1), 1.0, rtol=1e-5)
+
+    @given(rows=st.integers(1, 4), cols=st.integers(2, 6), seed=st.integers(0, 9999))
+    @settings(max_examples=30, deadline=None)
+    def test_softmax_backward_orthogonal_to_ones(self, rows, cols, seed):
+        """d(softmax)/dx maps into the tangent of the simplex: rows of dx
+        sum to zero (shifting logits by a constant changes nothing)."""
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(rows, cols))
+        dy = rng.normal(size=(rows, cols))
+        y = softmax_forward(x)
+        dx = softmax_backward(dy, y)
+        np.testing.assert_allclose(dx.sum(axis=-1), 0.0, atol=1e-6)
+
+    @given(p=st.floats(min_value=0.0, max_value=0.9), seed=st.integers(0, 9999))
+    @settings(max_examples=30, deadline=None)
+    def test_dropout_mask_values(self, p, seed):
+        x = np.ones(512)
+        y, mask = dropout_forward(x, p, np.random.default_rng(seed))
+        if p == 0.0:
+            np.testing.assert_array_equal(mask, 1.0)
+        else:
+            kept = mask > 0
+            np.testing.assert_allclose(mask[kept], 1.0 / (1.0 - p))
+        np.testing.assert_array_equal(y, mask)  # x was ones

@@ -1,0 +1,56 @@
+"""Smoke tests for the report formatting helpers (rendered text quality)."""
+
+import pytest
+
+from repro.analysis.report import (
+    format_framework_table,
+    format_table1,
+    format_table2,
+)
+from repro.analysis.tables import Table1Row
+from repro.ir.operator import OpClass
+
+
+class TestFormatTable1:
+    def test_percentages_rendered(self):
+        rows = [
+            Table1Row(OpClass.TENSOR_CONTRACTION, 0.998, 0.61),
+            Table1Row(OpClass.STAT_NORMALIZATION, 0.0017, 0.255),
+            Table1Row(OpClass.ELEMENTWISE, 0.0003, 0.135),
+        ]
+        text = format_table1(rows)
+        assert "99.80" in text
+        assert "61.0" in text
+        lines = text.splitlines()
+        assert len(lines) == 4  # header + 3 classes
+
+
+class TestFormatTable2:
+    def test_rows_and_units(self):
+        data = {
+            "forward": {"unfused": 345.0, "qk": 294.0, "qkv": 275.0},
+            "backward": {"unfused": 342.0, "qk": 312.0, "qkv": 291.0},
+        }
+        text = format_table2(data)
+        assert "345" in text and "291" in text
+        assert "(us)" in text
+
+
+class TestFormatFrameworkTable:
+    def test_columns_align_with_frameworks(self):
+        data = {
+            "PyTorch": {"forward_ms": 3.45, "backward_ms": 5.69},
+            "Ours": {"forward_ms": 2.63, "backward_ms": 4.38},
+        }
+        text = format_framework_table(data)
+        assert "PyTorch" in text and "Ours" in text
+        assert "forward_ms" in text
+        assert "3.45" in text and "4.38" in text
+
+    def test_missing_key_rendered_as_nan(self):
+        data = {
+            "A": {"x": 1.0},
+            "B": {},
+        }
+        text = format_framework_table(data)
+        assert "nan" in text

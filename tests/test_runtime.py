@@ -1,0 +1,161 @@
+"""Executor tests: graph execution equals the reference implementation and
+fusion never changes results."""
+
+import numpy as np
+import pytest
+
+from repro.fusion.encoder_kernels import apply_paper_fusion
+from repro.fusion.fuser import fuse_greedy
+from repro.runtime.executor import ExecutionError, GraphExecutor
+from repro.runtime.feeds import encoder_feeds, mha_feeds
+from repro.transformer.encoder import encoder_backward, encoder_forward
+from repro.transformer.graph_builder import build_encoder_graph, build_mha_graph
+from repro.transformer.mha import mha_backward, mha_forward
+from repro.transformer.params import ModelDims, init_encoder_params, init_mha_params
+
+DIMS = ModelDims.tiny()
+ENV = DIMS.env()
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(3)
+    params = init_encoder_params(DIMS, rng, std=0.3)
+    x = rng.normal(0, 1, (DIMS.embed, DIMS.batch, DIMS.seq))
+    dy = rng.normal(0, 1, x.shape)
+    return params, x, dy
+
+
+class TestEncoderExecution:
+    @pytest.mark.parametrize("variant", ["unfused", "qk", "qkv"])
+    def test_matches_reference(self, setup, variant):
+        params, x, dy = setup
+        g = build_encoder_graph(qkv_fusion=variant)
+        ctx = GraphExecutor(g, ENV, dropout_p=0.0).run(
+            encoder_feeds(params, x, qkv_fusion=variant, dy=dy)
+        )
+        ref = encoder_forward(params, x, dropout_p=0.0)
+        grads, dx = encoder_backward(params, ref, dy)
+        np.testing.assert_allclose(ctx["y"], ref.ln2_out, atol=1e-6)
+        np.testing.assert_allclose(ctx["d_x"], dx, atol=1e-6)
+        np.testing.assert_allclose(ctx["d_w1"], grads.w1, atol=1e-6)
+        np.testing.assert_allclose(ctx["d_ln2_g"], grads.ln2_g, atol=1e-6)
+        np.testing.assert_allclose(ctx["d_bo"], grads.mha.bo, atol=1e-6)
+
+    @pytest.mark.parametrize("variant", ["unfused", "qk", "qkv"])
+    def test_fused_bit_identical_to_unfused(self, setup, variant):
+        """Fusion must not change the computation (Sec. II-C)."""
+        params, x, dy = setup
+        g = build_encoder_graph(qkv_fusion=variant)
+        f = apply_paper_fusion(g, ENV)
+        feeds = encoder_feeds(params, x, qkv_fusion=variant, dy=dy)
+        a = GraphExecutor(g, ENV, dropout_p=0.0).run(feeds)
+        b = GraphExecutor(f, ENV, dropout_p=0.0).run(feeds)
+        for key in ("y", "d_x", "d_w1", "d_w2", "d_ln1_g", "d_b1"):
+            np.testing.assert_array_equal(a[key], b[key])
+
+    def test_greedy_fusion_also_identical(self, setup):
+        params, x, dy = setup
+        g = build_encoder_graph(qkv_fusion="qkv")
+        f = fuse_greedy(g, ENV)
+        feeds = encoder_feeds(params, x, qkv_fusion="qkv", dy=dy)
+        a = GraphExecutor(g, ENV, dropout_p=0.0).run(feeds)
+        b = GraphExecutor(f, ENV, dropout_p=0.0).run(feeds)
+        np.testing.assert_array_equal(a["y"], b["y"])
+        np.testing.assert_array_equal(a["d_x"], b["d_x"])
+
+    def test_dropout_deterministic_per_seed(self, setup):
+        params, x, dy = setup
+        g = build_encoder_graph(qkv_fusion="qkv")
+        feeds = encoder_feeds(params, x, qkv_fusion="qkv", dy=dy)
+        a = GraphExecutor(g, ENV, dropout_p=0.2, seed=5).run(feeds)
+        b = GraphExecutor(g, ENV, dropout_p=0.2, seed=5).run(feeds)
+        c = GraphExecutor(g, ENV, dropout_p=0.2, seed=6).run(feeds)
+        np.testing.assert_array_equal(a["y"], b["y"])
+        assert not np.array_equal(a["y"], c["y"])
+
+    def test_dropout_consistent_across_fusion(self, setup):
+        """Fused and unfused schedules draw identical per-op masks."""
+        params, x, dy = setup
+        g = build_encoder_graph(qkv_fusion="qkv")
+        f = apply_paper_fusion(g, ENV)
+        feeds = encoder_feeds(params, x, qkv_fusion="qkv", dy=dy)
+        a = GraphExecutor(g, ENV, dropout_p=0.3, seed=9).run(feeds)
+        b = GraphExecutor(f, ENV, dropout_p=0.3, seed=9).run(feeds)
+        np.testing.assert_array_equal(a["y"], b["y"])
+        np.testing.assert_array_equal(a["d_x"], b["d_x"])
+
+
+class TestMHAExecution:
+    @pytest.mark.parametrize("variant", ["unfused", "qk", "qkv"])
+    def test_matches_reference(self, variant):
+        rng = np.random.default_rng(4)
+        params = init_mha_params(DIMS, rng, std=0.3)
+        x = rng.normal(0, 1, (DIMS.embed, DIMS.batch, DIMS.seq))
+        d_out = rng.normal(0, 1, x.shape)
+        g = build_mha_graph(qkv_fusion=variant)
+        ctx = GraphExecutor(g, ENV, dropout_p=0.0).run(
+            mha_feeds(params, x, qkv_fusion=variant, d_attn_out=d_out)
+        )
+        acts = mha_forward(params, x, x, x, dropout_p=0.0)
+        grads = mha_backward(params, acts, d_out)
+        np.testing.assert_allclose(ctx["attn_out"], acts.out, atol=1e-6)
+        np.testing.assert_allclose(
+            ctx["d_x"], grads.dq + grads.dk + grads.dv, atol=1e-6
+        )
+        np.testing.assert_allclose(ctx["d_bq"], grads.params.bq, atol=1e-6)
+
+
+class TestExecutorErrors:
+    def test_missing_feed(self, setup):
+        params, x, dy = setup
+        g = build_encoder_graph(qkv_fusion="qkv")
+        feeds = encoder_feeds(params, x, qkv_fusion="qkv", dy=dy)
+        del feeds["w1"]
+        with pytest.raises(ExecutionError, match="missing feed"):
+            GraphExecutor(g, ENV).run(feeds)
+
+    def test_wrong_shape_feed(self, setup):
+        params, x, dy = setup
+        g = build_encoder_graph(qkv_fusion="qkv")
+        feeds = encoder_feeds(params, x, qkv_fusion="qkv", dy=dy)
+        feeds["x"] = feeds["x"][:, :, :-1]
+        with pytest.raises(ExecutionError, match="shape"):
+            GraphExecutor(g, ENV).run(feeds)
+
+
+class TestMaskedAttention:
+    def test_masked_encoder_matches_reference(self, setup):
+        """Causal masking flows through the graph exactly as in the
+        reference implementation."""
+        params, x, dy = setup
+        j = DIMS.seq
+        causal = np.triu(np.full((j, j), -1e9), k=1)
+        g = build_encoder_graph(qkv_fusion="qkv", masked=True)
+        feeds = encoder_feeds(params, x, qkv_fusion="qkv", dy=dy)
+        feeds["attn_mask"] = causal
+        ctx = GraphExecutor(g, ENV, dropout_p=0.0).run(feeds)
+        ref = encoder_forward(params, x, dropout_p=0.0, attn_mask=causal)
+        np.testing.assert_allclose(ctx["y"], ref.ln2_out, atol=1e-6)
+
+    def test_mask_changes_output(self, setup):
+        params, x, dy = setup
+        j = DIMS.seq
+        causal = np.triu(np.full((j, j), -1e9), k=1)
+        ref_masked = encoder_forward(params, x, dropout_p=0.0, attn_mask=causal)
+        ref_plain = encoder_forward(params, x, dropout_p=0.0)
+        assert not np.allclose(ref_masked.ln2_out, ref_plain.ln2_out)
+
+    def test_masked_graph_fuses_and_executes(self, setup):
+        """The SM kernel absorbs the mask read; fusion stays bit-exact."""
+        params, x, dy = setup
+        j = DIMS.seq
+        causal = np.triu(np.full((j, j), -1e9), k=1)
+        g = build_encoder_graph(qkv_fusion="qkv", masked=True)
+        f = apply_paper_fusion(g, ENV)
+        feeds = encoder_feeds(params, x, qkv_fusion="qkv", dy=dy)
+        feeds["attn_mask"] = causal
+        a = GraphExecutor(g, ENV, dropout_p=0.0).run(feeds)
+        b = GraphExecutor(f, ENV, dropout_p=0.0).run(feeds)
+        np.testing.assert_array_equal(a["y"], b["y"])
+        np.testing.assert_array_equal(a["d_x"], b["d_x"])

@@ -1,0 +1,126 @@
+"""Structural tests of the MHA / encoder graph builders against the paper's
+published flop and IO figures."""
+
+import pytest
+
+from repro.ir.analysis import class_flop_fractions
+from repro.ir.dims import bert_large_dims
+from repro.ir.operator import OpClass, Stage
+from repro.transformer.graph_builder import build_encoder_graph, build_mha_graph
+
+ENV = bert_large_dims()
+GFLOP = 2.0**30
+
+
+class TestEncoderGraph:
+    @pytest.mark.parametrize("variant", ["unfused", "qk", "qkv"])
+    def test_validates(self, variant):
+        g = build_encoder_graph(qkv_fusion=variant)
+        g.validate()
+
+    @pytest.mark.parametrize("variant", ["unfused", "qk", "qkv"])
+    def test_total_flop_matches_paper(self, variant):
+        """Paper Table III: 312.633 Gflop total (algebraic fusion doesn't
+        change the arithmetic)."""
+        g = build_encoder_graph(qkv_fusion=variant)
+        assert g.total_flops(ENV) / GFLOP == pytest.approx(312.6, rel=0.02)
+
+    def test_flop_class_fractions_match_table1(self):
+        g = build_encoder_graph(qkv_fusion="qkv")
+        fracs = class_flop_fractions(g, ENV)
+        assert fracs[OpClass.TENSOR_CONTRACTION] == pytest.approx(0.998, abs=0.002)
+        assert fracs[OpClass.STAT_NORMALIZATION] == pytest.approx(0.0017, abs=0.001)
+        assert fracs[OpClass.ELEMENTWISE] < 0.002
+
+    def test_forward_only_graph(self):
+        g = build_encoder_graph(qkv_fusion="qkv", include_backward=False)
+        assert not g.backward_ops()
+        # Forward flop is exactly 104 binary Gflop (24+4+4+8+32+32 + eps).
+        assert g.total_flops(ENV) / GFLOP == pytest.approx(104.3, abs=1.0)
+
+    def test_backward_has_dx_and_dw_stages(self):
+        g = build_encoder_graph(qkv_fusion="qkv")
+        stages = {op.stage for op in g.backward_ops()}
+        assert Stage.BACKWARD_DX in stages and Stage.BACKWARD_DW in stages
+
+    def test_per_op_flops_match_table3(self):
+        g = build_encoder_graph(qkv_fusion="qkv")
+        expected = {
+            "qkv_proj": 24.0, "qkt": 4.0, "gamma": 4.0, "attn_out": 8.0,
+            "linear1": 32.0, "linear2": 32.0,
+            "linear2_dx": 32.0, "linear2_dw": 32.0,
+            "linear1_dx": 32.0, "linear1_dw": 32.0,
+            "attn_out_dx": 8.0, "attn_out_dw": 8.0,
+            "gamma_dx1": 4.0, "gamma_dx2": 4.0, "qkt_dx1": 4.0, "qkt_dx2": 4.0,
+            "qkv_proj_dx": 24.0, "qkv_proj_dw": 24.0,
+        }
+        for name, gflop in expected.items():
+            assert g.op(name).flops(ENV) / GFLOP == pytest.approx(gflop, abs=0.1), name
+
+    def test_per_op_io_matches_table3(self):
+        g = build_encoder_graph(qkv_fusion="qkv")
+        cases = {
+            # op: (input Mw, output Mw) from Table III
+            "qkt": (8.4, 33.5),
+            "linear1": (8.4, 16.8),
+            "linear2": (20.9, 4.2),
+            "gamma_dx2": (37.7, 4.2),
+            "qkt_dx1": (37.7, 4.2),
+        }
+        for name, (in_mw, out_mw) in cases.items():
+            op = g.op(name)
+            assert op.input_words(ENV) / 1e6 == pytest.approx(in_mw, rel=0.05), name
+            assert op.output_words(ENV) / 1e6 == pytest.approx(out_mw, rel=0.05), name
+
+    def test_dropout_masks_are_saved_for_backward(self):
+        g = build_encoder_graph(qkv_fusion="qkv")
+        for mask in ("alpha_mask", "ffn_drop_mask", "out_drop_mask", "attn_drop_mask"):
+            consumers = g.consumers_of(mask)
+            assert consumers, mask
+            assert all(g.op(c).stage.is_backward for c in consumers), mask
+
+    def test_view_count_depends_on_variant(self):
+        views_qkv = sum(1 for op in build_encoder_graph(qkv_fusion="qkv").ops if op.is_view)
+        views_unf = sum(1 for op in build_encoder_graph(qkv_fusion="unfused").ops if op.is_view)
+        assert views_qkv > 0 and views_unf > 0
+
+    def test_alternate_dims_flops_scale(self):
+        """B=96, L=128: 3x the tokens of B=8, L=512 in the linear layers but
+        1/4 sequence -> attention flop shrinks."""
+        from repro.ir.dims import bert_alternate_dims
+
+        env2 = bert_alternate_dims()
+        g = build_encoder_graph(qkv_fusion="qkv")
+        lin = g.op("linear1")
+        assert lin.flops(env2) / lin.flops(ENV) == pytest.approx(3.0)
+        qkt = g.op("qkt")
+        assert qkt.flops(env2) / qkt.flops(ENV) == pytest.approx(3.0 / 4.0)
+
+
+class TestMHAGraph:
+    @pytest.mark.parametrize("variant", ["unfused", "qk", "qkv"])
+    def test_validates(self, variant):
+        build_mha_graph(qkv_fusion=variant).validate()
+
+    def test_forward_flop(self):
+        """Fig. 1b: 3x8G projections + 4G QKT + 4G gamma + 8G out = 40G."""
+        g = build_mha_graph(qkv_fusion="unfused", include_backward=False)
+        assert g.total_flops(ENV) / GFLOP == pytest.approx(40.1, abs=0.5)
+
+    def test_x_read_once_by_stacked_projection(self):
+        """Algebraic fusion's point: the qkv variant reads x once."""
+        g = build_mha_graph(qkv_fusion="qkv", include_backward=False)
+        qkv = g.op("qkv_proj")
+        assert qkv.input_words(ENV) / 1e6 == pytest.approx(7.34, abs=0.05)
+        g3 = build_mha_graph(qkv_fusion="unfused", include_backward=False)
+        three = sum(
+            g3.op(n).input_words(ENV) for n in ("q_proj", "k_proj", "v_proj")
+        )
+        assert three / 1e6 == pytest.approx(15.7, abs=0.2)  # x read 3 times
+
+    def test_backward_produces_all_grads(self):
+        g = build_mha_graph(qkv_fusion="unfused")
+        produced = set(g.containers)
+        for grad in ("d_wq", "d_wk", "d_wv", "d_wo", "d_bq", "d_bk", "d_bv",
+                     "d_bo", "d_x"):
+            assert grad in produced, grad

@@ -1,0 +1,199 @@
+"""Finite-difference validation of the MHA and encoder backward passes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.transformer.encoder import encoder_backward, encoder_forward
+from repro.transformer.mha import mha_backward, mha_forward
+from repro.transformer.params import (
+    ModelDims,
+    init_encoder_params,
+    init_mha_params,
+)
+
+DIMS = ModelDims.tiny()
+RTOL = 2e-3
+ATOL = 2e-4
+
+
+def _numeric_grad(f, x: np.ndarray, eps: float = 1e-3) -> np.ndarray:
+    """Central-difference gradient of scalar-valued ``f`` w.r.t. array ``x``."""
+    g = np.zeros_like(x, dtype=np.float64)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        fp = f()
+        x[idx] = orig - eps
+        fm = f()
+        x[idx] = orig
+        g[idx] = (fp - fm) / (2 * eps)
+        it.iternext()
+    return g
+
+
+def _rand(shape, rng):
+    return rng.normal(0, 1.0, shape).astype(np.float64)
+
+
+@pytest.fixture(scope="module")
+def mha_setup():
+    rng = np.random.default_rng(7)
+    params = init_mha_params(DIMS, rng, std=0.3)
+    # float64 for finite differences
+    for name, arr in params.named():
+        setattr(params, name, arr.astype(np.float64))
+    i, b, j = DIMS.embed, DIMS.batch, DIMS.seq
+    q = _rand((i, b, j), rng)
+    k = _rand((i, b, j), rng)
+    v = _rand((i, b, j), rng)
+    return params, q, k, v
+
+
+class TestMHAGradients:
+    """Gradcheck every MHA parameter and input (dropout disabled)."""
+
+    def _loss_weights(self, shape, seed=3):
+        return np.random.default_rng(seed).normal(0, 1, shape)
+
+    def _run(self, params, q, k, v):
+        acts = mha_forward(params, q, k, v, dropout_p=0.0)
+        lw = self._loss_weights(acts.out.shape)
+        loss = float((acts.out * lw).sum())
+        grads = mha_backward(params, acts, lw)
+        return loss, grads, lw
+
+    @pytest.mark.parametrize("pname", ["wq", "bq", "wk", "bk", "wv", "bv", "wo", "bo"])
+    def test_param_grad(self, mha_setup, pname):
+        params, q, k, v = mha_setup
+        _, grads, lw = self._run(params, q, k, v)
+
+        target = getattr(params, pname)
+
+        def loss_fn():
+            acts = mha_forward(params, q, k, v, dropout_p=0.0)
+            return float((acts.out * lw).sum())
+
+        num = _numeric_grad(loss_fn, target)
+        ana = getattr(grads.params, pname)
+        np.testing.assert_allclose(ana, num, rtol=RTOL, atol=ATOL)
+
+    @pytest.mark.parametrize("which", ["q", "k", "v"])
+    def test_input_grad(self, mha_setup, which):
+        params, q, k, v = mha_setup
+        _, grads, lw = self._run(params, q, k, v)
+        arrs = {"q": q, "k": k, "v": v}
+
+        def loss_fn():
+            acts = mha_forward(params, q, k, v, dropout_p=0.0)
+            return float((acts.out * lw).sum())
+
+        num = _numeric_grad(loss_fn, arrs[which])
+        ana = {"q": grads.dq, "k": grads.dk, "v": grads.dv}[which]
+        np.testing.assert_allclose(ana, num, rtol=RTOL, atol=ATOL)
+
+    def test_self_attention_input_grad_sums(self, mha_setup):
+        """For self-attention (q=k=v=x), dx must be dq+dk+dv."""
+        params, q, _, _ = mha_setup
+        x = q.copy()
+        acts = mha_forward(params, x, x, x, dropout_p=0.0)
+        lw = self._loss_weights(acts.out.shape)
+        grads = mha_backward(params, acts, lw)
+
+        def loss_fn():
+            a = mha_forward(params, x, x, x, dropout_p=0.0)
+            return float((a.out * lw).sum())
+
+        num = _numeric_grad(loss_fn, x)
+        np.testing.assert_allclose(grads.dq + grads.dk + grads.dv, num, rtol=RTOL, atol=ATOL)
+
+
+class TestEncoderGradients:
+    """Gradcheck the full encoder layer (dropout disabled)."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        rng = np.random.default_rng(11)
+        params = init_encoder_params(DIMS, rng, std=0.3)
+        for name, arr in params.mha.named():
+            setattr(params.mha, name, arr.astype(np.float64))
+        for name in ["ln1_g", "ln1_b", "w1", "b1", "w2", "b2", "ln2_g", "ln2_b"]:
+            setattr(params, name, getattr(params, name).astype(np.float64))
+        x = _rand((DIMS.embed, DIMS.batch, DIMS.seq), rng)
+        lw = np.random.default_rng(5).normal(0, 1, x.shape)
+        return params, x, lw
+
+    def _loss(self, params, x, lw) -> float:
+        acts = encoder_forward(params, x, dropout_p=0.0)
+        return float((acts.ln2_out * lw).sum())
+
+    def test_input_grad(self, setup):
+        params, x, lw = setup
+        acts = encoder_forward(params, x, dropout_p=0.0)
+        _, dx = encoder_backward(params, acts, lw)
+        num = _numeric_grad(lambda: self._loss(params, x, lw), x)
+        np.testing.assert_allclose(dx, num, rtol=RTOL, atol=ATOL)
+
+    @pytest.mark.parametrize(
+        "pname", ["ln1_g", "ln1_b", "w1", "b1", "w2", "b2", "ln2_g", "ln2_b"]
+    )
+    def test_param_grad(self, setup, pname):
+        params, x, lw = setup
+        acts = encoder_forward(params, x, dropout_p=0.0)
+        grads, _ = encoder_backward(params, acts, lw)
+        num = _numeric_grad(lambda: self._loss(params, x, lw), getattr(params, pname))
+        np.testing.assert_allclose(getattr(grads, pname), num, rtol=RTOL, atol=ATOL)
+
+    @pytest.mark.parametrize("pname", ["wq", "bq", "wk", "bk", "wv", "bv", "wo", "bo"])
+    def test_mha_param_grad(self, setup, pname):
+        params, x, lw = setup
+        acts = encoder_forward(params, x, dropout_p=0.0)
+        grads, _ = encoder_backward(params, acts, lw)
+        num = _numeric_grad(
+            lambda: self._loss(params, x, lw), getattr(params.mha, pname)
+        )
+        np.testing.assert_allclose(getattr(grads.mha, pname), num, rtol=RTOL, atol=ATOL)
+
+    def test_dropout_path_shapes(self, setup):
+        """With dropout on, backward still produces correctly-shaped grads."""
+        params, x, lw = setup
+        acts = encoder_forward(params, x, dropout_p=0.3, rng=np.random.default_rng(0))
+        grads, dx = encoder_backward(params, acts, lw)
+        assert dx.shape == x.shape
+        for (name, got), (_, ref) in zip(grads.named(), params.named()):
+            assert got.shape == ref.shape, name
+
+
+class TestGeluEncoder:
+    """Gradcheck the GELU-activation variant of the encoder FFN."""
+
+    def test_gelu_encoder_gradcheck(self):
+        rng = np.random.default_rng(21)
+        params = init_encoder_params(DIMS, rng, std=0.3)
+        for name, arr in params.mha.named():
+            setattr(params.mha, name, arr.astype(np.float64))
+        for name in ["ln1_g", "ln1_b", "w1", "b1", "w2", "b2", "ln2_g", "ln2_b"]:
+            setattr(params, name, getattr(params, name).astype(np.float64))
+        x = _rand((DIMS.embed, DIMS.batch, DIMS.seq), rng)
+        lw = np.random.default_rng(8).normal(0, 1, x.shape)
+
+        def loss():
+            acts = encoder_forward(params, x, dropout_p=0.0, activation="gelu")
+            return float((acts.ln2_out * lw).sum())
+
+        acts = encoder_forward(params, x, dropout_p=0.0, activation="gelu")
+        grads, dx = encoder_backward(params, acts, lw)
+        num = _numeric_grad(loss, x)
+        np.testing.assert_allclose(dx, num, rtol=RTOL, atol=ATOL)
+        num_w1 = _numeric_grad(loss, params.w1)
+        np.testing.assert_allclose(grads.w1, num_w1, rtol=RTOL, atol=ATOL)
+
+    def test_unknown_activation_rejected(self):
+        rng = np.random.default_rng(1)
+        params = init_encoder_params(DIMS, rng)
+        x = _rand((DIMS.embed, DIMS.batch, DIMS.seq), rng)
+        with pytest.raises(ValueError, match="activation"):
+            encoder_forward(params, x, activation="swish")
