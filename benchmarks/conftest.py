@@ -4,9 +4,18 @@ Each benchmark regenerates one table or figure of the paper and prints the
 reproduced rows next to the published values.  Run with::
 
     pytest benchmarks/ --benchmark-only -s
+
+The heaviest full-scale sweeps are marked ``slow`` and deselected by
+default (see ``pytest.ini``); run them with ``-m slow`` or clear the
+default marker filter.  ``REPRO_SWEEP_CAP`` overrides the sampled-config
+cap used by the wide fused-kernel sweeps, e.g.::
+
+    REPRO_SWEEP_CAP=1500 pytest benchmarks/ -m "slow or not slow"
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -28,5 +37,9 @@ def cost():
 
 @pytest.fixture(scope="session")
 def sweep_cap():
-    """Sampled-configuration cap for wide fused-kernel spaces."""
-    return 400
+    """Sampled-configuration cap for wide fused-kernel spaces.
+
+    Defaults to 400 (the tier-1 budget); override with the
+    ``REPRO_SWEEP_CAP`` environment variable for fuller nightly sweeps.
+    """
+    return int(os.environ.get("REPRO_SWEEP_CAP", "400"))

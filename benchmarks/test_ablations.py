@@ -96,6 +96,7 @@ def test_layout_policy_ablation(benchmark, env, cost):
     assert res["selected"] < 1.15 * res["greedy-best"]
 
 
+@pytest.mark.slow
 def test_launch_overhead_sensitivity(benchmark, env):
     """With free kernel launches the fusion speedup persists: the win is
     data movement, not launch count."""
@@ -119,6 +120,7 @@ def test_launch_overhead_sensitivity(benchmark, env):
     assert res["5us"] == pytest.approx(res["free"], rel=0.10)
 
 
+@pytest.mark.slow
 def test_hardware_generation(benchmark, env):
     """A100: more compute AND more bandwidth, but compute grows faster, so
     the memory-bound runtime share grows (Sec. VIII-B)."""

@@ -5,6 +5,8 @@ reports; asserts the cost model is unbiased (geometric mean ~1) and tight
 on the compute-bound anchor rows.
 """
 
+import pytest
+
 from repro.analysis.calibration import audit_calibration
 
 
@@ -35,6 +37,7 @@ def test_calibration_audit(benchmark, env, cost):
     assert report.within(2.0, side="pt") > 0.75
 
 
+@pytest.mark.slow
 def test_sensitivity_sweep(benchmark, cost):
     """Beyond the paper's two (B, L) points: the win persists across the grid
     and attention's share grows with sequence length."""

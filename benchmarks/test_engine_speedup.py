@@ -1,0 +1,84 @@
+"""Engine acceptance benchmark: bit-identity and wall-clock speedup.
+
+Pins the vectorized sweep engine's two contracts on the paper's full
+workload (BERT-large encoder, forward + backward):
+
+* ``sweep_op`` (engine path) produces **bit-identical** ``SweepResult``s to
+  ``sweep_op_reference`` for every operator in the graph at ``cap=2000``;
+* a full-graph engine sweep is at least 5x faster wall-clock than the
+  scalar reference loop, with the process-level memo disabled and each
+  sweep consumed the way the figure/selection layers consume it (best
+  configuration + full distribution statistics).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.autotuner.tuner import sweep_op_reference
+from repro.autotuner.violin import summarize
+from repro.engine import clear_sweep_memo
+from repro.engine.sweep import sweep_op as engine_sweep_op
+from repro.transformer.graph_builder import build_encoder_graph
+
+CAP = 2000
+
+
+def _graph_ops():
+    graph = build_encoder_graph(qkv_fusion="qkv", include_backward=True)
+    return [op for op in graph.ops if not op.is_view]
+
+
+def test_engine_bit_identical_to_reference(env, cost):
+    """Every op in the fwd+bwd encoder graph: same configs, same times."""
+    clear_sweep_memo()
+    for op in _graph_ops():
+        ref = sweep_op_reference(op, env, cost, cap=CAP)
+        eng = engine_sweep_op(op, env, cost, cap=CAP, memo=False)
+        assert eng.num_configs == ref.num_configs, op.name
+        for a, b in zip(ref.measurements, eng.measurements):
+            assert a.config == b.config, (op.name, a.config, b.config)
+            assert a.time == b.time, (op.name, a.time, b.time)
+
+
+def test_engine_speedup_full_graph(benchmark, env, cost):
+    """>= 5x wall-clock on a cold full-graph sweep at cap=2000."""
+    ops = _graph_ops()
+
+    def consume(sweep):
+        # What Figs. 4/5 and the selection layer actually read per sweep:
+        # the distribution statistics and the winning configuration.
+        summarize(sweep)
+        return sweep.best.config
+
+    def run_reference():
+        sweeps = [sweep_op_reference(op, env, cost, cap=CAP) for op in ops]
+        for s in sweeps:
+            consume(s)
+        return sweeps
+
+    def run_engine():
+        clear_sweep_memo()
+        sweeps = [engine_sweep_op(op, env, cost, cap=CAP, memo=False) for op in ops]
+        for s in sweeps:
+            consume(s)
+        return sweeps
+
+    t0 = time.perf_counter()
+    ref_sweeps = run_reference()
+    t_ref = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    eng_sweeps = benchmark.pedantic(run_engine, rounds=1, iterations=1)
+    t_eng = time.perf_counter() - t0
+
+    total_configs = sum(s.num_configs for s in ref_sweeps)
+    speedup = t_ref / t_eng
+    print(
+        f"\n=== Engine speedup (BERT-large encoder fwd+bwd, cap={CAP}) ===\n"
+        f"  {len(ref_sweeps)} ops, {total_configs} configs\n"
+        f"  reference: {t_ref:6.2f} s\n"
+        f"  engine:    {t_eng:6.2f} s  ({speedup:.1f}x)"
+    )
+    assert [s.num_configs for s in eng_sweeps] == [s.num_configs for s in ref_sweeps]
+    assert speedup >= 5.0, f"engine only {speedup:.1f}x faster than reference"

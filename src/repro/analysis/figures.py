@@ -8,8 +8,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.autotuner.tuner import sweep_op
 from repro.autotuner.violin import ViolinSummary, summarize
+from repro.engine import sweep_op
 from repro.hardware.cost_model import CostModel
 from repro.ir.dims import DimEnv
 from repro.ir.graph import DataflowGraph
@@ -197,8 +197,8 @@ def fig6_config_graph_stats(
     env: DimEnv, cost: CostModel | None = None, *, cap: int | None = 600
 ) -> dict[str, float]:
     """Build the Fig.-6 configuration graph and report its shape + SSSP cost."""
-    from repro.autotuner.tuner import sweep_graph
     from repro.configsel.chain import primary_chain
+    from repro.engine import sweep_graph
     from repro.configsel.selector import _SOURCE, _TARGET, build_config_graph
     from repro.configsel.sssp import shortest_path, shortest_path_networkx
     from repro.fusion.encoder_kernels import apply_paper_fusion

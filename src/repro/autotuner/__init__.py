@@ -1,7 +1,13 @@
 """Exhaustive per-operator configuration tuning (paper Sec. V)."""
 
 from .cache import CacheMismatch, load_sweep, save_sweep, sweep_from_dict, sweep_to_dict
-from .tuner import ConfigMeasurement, SweepResult, sweep_graph, sweep_op
+from .tuner import (
+    ConfigMeasurement,
+    SweepResult,
+    sweep_graph,
+    sweep_op,
+    sweep_op_reference,
+)
 from .violin import ViolinSummary, render_ascii, summarize
 
 __all__ = [
@@ -17,4 +23,5 @@ __all__ = [
     "summarize",
     "sweep_graph",
     "sweep_op",
+    "sweep_op_reference",
 ]

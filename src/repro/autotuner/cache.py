@@ -5,6 +5,10 @@ persist their measurements.  Sweep results round-trip through JSON so a
 tuning session can resume, and a re-measured sweep can be *verified* against
 a stored one (the cost model is deterministic, so any drift means the model
 changed and cached selections are stale).
+
+Every artifact embeds :data:`~repro.hardware.cost_model.COST_MODEL_VERSION`.
+Loading an artifact whose version differs from the running model raises
+:class:`CacheMismatch` — stale sweeps are rejected, never silently reused.
 """
 
 from __future__ import annotations
@@ -12,7 +16,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-from repro.hardware.cost_model import KernelTime
+from repro.hardware.cost_model import COST_MODEL_VERSION, KernelTime
 from repro.ir.operator import OpSpec
 from repro.layouts.config import OpConfig
 from repro.layouts.layout import Layout
@@ -53,6 +57,7 @@ def _config_from_dict(d: dict) -> OpConfig:
 def sweep_to_dict(sweep: SweepResult) -> dict:
     """Serializable form of a sweep (op identity + all measurements)."""
     return {
+        "cost_model_version": COST_MODEL_VERSION,
         "op_name": sweep.op.name,
         "measurements": [
             {
@@ -67,7 +72,18 @@ def sweep_to_dict(sweep: SweepResult) -> dict:
 
 
 def sweep_from_dict(data: dict, op: OpSpec) -> SweepResult:
-    """Rebuild a sweep for ``op`` from its serialized form."""
+    """Rebuild a sweep for ``op`` from its serialized form.
+
+    Raises :class:`CacheMismatch` if the artifact was produced by a
+    different (or unversioned, pre-versioning) cost model.
+    """
+    version = data.get("cost_model_version")
+    if version != COST_MODEL_VERSION:
+        raise CacheMismatch(
+            f"cached sweep for {data.get('op_name')!r} was measured under cost "
+            f"model version {version!r}, but this process runs version "
+            f"{COST_MODEL_VERSION!r}; re-run the sweep instead of reusing it"
+        )
     if data["op_name"] != op.name:
         raise CacheMismatch(
             f"cached sweep is for {data['op_name']!r}, not {op.name!r}"

@@ -6,6 +6,16 @@ mode — and records the full runtime distribution.  The distributions are the
 paper's violin plots: Fig. 4 (contractions) and Fig. 5 (fused kernels); the
 per-(input,output)-layout minima feed the configuration-selection graph of
 Step 4.
+
+Two implementations produce the same result:
+
+* :func:`sweep_op` routes through the batched engine
+  (:mod:`repro.engine`): the config space is enumerated once into arrays,
+  the roofline is evaluated vectorized, measurements materialize lazily and
+  whole sweeps are memoized process-wide.
+* :func:`sweep_op_reference` is the original scalar per-config loop, kept
+  as the semantic contract: the engine must be **bit-identical** to it
+  (tier-1 and the property suite pin this).
 """
 
 from __future__ import annotations
@@ -20,7 +30,13 @@ from repro.layouts.config import OpConfig
 from repro.layouts.configspace import contraction_configs, kernel_configs
 from repro.layouts.layout import Layout
 
-__all__ = ["ConfigMeasurement", "SweepResult", "sweep_op", "sweep_graph"]
+__all__ = [
+    "ConfigMeasurement",
+    "SweepResult",
+    "sweep_op",
+    "sweep_op_reference",
+    "sweep_graph",
+]
 
 
 @dataclass(frozen=True)
@@ -43,7 +59,18 @@ class SweepResult:
     measurements: list[ConfigMeasurement] = field(default_factory=list)
 
     def __post_init__(self) -> None:
+        # Engine-built sweeps arrive pre-sorted (their sequence's sort() is
+        # a no-op); plain lists are sorted here as before.
         self.measurements.sort(key=lambda m: m.total_us)
+        self._layout_index: (
+            tuple[
+                dict[tuple, ConfigMeasurement],
+                dict[tuple, ConfigMeasurement],
+                dict[tuple, ConfigMeasurement],
+            ]
+            | None
+        ) = None
+        self._pair_minima: dict[tuple[int, int], dict] = {}
 
     # -- distribution queries ------------------------------------------------
     @property
@@ -63,6 +90,11 @@ class SweepResult:
         return len(self.measurements)
 
     def times_us(self) -> list[float]:
+        fast = getattr(self.measurements, "times_us", None)
+        if fast is not None:
+            # Engine sweeps keep the sorted totals as an array; reading them
+            # avoids materializing any measurement objects.
+            return fast()
         return [m.total_us for m in self.measurements]
 
     def quantile_us(self, q: float) -> float:
@@ -86,6 +118,25 @@ class SweepResult:
         return self.worst.total_us / self.best.total_us
 
     # -- layout-conditioned minima (for the configuration graph) ---------------
+    def _ensure_layout_index(self):
+        """Build the per-layout minima index on first use.
+
+        One pass over the (sorted) measurements: the first measurement seen
+        for each key is its fastest.  Turns the repeated linear scans of the
+        configuration-selection layer into dict lookups.
+        """
+        if self._layout_index is None:
+            by_pair: dict[tuple, ConfigMeasurement] = {}
+            by_in: dict[tuple, ConfigMeasurement] = {}
+            by_out: dict[tuple, ConfigMeasurement] = {}
+            for m in self.measurements:
+                c = m.config
+                by_pair.setdefault((c.input_layouts, c.output_layouts), m)
+                by_in.setdefault(c.input_layouts, m)
+                by_out.setdefault(c.output_layouts, m)
+            self._layout_index = (by_pair, by_in, by_out)
+        return self._layout_index
+
     def best_for_layouts(
         self, input_layouts: tuple[Layout, ...] | None, output_layouts: tuple[Layout, ...] | None
     ) -> ConfigMeasurement | None:
@@ -94,13 +145,37 @@ class SweepResult:
         ``None`` constraints are wildcards.  Returns None if no measured
         configuration matches.
         """
-        for m in self.measurements:  # sorted ascending: first match is best
-            if input_layouts is not None and m.config.input_layouts != input_layouts:
-                continue
-            if output_layouts is not None and m.config.output_layouts != output_layouts:
-                continue
-            return m
-        return None
+        if not self.measurements:
+            return None
+        if input_layouts is None and output_layouts is None:
+            return self.measurements[0]
+        by_pair, by_in, by_out = self._ensure_layout_index()
+        if input_layouts is None:
+            return by_out.get(tuple(output_layouts))
+        if output_layouts is None:
+            return by_in.get(tuple(input_layouts))
+        return by_pair.get((tuple(input_layouts), tuple(output_layouts)))
+
+    def layout_pair_minima(
+        self, in_index: int, out_index: int
+    ) -> dict[tuple[tuple[str, ...], tuple[str, ...]], float]:
+        """Minimum runtime per (input[in_index], output[out_index]) layout pair.
+
+        One cached pass over the sorted measurements (first hit per key is
+        the minimum); the configuration-selection graph reads these minima
+        per chain boundary instead of re-scanning every measurement.
+        """
+        key = (in_index, out_index)
+        cached = self._pair_minima.get(key)
+        if cached is None:
+            cached = {}
+            for m in self.measurements:
+                c = m.config
+                pair = (c.input_layouts[in_index].dims, c.output_layouts[out_index].dims)
+                if pair not in cached:
+                    cached[pair] = m.total_us
+            self._pair_minima[key] = cached
+        return cached
 
     def best_with_operand_layout(
         self, operand_index: int, layout: Layout, *, output: bool = False
@@ -109,7 +184,10 @@ class SweepResult:
         for m in self.measurements:
             layouts = m.config.output_layouts if output else m.config.input_layouts
             if operand_index >= len(layouts):
-                return None
+                # Operand arity can differ across algorithms/fusion variants;
+                # skip configs that don't carry this operand instead of
+                # giving up on the whole (sorted) list.
+                continue
             if layouts[operand_index] == layout:
                 return m
         return None
@@ -123,7 +201,29 @@ def sweep_op(
     cap: int | None = 2000,
     seed: int = 0x5EED,
 ) -> SweepResult:
-    """Measure every feasible configuration of one operator."""
+    """Measure every feasible configuration of one operator (batched engine).
+
+    Bit-identical to :func:`sweep_op_reference`; memoized process-wide.
+    """
+    from repro.engine.sweep import sweep_op as _engine_sweep_op
+
+    return _engine_sweep_op(op, env, cost, cap=cap, seed=seed)
+
+
+def sweep_op_reference(
+    op: OpSpec,
+    env: DimEnv,
+    cost: CostModel | None = None,
+    *,
+    cap: int | None = 2000,
+    seed: int = 0x5EED,
+) -> SweepResult:
+    """The scalar reference sweep: one cost-model call per configuration.
+
+    This is the engine's correctness contract — slow but obviously faithful
+    to the per-config cost model.  Keep it in sync with nothing: the engine
+    must follow *it*.
+    """
     cost = cost or CostModel()
     if op.op_class is OpClass.TENSOR_CONTRACTION:
         configs = contraction_configs(op, env)
@@ -146,10 +246,6 @@ def sweep_graph(
     cap: int | None = 2000,
 ) -> dict[str, SweepResult]:
     """Sweep every non-view operator of a graph; keyed by op name."""
-    cost = cost or CostModel()
-    results: dict[str, SweepResult] = {}
-    for op in graph.ops:
-        if op.is_view:
-            continue
-        results[op.name] = sweep_op(op, env, cost, cap=cap)
-    return results
+    from repro.engine.sweep import sweep_graph as _engine_sweep_graph
+
+    return _engine_sweep_graph(graph, env, cost, cap=cap)

@@ -9,8 +9,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.autotuner.tuner import SweepResult, sweep_graph
+from repro.autotuner.tuner import SweepResult
 from repro.configsel.selector import SelectedConfiguration, select_configurations
+from repro.engine import sweep_graph
 from repro.hardware.cost_model import CostModel
 from repro.hardware.mue import op_mue
 from repro.ir.dims import DimEnv

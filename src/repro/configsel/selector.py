@@ -14,7 +14,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.autotuner.tuner import ConfigMeasurement, SweepResult, sweep_graph
+from repro.autotuner.tuner import ConfigMeasurement, SweepResult
+from repro.engine import sweep_graph
 from repro.hardware.cost_model import CostModel
 from repro.ir.dims import DimEnv
 from repro.ir.graph import DataflowGraph
@@ -127,12 +128,15 @@ def build_config_graph(
 
         # Operator edges: (in layout at this boundary) -> (projected out
         # layout at the next boundary), weighted by the layout-conditioned
-        # minimum runtime.
+        # minimum runtime.  The per-(in, out)-layout minima come from the
+        # sweep's precomputed index; projection then runs once per distinct
+        # layout pair rather than once per measurement.
         grouped: dict[tuple[tuple[str, ...], tuple[str, ...] | None], float] = {}
-        for m in sweep.measurements:
-            lin = m.config.input_layouts[step.in_index]
-            lout = m.config.output_layouts[step.out_index]
+        for (lin_dims, lout_dims), t_us in sweep.layout_pair_minima(
+            step.in_index, step.out_index
+        ).items():
             if next_spec is not None:
+                lout = Layout(lout_dims)
                 projected = (
                     lout
                     if step.out_tensor == chain[idx + 1].in_tensor
@@ -140,11 +144,11 @@ def build_config_graph(
                 )
                 if projected is None:
                     continue
-                key = (lin.dims, projected.dims)
+                key = (lin_dims, projected.dims)
             else:
-                key = (lin.dims, None)
-            if key not in grouped or m.total_us < grouped[key]:
-                grouped[key] = m.total_us
+                key = (lin_dims, None)
+            if key not in grouped or t_us < grouped[key]:
+                grouped[key] = t_us
         if not grouped:
             raise SSSPError(f"no usable configurations for chain op {step.op_name!r}")
         for (lin_dims, lout_dims), w in grouped.items():

@@ -1,0 +1,52 @@
+"""Vectorized sweep engine: batched roofline evaluation of config spaces.
+
+The paper's recipe (Sec. V) exhaustively measures every feasible
+configuration of every operator; that sweep is the hot path behind the
+violin plots, the configuration-selection graph, the framework baselines
+and the sensitivity analyses.  This subsystem replaces the per-config
+scalar loop with a batched pipeline:
+
+1. :mod:`repro.engine.space` enumerates a config space once into
+   structure-of-arrays form (layout indices, vector/warp dims, algorithm,
+   tensor-core flags) using the exact enumeration order of
+   :mod:`repro.layouts.configspace`;
+2. :mod:`repro.engine.batched` evaluates the roofline formula
+   ``launch + max(flop/(peak·eff_c), bytes/(bw·eff_m))`` over NumPy arrays,
+   hoisting all per-(op, env) work out of the loop while staying
+   **bit-identical** to the scalar cost model (tier-1 pins
+   ``sweep_op`` == ``sweep_op_reference``);
+3. :mod:`repro.engine.sweep` stable-sorts the totals, materializes
+   ``ConfigMeasurement`` objects lazily, and memoizes whole sweeps
+   process-wide keyed by ``(op, env, gpu, COST_MODEL_VERSION)``
+   (:mod:`repro.engine.memo`).
+
+All sweep consumers (`repro.autotuner.tuner.sweep_op` / ``sweep_graph``)
+route through here; the scalar reference stays available as
+``repro.autotuner.tuner.sweep_op_reference``.
+"""
+
+from .memo import clear_sweep_memo, memo_key, sweep_memo_stats
+from .space import (
+    ContractionSpace,
+    KernelSpace,
+    enumerate_contraction_space,
+    enumerate_kernel_space,
+)
+from .batched import BatchedTimes, evaluate_contraction, evaluate_kernel
+from .sweep import PreSortedMeasurements, sweep_graph, sweep_op
+
+__all__ = [
+    "BatchedTimes",
+    "ContractionSpace",
+    "KernelSpace",
+    "PreSortedMeasurements",
+    "clear_sweep_memo",
+    "enumerate_contraction_space",
+    "enumerate_kernel_space",
+    "evaluate_contraction",
+    "evaluate_kernel",
+    "memo_key",
+    "sweep_graph",
+    "sweep_memo_stats",
+    "sweep_op",
+]

@@ -1,0 +1,190 @@
+"""Batched roofline evaluation over structure-of-arrays config spaces.
+
+Evaluates ``launch + max(flop / (peak · eff_c), bytes / (bw · eff_m))`` for
+an operator's whole configuration space at once.  Per-(op, env) quantities
+— flops, io_bytes, einsum parse, GEMM shapes, layout/algorithm factors,
+per-operand access efficiencies — are computed exactly once and broadcast.
+
+**Bit-identity contract.** Every per-element operation here is an IEEE-754
+correctly-rounded primitive (multiply, divide, add, min/max) applied in the
+same association order as the scalar model in
+:mod:`repro.hardware.cost_model` / :mod:`repro.hardware.efficiency`; the
+transcendental pieces (saturation exponents, stride decay, wave
+quantization) are reused from the scalar helpers verbatim and only ever
+computed per *distinct key*, never re-derived in a different form.  NumPy
+float64 therefore reproduces the scalar Python floats bit for bit, which
+tier-1 pins via ``sweep_op`` vs ``sweep_op_reference``.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hardware.efficiency import (
+    contraction_shared_factors,
+    operand_access_eff,
+)
+
+# Calibrated scalar-model constants (single source of truth lives in
+# repro.hardware.efficiency; the engine must track it exactly).
+from repro.hardware.efficiency import (  # noqa: F401  (private by convention)
+    _GEMM_MEM_EFF,
+    _JITTER,
+    _KERNEL_COMPUTE_EFF,
+    _NARROW_WARP_PENALTY,
+    _REGISTER_BONUS,
+    _STRIDED_FLOOR,
+)
+from repro.hardware.spec import GPUSpec
+from repro.ir.dims import DimEnv
+from repro.layouts.config import NUM_GEMM_ALGORITHMS
+
+from .space import ContractionSpace, KernelSpace
+
+__all__ = ["BatchedTimes", "evaluate_contraction", "evaluate_kernel"]
+
+
+@dataclass(frozen=True)
+class BatchedTimes:
+    """Predicted timings of one operator's whole config space."""
+
+    compute_us: np.ndarray
+    memory_us: np.ndarray
+    launch_us: float
+    total_us: np.ndarray
+
+    @property
+    def num_configs(self) -> int:
+        return int(self.total_us.shape[0])
+
+
+def evaluate_contraction(
+    space: ContractionSpace, env: DimEnv, gpu: GPUSpec
+) -> BatchedTimes:
+    """Roofline-time every contraction config in one vector pass."""
+    op = space.op
+    t = len(space.triples)
+    pre_tc = np.empty(t)
+    pre_fp = np.empty(t)
+    wave = np.empty(t)
+    div8 = np.empty(t, dtype=bool)
+    algo_factors = np.empty((t, NUM_GEMM_ALGORITHMS))
+    for i, (la, lb, lc, shape) in enumerate(space.triples):
+        p_tc, p_fp, w, d8, afs = contraction_shared_factors(op, la, lb, lc, shape, gpu)
+        pre_tc[i] = p_tc
+        pre_fp[i] = p_fp
+        wave[i] = w
+        div8[i] = d8
+        algo_factors[i] = afs
+
+    ti = space.triple_idx
+    tc_legal = space.tc_flags & div8[ti]
+    # compute = ((BASE · sat) · layout_factor) · algo_factor, then /= wave,
+    # then clamped — the exact scalar association order.
+    pre = np.where(tc_legal, pre_tc[ti], pre_fp[ti])
+    compute_eff = pre * algo_factors[ti, space.algos]
+    compute_eff = compute_eff / wave[ti]
+    compute_eff = np.maximum(compute_eff, 1e-4)
+
+    flop = op.flops(env)
+    nbytes = op.io_bytes(env)
+    peak_tc = gpu.peak_flops(tensor_cores=True)
+    peak_fp = gpu.peak_flops(tensor_cores=False)
+    peak = np.where(tc_legal, peak_tc, peak_fp)
+    if flop > 0:
+        compute_us = 1e6 * flop / (peak * compute_eff)
+    else:  # pragma: no cover - contractions always have flop
+        compute_us = np.zeros(space.num_configs)
+    # Contraction memory efficiency is a constant: one scalar division,
+    # written exactly as CostModel._time_from_eff spells it.
+    memory_const = 1e6 * nbytes / (gpu.mem_bandwidth * _GEMM_MEM_EFF)
+    memory_us = np.full(space.num_configs, memory_const)
+    launch = gpu.kernel_launch_us
+    total_us = launch + np.maximum(compute_us, memory_us)
+    return BatchedTimes(
+        compute_us=compute_us, memory_us=memory_us, launch_us=launch, total_us=total_us
+    )
+
+
+def evaluate_kernel(space: KernelSpace, env: DimEnv, gpu: GPUSpec) -> BatchedTimes:
+    """Roofline-time every memory-bound kernel config in one vector pass."""
+    op = space.op
+    idx = space.idx
+    n = space.num_configs
+    n_ops = space.num_operands
+    vec_idx = idx[:, n_ops]
+    warp_idx = idx[:, n_ops + 1]
+    vec_choices = space.vec_choices
+    warp_choices = space.warp_choices
+
+    operands = list(op.inputs) + list(op.outputs)
+    # Per-operand access efficiency depends only on (layout, vector dim):
+    # tabulate once, gather per config.  The weighted accumulation mirrors
+    # kernel_efficiency's running ``weighted += nbytes * eff`` order.
+    total_bytes = 0
+    weighted = np.zeros(n)
+    for o, spec in enumerate(operands):
+        nb = spec.nbytes(env)
+        total_bytes += nb
+        table = np.array(
+            [
+                [operand_access_eff(layout, v, env) for v in vec_choices]
+                for layout in space.layout_choices[o]
+            ]
+        )
+        weighted = weighted + float(nb) * table[idx[:, o], vec_idx]
+    mem = weighted / total_bytes if total_bytes else np.full(n, 0.5)
+
+    if op.ispace.reduction:
+        # warp_choices are the reduction dims (all truthy), so the scalar
+        # guard `if op.ispace.reduction and config.warp_reduce_dim` reduces
+        # to this branch.
+        same = np.array(
+            [[v == w for w in warp_choices] for v in vec_choices], dtype=bool
+        )[vec_idx, warp_idx]
+        narrow = np.array(
+            [w is not None and env[w] < 32 for w in warp_choices], dtype=bool
+        )[warp_idx]
+        mem = np.where(same, np.minimum(0.95, mem * _REGISTER_BONUS), mem)
+        mem = np.where(narrow, mem * _NARROW_WARP_PENALTY, mem)
+
+    # Deterministic per-config jitter, keyed by the OpConfig identity string
+    # exactly as the scalar model keys it (kernel configs carry the default
+    # algorithm/tensor-core fields).
+    in_strs = [
+        [str(l) for l in choices] for choices in space.layout_choices[: len(op.inputs)]
+    ]
+    out_strs = [
+        [str(l) for l in choices] for choices in space.layout_choices[len(op.inputs):]
+    ]
+    vec_strs = [str(v) for v in vec_choices]
+    warp_strs = [str(w) for w in warp_choices]
+    name = op.name
+    crc32 = zlib.crc32
+    units = np.empty(n)
+    for i, row in enumerate(idx.tolist()):
+        ins = "/".join(s[row[o]] for o, s in enumerate(in_strs))
+        outs = "/".join(s[row[len(in_strs) + o]] for o, s in enumerate(out_strs))
+        key = (
+            f"kernel|{name}|in:{ins}|out:{outs}|vec:{vec_strs[row[-2]]}"
+            f"|warp:{warp_strs[row[-1]]}|algo:-1|tc:1"
+        )
+        units[i] = crc32(key.encode())
+    units = units / 2**32
+    jitter = 1.0 + _JITTER * (2.0 * units - 1.0)
+    mem = np.minimum(0.95, np.maximum(_STRIDED_FLOOR / 2, mem * jitter))
+
+    flop = op.flops(env)
+    nbytes = op.io_bytes(env)
+    peak = gpu.peak_flops(tensor_cores=False)
+    compute_const = 1e6 * flop / (peak * _KERNEL_COMPUTE_EFF) if flop > 0 else 0.0
+    compute_us = np.full(n, compute_const)
+    memory_us = 1e6 * nbytes / (gpu.mem_bandwidth * mem)
+    launch = gpu.kernel_launch_us
+    total_us = launch + np.maximum(compute_us, memory_us)
+    return BatchedTimes(
+        compute_us=compute_us, memory_us=memory_us, launch_us=launch, total_us=total_us
+    )

@@ -1,0 +1,76 @@
+"""Process-level sweep memoization.
+
+Sweeping is deterministic given ``(operator, dim env, GPU, cost-model
+version)`` plus the sampling knobs, so repeated evaluations — the same
+graph swept by the tuner, the baselines, the configuration selector and
+the sensitivity sweeps — can share one result.  Keys hash the full frozen
+IR objects (OpSpec, DimEnv, GPUSpec are all frozen dataclasses), so two
+structurally identical ops memo-hit even across separately built graphs.
+
+``COST_MODEL_VERSION`` is part of every key: bumping it (see
+:mod:`repro.hardware.cost_model`) invalidates the whole memo, mirroring how
+persisted JSON artifacts are rejected on version mismatch.
+
+Memoized :class:`~repro.autotuner.tuner.SweepResult` objects are shared —
+treat them as immutable (every in-repo consumer does).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Hashable
+
+from repro.hardware.cost_model import COST_MODEL_VERSION
+from repro.hardware.spec import GPUSpec
+from repro.ir.dims import DimEnv
+from repro.ir.operator import OpClass, OpSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.autotuner.tuner import SweepResult
+
+__all__ = ["memo_key", "memo_get", "memo_put", "clear_sweep_memo", "sweep_memo_stats"]
+
+_MEMO: dict[Hashable, "SweepResult"] = {}
+_HITS = 0
+_MISSES = 0
+
+
+def memo_key(
+    op: OpSpec, env: DimEnv, gpu: GPUSpec, *, cap: int | None, seed: int
+) -> Hashable:
+    """Cache key for one sweep.
+
+    Contraction sweeps are exhaustive (``cap``/``seed`` never apply), so
+    their keys drop the sampling knobs and hit across different caps.
+    """
+    if op.op_class is OpClass.TENSOR_CONTRACTION:
+        knobs: tuple = ("contraction",)
+    else:
+        knobs = ("kernel", cap, seed)
+    return (COST_MODEL_VERSION, op, env, gpu, knobs)
+
+
+def memo_get(key: Hashable) -> "SweepResult | None":
+    global _HITS, _MISSES
+    sweep = _MEMO.get(key)
+    if sweep is None:
+        _MISSES += 1
+    else:
+        _HITS += 1
+    return sweep
+
+
+def memo_put(key: Hashable, sweep: "SweepResult") -> None:
+    _MEMO[key] = sweep
+
+
+def clear_sweep_memo() -> None:
+    """Drop all memoized sweeps (and reset hit/miss counters)."""
+    global _HITS, _MISSES
+    _MEMO.clear()
+    _HITS = 0
+    _MISSES = 0
+
+
+def sweep_memo_stats() -> dict[str, int]:
+    """Counters for tests and diagnostics."""
+    return {"size": len(_MEMO), "hits": _HITS, "misses": _MISSES}

@@ -1,0 +1,154 @@
+"""Structure-of-arrays enumeration of operator configuration spaces.
+
+The scalar sweep materializes one :class:`~repro.layouts.config.OpConfig`
+object per point and re-derives everything (einsum parse, GEMM mapping,
+layout factors) inside the per-config loop.  The engine instead enumerates
+each operator's space *once* into flat index arrays over small per-knob
+choice tables:
+
+* contractions: an array of feasible layout-triple indices crossed with
+  tensor-core mode and GEMM algorithm;
+* memory-bound kernels: one layout-index column per operand plus columns
+  for the vectorization and warp-reduce dimension choices.
+
+Enumeration order is taken verbatim from
+:mod:`repro.layouts.configspace` (`contraction_triples`,
+`kernel_config_indices`), which is what lets the engine's stable sort
+reproduce the reference sweep's tie-breaking exactly.  ``OpConfig`` objects
+are only built lazily, on measurement access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import prod
+
+import numpy as np
+
+from repro.ir.dims import DimEnv
+from repro.ir.operator import OpSpec
+from repro.layouts.config import NUM_GEMM_ALGORITHMS, OpConfig
+from repro.layouts.configspace import (
+    contraction_triples,
+    kernel_config_indices,
+    kernel_space,
+)
+from repro.layouts.gemm_mapping import GemmShape
+from repro.layouts.layout import Layout
+
+__all__ = [
+    "ContractionSpace",
+    "KernelSpace",
+    "enumerate_contraction_space",
+    "enumerate_kernel_space",
+]
+
+
+@dataclass
+class ContractionSpace:
+    """A contraction's config space in structure-of-arrays form."""
+
+    op: OpSpec
+    #: Feasible ``(layout_a, layout_b, layout_c, gemm_shape)`` triples.
+    triples: list[tuple[Layout, Layout, Layout, GemmShape]]
+    #: Per-config index into :attr:`triples`.
+    triple_idx: np.ndarray
+    #: Per-config requested tensor-core mode.
+    tc_flags: np.ndarray
+    #: Per-config GEMM algorithm id.
+    algos: np.ndarray
+
+    @property
+    def num_configs(self) -> int:
+        return int(self.triple_idx.shape[0])
+
+    def config_at(self, j: int) -> OpConfig:
+        """Materialize the ``j``-th config (enumeration order)."""
+        la, lb, lc, _shape = self.triples[int(self.triple_idx[j])]
+        return OpConfig(
+            op_name=self.op.name,
+            input_layouts=(la, lb),
+            output_layouts=(lc,),
+            algorithm=int(self.algos[j]),
+            use_tensor_cores=bool(self.tc_flags[j]),
+        )
+
+
+@dataclass
+class KernelSpace:
+    """A memory-bound kernel's config space in structure-of-arrays form."""
+
+    op: OpSpec
+    #: One layout choice list per operand (inputs then outputs).
+    layout_choices: list[list[Layout]]
+    vec_choices: list[str | None]
+    warp_choices: list[str | None]
+    #: ``(num_configs, num_operands + 2)`` knob indices, enumeration order;
+    #: the last two columns are the vector and warp-reduce choice.
+    idx: np.ndarray
+
+    @property
+    def num_configs(self) -> int:
+        return int(self.idx.shape[0])
+
+    @property
+    def num_operands(self) -> int:
+        return len(self.layout_choices)
+
+    def config_at(self, j: int) -> OpConfig:
+        """Materialize the ``j``-th config (enumeration order)."""
+        row = self.idx[j]
+        n_in = len(self.op.inputs)
+        layouts = [self.layout_choices[o][int(row[o])] for o in range(self.num_operands)]
+        return OpConfig(
+            op_name=self.op.name,
+            input_layouts=tuple(layouts[:n_in]),
+            output_layouts=tuple(layouts[n_in:]),
+            vector_dim=self.vec_choices[int(row[-2])],
+            warp_reduce_dim=self.warp_choices[int(row[-1])],
+        )
+
+
+def enumerate_contraction_space(op: OpSpec, env: DimEnv) -> ContractionSpace:
+    """Enumerate a contraction's feasible configs into arrays.
+
+    The GEMM mapping runs once per layout triple here; the scalar path
+    re-runs it for each of the triple's ``2 * NUM_GEMM_ALGORITHMS`` configs.
+    """
+    triples = list(contraction_triples(op, env))
+    t = len(triples)
+    per_triple = 2 * NUM_GEMM_ALGORITHMS
+    # Order matches contraction_configs: triple-major, then tc in
+    # (True, False), then algorithm ascending.
+    triple_idx = np.repeat(np.arange(t, dtype=np.int64), per_triple)
+    tc_flags = np.tile(
+        np.repeat(np.array([True, False]), NUM_GEMM_ALGORITHMS), t
+    )
+    algos = np.tile(np.arange(NUM_GEMM_ALGORITHMS, dtype=np.int64), 2 * t)
+    return ContractionSpace(
+        op=op, triples=triples, triple_idx=triple_idx, tc_flags=tc_flags, algos=algos
+    )
+
+
+def enumerate_kernel_space(
+    op: OpSpec, env: DimEnv, *, cap: int | None, seed: int
+) -> KernelSpace:
+    """Enumerate a kernel's (possibly subsampled) configs into arrays."""
+    layout_choices, vec_choices, warp_choices = kernel_space(op, env)
+    sizes = [len(c) for c in layout_choices] + [len(vec_choices), len(warp_choices)]
+    total = prod(sizes)
+    if cap is None or total <= cap:
+        # Row-major unravel reproduces itertools.product order.
+        idx = np.stack(
+            np.unravel_index(np.arange(total, dtype=np.int64), sizes), axis=1
+        )
+    else:
+        flats = list(kernel_config_indices(sizes, cap=cap, seed=seed))
+        idx = np.array(flats, dtype=np.int64)
+    return KernelSpace(
+        op=op,
+        layout_choices=layout_choices,
+        vec_choices=vec_choices,
+        warp_choices=warp_choices,
+        idx=idx,
+    )

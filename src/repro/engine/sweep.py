@@ -1,0 +1,170 @@
+"""The batched sweep driver: arrays in, lazily materialized sweeps out.
+
+``sweep_op`` evaluates one operator's whole configuration space with the
+batched roofline (:mod:`repro.engine.batched`), stable-sorts the totals,
+and wraps the result in the ordinary
+:class:`~repro.autotuner.tuner.SweepResult` API.  Individual
+:class:`~repro.autotuner.tuner.ConfigMeasurement` objects are only built
+when a consumer actually touches them — ``sweep.best`` materializes one
+object, a violin summary none at all (it reads the sorted time array).
+
+Results are bit-identical to :func:`repro.autotuner.tuner.sweep_op_reference`
+— same measurements, same order — which tier-1 pins.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Callable
+
+import numpy as np
+
+from repro.hardware.cost_model import CostModel, KernelTime
+from repro.ir.dims import DimEnv
+from repro.ir.graph import DataflowGraph
+from repro.ir.operator import OpClass, OpSpec
+
+from .batched import evaluate_contraction, evaluate_kernel
+from .memo import clear_sweep_memo, memo_get, memo_key, memo_put, sweep_memo_stats
+from .space import enumerate_contraction_space, enumerate_kernel_space
+
+__all__ = [
+    "sweep_op",
+    "sweep_graph",
+    "clear_sweep_memo",
+    "sweep_memo_stats",
+]
+
+
+class PreSortedMeasurements(Sequence):
+    """A lazily materialized, already-sorted measurement sequence.
+
+    Behaves like the plain ``list[ConfigMeasurement]`` the scalar sweep
+    builds, but constructs each measurement object on first access.
+    ``SweepResult.__post_init__`` re-sorts its measurements by ``total_us``;
+    this sequence is constructed in exactly that order, so :meth:`sort` is
+    a no-op rather than a forced materialization.
+    """
+
+    __slots__ = ("_n", "_build", "_totals", "_items")
+
+    def __init__(
+        self, n: int, build: Callable[[int], object], sorted_totals: np.ndarray
+    ) -> None:
+        self._n = n
+        self._build = build
+        self._totals = sorted_totals
+        self._items: list[object | None] = [None] * n
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __getitem__(self, i):
+        if isinstance(i, slice):
+            return [self[j] for j in range(*i.indices(self._n))]
+        if i < 0:
+            i += self._n
+        if not 0 <= i < self._n:
+            raise IndexError(i)
+        item = self._items[i]
+        if item is None:
+            item = self._items[i] = self._build(i)
+        return item
+
+    def sort(self, *args, **kwargs) -> None:
+        """No-op: the sequence is constructed sorted by ``total_us``."""
+
+    def times_us(self) -> list[float]:
+        """Sorted totals without materializing measurement objects."""
+        return self._totals.tolist()
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, (PreSortedMeasurements, list)):
+            return list(self) == list(other)
+        return NotImplemented
+
+    __hash__ = None  # mutable cache inside
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        built = sum(1 for x in self._items if x is not None)
+        return f"<PreSortedMeasurements n={self._n} materialized={built}>"
+
+
+def _evaluate(op: OpSpec, env: DimEnv, gpu, *, cap: int | None, seed: int):
+    """Enumerate + batch-evaluate one op; returns (space, times)."""
+    if op.op_class is OpClass.TENSOR_CONTRACTION:
+        space = enumerate_contraction_space(op, env)
+        times = evaluate_contraction(space, env, gpu)
+    else:
+        space = enumerate_kernel_space(op, env, cap=cap, seed=seed)
+        times = evaluate_kernel(space, env, gpu)
+    return space, times
+
+
+def _build_sweep(op: OpSpec, env: DimEnv, gpu, *, cap: int | None, seed: int):
+    from repro.autotuner.tuner import ConfigMeasurement, SweepResult
+
+    space, times = _evaluate(op, env, gpu, cap=cap, seed=seed)
+    order = np.argsort(times.total_us, kind="stable")
+    sorted_totals = times.total_us[order]
+    compute_us = times.compute_us
+    memory_us = times.memory_us
+    launch_us = times.launch_us
+
+    def build(i: int):
+        j = int(order[i])
+        return ConfigMeasurement(
+            config=space.config_at(j),
+            time=KernelTime(
+                compute_us=float(compute_us[j]),
+                memory_us=float(memory_us[j]),
+                launch_us=launch_us,
+            ),
+        )
+
+    measurements = PreSortedMeasurements(len(order), build, sorted_totals)
+    return SweepResult(op=op, measurements=measurements)
+
+
+def sweep_op(
+    op: OpSpec,
+    env: DimEnv,
+    cost: CostModel | None = None,
+    *,
+    cap: int | None = 2000,
+    seed: int = 0x5EED,
+    memo: bool = True,
+):
+    """Batched equivalent of the scalar exhaustive sweep.
+
+    Bit-identical to :func:`repro.autotuner.tuner.sweep_op_reference`; with
+    ``memo=True`` (default) results are shared process-wide, keyed by
+    ``(op, env, gpu, COST_MODEL_VERSION)`` plus the sampling knobs.
+    """
+    cost = cost or CostModel()
+    if not memo:
+        return _build_sweep(op, env, cost.gpu, cap=cap, seed=seed)
+    key = memo_key(op, env, cost.gpu, cap=cap, seed=seed)
+    sweep = memo_get(key)
+    if sweep is None:
+        sweep = _build_sweep(op, env, cost.gpu, cap=cap, seed=seed)
+        memo_put(key, sweep)
+    return sweep
+
+
+def sweep_graph(
+    graph: DataflowGraph,
+    env: DimEnv,
+    cost: CostModel | None = None,
+    *,
+    cap: int | None = 2000,
+    seed: int = 0x5EED,
+    memo: bool = True,
+):
+    """Sweep every non-view operator of a graph; keyed by op name."""
+    cost = cost or CostModel()
+    return {
+        op.name: sweep_op(op, env, cost, cap=cap, seed=seed, memo=memo)
+        for op in graph.ops
+        if not op.is_view
+    }

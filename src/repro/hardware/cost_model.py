@@ -26,7 +26,22 @@ from repro.layouts.layout import transpose_cost_bytes
 from .efficiency import Efficiency, op_efficiency
 from .spec import GPUSpec, V100
 
-__all__ = ["KernelTime", "CostModel"]
+__all__ = ["KernelTime", "CostModel", "COST_MODEL_VERSION"]
+
+#: Version tag of the analytic cost model (roofline formula, efficiency
+#: constants, jitter keying, enumeration semantics).  Persisted sweep
+#: artifacts and the process-level sweep memo embed this tag; a mismatch
+#: means cached numbers were produced by a different model and must be
+#: re-measured, not silently reused.
+#:
+#: **Bump rule:** increment whenever a change alters any predicted kernel
+#: time — efficiency constants or formulas in
+#: :mod:`repro.hardware.efficiency`, the roofline composition in this
+#: module, GPU spec defaults, or the configuration enumeration (ordering
+#: changes that re-rank equal-time configs count too).  Pure refactors that
+#: keep every sweep bit-identical (the engine/reference contract) must NOT
+#: bump it.
+COST_MODEL_VERSION = 1
 
 
 @dataclass(frozen=True)

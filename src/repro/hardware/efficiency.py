@@ -44,7 +44,9 @@ from .spec import GPUSpec, V100
 __all__ = [
     "Efficiency",
     "contraction_efficiency",
+    "contraction_shared_factors",
     "kernel_efficiency",
+    "operand_access_eff",
     "op_efficiency",
     "heuristic_algorithm",
     "best_algorithm",
@@ -186,6 +188,34 @@ def contraction_efficiency(
     return Efficiency(compute=compute, memory=_GEMM_MEM_EFF, tensor_cores=tc_legal)
 
 
+def contraction_shared_factors(
+    op: OpSpec, la: Layout, lb: Layout, lc: Layout, shape: GemmShape, gpu: GPUSpec
+) -> tuple[float, float, float, bool, tuple[float, ...]]:
+    """Per-layout-triple factors shared by every (tc, algo) configuration.
+
+    Returns ``(pre_tc, pre_fp16, wave, tc_divisible, algo_factors)`` where
+    ``pre_* = BASE · sat(shape) · layout_factor`` are the partial products of
+    :func:`contraction_efficiency` up to (but excluding) the per-algorithm
+    factor.  The batched sweep engine hoists these out of its per-config
+    loop; the arithmetic — including association order — matches the scalar
+    path exactly so engine results stay bit-identical to the reference.
+    """
+    layouts_key = f"{la}/{lb}/{lc}"
+    layout_factor = _in_range(
+        _unit("gemm-layout", op.einsum, layouts_key, shape.trans_a, shape.trans_b),
+        _LAYOUT_FACTOR_RANGE,
+    )
+    pre_tc = _GEMM_TC_BASE * _tc_saturation(shape) * layout_factor
+    pre_fp16 = _GEMM_FP16_BASE * _fp16_saturation(shape) * layout_factor
+    wave = _wave_quantization(shape, gpu)
+    tc_divisible = shape.m % 8 == 0 and shape.n % 8 == 0 and shape.k % 8 == 0
+    algo_factors = tuple(
+        _in_range(_unit("algo", shape.label(), layouts_key, a), _ALGO_FACTOR_RANGE)
+        for a in range(NUM_GEMM_ALGORITHMS)
+    )
+    return pre_tc, pre_fp16, wave, tc_divisible, algo_factors
+
+
 def _operand_access_eff(
     layout: Layout, vector_dim: str | None, env: DimEnv
 ) -> float:
@@ -208,6 +238,11 @@ def _operand_access_eff(
     strides = layout.strides(env)
     stride = strides[vector_dim]
     return max(_STRIDED_FLOOR, _STRIDED_COEF / (stride**0.5))
+
+
+#: Public name for the per-operand access model (the batched engine tabulates
+#: it once per (operand, layout, vector-dim) instead of once per config).
+operand_access_eff = _operand_access_eff
 
 
 def kernel_efficiency(op: OpSpec, config: OpConfig, env: DimEnv) -> Efficiency:

@@ -24,15 +24,41 @@ from repro.ir.operator import OpClass, OpSpec
 from repro.ops.einsum_utils import parse_einsum
 
 from .config import NUM_GEMM_ALGORITHMS, OpConfig
-from .gemm_mapping import map_to_gemm
+from .gemm_mapping import _shape_from_structure, feasible_triple_structures
 from .layout import Layout, all_layouts
 
 __all__ = [
+    "contraction_triples",
     "contraction_configs",
+    "kernel_space",
+    "kernel_config_indices",
     "kernel_configs",
     "op_configs",
     "default_config",
 ]
+
+
+def contraction_triples(op: OpSpec, env: DimEnv):
+    """Feasible layout triples of a contraction, in enumeration order.
+
+    Yields ``(layout_a, layout_b, layout_c, gemm_shape)`` for every layout
+    triple that maps to a (batched) GEMM.  This is the single source of the
+    contraction enumeration order: both the scalar reference sweep and the
+    batched engine derive their config ordering from it, which is what makes
+    their stable-sorted results bit-identical.  The feasibility scan is
+    structural and cached per einsum (see
+    :func:`repro.layouts.gemm_mapping.feasible_triple_structures`); only the
+    concrete GEMM shapes are instantiated per env.
+    """
+    if op.op_class is not OpClass.TENSOR_CONTRACTION:
+        raise ValueError(f"{op.name!r} is not a contraction")
+    spec = parse_einsum(op.einsum)
+    a_spec, b_spec = op.inputs[0], op.inputs[1]
+    c_spec = op.outputs[0]
+    for la, lb, lc, structure in feasible_triple_structures(
+        spec, a_spec.dims, b_spec.dims, c_spec.dims
+    ):
+        yield la, lb, lc, _shape_from_structure(structure, env)
 
 
 def contraction_configs(
@@ -43,26 +69,69 @@ def contraction_configs(
     tensor_core_modes: Sequence[bool] = (True, False),
 ) -> Iterator[OpConfig]:
     """All GEMM-mappable layout/algorithm/TC configurations of a contraction."""
-    if op.op_class is not OpClass.TENSOR_CONTRACTION:
-        raise ValueError(f"{op.name!r} is not a contraction")
-    spec = parse_einsum(op.einsum)
     algos = list(algorithms) if algorithms is not None else list(range(NUM_GEMM_ALGORITHMS))
-    a_spec, b_spec = op.inputs[0], op.inputs[1]
-    c_spec = op.outputs[0]
-    for la in all_layouts(a_spec.dims):
-        for lb in all_layouts(b_spec.dims):
-            for lc in all_layouts(c_spec.dims):
-                if map_to_gemm(spec, la, lb, lc, env) is None:
-                    continue
-                for tc in tensor_core_modes:
-                    for algo in algos:
-                        yield OpConfig(
-                            op_name=op.name,
-                            input_layouts=(la, lb),
-                            output_layouts=(lc,),
-                            algorithm=algo,
-                            use_tensor_cores=tc,
-                        )
+    for la, lb, lc, _shape in contraction_triples(op, env):
+        for tc in tensor_core_modes:
+            for algo in algos:
+                yield OpConfig(
+                    op_name=op.name,
+                    input_layouts=(la, lb),
+                    output_layouts=(lc,),
+                    algorithm=algo,
+                    use_tensor_cores=tc,
+                )
+
+
+def kernel_space(
+    op: OpSpec, env: DimEnv
+) -> tuple[list[list[Layout]], list[str | None], list[str | None]]:
+    """The per-knob choice lists of a non-contraction kernel's config space.
+
+    Returns ``(layout_choices, vec_choices, warp_choices)`` where
+    ``layout_choices`` has one list per operand (inputs then outputs).
+    Operands of rank <= 1 (biases, per-dim scales) have a single layout.
+    """
+    if op.op_class is OpClass.TENSOR_CONTRACTION:
+        raise ValueError(f"use contraction_configs for {op.name!r}")
+    operand_specs = list(op.inputs) + list(op.outputs)
+    layout_choices: list[list[Layout]] = [
+        list(all_layouts(t.dims)) if t.rank > 1 else [Layout(t.dims)]
+        for t in operand_specs
+    ]
+    vec_choices: list[str | None] = list(op.ispace.all_dims) or [None]
+    warp_choices: list[str | None] = (
+        list(op.ispace.reduction) if op.ispace.reduction else [None]
+    )
+    return layout_choices, vec_choices, warp_choices
+
+
+def kernel_config_indices(
+    sizes: Sequence[int], *, cap: int | None, seed: int
+) -> Iterator[tuple[int, ...]]:
+    """Flat knob-index tuples of a kernel config space, in enumeration order.
+
+    Exhaustive row-major enumeration when the product fits under ``cap``;
+    otherwise a deterministic uniform subsample of exactly ``cap`` distinct
+    tuples, always starting with the all-default point.  Both the scalar
+    reference sweep and the batched engine consume this generator, so their
+    config ordering — and hence their stable-sorted results — agree exactly.
+    """
+    total = 1
+    for s in sizes:
+        total *= s
+    if cap is None or total <= cap:
+        yield from itertools.product(*(range(s) for s in sizes))
+        return
+    rng = random.Random(seed)
+    default = tuple([0] * len(sizes))
+    yield default  # always include the default point
+    seen = {default}
+    while len(seen) < cap:
+        flat = tuple(rng.randrange(s) for s in sizes)
+        if flat in seen:
+            continue
+        seen.add(flat)
+        yield flat
 
 
 def kernel_configs(
@@ -79,25 +148,11 @@ def kernel_configs(
     a deterministic uniform subsample of exactly ``cap`` configurations is
     produced (always including the all-default-layout point).
     """
-    if op.op_class is OpClass.TENSOR_CONTRACTION:
-        raise ValueError(f"use contraction_configs for {op.name!r}")
-    operand_specs = list(op.inputs) + list(op.outputs)
-    layout_choices: list[list[Layout]] = [
-        list(all_layouts(t.dims)) if t.rank > 1 else [Layout(t.dims)]
-        for t in operand_specs
-    ]
-    vec_choices: list[str | None] = list(op.ispace.all_dims) or [None]
-    warp_choices: list[str | None] = (
-        list(op.ispace.reduction) if op.ispace.reduction else [None]
-    )
-
+    layout_choices, vec_choices, warp_choices = kernel_space(op, env)
     sizes = [len(c) for c in layout_choices] + [len(vec_choices), len(warp_choices)]
-    total = 1
-    for s in sizes:
-        total *= s
+    n_in = len(op.inputs)
 
     def build(indices: Sequence[int]) -> OpConfig:
-        n_in = len(op.inputs)
         layouts = [layout_choices[i][indices[i]] for i in range(len(layout_choices))]
         vec = vec_choices[indices[len(layout_choices)]]
         warp = warp_choices[indices[len(layout_choices) + 1]]
@@ -109,19 +164,7 @@ def kernel_configs(
             warp_reduce_dim=warp,
         )
 
-    if cap is None or total <= cap:
-        for flat in itertools.product(*(range(s) for s in sizes)):
-            yield build(flat)
-        return
-
-    rng = random.Random(seed)
-    yield build([0] * len(sizes))  # always include the default point
-    seen = {tuple([0] * len(sizes))}
-    while len(seen) < cap:
-        flat = tuple(rng.randrange(s) for s in sizes)
-        if flat in seen:
-            continue
-        seen.add(flat)
+    for flat in kernel_config_indices(sizes, cap=cap, seed=seed):
         yield build(flat)
 
 

@@ -24,6 +24,7 @@ operand (rows ``p`` with stride ``h*b*k``, batch stride ``k``).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from math import prod
 
 from repro.ir.dims import DimEnv
@@ -31,7 +32,14 @@ from repro.ir.dims import DimEnv
 from .layout import Layout
 from repro.ops.einsum_utils import EinsumSpec, parse_einsum
 
-__all__ = ["GemmShape", "DimRoles", "classify_dims", "map_to_gemm", "default_gemm_shape"]
+__all__ = [
+    "GemmShape",
+    "DimRoles",
+    "classify_dims",
+    "feasible_triple_structures",
+    "map_to_gemm",
+    "default_gemm_shape",
+]
 
 
 @dataclass(frozen=True)
@@ -80,6 +88,11 @@ def classify_dims(spec: EinsumSpec | str) -> DimRoles:
     """Assign batch/M/N/K roles to every dim of a 2-operand einsum."""
     if isinstance(spec, str):
         spec = parse_einsum(spec)
+    return _classify_dims_cached(spec)
+
+
+@lru_cache(maxsize=4096)
+def _classify_dims_cached(spec: EinsumSpec) -> DimRoles:
     if spec.num_inputs != 2:
         raise ValueError(f"GEMM mapping requires 2 operands, got {spec.num_inputs}")
     a, b = (set(s) for s in spec.input_subscripts)
@@ -101,6 +114,7 @@ def classify_dims(spec: EinsumSpec | str) -> DimRoles:
     return DimRoles(batch=batch, m=m_dims, n=n_dims, k=k_dims)
 
 
+@lru_cache(maxsize=65536)
 def _matrix_view(layout: Layout, batch: tuple[str, ...], rows: tuple[str, ...],
                  cols: tuple[str, ...]) -> tuple[bool, bool] | None:
     """Check one operand is a (strided) batched 2-D matrix in this layout.
@@ -131,6 +145,97 @@ def _matrix_view(layout: Layout, batch: tuple[str, ...], rows: tuple[str, ...],
     return (True, cols_pos < rows_pos)
 
 
+@lru_cache(maxsize=65536)
+def _c_groups(
+    spec: EinsumSpec, layout_c: Layout
+) -> tuple[tuple[str, ...], tuple[str, ...], tuple[str, ...]]:
+    """(M, N, batch) dim groups in C-layout order — structural, cacheable."""
+    roles = _classify_dims_cached(spec)
+    c_order = layout_c.dims
+    m_group = tuple(d for d in c_order if d in set(roles.m))
+    n_group = tuple(d for d in c_order if d in set(roles.n))
+    batch_group = tuple(d for d in c_order if d in set(roles.batch))
+    return m_group, n_group, batch_group
+
+
+@lru_cache(maxsize=65536)
+def _k_group(spec: EinsumSpec, layout_a: Layout) -> tuple[str, ...]:
+    """K dim group in A-layout order — structural, cacheable."""
+    roles = _classify_dims_cached(spec)
+    return tuple(d for d in layout_a.dims if d in set(roles.k))
+
+
+#: Env-independent result of mapping one layout triple: the (M, N, K, batch)
+#: dim groups plus the operand transposition flags.
+GemmStructure = tuple[
+    tuple[str, ...], tuple[str, ...], tuple[str, ...], tuple[str, ...], bool, bool
+]
+
+
+def _map_structure(
+    spec: EinsumSpec, layout_a: Layout, layout_b: Layout, layout_c: Layout
+) -> GemmStructure | None:
+    """The structural (size-independent) half of :func:`map_to_gemm`."""
+    # Dim-role groups are pure functions of (spec, single layout); cached so
+    # a layout-triple sweep computes each once instead of per triple.
+    m_group, n_group, batch_group = _c_groups(spec, layout_c)
+    k_group = _k_group(spec, layout_a)
+
+    va = _matrix_view(layout_a, batch_group, m_group, k_group)
+    vb = _matrix_view(layout_b, batch_group, k_group, n_group)
+    vc = _matrix_view(layout_c, batch_group, m_group, n_group)
+    if va is None or vb is None or vc is None:
+        return None
+    if vc[1]:
+        # C stored N-major: equivalent to computing C^T = B^T A^T; swap roles.
+        return _map_structure(
+            _swapped(spec), layout_b, layout_a, layout_c_swapped(layout_c)
+        )
+    return (m_group, n_group, k_group, batch_group, va[1], vb[1])
+
+
+def _shape_from_structure(structure: GemmStructure, env: DimEnv) -> GemmShape:
+    """Instantiate a structural mapping at concrete dimension sizes."""
+    m_group, n_group, k_group, batch_group, trans_a, trans_b = structure
+    return GemmShape(
+        m=prod(env[d] for d in m_group) if m_group else 1,
+        n=prod(env[d] for d in n_group) if n_group else 1,
+        k=prod(env[d] for d in k_group) if k_group else 1,
+        batch=prod(env[d] for d in batch_group) if batch_group else 1,
+        trans_a=trans_a,
+        trans_b=trans_b,
+    )
+
+
+@lru_cache(maxsize=1024)
+def feasible_triple_structures(
+    spec: EinsumSpec,
+    dims_a: tuple[str, ...],
+    dims_b: tuple[str, ...],
+    dims_c: tuple[str, ...],
+):
+    """All GEMM-mappable layout triples of a contraction, with structures.
+
+    Feasibility and dim-group structure are independent of concrete sizes,
+    so the full rank!^3 candidate scan runs once per einsum/operand-dims
+    combination; sweeps at any ``DimEnv`` then instantiate shapes from the
+    (much smaller) feasible list via :func:`_shape_from_structure`.
+    Triples are returned in the canonical nested enumeration order
+    (A-major, then B, then C) that the sweep paths rely on for stable-sort
+    tie-breaking.
+    """
+    from .layout import all_layouts
+
+    out = []
+    for la in all_layouts(dims_a):
+        for lb in all_layouts(dims_b):
+            for lc in all_layouts(dims_c):
+                structure = _map_structure(spec, la, lb, lc)
+                if structure is not None:
+                    out.append((la, lb, lc, structure))
+    return tuple(out)
+
+
 def map_to_gemm(
     spec: EinsumSpec | str,
     layout_a: Layout,
@@ -145,37 +250,13 @@ def map_to_gemm(
     """
     if isinstance(spec, str):
         spec = parse_einsum(spec)
-    roles = classify_dims(spec)
-
-    c_order = layout_c.dims
-    m_group = tuple(d for d in c_order if d in set(roles.m))
-    n_group = tuple(d for d in c_order if d in set(roles.n))
-    k_group = tuple(d for d in layout_a.dims if d in set(roles.k))
-    batch_group = tuple(d for d in c_order if d in set(roles.batch))
-
-    va = _matrix_view(layout_a, batch_group, m_group, k_group)
-    vb = _matrix_view(layout_b, batch_group, k_group, n_group)
-    vc = _matrix_view(layout_c, batch_group, m_group, n_group)
-    if va is None or vb is None or vc is None:
+    structure = _map_structure(spec, layout_a, layout_b, layout_c)
+    if structure is None:
         return None
-    if vc[1]:
-        # C stored N-major: equivalent to computing C^T = B^T A^T; swap roles.
-        shape = map_to_gemm(
-            _swapped(spec), layout_b, layout_a, layout_c_swapped(layout_c), env
-        )
-        if shape is None:
-            return None
-        return shape
-    return GemmShape(
-        m=prod(env[d] for d in m_group) if m_group else 1,
-        n=prod(env[d] for d in n_group) if n_group else 1,
-        k=prod(env[d] for d in k_group) if k_group else 1,
-        batch=prod(env[d] for d in batch_group) if batch_group else 1,
-        trans_a=va[1],
-        trans_b=vb[1],
-    )
+    return _shape_from_structure(structure, env)
 
 
+@lru_cache(maxsize=4096)
 def _swapped(spec: EinsumSpec) -> EinsumSpec:
     """The einsum with operand order swapped (same output)."""
     a, b = spec.input_subscripts

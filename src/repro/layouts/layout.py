@@ -9,6 +9,7 @@ and which (batched) GEMM shapes a contraction can map to (Sec. V).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from itertools import permutations
 from typing import Iterator
 
@@ -86,10 +87,18 @@ class Layout:
         return "".join(self.dims)
 
 
+@lru_cache(maxsize=4096)
+def _all_layouts_tuple(dims: tuple[str, ...]) -> tuple[Layout, ...]:
+    return tuple(Layout(perm) for perm in permutations(dims))
+
+
 def all_layouts(dims: tuple[str, ...]) -> Iterator[Layout]:
-    """All physical layouts (dim permutations) of a tensor."""
-    for perm in permutations(dims):
-        yield Layout(perm)
+    """All physical layouts (dim permutations) of a tensor.
+
+    Layouts are frozen; the permutation tuple is cached per dim tuple so
+    nested sweep loops don't rebuild rank! objects per iteration.
+    """
+    return iter(_all_layouts_tuple(tuple(dims)))
 
 
 def transpose_cost_bytes(spec: TensorSpec, env: DimEnv) -> int:

@@ -1,0 +1,136 @@
+"""Hypothesis property tests: engine/reference bit-identity + invariants.
+
+Randomizes operator shapes, dimension sizes and sampling knobs, and checks
+
+* ``repro.engine`` sweeps are **bit-identical** to the scalar
+  ``sweep_op_reference`` (same configs in the same order, same
+  ``KernelTime`` components, exact float equality — no tolerances);
+* ``SweepResult`` structural invariants hold on engine-built sweeps:
+  measurements sorted ascending, ``quantile_us`` monotone in the quantile,
+  ``spread >= 1``.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autotuner.tuner import sweep_op_reference
+from repro.engine.sweep import sweep_op as engine_sweep_op
+from repro.hardware.cost_model import CostModel
+from repro.ir.dims import DimEnv
+from repro.ir.iteration_space import IterationSpace
+from repro.ir.operator import OpClass, OpSpec
+from repro.ir.tensor import TensorSpec
+from repro.ops.contraction import contraction_spec
+
+COST = CostModel()
+
+# Small-but-varied sizes; multiples of 8 appear so the 128-bit
+# vectorization and tensor-core divisibility branches both get exercised.
+_SIZES = st.sampled_from([1, 2, 3, 4, 7, 8, 15, 16, 24, 32, 40, 64])
+
+#: Contraction shapes covering plain GEMM, batched GEMM and the paper's
+#: rank-4 attention contractions (operand dims differ per einsum).
+_EINSUMS = [
+    ("mk,kn->mn", ("m", "k"), ("k", "n"), ("m", "n")),
+    ("bmk,bkn->bmn", ("b", "m", "k"), ("b", "k", "n"), ("b", "m", "n")),
+    ("phb,pwb->hwb", ("p", "h", "b"), ("p", "w", "b"), ("h", "w", "b")),
+]
+
+
+@st.composite
+def kernel_ops(draw):
+    """A random memory-bound op: elementwise or normalization w/ reduction."""
+    dims = draw(
+        st.lists(st.sampled_from("abcde"), min_size=2, max_size=3, unique=True)
+    )
+    dims = tuple(dims)
+    env = DimEnv({d: draw(_SIZES) for d in dims})
+    reduce_last = draw(st.booleans())
+    if reduce_last and len(dims) > 1:
+        ispace = IterationSpace(dims[:-1], (dims[-1],))
+        op_class = OpClass.STAT_NORMALIZATION
+    else:
+        ispace = IterationSpace(dims)
+        op_class = OpClass.ELEMENTWISE
+    n_extra_inputs = draw(st.integers(min_value=0, max_value=1))
+    inputs = [TensorSpec("x", dims)]
+    if n_extra_inputs:
+        # A broadcast (rank-1) side input, like a bias or per-dim scale.
+        inputs.append(TensorSpec("s", (dims[0],)))
+    op = OpSpec(
+        name="k",
+        op_class=op_class,
+        inputs=tuple(inputs),
+        outputs=(TensorSpec("y", dims),),
+        ispace=ispace,
+        flop_per_point=draw(st.sampled_from([0.0, 1.0, 2.0])),
+    )
+    cap = draw(st.sampled_from([None, 5, 17, 50]))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    return op, env, cap, seed
+
+
+@st.composite
+def contraction_ops(draw):
+    einsum, da, db, dc = draw(st.sampled_from(_EINSUMS))
+    all_dims = sorted(set(da) | set(db) | set(dc))
+    env = DimEnv({d: draw(_SIZES) for d in all_dims})
+    a = TensorSpec("a", da)
+    b = TensorSpec("b", db)
+    op = contraction_spec("c", einsum, (a.name, b.name), "y")
+    return op, env
+
+
+def _assert_bit_identical(ref, eng):
+    assert eng.num_configs == ref.num_configs
+    for a, b in zip(ref.measurements, eng.measurements):
+        assert a.config == b.config
+        # Exact float equality on every component — the bit-identity contract.
+        assert a.time.compute_us == b.time.compute_us
+        assert a.time.memory_us == b.time.memory_us
+        assert a.time.launch_us == b.time.launch_us
+
+
+def _assert_invariants(sweep):
+    times = sweep.times_us()
+    assert times == sorted(times)
+    if times:
+        qs = [sweep.quantile_us(q) for q in (0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0)]
+        assert qs == sorted(qs)
+        assert qs[0] == sweep.best.total_us
+        assert qs[-1] == sweep.worst.total_us
+        assert sweep.spread >= 1.0
+    assert sweep.num_configs == len(sweep.measurements)
+
+
+@settings(max_examples=30, deadline=None)
+@given(kernel_ops())
+def test_kernel_sweeps_bit_identical(params):
+    op, env, cap, seed = params
+    ref = sweep_op_reference(op, env, COST, cap=cap, seed=seed)
+    eng = engine_sweep_op(op, env, COST, cap=cap, seed=seed, memo=False)
+    _assert_bit_identical(ref, eng)
+    _assert_invariants(eng)
+    _assert_invariants(ref)
+
+
+@settings(max_examples=20, deadline=None)
+@given(contraction_ops())
+def test_contraction_sweeps_bit_identical(params):
+    op, env = params
+    ref = sweep_op_reference(op, env, COST)
+    eng = engine_sweep_op(op, env, COST, memo=False)
+    _assert_bit_identical(ref, eng)
+    _assert_invariants(eng)
+
+
+@settings(max_examples=15, deadline=None)
+@given(kernel_ops())
+def test_memoized_sweep_is_shared_and_identical(params):
+    op, env, cap, seed = params
+    first = engine_sweep_op(op, env, COST, cap=cap, seed=seed)
+    second = engine_sweep_op(op, env, COST, cap=cap, seed=seed)
+    assert first is second  # process-level memo returns the same object
+    _assert_bit_identical(sweep_op_reference(op, env, COST, cap=cap, seed=seed), first)
