@@ -9,12 +9,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.autotuner.violin import ViolinSummary, summarize
-from repro.engine import sweep_op
+from repro.engine import contraction_time_split, sweep_op
 from repro.hardware.cost_model import CostModel
 from repro.ir.dims import DimEnv
 from repro.ir.graph import DataflowGraph
 from repro.ir.operator import OpClass, OpSpec
-from repro.layouts.configspace import contraction_configs
 from repro.layouts.gemm_mapping import default_gemm_shape
 
 __all__ = [
@@ -134,17 +133,14 @@ def fig4_contraction_tiles(
     for label, ops in sorted(groups.items()):
         rep = ops[0]
         flop = rep.flops(env)
-        tc_times: list[float] = []
-        fp_times: list[float] = []
-        for config in contraction_configs(rep, env):
-            kt = cost.time_op(rep, config, env)
-            if kt is None:
-                continue
-            (tc_times if config.use_tensor_cores else fp_times).append(kt.total_us)
-        if not tc_times or not fp_times:
+        # One batched engine evaluation per tile (store-served when an L2
+        # is active) instead of the scalar per-config loop; both returned
+        # distributions arrive sorted ascending.
+        tc_times, fp_times = contraction_time_split(rep, env, cost)
+        if not tc_times.size or not fp_times.size:
             continue
-        tc_times.sort()
-        fp_times.sort()
+        tc_best, tc_worst = float(tc_times[0]), float(tc_times[-1])
+        fp_best, fp_worst = float(fp_times[0]), float(fp_times[-1])
         tc_peak = cost.gpu.tensor_core_flops
         fp_peak = cost.gpu.fp16_flops
 
@@ -155,13 +151,13 @@ def fig4_contraction_tiles(
             ContractionTile(
                 label=label,
                 op_names=tuple(o.name for o in ops),
-                tc_best_pct_peak=pct(tc_times[0], tc_peak),
-                tc_worst_pct_peak=pct(tc_times[-1], tc_peak),
-                fp16_best_pct_peak=pct(fp_times[0], fp_peak),
-                fp16_worst_pct_peak=pct(fp_times[-1], fp_peak),
-                tc_best_ms=tc_times[0] / 1000.0,
-                tc_worst_ms=tc_times[-1] / 1000.0,
-                num_configs=len(tc_times) + len(fp_times),
+                tc_best_pct_peak=pct(tc_best, tc_peak),
+                tc_worst_pct_peak=pct(tc_worst, tc_peak),
+                fp16_best_pct_peak=pct(fp_best, fp_peak),
+                fp16_worst_pct_peak=pct(fp_worst, fp_peak),
+                tc_best_ms=tc_best / 1000.0,
+                tc_worst_ms=tc_worst / 1000.0,
+                num_configs=int(tc_times.size + fp_times.size),
             )
         )
     return tiles
@@ -194,7 +190,11 @@ def fig5_fused_kernels(
 # ---------------------------------------------------------------------------
 
 def fig6_config_graph_stats(
-    env: DimEnv, cost: CostModel | None = None, *, cap: int | None = 600
+    env: DimEnv,
+    cost: CostModel | None = None,
+    *,
+    cap: int | None = 600,
+    jobs: int | None = None,
 ) -> dict[str, float]:
     """Build the Fig.-6 configuration graph and report its shape + SSSP cost."""
     from repro.configsel.chain import primary_chain
@@ -207,7 +207,7 @@ def fig6_config_graph_stats(
     cost = cost or CostModel()
     graph = apply_paper_fusion(build_encoder_graph(qkv_fusion="qkv"), env)
     chain = primary_chain(graph)
-    sweeps = sweep_graph(graph, env, cost, cap=cap)
+    sweeps = sweep_graph(graph, env, cost, cap=cap, jobs=jobs)
     cg = build_config_graph(graph, chain, sweeps, env, cost)
     cost_own, path = shortest_path(cg, _SOURCE, _TARGET)
     cost_nx, _ = shortest_path_networkx(cg, _SOURCE, _TARGET)

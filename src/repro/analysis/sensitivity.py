@@ -45,10 +45,12 @@ class SensitivityPoint:
         return self.pytorch_ms / self.ours_ms
 
 
-def _measure(batch: int, seq: int, cost: CostModel, cap: int) -> SensitivityPoint:
+def _measure(
+    batch: int, seq: int, cost: CostModel, cap: int, jobs: int | None = None
+) -> SensitivityPoint:
     env = bert_large_dims(batch=batch, seq=seq)
-    ours = framework_schedule(OURS, env, cost, model="encoder", cap=cap)
-    pt = framework_schedule(PYTORCH, env, cost, model="encoder", cap=cap)
+    ours = framework_schedule(OURS, env, cost, model="encoder", cap=cap, jobs=jobs)
+    pt = framework_schedule(PYTORCH, env, cost, model="encoder", cap=cap, jobs=jobs)
 
     by_class = ours.class_runtime()
     total = sum(by_class.values())
@@ -73,10 +75,16 @@ def sweep_problem_sizes(
     seqs: tuple[int, ...] = (128, 512),
     cost: CostModel | None = None,
     cap: int = 200,
+    jobs: int | None = None,
 ) -> list[SensitivityPoint]:
-    """Measure Ours vs PyTorch across a (batch, seq) grid."""
+    """Measure Ours vs PyTorch across a (batch, seq) grid.
+
+    Each grid point sweeps its graphs through the engine scheduler; the
+    two-tier sweep cache makes repeated grids cheap and ``jobs``
+    parallelizes the cold points' sweeps.
+    """
     cost = cost or CostModel()
-    return [_measure(b, s, cost, cap) for b in batches for s in seqs]
+    return [_measure(b, s, cost, cap, jobs) for b in batches for s in seqs]
 
 
 def attention_ffn_crossover(
@@ -85,8 +93,9 @@ def attention_ffn_crossover(
     seqs: tuple[int, ...] = (128, 256, 512, 1024),
     cost: CostModel | None = None,
     cap: int = 200,
+    jobs: int | None = None,
 ) -> list[SensitivityPoint]:
     """Sweep sequence length at fixed batch: attention's L² term overtakes
     the FFN's L term as sequences grow."""
     cost = cost or CostModel()
-    return [_measure(batch, s, cost, cap) for s in seqs]
+    return [_measure(batch, s, cost, cap, jobs) for s in seqs]

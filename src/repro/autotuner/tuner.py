@@ -244,8 +244,15 @@ def sweep_graph(
     cost: CostModel | None = None,
     *,
     cap: int | None = 2000,
+    jobs: int | None = None,
 ) -> dict[str, SweepResult]:
-    """Sweep every non-view operator of a graph; keyed by op name."""
-    from repro.engine.sweep import sweep_graph as _engine_sweep_graph
+    """Sweep every non-view operator of a graph; keyed by op name.
 
-    return _engine_sweep_graph(graph, env, cost, cap=cap)
+    Routes through the engine scheduler: structurally identical operators
+    share one sweep, results persist in the two-tier sweep cache, and cold
+    sweeps run on ``jobs`` worker processes (``None`` defers to
+    ``REPRO_JOBS``; results are identical at any job count).
+    """
+    from repro.engine.scheduler import sweep_graph as _engine_sweep_graph
+
+    return _engine_sweep_graph(graph, env, cost, cap=cap, jobs=jobs)

@@ -58,14 +58,14 @@ def framework_schedule(
     model: str = "encoder",
     include_backward: bool = True,
     cap: int | None = 600,
+    jobs: int | None = None,
 ) -> Schedule:
     """Build the policy's graph and time it (Tables IV and V)."""
     cost = cost or CostModel()
     graph = framework_graph(
         policy, env, model=model, include_backward=include_backward
     )
-    source = "x"
-    return build_schedule(graph, policy, env, cost, cap=cap)
+    return build_schedule(graph, policy, env, cost, cap=cap, jobs=jobs)
 
 
 @dataclass(frozen=True)

@@ -115,19 +115,22 @@ def build_schedule(
     *,
     sweeps: dict[str, SweepResult] | None = None,
     cap: int | None = 600,
+    jobs: int | None = None,
 ) -> Schedule:
     """Time every kernel of ``graph`` under the framework's policy.
 
     ``graph`` must already reflect the policy's fusion choices (use
     :func:`repro.baselines.frameworks.framework_schedule` for the full
-    pipeline from the policy alone).
+    pipeline from the policy alone).  Whole-graph sweeps route through the
+    engine scheduler; ``jobs`` fans cold sweeps out over worker processes
+    without changing any result.
     """
     cost = cost or CostModel()
     schedule = Schedule(framework=policy.name, graph=graph)
 
     if policy.layout_mode == "selected":
         if sweeps is None:
-            sweeps = sweep_graph(graph, env, cost, cap=cap)
+            sweeps = sweep_graph(graph, env, cost, cap=cap, jobs=jobs)
         sel: SelectedConfiguration = select_configurations(
             graph, env, cost, sweeps=sweeps, cap=cap
         )
@@ -149,7 +152,7 @@ def build_schedule(
 
     if policy.layout_mode == "quantile":
         if sweeps is None:
-            sweeps = sweep_graph(graph, env, cost, cap=cap)
+            sweeps = sweep_graph(graph, env, cost, cap=cap, jobs=jobs)
         for op in graph.ops:
             if op.is_view:
                 continue

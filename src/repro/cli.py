@@ -10,6 +10,17 @@ Usage::
     python -m repro optimize          # the full recipe + summary
     python -m repro optimize --batch 96 --seq 128
     python -m repro movement          # data-movement reduction report
+
+Sweep caching and parallelism::
+
+    python -m repro table5 --sweep-store ~/.cache/repro-sweeps --jobs 4
+
+``--sweep-store DIR`` persists every evaluated sweep on disk (the L2 tier
+under the in-process memo), so later invocations skip re-sweeping; the
+``REPRO_SWEEP_STORE`` environment variable sets the same default.
+``--jobs N`` fans cold whole-graph sweeps over N worker processes
+(``REPRO_JOBS`` sets the default; 0 means one per CPU).  Neither option
+changes any reported number — results are bit-identical.
 """
 
 from __future__ import annotations
@@ -134,7 +145,25 @@ def main(argv: list[str] | None = None) -> int:
         "--cap", type=int, default=400,
         help="sampled-configuration cap for wide kernel sweeps",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for cold whole-graph sweeps "
+             "(default: REPRO_JOBS or serial; 0 = one per CPU)",
+    )
+    parser.add_argument(
+        "--sweep-store", default=None, metavar="DIR",
+        help="directory of the persistent sweep store "
+             "(default: REPRO_SWEEP_STORE or disabled)",
+    )
     args = parser.parse_args(argv)
+    if args.sweep_store is not None:
+        from repro.engine import set_sweep_store
+
+        set_sweep_store(args.sweep_store)
+    if args.jobs is not None:
+        from repro.engine import set_default_jobs
+
+        set_default_jobs(args.jobs)
     _COMMANDS[args.command](args)
     return 0
 

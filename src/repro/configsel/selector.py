@@ -193,11 +193,16 @@ def select_configurations(
     sweeps: dict[str, SweepResult] | None = None,
     source: str = "x",
     cap: int | None = 1000,
+    jobs: int | None = None,
 ) -> SelectedConfiguration:
-    """Run Step 4: global layout selection and full-graph assembly."""
+    """Run Step 4: global layout selection and full-graph assembly.
+
+    Sweeps route through the engine scheduler (two-tier cache, structural
+    dedup); ``jobs`` parallelizes cold sweeps without changing results.
+    """
     cost = cost or CostModel()
     if sweeps is None:
-        sweeps = sweep_graph(graph, env, cost, cap=cap)
+        sweeps = sweep_graph(graph, env, cost, cap=cap, jobs=jobs)
     chain = primary_chain(graph, source=source)
     cg = build_config_graph(graph, chain, sweeps, env, cost)
     chain_cost, path = shortest_path(cg, _SOURCE, _TARGET)

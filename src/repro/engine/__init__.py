@@ -16,9 +16,15 @@ scalar loop with a batched pipeline:
    **bit-identical** to the scalar cost model (tier-1 pins
    ``sweep_op`` == ``sweep_op_reference``);
 3. :mod:`repro.engine.sweep` stable-sorts the totals, materializes
-   ``ConfigMeasurement`` objects lazily, and memoizes whole sweeps
-   process-wide keyed by ``(op, env, gpu, COST_MODEL_VERSION)``
-   (:mod:`repro.engine.memo`).
+   ``ConfigMeasurement`` objects lazily, and caches whole sweeps in two
+   tiers: the process-level memo (:mod:`repro.engine.memo`, L1) over a
+   persistent content-addressed store (:mod:`repro.engine.store`, L2,
+   enabled with ``REPRO_SWEEP_STORE`` / ``--sweep-store``), both keyed by
+   ``COST_MODEL_VERSION``;
+4. :mod:`repro.engine.scheduler` sweeps whole graphs: structurally
+   identical operators are deduplicated up front and cold sweeps fan out
+   over a process pool (``jobs`` / ``REPRO_JOBS``), merging byte-for-byte
+   equal to the serial path.
 
 All sweep consumers (`repro.autotuner.tuner.sweep_op` / ``sweep_graph``)
 route through here; the scalar reference stays available as
@@ -33,20 +39,44 @@ from .space import (
     enumerate_kernel_space,
 )
 from .batched import BatchedTimes, evaluate_contraction, evaluate_kernel
-from .sweep import PreSortedMeasurements, sweep_graph, sweep_op
+from .store import (
+    SweepStore,
+    compute_payload,
+    get_sweep_store,
+    set_sweep_store,
+    sweep_digest,
+    sweep_store_stats,
+)
+from .scheduler import resolve_jobs, set_default_jobs, sweep_graph
+from .sweep import (
+    PreSortedMeasurements,
+    contraction_time_split,
+    sweep_from_payload,
+    sweep_op,
+)
 
 __all__ = [
     "BatchedTimes",
     "ContractionSpace",
     "KernelSpace",
     "PreSortedMeasurements",
+    "SweepStore",
     "clear_sweep_memo",
+    "compute_payload",
+    "contraction_time_split",
     "enumerate_contraction_space",
     "enumerate_kernel_space",
     "evaluate_contraction",
     "evaluate_kernel",
+    "get_sweep_store",
     "memo_key",
+    "resolve_jobs",
+    "set_default_jobs",
+    "set_sweep_store",
+    "sweep_digest",
+    "sweep_from_payload",
     "sweep_graph",
     "sweep_memo_stats",
     "sweep_op",
+    "sweep_store_stats",
 ]

@@ -1,4 +1,4 @@
-"""Process-level sweep memoization.
+"""Process-level sweep memoization (the L1 tier).
 
 Sweeping is deterministic given ``(operator, dim env, GPU, cost-model
 version)`` plus the sampling knobs, so repeated evaluations — the same
@@ -6,6 +6,9 @@ graph swept by the tuner, the baselines, the configuration selector and
 the sensitivity sweeps — can share one result.  Keys hash the full frozen
 IR objects (OpSpec, DimEnv, GPUSpec are all frozen dataclasses), so two
 structurally identical ops memo-hit even across separately built graphs.
+
+This memo dies with the interpreter; the persistent content-addressed
+store of :mod:`repro.engine.store` sits under it as L2.
 
 ``COST_MODEL_VERSION`` is part of every key: bumping it (see
 :mod:`repro.hardware.cost_model`) invalidates the whole memo, mirroring how
@@ -27,9 +30,20 @@ from repro.ir.operator import OpClass, OpSpec
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.autotuner.tuner import SweepResult
 
-__all__ = ["memo_key", "memo_get", "memo_put", "clear_sweep_memo", "sweep_memo_stats"]
+__all__ = [
+    "memo_key",
+    "memo_get",
+    "memo_put",
+    "payload_memo_get",
+    "payload_memo_put",
+    "clear_sweep_memo",
+    "sweep_memo_stats",
+]
 
 _MEMO: dict[Hashable, "SweepResult"] = {}
+#: Digest-keyed raw payloads, for consumers that read payload arrays
+#: directly (e.g. the Fig.-4 tensor-core split) rather than SweepResults.
+_PAYLOAD_MEMO: dict[str, dict] = {}
 _HITS = 0
 _MISSES = 0
 
@@ -63,10 +77,19 @@ def memo_put(key: Hashable, sweep: "SweepResult") -> None:
     _MEMO[key] = sweep
 
 
+def payload_memo_get(digest: str) -> dict | None:
+    return _PAYLOAD_MEMO.get(digest)
+
+
+def payload_memo_put(digest: str, payload: dict) -> None:
+    _PAYLOAD_MEMO[digest] = payload
+
+
 def clear_sweep_memo() -> None:
-    """Drop all memoized sweeps (and reset hit/miss counters)."""
+    """Drop all memoized sweeps and payloads (and reset counters)."""
     global _HITS, _MISSES
     _MEMO.clear()
+    _PAYLOAD_MEMO.clear()
     _HITS = 0
     _MISSES = 0
 

@@ -1,0 +1,485 @@
+"""Persistent sweep store: the on-disk L2 under the in-process memo (L1).
+
+The memo in :mod:`repro.engine.memo` dies with the interpreter, so every
+process — the CLI, the examples, the nightly benchmark run — used to start
+cold.  This module makes sweeps durable: each evaluated sweep is written to
+a content-addressed file whose name is a **stable digest** of everything
+that determines the result:
+
+``(canonical op signature, the dim sizes the op reads, GPUSpec,
+sampling knobs, COST_MODEL_VERSION)``
+
+Python's built-in ``hash`` is salted per process, so the digest is a
+SHA-256 over a canonical JSON serialization instead.  Two properties fall
+out of the canonicalization:
+
+* **Structural sharing.**  Contraction times depend only on the einsum,
+  operand dims and layouts — never on operator or tensor *names* — so the
+  contraction digest is name-free and structurally identical contractions
+  (``q_proj`` / ``k_proj`` / ``v_proj``, the same GEMM across graphs) share
+  one entry.  Memory-bound kernels keep the op name in the digest because
+  the efficiency jitter is keyed by ``OpConfig.key()``, which embeds it.
+* **Version invalidation.**  ``COST_MODEL_VERSION`` is part of the digest
+  *and* embedded in every payload; bumping it (see the rule in
+  :mod:`repro.hardware.cost_model`) orphans every stored entry, exactly as
+  it flushes the L1 memo and the JSON artifacts of
+  :mod:`repro.autotuner.cache`.
+
+Payloads are ``.npz`` files holding the *evaluation-order* timing arrays,
+the stable-sort permutation, and the (name-free) layout choice tables
+needed to rebuild configurations lazily — binary float64, so a round-trip
+is bit-identical to a fresh :func:`~repro.autotuner.tuner.sweep_op_reference`
+run.  A mismatched or corrupt entry raises
+:class:`~repro.autotuner.cache.CacheMismatch` and is recomputed (and
+overwritten), never silently reused.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import asdict
+from functools import lru_cache
+from math import prod
+from pathlib import Path
+
+import numpy as np
+
+from repro.autotuner.cache import CacheMismatch
+from repro.hardware.cost_model import COST_MODEL_VERSION
+from repro.hardware.spec import GPUSpec
+from repro.ir.dims import DimEnv
+from repro.ir.operator import OpClass, OpSpec
+from repro.layouts.config import NUM_GEMM_ALGORITHMS
+from repro.layouts.configspace import kernel_space
+from repro.layouts.layout import Layout
+
+from .batched import evaluate_contraction, evaluate_kernel
+from .space import (
+    ContractionSpace,
+    KernelSpace,
+    enumerate_contraction_space,
+    enumerate_kernel_space,
+)
+
+__all__ = [
+    "PAYLOAD_FORMAT",
+    "SweepStore",
+    "compute_payload",
+    "get_sweep_store",
+    "set_sweep_store",
+    "space_from_payload",
+    "sweep_digest",
+    "sweep_store_stats",
+]
+
+#: Payload layout version; bump when the npz schema changes.
+PAYLOAD_FORMAT = 1
+
+#: Environment variable naming the store directory (CLI: ``--sweep-store``).
+STORE_ENV_VAR = "REPRO_SWEEP_STORE"
+
+
+# ---------------------------------------------------------------------------
+# Stable digests
+# ---------------------------------------------------------------------------
+
+def _tensor_signature(dims: tuple[str, ...], dtype) -> list:
+    return [list(dims), dtype.name, dtype.itemsize]
+
+
+def _op_signature(op: OpSpec, *, include_name: bool) -> dict:
+    """Canonical JSON-able form of everything about ``op`` that times read.
+
+    Tensor names, stage, ``kernel_label`` and ``fused_from`` never reach the
+    cost model and are excluded; member ops contribute only their flop
+    counts, so members are always serialized name-free.
+    """
+    sig: dict = {
+        "class": op.op_class.value,
+        "inputs": [_tensor_signature(t.dims, t.dtype) for t in op.inputs],
+        "outputs": [_tensor_signature(t.dims, t.dtype) for t in op.outputs],
+        "independent": list(op.ispace.independent),
+        "reduction": list(op.ispace.reduction),
+        "flop_per_point": op.flop_per_point,
+        "einsum": op.einsum,
+        "is_view": op.is_view,
+        "members": [_op_signature(m, include_name=False) for m in op.members],
+    }
+    if include_name:
+        sig["name"] = op.name
+    return sig
+
+
+def _op_dims(op: OpSpec) -> set[str]:
+    dims = set(op.ispace.all_dims)
+    for t in op.inputs + op.outputs:
+        dims.update(t.dims)
+    for m in op.members:
+        dims.update(_op_dims(m))
+    return dims
+
+
+@lru_cache(maxsize=4096)
+def _kernel_space_size(op: OpSpec, env: DimEnv) -> int:
+    """Full (uncapped) kernel config-space size, cached per (op, env).
+
+    Digest computation needs only the size to decide whether ``cap``
+    binds; caching it avoids re-enumerating the space that
+    ``compute_payload`` enumerates anyway.
+    """
+    layout_choices, vec_choices, warp_choices = kernel_space(op, env)
+    sizes = [len(c) for c in layout_choices] + [len(vec_choices), len(warp_choices)]
+    return prod(sizes)
+
+
+def _effective_knobs(op: OpSpec, env: DimEnv, *, cap: int | None, seed: int) -> list:
+    """Sampling knobs as they actually bind.
+
+    Contraction sweeps are exhaustive, and a kernel sweep whose full space
+    fits under ``cap`` is too — both are keyed cap/seed-free so runs with
+    different caps share entries whenever the results coincide.
+    """
+    if op.op_class is OpClass.TENSOR_CONTRACTION:
+        return ["contraction"]
+    if cap is None or _kernel_space_size(op, env) <= cap:
+        return ["kernel", "exhaustive"]
+    return ["kernel", cap, seed]
+
+
+def canonical_sweep_key(
+    op: OpSpec, env: DimEnv, gpu: GPUSpec, *, cap: int | None, seed: int
+) -> dict:
+    """The canonical (JSON-able) identity of one sweep."""
+    include_name = op.op_class is not OpClass.TENSOR_CONTRACTION
+    return {
+        "format": PAYLOAD_FORMAT,
+        "version": COST_MODEL_VERSION,
+        "op": _op_signature(op, include_name=include_name),
+        "env": sorted((d, env[d]) for d in _op_dims(op)),
+        "gpu": asdict(gpu),
+        "knobs": _effective_knobs(op, env, cap=cap, seed=seed),
+    }
+
+
+def sweep_digest(
+    op: OpSpec, env: DimEnv, gpu: GPUSpec, *, cap: int | None, seed: int
+) -> str:
+    """Stable content digest of one sweep (process- and session-independent)."""
+    key = canonical_sweep_key(op, env, gpu, cap=cap, seed=seed)
+    blob = json.dumps(key, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Payloads: the serialized form of one evaluated sweep
+# ---------------------------------------------------------------------------
+
+def compute_payload(
+    op: OpSpec, env: DimEnv, gpu: GPUSpec, *, cap: int | None, seed: int
+) -> dict:
+    """Enumerate and batch-evaluate one sweep into its serializable payload.
+
+    The payload carries the evaluation-order timing arrays, the stable-sort
+    permutation, and name-free layout choice tables — everything needed to
+    rebuild the sweep lazily for *any* structurally identical operator
+    without re-running the roofline.
+    """
+    if op.op_class is OpClass.TENSOR_CONTRACTION:
+        space = enumerate_contraction_space(op, env)
+        times = evaluate_contraction(space, env, gpu)
+        extra = {
+            "kind": "contraction",
+            "triples": [
+                [list(la.dims), list(lb.dims), list(lc.dims)]
+                for la, lb, lc, _shape in space.triples
+            ],
+            "triple_idx": space.triple_idx,
+            "tc_flags": space.tc_flags,
+            "algos": space.algos,
+        }
+    else:
+        space = enumerate_kernel_space(op, env, cap=cap, seed=seed)
+        times = evaluate_kernel(space, env, gpu)
+        extra = {
+            "kind": "kernel",
+            "layout_choices": [
+                [list(l.dims) for l in choices] for choices in space.layout_choices
+            ],
+            "vec_choices": list(space.vec_choices),
+            "warp_choices": list(space.warp_choices),
+            "idx": space.idx,
+        }
+    order = np.argsort(times.total_us, kind="stable")
+    payload = {
+        "format": PAYLOAD_FORMAT,
+        "version": COST_MODEL_VERSION,
+        "op_name": op.name,
+        "launch_us": times.launch_us,
+        "compute_us": times.compute_us,
+        "memory_us": times.memory_us,
+        "order": order,
+        "sorted_totals": times.total_us[order],
+    }
+    payload.update(extra)
+    return payload
+
+
+@lru_cache(maxsize=4096)
+def _layout(dims: tuple[str, ...]) -> Layout:
+    """Shared frozen Layout instances (payload tables repeat few layouts)."""
+    return Layout(dims)
+
+
+def space_from_payload(op: OpSpec, payload: dict) -> ContractionSpace | KernelSpace:
+    """Rebuild the config-space view of a payload for ``op``.
+
+    Configurations materialize with ``op``'s name, which is how one stored
+    contraction payload serves every structurally identical operator.  The
+    per-triple ``GemmShape`` is not persisted (``config_at`` never reads
+    it), so reconstructed contraction triples carry ``None`` there.
+    """
+    if payload["kind"] == "contraction":
+        return ContractionSpace(
+            op=op,
+            triples=[
+                (_layout(tuple(la)), _layout(tuple(lb)), _layout(tuple(lc)), None)
+                for la, lb, lc in payload["triples"]
+            ],
+            triple_idx=payload["triple_idx"],
+            tc_flags=payload["tc_flags"],
+            algos=payload["algos"],
+        )
+    return KernelSpace(
+        op=op,
+        layout_choices=[
+            [_layout(tuple(dims)) for dims in choices]
+            for choices in payload["layout_choices"]
+        ],
+        vec_choices=list(payload["vec_choices"]),
+        warp_choices=list(payload["warp_choices"]),
+        idx=payload["idx"],
+    )
+
+
+_ARRAY_KEYS = ("compute_us", "memory_us", "order", "sorted_totals")
+_CONTRACTION_ARRAYS = ("triple_idx", "tc_flags", "algos")
+
+
+def _index_in_range(idx: np.ndarray, size: int) -> bool:
+    return bool(((idx >= 0) & (idx < size)).all())
+
+
+def _validate_payload(payload: dict, digest: str | None, path: Path | str) -> None:
+    """Structural sanity of a deserialized payload; raises CacheMismatch.
+
+    Every index array is bounds-checked against its choice table so a
+    corrupted entry surfaces here — never as a silently wrong (or
+    end-relative) configuration at measurement-access time.
+    """
+    where = f"sweep-store entry {path}"
+    if payload.get("format") != PAYLOAD_FORMAT:
+        raise CacheMismatch(
+            f"{where} uses payload format {payload.get('format')!r}, "
+            f"not {PAYLOAD_FORMAT!r}"
+        )
+    version = payload.get("version")
+    if version != COST_MODEL_VERSION:
+        raise CacheMismatch(
+            f"{where} was measured under cost model version {version!r}, but "
+            f"this process runs version {COST_MODEL_VERSION!r}; re-sweep "
+            f"instead of reusing it"
+        )
+    if digest is not None and payload.get("digest") != digest:
+        raise CacheMismatch(
+            f"{where} declares digest {payload.get('digest')!r}, "
+            f"expected {digest!r}"
+        )
+    n = payload["order"].shape[0]
+    for key in _ARRAY_KEYS:
+        if payload[key].shape[0] != n:
+            raise CacheMismatch(f"{where}: array {key!r} has inconsistent length")
+    if not _index_in_range(payload["order"], n or 1):
+        raise CacheMismatch(f"{where}: sort permutation out of range")
+    if payload["kind"] == "contraction":
+        for key in _CONTRACTION_ARRAYS:
+            if payload[key].shape[0] != n:
+                raise CacheMismatch(f"{where}: array {key!r} has inconsistent length")
+        if not _index_in_range(payload["triple_idx"], len(payload["triples"])):
+            raise CacheMismatch(f"{where}: triple index out of range")
+        if not _index_in_range(payload["algos"], NUM_GEMM_ALGORITHMS):
+            raise CacheMismatch(f"{where}: algorithm index out of range")
+    elif payload["kind"] == "kernel":
+        idx = payload["idx"]
+        sizes = [len(c) for c in payload["layout_choices"]] + [
+            len(payload["vec_choices"]),
+            len(payload["warp_choices"]),
+        ]
+        if idx.shape[0] != n or idx.shape[1] != len(sizes):
+            raise CacheMismatch(f"{where}: array 'idx' has inconsistent shape")
+        for col, size in enumerate(sizes):
+            if not _index_in_range(idx[:, col], size):
+                raise CacheMismatch(f"{where}: knob index column {col} out of range")
+    else:
+        raise CacheMismatch(f"{where}: unknown payload kind {payload['kind']!r}")
+
+
+# ---------------------------------------------------------------------------
+# The on-disk store
+# ---------------------------------------------------------------------------
+
+class SweepStore:
+    """A directory of content-addressed ``.npz`` sweep payloads."""
+
+    def __init__(self, root: str | Path) -> None:
+        # expanduser: tilde paths arrive unexpanded from CI yaml env blocks,
+        # .env files and the like — without this the cache lands in ./~ .
+        self.root = Path(root).expanduser()
+        self.hits = 0
+        self.misses = 0
+        self.saves = 0
+        self.rejected = 0
+
+    def path_for(self, digest: str) -> Path:
+        return self.root / f"{digest}.npz"
+
+    def __contains__(self, digest: str) -> bool:
+        return self.path_for(digest).exists()
+
+    def load(self, digest: str) -> dict | None:
+        """Deserialize one payload.
+
+        Returns ``None`` on a clean miss.  A present-but-unusable entry
+        (corrupt file, wrong cost-model version, wrong digest, inconsistent
+        arrays) raises :class:`CacheMismatch` — callers recompute and
+        overwrite, never silently reuse.
+        """
+        path = self.path_for(digest)
+        if not path.exists():
+            self.misses += 1
+            return None
+        try:
+            payload = self._read(path)
+            _validate_payload(payload, digest, path)
+        except CacheMismatch:
+            self.rejected += 1
+            raise
+        except Exception as exc:
+            self.rejected += 1
+            raise CacheMismatch(f"corrupt sweep-store entry {path}: {exc}") from exc
+        self.hits += 1
+        try:
+            # Refresh mtime so age-based pruning (e.g. nightly CI) tracks
+            # last *use*, not last write.
+            os.utime(path)
+        except OSError:  # pragma: no cover - read-only stores are fine
+            pass
+        return payload
+
+    def save(self, digest: str, payload: dict) -> Path:
+        """Atomically persist one payload under its digest.
+
+        The per-config arrays are packed into one float64 and one int64
+        matrix (``F``/``I``) so a load costs two array reads instead of
+        seven — zip-member overhead dominates warm-hit latency.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(digest)
+        floats = np.vstack(
+            [payload["compute_us"], payload["memory_us"], payload["sorted_totals"]]
+        )
+        if payload["kind"] == "contraction":
+            ints = np.vstack(
+                [
+                    payload["order"],
+                    payload["triple_idx"],
+                    payload["algos"],
+                    payload["tc_flags"].astype(np.int64),
+                ]
+            )
+        else:
+            ints = np.vstack([payload["order"], payload["idx"].T])
+        meta = {
+            k: v for k, v in payload.items() if not isinstance(v, np.ndarray)
+        }
+        meta["digest"] = digest
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                np.savez(fh, meta=json.dumps(meta), F=floats, I=ints)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        self.saves += 1
+        return path
+
+    @staticmethod
+    def _read(path: Path) -> dict:
+        with np.load(path, allow_pickle=False) as z:
+            payload = dict(json.loads(str(z["meta"][()])))
+            floats = z["F"]
+            ints = z["I"]
+        payload["compute_us"] = floats[0]
+        payload["memory_us"] = floats[1]
+        payload["sorted_totals"] = floats[2]
+        payload["order"] = ints[0]
+        if payload.get("kind") == "contraction":
+            payload["triple_idx"] = ints[1]
+            payload["algos"] = ints[2]
+            payload["tc_flags"] = ints[3] != 0
+        else:
+            payload["idx"] = ints[1:].T
+        return payload
+
+    def stats(self) -> dict[str, int]:
+        entries = (
+            sum(1 for _ in self.root.glob("*.npz")) if self.root.is_dir() else 0
+        )
+        return {
+            "entries": entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "saves": self.saves,
+            "rejected": self.rejected,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SweepStore({str(self.root)!r})"
+
+
+# ---------------------------------------------------------------------------
+# The process-active store (L2 under the memo)
+# ---------------------------------------------------------------------------
+
+_UNSET = object()
+_ACTIVE: SweepStore | None | object = _UNSET
+
+
+def set_sweep_store(store: SweepStore | str | Path | None) -> SweepStore | None:
+    """Install (or disable, with ``None``) the process-active L2 store."""
+    global _ACTIVE
+    if store is not None and not isinstance(store, SweepStore):
+        store = SweepStore(store)
+    _ACTIVE = store
+    return store
+
+
+def get_sweep_store() -> SweepStore | None:
+    """The active L2 store; first call resolves ``REPRO_SWEEP_STORE``."""
+    global _ACTIVE
+    if _ACTIVE is _UNSET:
+        path = os.environ.get(STORE_ENV_VAR, "").strip()
+        _ACTIVE = SweepStore(path) if path else None
+    return _ACTIVE  # type: ignore[return-value]
+
+
+def sweep_store_stats() -> dict[str, int]:
+    """Counters of the active store (zeros when no store is configured)."""
+    store = get_sweep_store()
+    if store is None:
+        return {"entries": 0, "hits": 0, "misses": 0, "saves": 0, "rejected": 0}
+    return store.stats()

@@ -8,6 +8,18 @@ and wraps the result in the ordinary
 when a consumer actually touches them — ``sweep.best`` materializes one
 object, a violin summary none at all (it reads the sorted time array).
 
+Evaluation is factored through serializable *payloads*
+(:mod:`repro.engine.store`): the same arrays flow from a fresh batched
+evaluation, from the on-disk L2 store, or back from a scheduler worker
+process, and ``sweep_from_payload`` turns any of them into a sweep — so
+every path is bit-identical by construction.
+
+Caching is two-tier: the in-process memo (:mod:`repro.engine.memo`, L1)
+in front of the persistent content-addressed store
+(:mod:`repro.engine.store`, L2, enabled via ``REPRO_SWEEP_STORE`` or
+``set_sweep_store``).  ``memo=False`` bypasses both tiers and recomputes
+cold — the pinned "serial, store-free engine path".
+
 Results are bit-identical to :func:`repro.autotuner.tuner.sweep_op_reference`
 — same measurements, same order — which tier-1 pins.
 """
@@ -19,18 +31,34 @@ from typing import Callable
 
 import numpy as np
 
+from repro.autotuner.cache import CacheMismatch
 from repro.hardware.cost_model import CostModel, KernelTime
+from repro.hardware.spec import GPUSpec
 from repro.ir.dims import DimEnv
-from repro.ir.graph import DataflowGraph
-from repro.ir.operator import OpClass, OpSpec
+from repro.ir.operator import OpSpec
 
-from .batched import evaluate_contraction, evaluate_kernel
-from .memo import clear_sweep_memo, memo_get, memo_key, memo_put, sweep_memo_stats
-from .space import enumerate_contraction_space, enumerate_kernel_space
+from .memo import (
+    clear_sweep_memo,
+    memo_get,
+    memo_key,
+    memo_put,
+    payload_memo_get,
+    payload_memo_put,
+    sweep_memo_stats,
+)
+from .store import (
+    SweepStore,
+    compute_payload,
+    get_sweep_store,
+    space_from_payload,
+    sweep_digest,
+)
 
 __all__ = [
     "sweep_op",
-    "sweep_graph",
+    "sweep_from_payload",
+    "load_or_compute_payload",
+    "contraction_time_split",
     "clear_sweep_memo",
     "sweep_memo_stats",
 ]
@@ -90,26 +118,21 @@ class PreSortedMeasurements(Sequence):
         return f"<PreSortedMeasurements n={self._n} materialized={built}>"
 
 
-def _evaluate(op: OpSpec, env: DimEnv, gpu, *, cap: int | None, seed: int):
-    """Enumerate + batch-evaluate one op; returns (space, times)."""
-    if op.op_class is OpClass.TENSOR_CONTRACTION:
-        space = enumerate_contraction_space(op, env)
-        times = evaluate_contraction(space, env, gpu)
-    else:
-        space = enumerate_kernel_space(op, env, cap=cap, seed=seed)
-        times = evaluate_kernel(space, env, gpu)
-    return space, times
+def sweep_from_payload(op: OpSpec, payload: dict):
+    """Wrap one evaluated payload as a lazily materialized ``SweepResult``.
 
-
-def _build_sweep(op: OpSpec, env: DimEnv, gpu, *, cap: int | None, seed: int):
+    The payload's timing arrays are name-free; configurations materialize
+    with ``op``'s name, so one (contraction) payload can serve every
+    structurally identical operator.
+    """
     from repro.autotuner.tuner import ConfigMeasurement, SweepResult
 
-    space, times = _evaluate(op, env, gpu, cap=cap, seed=seed)
-    order = np.argsort(times.total_us, kind="stable")
-    sorted_totals = times.total_us[order]
-    compute_us = times.compute_us
-    memory_us = times.memory_us
-    launch_us = times.launch_us
+    space = space_from_payload(op, payload)
+    order = payload["order"]
+    compute_us = payload["compute_us"]
+    memory_us = payload["memory_us"]
+    launch_us = float(payload["launch_us"])
+    sorted_totals = payload["sorted_totals"]
 
     def build(i: int):
         j = int(order[i])
@@ -126,6 +149,63 @@ def _build_sweep(op: OpSpec, env: DimEnv, gpu, *, cap: int | None, seed: int):
     return SweepResult(op=op, measurements=measurements)
 
 
+def load_or_compute_payload(
+    op: OpSpec,
+    env: DimEnv,
+    gpu: GPUSpec,
+    *,
+    cap: int | None,
+    seed: int,
+    store: SweepStore | None = None,
+) -> dict:
+    """L2 lookup with compute-and-persist fallback.
+
+    A mismatched or corrupt store entry (``CacheMismatch``) is recomputed
+    and overwritten, never reused.  With no store configured this is a
+    plain batched evaluation.
+    """
+    store = store if store is not None else get_sweep_store()
+    if store is None:
+        return compute_payload(op, env, gpu, cap=cap, seed=seed)
+    digest = sweep_digest(op, env, gpu, cap=cap, seed=seed)
+    try:
+        payload = store.load(digest)
+    except CacheMismatch:
+        payload = None
+    if payload is None:
+        payload = compute_payload(op, env, gpu, cap=cap, seed=seed)
+        store.save(digest, payload)
+    return payload
+
+
+def contraction_time_split(
+    op: OpSpec,
+    env: DimEnv,
+    cost: CostModel | None = None,
+    *,
+    store: SweepStore | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """A contraction sweep's sorted totals, split by requested TC mode.
+
+    Returns ``(tc_totals_us, fp16_totals_us)``, each ascending — the two
+    distributions of a Fig.-4 tile.  Served through the L2 store when one
+    is active; the payload-layout knowledge (``sorted_totals`` is permuted
+    by ``order``, ``tc_flags`` is in evaluation order) stays inside the
+    engine.
+    """
+    cost = cost or CostModel()
+    digest = sweep_digest(op, env, cost.gpu, cap=None, seed=0)
+    payload = payload_memo_get(digest)
+    if payload is None:
+        payload = load_or_compute_payload(
+            op, env, cost.gpu, cap=None, seed=0, store=store
+        )
+        payload_memo_put(digest, payload)
+    totals = payload["sorted_totals"]
+    tc_mask = payload["tc_flags"][payload["order"]]
+    return totals[tc_mask], totals[~tc_mask]
+
+
 def sweep_op(
     op: OpSpec,
     env: DimEnv,
@@ -134,37 +214,27 @@ def sweep_op(
     cap: int | None = 2000,
     seed: int = 0x5EED,
     memo: bool = True,
+    store: SweepStore | None = None,
 ):
     """Batched equivalent of the scalar exhaustive sweep.
 
-    Bit-identical to :func:`repro.autotuner.tuner.sweep_op_reference`; with
-    ``memo=True`` (default) results are shared process-wide, keyed by
-    ``(op, env, gpu, COST_MODEL_VERSION)`` plus the sampling knobs.
+    Bit-identical to :func:`repro.autotuner.tuner.sweep_op_reference`.  With
+    ``memo=True`` (default) results are shared process-wide (L1) and, when a
+    store is active, persisted across processes (L2); ``memo=False``
+    bypasses both tiers.  ``store`` overrides the process-active store for
+    this call.
     """
     cost = cost or CostModel()
     if not memo:
-        return _build_sweep(op, env, cost.gpu, cap=cap, seed=seed)
+        return sweep_from_payload(
+            op, compute_payload(op, env, cost.gpu, cap=cap, seed=seed)
+        )
     key = memo_key(op, env, cost.gpu, cap=cap, seed=seed)
     sweep = memo_get(key)
     if sweep is None:
-        sweep = _build_sweep(op, env, cost.gpu, cap=cap, seed=seed)
+        payload = load_or_compute_payload(
+            op, env, cost.gpu, cap=cap, seed=seed, store=store
+        )
+        sweep = sweep_from_payload(op, payload)
         memo_put(key, sweep)
     return sweep
-
-
-def sweep_graph(
-    graph: DataflowGraph,
-    env: DimEnv,
-    cost: CostModel | None = None,
-    *,
-    cap: int | None = 2000,
-    seed: int = 0x5EED,
-    memo: bool = True,
-):
-    """Sweep every non-view operator of a graph; keyed by op name."""
-    cost = cost or CostModel()
-    return {
-        op.name: sweep_op(op, env, cost, cap=cap, seed=seed, memo=memo)
-        for op in graph.ops
-        if not op.is_view
-    }

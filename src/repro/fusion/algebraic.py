@@ -63,17 +63,18 @@ class AlgebraicFusionResult:
 
 
 def _best_time_us(cost: CostModel, op: OpSpec, env: DimEnv) -> float:
-    """Best time over the contraction's configuration space."""
-    from repro.layouts.configspace import contraction_configs
+    """Best time over the contraction's configuration space.
 
-    best = float("inf")
-    for config in contraction_configs(op, env):
-        kt = cost.time_op(op, config, env)
-        if kt is not None and kt.total_us < best:
-            best = kt.total_us
-    if best == float("inf"):
+    Routes through the batched engine (two-tier cached, bit-identical to
+    the scalar per-config minimum): the sweep's measurements arrive sorted,
+    so the best time is its head.
+    """
+    from repro.engine import sweep_op
+
+    sweep = sweep_op(op, env, cost)
+    if sweep.num_configs == 0:
         raise RuntimeError(f"no feasible configuration for {op.name!r}")
-    return best
+    return sweep.best.total_us
 
 
 def measure_variant(

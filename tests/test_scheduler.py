@@ -1,0 +1,189 @@
+"""Tests for the parallel graph-sweep scheduler.
+
+Determinism (``jobs=1`` vs ``jobs=4`` byte-equal), structural dedup
+(identically shaped contractions share one evaluation and one store
+entry), cache-tier interplay, and job-count resolution.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.engine.scheduler as sched_mod
+from repro.engine import (
+    clear_sweep_memo,
+    get_sweep_store,
+    resolve_jobs,
+    set_default_jobs,
+    set_sweep_store,
+    sweep_graph,
+    sweep_op,
+)
+from repro.engine.store import SweepStore
+from repro.hardware.cost_model import CostModel
+from repro.ir.dims import bert_large_dims
+from repro.ir.graph import DataflowGraph
+from repro.ir.tensor import TensorSpec
+from repro.ops.contraction import contraction_spec
+from repro.transformer.graph_builder import build_mha_graph
+
+ENV = bert_large_dims()
+COST = CostModel()
+CAP = 60
+
+
+@pytest.fixture(autouse=True)
+def _isolate():
+    clear_sweep_memo()
+    old = get_sweep_store()
+    set_sweep_store(None)
+    set_default_jobs(None)
+    yield
+    set_sweep_store(old)
+    set_default_jobs(None)
+    clear_sweep_memo()
+
+
+def _assert_sweeps_equal(a, b):
+    assert set(a) == set(b)
+    for name in a:
+        assert a[name].num_configs == b[name].num_configs, name
+        assert a[name].times_us() == b[name].times_us(), name
+        for x, y in zip(a[name].measurements, b[name].measurements):
+            assert x.config == y.config, name
+            assert x.time == y.time, name
+
+
+def _twin_contraction_graph() -> DataflowGraph:
+    """Two structurally identical GEMMs under different op/tensor names."""
+    g = DataflowGraph("twins")
+    g.add_input(TensorSpec("w1", ("p", "i"), is_param=True))
+    g.add_input(TensorSpec("x1", ("i", "b")))
+    g.add_input(TensorSpec("w2", ("p", "i"), is_param=True))
+    g.add_input(TensorSpec("x2", ("i", "b")))
+    g.add_op(contraction_spec("layer1_mm", "pi,ib->pb", ("w1", "x1"), "y1"))
+    g.add_op(contraction_spec("layer2_mm", "pi,ib->pb", ("w2", "x2"), "y2"))
+    return g
+
+
+class TestDeterminism:
+    def test_jobs_1_vs_jobs_4_byte_equal(self, monkeypatch):
+        # Force the pool despite the small cap: the point is byte-equality
+        # of the parallel path, not its amortization threshold.
+        monkeypatch.setattr(sched_mod, "_MIN_PARALLEL_CONFIGS", 0)
+        g = build_mha_graph(qkv_fusion="unfused", include_backward=False)
+        serial = sweep_graph(g, ENV, COST, cap=CAP, jobs=1)
+        clear_sweep_memo()
+        parallel = sweep_graph(g, ENV, COST, cap=CAP, jobs=4)
+        _assert_sweeps_equal(serial, parallel)
+
+    def test_scheduler_equals_per_op_serial_path(self, monkeypatch):
+        monkeypatch.setattr(sched_mod, "_MIN_PARALLEL_CONFIGS", 0)
+        g = build_mha_graph(qkv_fusion="unfused", include_backward=False)
+        scheduled = sweep_graph(g, ENV, COST, cap=CAP, jobs=2)
+        cold = {
+            op.name: sweep_op(op, ENV, COST, cap=CAP, memo=False)
+            for op in g.ops
+            if not op.is_view
+        }
+        _assert_sweeps_equal(scheduled, cold)
+
+    def test_memo_false_matches_memoized_results(self):
+        g = build_mha_graph(qkv_fusion="unfused", include_backward=False)
+        _assert_sweeps_equal(
+            sweep_graph(g, ENV, COST, cap=CAP, memo=False),
+            sweep_graph(g, ENV, COST, cap=CAP),
+        )
+
+    def test_results_keyed_in_graph_order(self):
+        g = build_mha_graph(qkv_fusion="unfused", include_backward=False)
+        sweeps = sweep_graph(g, ENV, COST, cap=CAP)
+        expected = [op.name for op in g.ops if not op.is_view]
+        assert list(sweeps) == expected
+
+
+class TestDedup:
+    def test_structural_twins_share_one_store_entry(self, tmp_path):
+        g = _twin_contraction_graph()
+        store = SweepStore(tmp_path)
+        sweeps = sweep_graph(g, ENV, COST, cap=CAP, store=store)
+        assert store.stats()["entries"] == 1  # one evaluation for two ops
+        assert len(sweeps) == 2
+
+    def test_deduped_sweeps_match_independent_cold_sweeps(self):
+        g = _twin_contraction_graph()
+        deduped = sweep_graph(g, ENV, COST, cap=CAP)
+        cold = {
+            op.name: sweep_op(op, ENV, COST, cap=CAP, memo=False)
+            for op in g.ops
+        }
+        _assert_sweeps_equal(deduped, cold)
+
+    def test_dedup_preserves_per_op_config_names(self):
+        sweeps = sweep_graph(_twin_contraction_graph(), ENV, COST, cap=CAP)
+        assert sweeps["layer1_mm"].best.config.op_name == "layer1_mm"
+        assert sweeps["layer2_mm"].best.config.op_name == "layer2_mm"
+        assert (
+            sweeps["layer1_mm"].best.total_us == sweeps["layer2_mm"].best.total_us
+        )
+
+
+class TestCacheTiers:
+    def test_second_call_hits_the_memo(self):
+        g = build_mha_graph(qkv_fusion="unfused", include_backward=False)
+        first = sweep_graph(g, ENV, COST, cap=CAP)
+        second = sweep_graph(g, ENV, COST, cap=CAP)
+        for name in first:
+            assert first[name] is second[name]
+
+    def test_warm_store_serves_a_cold_process(self, tmp_path):
+        g = build_mha_graph(qkv_fusion="unfused", include_backward=False)
+        store = SweepStore(tmp_path)
+        first = sweep_graph(g, ENV, COST, cap=CAP, store=store)
+        saves = store.stats()["saves"]
+        assert saves > 0
+        clear_sweep_memo()  # new-process simulation
+        second = sweep_graph(g, ENV, COST, cap=CAP, store=store)
+        assert store.stats()["saves"] == saves  # nothing recomputed
+        assert store.stats()["hits"] >= saves
+        _assert_sweeps_equal(first, second)
+
+    def test_parallel_cold_run_populates_the_store(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(sched_mod, "_MIN_PARALLEL_CONFIGS", 0)
+        g = build_mha_graph(qkv_fusion="unfused", include_backward=False)
+        store = SweepStore(tmp_path)
+        sweep_graph(g, ENV, COST, cap=CAP, jobs=2, store=store)
+        n_ops = sum(1 for op in g.ops if not op.is_view)
+        assert store.stats()["entries"] == n_ops
+
+    def test_small_cold_work_stays_serial_even_with_jobs(self, monkeypatch):
+        # Below the amortization threshold a pool must never spin up.
+        def _boom(*a, **k):
+            raise AssertionError("process pool spawned for trivial work")
+
+        monkeypatch.setattr(sched_mod, "ProcessPoolExecutor", _boom)
+        g = build_mha_graph(qkv_fusion="unfused", include_backward=False)
+        sweeps = sweep_graph(g, ENV, COST, cap=CAP, jobs=4)
+        assert len(sweeps) > 0
+
+
+class TestJobsResolution:
+    def test_explicit_argument_wins(self):
+        set_default_jobs(7)
+        assert resolve_jobs(3) == 3
+
+    def test_default_jobs_then_env(self, monkeypatch):
+        monkeypatch.setenv(sched_mod.JOBS_ENV_VAR, "5")
+        assert resolve_jobs(None) == 5
+        set_default_jobs(2)
+        assert resolve_jobs(None) == 2
+
+    def test_serial_without_configuration(self, monkeypatch):
+        monkeypatch.delenv(sched_mod.JOBS_ENV_VAR, raising=False)
+        assert resolve_jobs(None) == 1
+
+    def test_nonpositive_means_cpu_count(self):
+        import os
+
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+        assert resolve_jobs(-1) == (os.cpu_count() or 1)

@@ -1,0 +1,303 @@
+"""Unit tests for the persistent sweep store (engine L2).
+
+Round-trip exactness, stable digests, version-mismatch and corruption
+rejection (``CacheMismatch``, recompute-and-overwrite, never silent reuse),
+and the ``sweep_op`` / active-store integration.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+import repro.engine.store as store_mod
+from repro.autotuner.cache import CacheMismatch
+from repro.autotuner.tuner import sweep_op_reference
+from repro.engine import (
+    clear_sweep_memo,
+    set_sweep_store,
+    sweep_digest,
+    sweep_op,
+    sweep_store_stats,
+)
+from repro.engine.store import (
+    SweepStore,
+    compute_payload,
+    get_sweep_store,
+)
+from repro.engine.sweep import load_or_compute_payload, sweep_from_payload
+from repro.hardware.cost_model import CostModel
+from repro.hardware.spec import A100
+from repro.ir.dims import DimEnv, bert_large_dims
+from repro.transformer.graph_builder import build_mha_graph
+
+ENV = bert_large_dims()
+COST = CostModel()
+GPU = COST.gpu
+
+
+@pytest.fixture(autouse=True)
+def _isolate_store_and_memo():
+    """Each test runs with no active store and a cold memo."""
+    clear_sweep_memo()
+    old = get_sweep_store()
+    set_sweep_store(None)
+    yield
+    set_sweep_store(old)
+    clear_sweep_memo()
+
+
+def _ops():
+    g = build_mha_graph(qkv_fusion="unfused", include_backward=False)
+    return g.op("q_proj"), g.op("softmax")
+
+
+def _assert_bit_identical(a, b):
+    assert a.num_configs == b.num_configs
+    for x, y in zip(a.measurements, b.measurements):
+        assert x.config == y.config
+        assert x.time.compute_us == y.time.compute_us
+        assert x.time.memory_us == y.time.memory_us
+        assert x.time.launch_us == y.time.launch_us
+
+
+class TestRoundTrip:
+    def test_contraction_round_trip_bit_identical(self, tmp_path):
+        contraction, _ = _ops()
+        store = SweepStore(tmp_path)
+        digest = sweep_digest(contraction, ENV, GPU, cap=200, seed=1)
+        payload = compute_payload(contraction, ENV, GPU, cap=200, seed=1)
+        store.save(digest, payload)
+        loaded = store.load(digest)
+        _assert_bit_identical(
+            sweep_op_reference(contraction, ENV, COST, cap=200, seed=1),
+            sweep_from_payload(contraction, loaded),
+        )
+
+    def test_kernel_round_trip_bit_identical(self, tmp_path):
+        _, kernel = _ops()
+        store = SweepStore(tmp_path)
+        digest = sweep_digest(kernel, ENV, GPU, cap=150, seed=7)
+        payload = compute_payload(kernel, ENV, GPU, cap=150, seed=7)
+        store.save(digest, payload)
+        loaded = store.load(digest)
+        _assert_bit_identical(
+            sweep_op_reference(kernel, ENV, COST, cap=150, seed=7),
+            sweep_from_payload(kernel, loaded),
+        )
+
+    def test_missing_entry_is_clean_miss(self, tmp_path):
+        store = SweepStore(tmp_path)
+        assert store.load("0" * 64) is None
+        assert store.stats()["misses"] == 1
+
+
+class TestDigests:
+    def test_contraction_digest_is_name_free(self):
+        contraction, _ = _ops()
+        import dataclasses
+
+        renamed = dataclasses.replace(contraction, name="other_proj")
+        d1 = sweep_digest(contraction, ENV, GPU, cap=100, seed=0)
+        d2 = sweep_digest(renamed, ENV, GPU, cap=100, seed=0)
+        assert d1 == d2
+
+    def test_kernel_digest_keeps_the_name(self):
+        # Kernel jitter is keyed by OpConfig.key(), which embeds the op
+        # name, so renamed kernels time differently and must not share.
+        _, kernel = _ops()
+        import dataclasses
+
+        renamed = dataclasses.replace(kernel, name="other_softmax")
+        d1 = sweep_digest(kernel, ENV, GPU, cap=100, seed=0)
+        d2 = sweep_digest(renamed, ENV, GPU, cap=100, seed=0)
+        assert d1 != d2
+
+    def test_irrelevant_env_dims_do_not_change_the_digest(self):
+        contraction, _ = _ops()
+        bigger = DimEnv({**ENV.sizes, "zz": 123})
+        assert sweep_digest(contraction, ENV, GPU, cap=100, seed=0) == sweep_digest(
+            contraction, bigger, GPU, cap=100, seed=0
+        )
+
+    def test_relevant_env_dims_change_the_digest(self):
+        contraction, _ = _ops()
+        assert sweep_digest(contraction, ENV, GPU, cap=100, seed=0) != sweep_digest(
+            contraction, bert_large_dims(batch=16), GPU, cap=100, seed=0
+        )
+
+    def test_gpu_changes_the_digest(self):
+        contraction, _ = _ops()
+        assert sweep_digest(contraction, ENV, GPU, cap=100, seed=0) != sweep_digest(
+            contraction, ENV, A100, cap=100, seed=0
+        )
+
+    def test_contraction_digest_ignores_sampling_knobs(self):
+        contraction, _ = _ops()
+        assert sweep_digest(contraction, ENV, GPU, cap=50, seed=1) == sweep_digest(
+            contraction, ENV, GPU, cap=None, seed=99
+        )
+
+    def test_kernel_digest_tracks_binding_knobs_only(self):
+        _, kernel = _ops()
+        # Binding cap (space is larger than 60): cap and seed matter.
+        assert sweep_digest(kernel, ENV, GPU, cap=60, seed=1) != sweep_digest(
+            kernel, ENV, GPU, cap=60, seed=2
+        )
+        # Non-binding caps are all "exhaustive" and share one digest.
+        assert sweep_digest(kernel, ENV, GPU, cap=10**9, seed=1) == sweep_digest(
+            kernel, ENV, GPU, cap=None, seed=2
+        )
+
+
+class TestRejection:
+    def _saved(self, tmp_path):
+        contraction, _ = _ops()
+        store = SweepStore(tmp_path)
+        digest = sweep_digest(contraction, ENV, GPU, cap=100, seed=0)
+        store.save(digest, compute_payload(contraction, ENV, GPU, cap=100, seed=0))
+        return contraction, store, digest
+
+    def _tamper_meta(self, store, digest, **changes):
+        path = store.path_for(digest)
+        with np.load(path, allow_pickle=False) as z:
+            arrays = {k: z[k] for k in z.files if k != "meta"}
+            meta = json.loads(str(z["meta"][()]))
+        meta.update(changes)
+        np.savez(path, meta=json.dumps(meta), **arrays)
+
+    def test_version_mismatch_raises(self, tmp_path):
+        _, store, digest = self._saved(tmp_path)
+        self._tamper_meta(store, digest, version=-1)
+        with pytest.raises(CacheMismatch, match="cost model version"):
+            store.load(digest)
+        assert store.stats()["rejected"] == 1
+
+    def test_format_mismatch_raises(self, tmp_path):
+        _, store, digest = self._saved(tmp_path)
+        self._tamper_meta(store, digest, format=999)
+        with pytest.raises(CacheMismatch, match="payload format"):
+            store.load(digest)
+
+    def test_digest_mismatch_raises(self, tmp_path):
+        # An entry copied under the wrong name never masquerades.
+        _, store, digest = self._saved(tmp_path)
+        other = "f" * 64
+        store.path_for(digest).rename(store.path_for(other))
+        with pytest.raises(CacheMismatch, match="digest"):
+            store.load(other)
+
+    def test_corrupt_bytes_raise(self, tmp_path):
+        _, store, digest = self._saved(tmp_path)
+        store.path_for(digest).write_bytes(b"not an npz file at all")
+        with pytest.raises(CacheMismatch, match="corrupt"):
+            store.load(digest)
+
+    def test_truncated_file_raises(self, tmp_path):
+        _, store, digest = self._saved(tmp_path)
+        path = store.path_for(digest)
+        path.write_bytes(path.read_bytes()[:100])
+        with pytest.raises(CacheMismatch):
+            store.load(digest)
+
+    def test_inconsistent_arrays_raise(self, tmp_path):
+        _, store, digest = self._saved(tmp_path)
+        path = store.path_for(digest)
+        with np.load(path, allow_pickle=False) as z:
+            arrays = {k: z[k] for k in z.files if k != "meta"}
+            meta = str(z["meta"][()])
+        arrays["F"] = arrays["F"][:, :-1]  # timing arrays shorter than order
+        np.savez(path, meta=meta, **arrays)
+        with pytest.raises(CacheMismatch, match="inconsistent length"):
+            store.load(digest)
+
+    def test_out_of_range_permutation_raises(self, tmp_path):
+        _, store, digest = self._saved(tmp_path)
+        path = store.path_for(digest)
+        with np.load(path, allow_pickle=False) as z:
+            arrays = {k: z[k] for k in z.files if k != "meta"}
+            meta = str(z["meta"][()])
+        arrays["I"][0, 0] = arrays["I"].shape[1] + 5  # corrupt sort order
+        np.savez(path, meta=meta, **arrays)
+        with pytest.raises(CacheMismatch, match="permutation"):
+            store.load(digest)
+
+    def test_negative_triple_index_raises(self, tmp_path):
+        # Negative indices would silently index from the end in config_at.
+        _, store, digest = self._saved(tmp_path)
+        path = store.path_for(digest)
+        with np.load(path, allow_pickle=False) as z:
+            arrays = {k: z[k] for k in z.files if k != "meta"}
+            meta = str(z["meta"][()])
+        arrays["I"][1, 0] = -2  # triple_idx row
+        np.savez(path, meta=meta, **arrays)
+        with pytest.raises(CacheMismatch, match="triple index"):
+            store.load(digest)
+
+    def test_corrupt_kernel_knob_index_raises(self, tmp_path):
+        _, kernel = _ops()
+        store = SweepStore(tmp_path)
+        digest = sweep_digest(kernel, ENV, GPU, cap=80, seed=0)
+        store.save(digest, compute_payload(kernel, ENV, GPU, cap=80, seed=0))
+        path = store.path_for(digest)
+        with np.load(path, allow_pickle=False) as z:
+            arrays = {k: z[k] for k in z.files if k != "meta"}
+            meta = str(z["meta"][()])
+        arrays["I"][1, 0] = 10**6  # first knob column, way past its table
+        np.savez(path, meta=meta, **arrays)
+        with pytest.raises(CacheMismatch, match="knob index"):
+            store.load(digest)
+
+    def test_store_root_expands_tilde(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("HOME", str(tmp_path))
+        store = SweepStore("~/sweeps")
+        assert store.root == tmp_path / "sweeps"
+
+    def test_bad_entries_are_recomputed_and_overwritten(self, tmp_path):
+        contraction, store, digest = self._saved(tmp_path)
+        store.path_for(digest).write_bytes(b"garbage")
+        payload = load_or_compute_payload(
+            contraction, ENV, GPU, cap=100, seed=0, store=store
+        )
+        _assert_bit_identical(
+            sweep_op_reference(contraction, ENV, COST, cap=100, seed=0),
+            sweep_from_payload(contraction, payload),
+        )
+        # The overwritten entry is valid again.
+        assert store.load(digest) is not None
+
+
+class TestSweepOpIntegration:
+    def test_sweep_op_populates_and_reuses_the_store(self, tmp_path):
+        contraction, _ = _ops()
+        store = SweepStore(tmp_path)
+        first = sweep_op(contraction, ENV, COST, cap=100, store=store)
+        assert store.stats()["saves"] == 1
+        clear_sweep_memo()  # simulate a fresh process: L1 gone, L2 warm
+        second = sweep_op(contraction, ENV, COST, cap=100, store=store)
+        assert store.stats()["hits"] == 1
+        assert second is not first
+        _assert_bit_identical(first, second)
+
+    def test_memo_false_bypasses_the_store(self, tmp_path):
+        contraction, _ = _ops()
+        store = SweepStore(tmp_path)
+        set_sweep_store(store)
+        sweep_op(contraction, ENV, COST, cap=100, memo=False)
+        assert store.stats() == {
+            "entries": 0, "hits": 0, "misses": 0, "saves": 0, "rejected": 0,
+        }
+
+    def test_active_store_resolves_from_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(store_mod.STORE_ENV_VAR, str(tmp_path / "s"))
+        store_mod._ACTIVE = store_mod._UNSET
+        store = get_sweep_store()
+        assert isinstance(store, SweepStore)
+        assert store.root == tmp_path / "s"
+
+    def test_stats_without_store_are_zero(self):
+        assert sweep_store_stats() == {
+            "entries": 0, "hits": 0, "misses": 0, "saves": 0, "rejected": 0,
+        }
