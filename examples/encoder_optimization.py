@@ -7,7 +7,12 @@ graph, the fusion worklist, a sweep distribution, the configuration graph,
 and the final kernel-by-kernel schedule.
 
 Run:  python examples/encoder_optimization.py
+
+``REPRO_SWEEP_CAP`` scales the per-operator sweep budget (the CI smoke
+test runs every example with a tiny cap).
 """
+
+import os
 
 from repro.autotuner import sweep_graph
 from repro.configsel import primary_chain, select_configurations
@@ -21,6 +26,7 @@ from repro.transformer import build_encoder_graph
 def main() -> None:
     env = bert_large_dims()
     cost = CostModel()
+    cap = int(os.environ.get("REPRO_SWEEP_CAP", "400"))
 
     print("STEP 1 — dataflow analysis")
     graph = build_encoder_graph(qkv_fusion="qkv")
@@ -41,7 +47,7 @@ def main() -> None:
             print(f"  {op.kernel_label:<8s} <- {' + '.join(op.fused_from)}")
 
     print("\nSTEP 3 — configuration sweeps")
-    sweeps = sweep_graph(fused, env, cost, cap=400)
+    sweeps = sweep_graph(fused, env, cost, cap=cap)
     sm = sweeps["SM"]
     print(f"  SM: {sm.num_configs} configs, best {sm.best.total_us:.0f} us, "
           f"worst {sm.worst.total_us:.0f} us ({sm.spread:.0f}x spread)")
@@ -49,7 +55,7 @@ def main() -> None:
     print("\nSTEP 4 — global selection (SSSP over the configuration graph)")
     chain = primary_chain(fused)
     print("  forward chain:", " -> ".join(s.op_name for s in chain))
-    sel = select_configurations(fused, env, cost, sweeps=sweeps, cap=400)
+    sel = select_configurations(fused, env, cost, sweeps=sweeps, cap=cap)
     print(f"  selected total: {sel.total_us / 1000:.2f} ms "
           f"({len(sel.transposes)} transposes, {sel.transpose_us:.0f} us)")
 

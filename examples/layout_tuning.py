@@ -11,7 +11,12 @@ paper's two key observations:
   orders of magnitude slower, so exhaustive search beats intuition.
 
 Run:  python examples/layout_tuning.py
+
+``REPRO_SWEEP_CAP`` scales the per-operator sweep budget (the CI smoke
+test runs every example with a tiny cap).
 """
+
+import os
 
 from repro.autotuner import render_ascii, summarize, sweep_op
 from repro.fusion import apply_paper_fusion
@@ -25,16 +30,22 @@ def main() -> None:
     cost = CostModel()
     graph = apply_paper_fusion(build_encoder_graph(qkv_fusion="qkv"), env)
 
+    env_cap = os.environ.get("REPRO_SWEEP_CAP")
+
     print("=== Contractions (Fig. 4 style) ===")
     for name in ("qkv_proj", "qkt", "linear1"):
-        sweep = sweep_op(graph.op(name), env, cost)
+        sweep = sweep_op(
+            graph.op(name), env, cost, cap=int(env_cap) if env_cap else 2000
+        )
         s = summarize(sweep)
         print(render_ascii(s))
         print()
 
     print("=== Fused kernels (Fig. 5 style) ===")
     for name in ("AIB", "SM", "BRD"):
-        sweep = sweep_op(graph.op(name), env, cost, cap=1200)
+        sweep = sweep_op(
+            graph.op(name), env, cost, cap=int(env_cap) if env_cap else 1200
+        )
         s = summarize(sweep)
         print(render_ascii(s))
         print(f"  -> best config: vec={sweep.best.config.vector_dim}, "

@@ -8,7 +8,12 @@ the framework comparison (Table IV) including the cuDNN softmax-storm
 pathology.
 
 Run:  python examples/mha_analysis.py
+
+``REPRO_SWEEP_CAP`` scales the per-operator sweep budget (the CI smoke
+test runs every example with a tiny cap).
 """
+
+import os
 
 from repro.analysis.figures import fig1_mha_dataflow
 from repro.analysis.report import format_framework_table, format_table2
@@ -35,7 +40,7 @@ def main() -> None:
     print("wide GEMM instead of three narrow ones.\n")
 
     print("=== Table IV: MHA forward/backward per framework (ms) ===")
-    data = table4(env, cap=300)
+    data = table4(env, cap=int(os.environ.get("REPRO_SWEEP_CAP", "300")))
     print(format_framework_table(data))
     cudnn_ratio = data["cuDNN"]["forward_ms"] / data["Ours"]["forward_ms"]
     print(f"\ncuDNN's experimental MHA is {cudnn_ratio:,.0f}x slower: its")

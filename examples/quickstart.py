@@ -10,7 +10,12 @@ This walks the whole pipeline on the paper's running configuration
 4. select the global layout assignment and compare with PyTorch.
 
 Run:  python examples/quickstart.py
+
+``REPRO_SWEEP_CAP`` scales the per-operator sweep budget (the CI smoke
+test runs every example with a tiny cap).
 """
+
+import os
 
 from repro import bert_large_dims, optimize_encoder
 from repro.fusion import apply_paper_fusion
@@ -38,7 +43,9 @@ def main() -> None:
 
     # Steps 3 + 4: tuning, global selection, and the PyTorch comparison.
     print("\nrunning configuration sweeps and global selection...")
-    report = optimize_encoder(env)
+    report = optimize_encoder(
+        env, cap=int(os.environ.get("REPRO_SWEEP_CAP", "600"))
+    )
     print(report.summary())
     print(f"  ours:    {report.forward_ms:.2f} ms fwd / {report.backward_ms:.2f} ms bwd")
     print(f"  pytorch: {report.pytorch_forward_ms:.2f} ms fwd / "

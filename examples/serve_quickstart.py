@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Tuning as a service: run the layout-recommendation daemon and query it.
+
+The sweeps and tuned schedules this repo computes are reusable artifacts;
+the daemon (:mod:`repro.service`) serves them to many concurrent callers
+with single-flight coalescing over a shared content-addressed store.  This
+example starts a daemon in-process (the same server ``python -m repro
+serve`` runs), then:
+
+1. checks ``/healthz`` (package + cost-model version);
+2. asks ``/v1/sweep`` for the best layouts of one attention GEMM;
+3. fires eight *concurrent* identical requests and reads ``/metrics`` to
+   show they coalesced into a single evaluation;
+4. asks ``/v1/optimize`` for a whole-encoder tuned schedule.
+
+Run:  python examples/serve_quickstart.py
+
+``REPRO_SWEEP_CAP`` scales the per-operator sweep budget (the CI smoke
+test runs every example with a tiny cap).
+"""
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.ir.dims import bert_large_dims
+from repro.service import TuningClient, TuningService
+from repro.service.server import serve_background
+from repro.transformer import build_mha_graph
+
+CAP = int(os.environ.get("REPRO_SWEEP_CAP", "400"))
+
+
+def main() -> None:
+    env = bert_large_dims()
+    op = build_mha_graph(qkv_fusion="unfused", include_backward=False).op("q_proj")
+
+    service = TuningService(store=None)
+    with serve_background(service) as url:
+        client = TuningClient(url)
+
+        health = client.healthz()
+        print(f"daemon up at {url}: repro {health['version']}, "
+              f"cost model v{health['cost_model_version']}")
+
+        print(f"\n/v1/sweep for {op.name} (cap={CAP}):")
+        resp = client.sweep(op, env, cap=CAP)
+        for rank, m in enumerate(resp["top"], 1):
+            layouts = ", ".join("".join(l) for l in m["config"]["input_layouts"])
+            print(f"  #{rank}: {m['total_us']:7.2f} us  inputs [{layouts}]  "
+                  f"algo {m['config']['algorithm']}")
+
+        print("\n8 concurrent identical requests:")
+        with ThreadPoolExecutor(8) as pool:
+            bodies = set(pool.map(
+                lambda _: client.sweep_raw(op, env, cap=CAP), range(8)
+            ))
+        tiers = client.metrics()["resolve_tiers"]
+        print(f"  {len(bodies)} distinct response body(ies); resolve tiers: {tiers}")
+        print("  -> one cold evaluation; everything else was coalesced or cached")
+
+        print(f"\n/v1/optimize (whole encoder, cap={CAP}):")
+        schedule = client.optimize(model="encoder", env=env, cap=CAP)
+        print(f"  {schedule['num_kernels']} kernels, "
+              f"{schedule['total_us'] / 1000:.2f} ms fwd+bwd; slowest three:")
+        slowest = sorted(
+            schedule["kernels"], key=lambda k: -k["best"]["total_us"]
+        )[:3]
+        for k in slowest:
+            print(f"    {k['op']:<20s} {k['best']['total_us']:8.1f} us")
+
+    print("\ndaemon shut down cleanly; the same server runs standalone via:")
+    print("  python -m repro serve --sweep-store ~/.cache/repro-sweeps")
+    print("  python -m repro query --model encoder")
+
+
+if __name__ == "__main__":
+    main()

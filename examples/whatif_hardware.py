@@ -11,8 +11,12 @@ This example re-runs the end-to-end comparison on:
   fusion win is launch overhead vs data movement).
 
 Run:  python examples/whatif_hardware.py
+
+``REPRO_SWEEP_CAP`` scales the per-operator sweep budget (the CI smoke
+test runs every example with a tiny cap).
 """
 
+import os
 from dataclasses import replace
 
 from repro.baselines import OURS, PYTORCH, framework_schedule
@@ -23,8 +27,9 @@ from repro.ir.dims import bert_large_dims
 def run(label: str, gpu) -> None:
     env = bert_large_dims()
     cost = CostModel(gpu)
-    ours = framework_schedule(OURS, env, cost, model="encoder", cap=300)
-    pt = framework_schedule(PYTORCH, env, cost, model="encoder", cap=300)
+    cap = int(os.environ.get("REPRO_SWEEP_CAP", "300"))
+    ours = framework_schedule(OURS, env, cost, model="encoder", cap=cap)
+    pt = framework_schedule(PYTORCH, env, cost, model="encoder", cap=cap)
     speedup = pt.total_us / ours.total_us
     print(
         f"{label:<24s} ours {ours.total_us / 1000:6.2f} ms   "

@@ -21,6 +21,18 @@ under the in-process memo), so later invocations skip re-sweeping; the
 ``--jobs N`` fans cold whole-graph sweeps over N worker processes
 (``REPRO_JOBS`` sets the default; 0 means one per CPU).  Neither option
 changes any reported number — results are bit-identical.
+
+Tuning as a service::
+
+    python -m repro serve --port 8077 --sweep-store ~/.cache/repro-sweeps
+    python -m repro query --url http://127.0.0.1:8077 --model encoder
+    python -m repro query --url http://127.0.0.1:8077 --health
+
+``serve`` runs the long-lived layout-recommendation daemon
+(:mod:`repro.service`); ``query`` asks a running daemon for a whole-graph
+tuned schedule (or its health/metrics).  The daemon shares the L2 sweep
+store with every batch command, so anything a nightly run swept is served
+warm.
 """
 
 from __future__ import annotations
@@ -28,16 +40,20 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import __version__
 from repro.analysis.report import (
     format_framework_table,
     format_table1,
     format_table2,
     format_table3,
 )
-from repro.hardware.cost_model import CostModel
+from repro.hardware.cost_model import COST_MODEL_VERSION, CostModel
 from repro.ir.dims import bert_large_dims
 
 __all__ = ["main"]
+
+#: Default bind/connect port of the tuning daemon.
+DEFAULT_PORT = 8077
 
 
 def _env(args: argparse.Namespace):
@@ -120,6 +136,74 @@ def _cmd_movement(args) -> None:
     )
 
 
+def _cmd_serve(args) -> None:
+    """Run the tuning daemon until interrupted (SIGINT/SIGTERM)."""
+    import signal
+
+    from repro.service import TuningService, make_server
+
+    service = TuningService()
+    server = make_server(service, args.host, args.port)
+    host, port = server.server_address[:2]
+    store = service.store
+    print(
+        f"repro-tuningd {__version__} (cost model v{COST_MODEL_VERSION}) "
+        f"listening on http://{host}:{port}"
+    )
+    print(f"sweep store: {store.root if store is not None else 'disabled'}")
+
+    def _sigterm(signum, frame):  # pragma: no cover - signal plumbing
+        # One-shot: a second TERM during the shutdown path must not raise
+        # out of the finally block and spoil the clean exit code.
+        signal.signal(signal.SIGTERM, signal.SIG_IGN)
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _sigterm)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        print("repro-tuningd: clean shutdown")
+
+
+def _cmd_query(args) -> None:
+    """Query a running daemon: health, metrics, or a tuned schedule."""
+    import json
+
+    from repro.service import ServiceError, TuningClient
+
+    client = TuningClient(args.url)
+    try:
+        if args.health:
+            print(json.dumps(client.healthz(), indent=2, sort_keys=True))
+            return
+        if args.metrics:
+            print(json.dumps(client.metrics(), indent=2, sort_keys=True))
+            return
+        resp = client.optimize(
+            model=args.model,
+            qkv_fusion=args.qkv_fusion,
+            env=_env(args),
+            cap=args.cap,
+        )
+    except ServiceError as exc:
+        print(f"repro query: {exc}", file=sys.stderr)
+        raise SystemExit(2) from exc
+    print(
+        f"{resp['graph']}: {resp['num_kernels']} kernels, "
+        f"{resp['forward_us']:.1f} us forward + {resp['backward_us']:.1f} us "
+        f"backward (cost model v{resp['cost_model_version']})"
+    )
+    for k in resp["kernels"]:
+        label = f" [{k['kernel_label']}]" if k["kernel_label"] else ""
+        print(
+            f"  {k['op']:<24s}{label:<8s} {k['best']['total_us']:9.2f} us  "
+            f"({k['num_configs']} configs swept)"
+        )
+
+
 _COMMANDS = {
     "table1": _cmd_table1,
     "table2": _cmd_table2,
@@ -130,6 +214,8 @@ _COMMANDS = {
     "movement": _cmd_movement,
     "roofline": _cmd_roofline,
     "calibrate": _cmd_calibrate,
+    "serve": _cmd_serve,
+    "query": _cmd_query,
 }
 
 
@@ -137,6 +223,11 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce 'Data Movement Is All You Need' (MLSys 2021).",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"repro {__version__} (cost model v{COST_MODEL_VERSION})",
     )
     parser.add_argument("command", choices=sorted(_COMMANDS))
     parser.add_argument("--batch", type=int, default=8, help="mini-batch size B")
@@ -154,6 +245,32 @@ def main(argv: list[str] | None = None) -> int:
         "--sweep-store", default=None, metavar="DIR",
         help="directory of the persistent sweep store "
              "(default: REPRO_SWEEP_STORE or disabled)",
+    )
+    service = parser.add_argument_group("tuning service (serve / query)")
+    service.add_argument(
+        "--host", default="127.0.0.1", help="serve: bind address"
+    )
+    service.add_argument(
+        "--port", type=int, default=DEFAULT_PORT,
+        help=f"serve: bind port (default {DEFAULT_PORT}; 0 = ephemeral)",
+    )
+    service.add_argument(
+        "--url", default=f"http://127.0.0.1:{DEFAULT_PORT}",
+        help="query: base URL of a running daemon",
+    )
+    service.add_argument(
+        "--health", action="store_true", help="query: print /healthz and exit"
+    )
+    service.add_argument(
+        "--metrics", action="store_true", help="query: print /metrics and exit"
+    )
+    service.add_argument(
+        "--model", choices=("mha", "encoder", "decoder"), default="encoder",
+        help="query: graph to optimize",
+    )
+    service.add_argument(
+        "--qkv-fusion", choices=("unfused", "qk", "qkv"), default="qkv",
+        help="query: QKV input-projection fusion variant",
     )
     args = parser.parse_args(argv)
     if args.sweep_store is not None:

@@ -41,10 +41,14 @@ from .memo import memo_get, memo_key, memo_put
 from .store import SweepStore, compute_payload, get_sweep_store, sweep_digest
 from .sweep import sweep_from_payload, sweep_op
 
-__all__ = ["sweep_graph", "resolve_jobs", "set_default_jobs"]
+__all__ = ["DISABLE_STORE", "sweep_graph", "resolve_jobs", "set_default_jobs"]
 
 #: Environment variable giving the default worker count (CLI: ``--jobs``).
 JOBS_ENV_VAR = "REPRO_JOBS"
+
+#: Sentinel for ``sweep_graph(store=...)``: run store-free even when a
+#: process-wide store is active (``store=None`` means "use the active one").
+DISABLE_STORE = object()
 
 _DEFAULT_JOBS: int | None = None
 
@@ -163,7 +167,7 @@ def sweep_graph(
     seed: int = 0x5EED,
     memo: bool = True,
     jobs: int | None = None,
-    store: SweepStore | None = None,
+    store: SweepStore | None | object = None,
 ):
     """Sweep every non-view operator of a graph; keyed by op name.
 
@@ -171,7 +175,9 @@ def sweep_graph(
     :func:`repro.engine.sweep.sweep_op`, but deduplicated, two-tier cached
     and (for ``jobs > 1``) evaluated in parallel worker processes.
     ``memo=False`` bypasses every cache *and* the dedup/fan-out machinery —
-    the pinned serial, store-free path.
+    the pinned serial, store-free path.  ``store=None`` resolves the
+    process-active store; pass :data:`DISABLE_STORE` to force a store-free
+    run even when one is active.
     """
     cost = cost or CostModel()
     ops = [op for op in graph.ops if not op.is_view]
@@ -181,7 +187,10 @@ def sweep_graph(
             for op in ops
         }
     gpu = cost.gpu
-    store = store if store is not None else get_sweep_store()
+    if store is DISABLE_STORE:
+        store = None
+    elif store is None:
+        store = get_sweep_store()
 
     results: dict[str, object] = {}
     groups: dict[str, list[tuple[OpSpec, object]]] = {}  # digest -> members

@@ -40,6 +40,7 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 from dataclasses import asdict
 from functools import lru_cache
 from math import prod
@@ -80,6 +81,9 @@ PAYLOAD_FORMAT = 1
 
 #: Environment variable naming the store directory (CLI: ``--sweep-store``).
 STORE_ENV_VAR = "REPRO_SWEEP_STORE"
+
+#: Environment variable bounding the store size in bytes (0/unset: unbounded).
+MAX_BYTES_ENV_VAR = "REPRO_SWEEP_STORE_MAX_BYTES"
 
 
 # ---------------------------------------------------------------------------
@@ -331,16 +335,33 @@ def _validate_payload(payload: dict, digest: str | None, path: Path | str) -> No
 # ---------------------------------------------------------------------------
 
 class SweepStore:
-    """A directory of content-addressed ``.npz`` sweep payloads."""
+    """A directory of content-addressed ``.npz`` sweep payloads.
 
-    def __init__(self, root: str | Path) -> None:
+    ``max_bytes`` bounds the directory size: after every save, the
+    oldest-mtime entries are evicted until the total fits.  Loads refresh
+    entry mtimes, so eviction order is least-recently-*used* — the same
+    policy the nightly CI prune applies on a 14-day horizon, but enforced
+    inline so a long-lived daemon cannot grow the store without bound.
+    ``None`` (the default) keeps the historical unbounded behavior.
+
+    Counter updates and eviction hold an internal lock: the tuning daemon
+    shares one store across its handler threads.
+    """
+
+    def __init__(self, root: str | Path, *, max_bytes: int | None = None) -> None:
         # expanduser: tilde paths arrive unexpanded from CI yaml env blocks,
         # .env files and the like — without this the cache lands in ./~ .
         self.root = Path(root).expanduser()
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("max_bytes must be positive (or None for unbounded)")
+        self.max_bytes = max_bytes
+        self._lock = threading.Lock()  # counters only: held briefly
+        self._evict_lock = threading.Lock()  # serializes budget scans
         self.hits = 0
         self.misses = 0
         self.saves = 0
         self.rejected = 0
+        self.evictions = 0
 
     def path_for(self, digest: str) -> Path:
         return self.root / f"{digest}.npz"
@@ -358,18 +379,28 @@ class SweepStore:
         """
         path = self.path_for(digest)
         if not path.exists():
-            self.misses += 1
+            with self._lock:
+                self.misses += 1
             return None
         try:
             payload = self._read(path)
             _validate_payload(payload, digest, path)
         except CacheMismatch:
-            self.rejected += 1
+            with self._lock:
+                self.rejected += 1
             raise
+        except FileNotFoundError:
+            # Evicted (or pruned by another process) between the exists()
+            # check and the read: a clean miss, not corruption.
+            with self._lock:
+                self.misses += 1
+            return None
         except Exception as exc:
-            self.rejected += 1
+            with self._lock:
+                self.rejected += 1
             raise CacheMismatch(f"corrupt sweep-store entry {path}: {exc}") from exc
-        self.hits += 1
+        with self._lock:
+            self.hits += 1
         try:
             # Refresh mtime so age-based pruning (e.g. nightly CI) tracks
             # last *use*, not last write.
@@ -414,8 +445,55 @@ class SweepStore:
             if os.path.exists(tmp):
                 os.unlink(tmp)
             raise
-        self.saves += 1
+        with self._lock:
+            self.saves += 1
+        if self.max_bytes is not None:
+            # Own lock: the O(entries) directory scan must not block the
+            # counter updates of concurrent loads.
+            with self._evict_lock:
+                self._evict_over_budget(keep=path)
         return path
+
+    def _evict_over_budget(self, *, keep: Path) -> None:
+        """Delete oldest-mtime entries until the store fits ``max_bytes``.
+
+        Runs under ``self._evict_lock``.  The just-written entry is never evicted
+        (even when it alone exceeds the budget): the caller is about to use
+        it, and evicting it would turn every save into a
+        save-evict-recompute loop.  Entries *newer* than it are skipped for
+        the same reason — under concurrent saves they are other threads'
+        just-written entries.
+        """
+        if self.max_bytes is None:
+            return
+        try:
+            keep_mtime = keep.stat().st_mtime
+        except OSError:  # pragma: no cover - raced with another process
+            keep_mtime = float("inf")
+        entries: list[tuple[float, int, Path]] = []
+        total = 0
+        for path in self.root.glob("*.npz"):
+            try:
+                st = path.stat()
+            except OSError:  # pragma: no cover - raced with another process
+                continue
+            entries.append((st.st_mtime, st.st_size, path))
+            total += st.st_size
+        if total <= self.max_bytes:
+            return
+        entries.sort(key=lambda e: (e[0], e[2].name))
+        for mtime, size, path in entries:
+            if total <= self.max_bytes:
+                break
+            if path == keep or mtime > keep_mtime:
+                continue
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - raced with another process
+                continue
+            total -= size
+            with self._lock:
+                self.evictions += 1
 
     @staticmethod
     def _read(path: Path) -> dict:
@@ -445,6 +523,7 @@ class SweepStore:
             "misses": self.misses,
             "saves": self.saves,
             "rejected": self.rejected,
+            "evictions": self.evictions,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -463,17 +542,32 @@ def set_sweep_store(store: SweepStore | str | Path | None) -> SweepStore | None:
     """Install (or disable, with ``None``) the process-active L2 store."""
     global _ACTIVE
     if store is not None and not isinstance(store, SweepStore):
-        store = SweepStore(store)
+        store = SweepStore(store, max_bytes=_env_max_bytes())
     _ACTIVE = store
     return store
 
 
+def _env_max_bytes() -> int | None:
+    """``REPRO_SWEEP_STORE_MAX_BYTES`` as an eviction budget (None: unbounded)."""
+    raw = os.environ.get(MAX_BYTES_ENV_VAR, "").strip()
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{MAX_BYTES_ENV_VAR} must be an integer byte count, got {raw!r}"
+        ) from None
+    return value if value > 0 else None
+
+
 def get_sweep_store() -> SweepStore | None:
-    """The active L2 store; first call resolves ``REPRO_SWEEP_STORE``."""
+    """The active L2 store; first call resolves ``REPRO_SWEEP_STORE``
+    (and its eviction budget, ``REPRO_SWEEP_STORE_MAX_BYTES``)."""
     global _ACTIVE
     if _ACTIVE is _UNSET:
         path = os.environ.get(STORE_ENV_VAR, "").strip()
-        _ACTIVE = SweepStore(path) if path else None
+        _ACTIVE = SweepStore(path, max_bytes=_env_max_bytes()) if path else None
     return _ACTIVE  # type: ignore[return-value]
 
 
@@ -481,5 +575,12 @@ def sweep_store_stats() -> dict[str, int]:
     """Counters of the active store (zeros when no store is configured)."""
     store = get_sweep_store()
     if store is None:
-        return {"entries": 0, "hits": 0, "misses": 0, "saves": 0, "rejected": 0}
+        return {
+            "entries": 0,
+            "hits": 0,
+            "misses": 0,
+            "saves": 0,
+            "rejected": 0,
+            "evictions": 0,
+        }
     return store.stats()

@@ -1,0 +1,149 @@
+"""A stdlib client for the tuning daemon (``urllib``, no dependencies).
+
+Used by the ``repro query`` CLI, the load-test harness and the quickstart
+example.  :meth:`TuningClient.sweep_raw` returns the exact response bytes,
+which is what the byte-identity acceptance test compares; the convenience
+methods parse JSON for human consumers.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from repro.hardware.spec import V100, GPUSpec
+from repro.ir.dims import DimEnv
+from repro.ir.operator import OpSpec
+
+from .protocol import (
+    DEFAULT_OPTIMIZE_CAP,
+    DEFAULT_SWEEP_CAP,
+    DEFAULT_TOP_K,
+    canonical_json_bytes,
+    optimize_request_wire,
+    sweep_request_wire,
+)
+
+__all__ = ["ServiceError", "TuningClient"]
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response (or no response) from the daemon."""
+
+    def __init__(self, message: str, *, status: int | None = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class TuningClient:
+    """Talk to one tuning daemon at ``base_url``."""
+
+    def __init__(self, base_url: str, *, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------------
+    def _request(self, path: str, body: dict | None = None) -> bytes:
+        url = f"{self.base_url}{path}"
+        data = None if body is None else canonical_json_bytes(body)
+        req = urllib.request.Request(
+            url,
+            data=data,
+            headers={"Content-Type": "application/json"} if data else {},
+            method="POST" if data is not None else "GET",
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return resp.read()
+        except urllib.error.HTTPError as exc:
+            detail = ""
+            try:
+                detail = json.loads(exc.read()).get("error", "")
+            except Exception:  # noqa: BLE001 - best-effort error detail
+                pass
+            raise ServiceError(
+                f"{path} failed with HTTP {exc.code}: {detail or exc.reason}",
+                status=exc.code,
+            ) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(f"cannot reach {url}: {exc.reason}") from exc
+
+    def _request_json(self, path: str, body: dict | None = None) -> dict:
+        return json.loads(self._request(path, body))
+
+    # -- endpoints -----------------------------------------------------------
+    def healthz(self) -> dict:
+        return self._request_json("/healthz")
+
+    def metrics(self) -> dict:
+        return self._request_json("/metrics")
+
+    def sweep_raw(
+        self,
+        op: OpSpec,
+        env: DimEnv,
+        gpu: GPUSpec = V100,
+        *,
+        cap: int | None = DEFAULT_SWEEP_CAP,
+        seed: int = 0x5EED,
+        top_k: int = DEFAULT_TOP_K,
+    ) -> bytes:
+        """The exact ``/v1/sweep`` response bytes (for identity checks)."""
+        return self._request(
+            "/v1/sweep",
+            sweep_request_wire(op, env, gpu, cap=cap, seed=seed, top_k=top_k),
+        )
+
+    def sweep(
+        self,
+        op: OpSpec,
+        env: DimEnv,
+        gpu: GPUSpec = V100,
+        *,
+        cap: int | None = DEFAULT_SWEEP_CAP,
+        seed: int = 0x5EED,
+        top_k: int = DEFAULT_TOP_K,
+    ) -> dict:
+        """Ranked configurations + predicted times for one operator."""
+        return json.loads(self.sweep_raw(op, env, gpu, cap=cap, seed=seed, top_k=top_k))
+
+    def optimize(
+        self,
+        *,
+        model: str = "encoder",
+        qkv_fusion: str = "qkv",
+        include_backward: bool = True,
+        fused: bool = True,
+        env: DimEnv | None = None,
+        gpu: GPUSpec = V100,
+        cap: int | None = DEFAULT_OPTIMIZE_CAP,
+        seed: int = 0x5EED,
+    ) -> dict:
+        """A whole-graph tuned schedule from ``/v1/optimize``."""
+        return self._request_json(
+            "/v1/optimize",
+            optimize_request_wire(
+                model=model,
+                qkv_fusion=qkv_fusion,
+                include_backward=include_backward,
+                fused=fused,
+                env=env,
+                gpu=gpu,
+                cap=cap,
+                seed=seed,
+            ),
+        )
+
+    def wait_until_ready(self, *, timeout: float = 30.0, interval: float = 0.1) -> dict:
+        """Poll ``/healthz`` until the daemon answers (or raise)."""
+        deadline = time.monotonic() + timeout
+        last: Exception | None = None
+        while time.monotonic() < deadline:
+            try:
+                return self.healthz()
+            except ServiceError as exc:
+                last = exc
+                time.sleep(interval)
+        raise ServiceError(f"daemon at {self.base_url} not ready after {timeout}s: {last}")

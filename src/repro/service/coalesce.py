@@ -1,0 +1,155 @@
+"""Request coalescing: single-flight evaluation and the bounded L1 cache.
+
+A tuning daemon's hot failure mode is the *thundering herd*: N clients ask
+for the same (expensive, deterministic) sweep at once and a naive server
+evaluates it N times.  :class:`SingleFlight` guarantees that concurrent
+callers of one key trigger exactly one evaluation — the first caller in
+becomes the **leader** and computes; everyone else parks on an event and
+receives the leader's result (or its exception).
+
+:class:`BoundedCache` is the service's in-memory tier: a plain LRU over
+digest-keyed payloads.  The engine's process memo is deliberately
+unbounded (batch runs die quickly); a daemon must not be, so the service
+keeps its own capped cache and leaves the engine memo out of its request
+path.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, TypeVar
+
+__all__ = ["BoundedCache", "SingleFlight"]
+
+T = TypeVar("T")
+
+
+class _Flight:
+    """One in-progress evaluation and the callers waiting on it."""
+
+    __slots__ = ("done", "value", "error")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.value: object = None
+        self.error: BaseException | None = None
+
+
+class SingleFlight:
+    """Per-key single-flight execution for concurrent identical requests."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._flights: dict[str, _Flight] = {}
+        #: Requests served by waiting on another caller's evaluation.
+        self.coalesced = 0
+        #: Evaluations actually led (== calls of ``fn``).
+        self.led = 0
+
+    def inflight(self) -> int:
+        """Number of keys currently being evaluated."""
+        with self._lock:
+            return len(self._flights)
+
+    def do(
+        self, key: str, fn: Callable[[], T], *, timeout: float | None = None
+    ) -> tuple[T, bool]:
+        """Run ``fn`` once per concurrent batch of callers of ``key``.
+
+        Returns ``(value, leader)`` where ``leader`` is True for the caller
+        that actually evaluated.  An exception raised by the leader's
+        ``fn`` propagates to *every* caller of that flight; the flight is
+        retired either way, so a later request retries the evaluation
+        instead of inheriting a cached failure.  ``timeout`` bounds how
+        long a follower waits on the leader — a hung evaluation then fails
+        that follower with :class:`TimeoutError` instead of parking it
+        forever.
+        """
+        with self._lock:
+            flight = self._flights.get(key)
+            leader = flight is None
+            if leader:
+                flight = self._flights[key] = _Flight()
+                self.led += 1
+            else:
+                self.coalesced += 1
+
+        if not leader:
+            if not flight.done.wait(timeout):
+                raise TimeoutError(
+                    f"gave up after {timeout}s waiting on the in-flight "
+                    f"evaluation of {key!r}"
+                )
+            if flight.error is not None:
+                raise flight.error
+            return flight.value, False  # type: ignore[return-value]
+
+        try:
+            flight.value = fn()
+        except BaseException as exc:
+            flight.error = exc
+            raise
+        finally:
+            with self._lock:
+                del self._flights[key]
+            flight.done.set()
+        return flight.value, True  # type: ignore[return-value]
+
+
+class BoundedCache:
+    """A thread-safe LRU mapping with an entry cap (the service's L1)."""
+
+    def __init__(self, max_entries: int = 1024) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._items: OrderedDict[str, object] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: str, *, record: bool = True):
+        """The cached value, refreshed to most-recently-used; else None.
+
+        ``record=False`` skips the hit/miss counters — for internal
+        re-checks that would otherwise double-count one request.
+        """
+        with self._lock:
+            try:
+                value = self._items[key]
+            except KeyError:
+                if record:
+                    self.misses += 1
+                return None
+            self._items.move_to_end(key)
+            if record:
+                self.hits += 1
+            return value
+
+    def put(self, key: str, value) -> None:
+        with self._lock:
+            self._items[key] = value
+            self._items.move_to_end(key)
+            while len(self._items) > self.max_entries:
+                self._items.popitem(last=False)
+                self.evictions += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._items.clear()
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._items),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

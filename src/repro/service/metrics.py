@@ -1,0 +1,92 @@
+"""Service observability: per-tier hit counters and latency percentiles.
+
+The daemon resolves every sweep through a tier chain — bounded in-memory
+cache, in-flight coalescing, persistent L2 store, cold evaluation — and
+each request is attributed to exactly one tier.  ``GET /metrics`` serves a
+snapshot of these counters plus p50/p95/p99 request latencies per
+endpoint, which is how the load harness asserts "N concurrent identical
+requests cost one evaluation".
+
+Latencies are kept in a bounded ring (last :data:`WINDOW` samples per
+endpoint): a long-lived daemon must not grow memory with request count,
+and recent-window percentiles are the operationally useful ones anyway.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+__all__ = ["ServiceMetrics", "RESOLVE_TIERS"]
+
+#: Where a request's sweep was resolved, cheapest tier first.
+RESOLVE_TIERS = ("l1", "coalesced", "l2", "computed")
+
+#: Latency samples retained per endpoint.
+WINDOW = 4096
+
+
+def _percentile(sorted_samples: list[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending sample list."""
+    if not sorted_samples:
+        return 0.0
+    idx = round(q * (len(sorted_samples) - 1))
+    return sorted_samples[idx]
+
+
+class ServiceMetrics:
+    """Thread-safe counters and latency windows for one daemon."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._started = time.time()
+        self._requests: dict[str, int] = {}
+        self._errors: dict[str, int] = {}
+        self._tiers: dict[str, int] = {tier: 0 for tier in RESOLVE_TIERS}
+        self._latency: dict[str, deque[float]] = {}
+
+    # -- recording -----------------------------------------------------------
+    def record_request(self, endpoint: str, latency_s: float) -> None:
+        with self._lock:
+            self._requests[endpoint] = self._requests.get(endpoint, 0) + 1
+            window = self._latency.get(endpoint)
+            if window is None:
+                window = self._latency[endpoint] = deque(maxlen=WINDOW)
+            window.append(latency_s * 1e3)
+
+    def record_error(self, endpoint: str) -> None:
+        with self._lock:
+            self._errors[endpoint] = self._errors.get(endpoint, 0) + 1
+
+    def record_tier(self, tier: str) -> None:
+        if tier not in self._tiers:
+            raise ValueError(f"unknown resolve tier {tier!r}; known: {RESOLVE_TIERS}")
+        with self._lock:
+            self._tiers[tier] += 1
+
+    # -- reading -------------------------------------------------------------
+    def tier_counts(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._tiers)
+
+    def snapshot(self) -> dict:
+        """One JSON-able view of everything (the ``/metrics`` body)."""
+        with self._lock:
+            latency = {}
+            for endpoint, window in self._latency.items():
+                samples = sorted(window)
+                latency[endpoint] = {
+                    "count": len(samples),
+                    "p50_ms": _percentile(samples, 0.50),
+                    "p95_ms": _percentile(samples, 0.95),
+                    "p99_ms": _percentile(samples, 0.99),
+                    "max_ms": samples[-1] if samples else 0.0,
+                }
+            return {
+                "uptime_s": time.time() - self._started,
+                "requests": dict(self._requests),
+                "errors": dict(self._errors),
+                "resolve_tiers": dict(self._tiers),
+                "latency_ms": latency,
+            }

@@ -1,0 +1,358 @@
+"""The tuning daemon: a threaded HTTP server over the sweep engine.
+
+Endpoints (all JSON, canonical serialization):
+
+* ``POST /v1/sweep`` — best configurations + predicted times for one
+  operator.  Resolution order per request digest: bounded in-memory cache
+  (L1) → in-flight coalescing (single-flight) → persistent store (L2) →
+  cold batched evaluation; every request is attributed to exactly one
+  tier in ``/metrics``.
+* ``POST /v1/optimize`` — a whole-graph tuned schedule through the
+  parallel scheduler (:func:`repro.engine.scheduler.sweep_graph`), with
+  the same coalescing over a request-level digest.
+* ``GET /healthz`` — liveness plus identity: package version,
+  ``COST_MODEL_VERSION``, payload format, cache/store occupancy.
+* ``GET /metrics`` — tier hit counts and p50/p95/p99 latencies.
+
+The request path never touches the engine's unbounded process memo: sweep
+payloads live in the service's :class:`~repro.service.coalesce.BoundedCache`.
+Whole-graph optimization does route through the scheduler (which memoizes
+per-op sweeps in L1), so the service clears the engine memo whenever it
+grows past ``memo_limit`` entries — a long-lived daemon stays bounded.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from json import JSONDecodeError, loads
+from time import perf_counter
+
+from repro import __version__
+from repro.autotuner.cache import CacheMismatch
+from repro.engine.memo import clear_sweep_memo, sweep_memo_stats
+from repro.engine.scheduler import DISABLE_STORE, sweep_graph
+from repro.engine.store import (
+    PAYLOAD_FORMAT,
+    SweepStore,
+    compute_payload,
+    get_sweep_store,
+)
+from repro.engine.sweep import sweep_from_payload
+from repro.hardware.cost_model import COST_MODEL_VERSION, CostModel
+
+from .coalesce import BoundedCache, SingleFlight
+from .metrics import ServiceMetrics
+from .protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    build_request_graph,
+    canonical_json_bytes,
+    optimize_request_digest,
+    optimize_response_from_sweeps,
+    parse_optimize_request,
+    parse_sweep_request,
+    sweep_request_digest,
+    sweep_response_from_sweep,
+)
+
+__all__ = ["TuningService", "make_server", "serve_background"]
+
+#: Largest accepted request body; whole-transformer graphs are ~100 KB.
+MAX_BODY_BYTES = 16 * 2**20
+
+#: Largest single-op evaluation served cold.  Uncapped fused-kernel spaces
+#: reach ~1e10 configurations — one such request would OOM the daemon, so
+#: anything above this estimate is rejected with a 400, not attempted.
+MAX_SWEEP_CONFIGS = 200_000
+
+#: Largest per-op cap accepted by ``/v1/optimize`` (whole graphs contain
+#: fused kernels whose uncapped spaces are ~1e10 configurations).
+MAX_OPTIMIZE_CAP = 20_000
+
+#: How long a coalesced follower waits on the leading evaluation before
+#: failing its own request — a hung leader must not park waiters forever.
+FLIGHT_TIMEOUT_S = 600.0
+
+_UNSET = object()
+
+
+class TuningService:
+    """The daemon's state and request handlers, HTTP-free (unit-testable)."""
+
+    def __init__(
+        self,
+        *,
+        store: SweepStore | None | object = _UNSET,
+        jobs: int | None = None,
+        cache_entries: int = 1024,
+        memo_limit: int = 4096,
+    ) -> None:
+        if store is _UNSET:
+            store = get_sweep_store()
+        self.store: SweepStore | None = store  # type: ignore[assignment]
+        self.jobs = jobs
+        self.memo_limit = memo_limit
+        self.cache = BoundedCache(cache_entries)
+        self.flights = SingleFlight()
+        self.metrics = ServiceMetrics()
+
+    # -- tiered resolution ---------------------------------------------------
+    def _resolve(self, digest: str, compute, *, use_store: bool = True):
+        """Resolve one digest through L1 → in-flight → L2 → evaluation.
+
+        ``compute`` runs at most once across all concurrent callers of
+        ``digest``; the chosen tier is recorded in the metrics.
+        ``use_store=False`` skips the L2 step for values that are not store
+        payloads (whole optimize responses).
+        """
+        value = self.cache.get(digest)
+        if value is not None:
+            self.metrics.record_tier("l1")
+            return value
+        store = self.store if use_store else None
+
+        def _lead():
+            # Re-check L1: this caller may have missed the cache before a
+            # prior leader's put and only now entered a fresh flight.
+            # (record=False: the fast path already counted this request.)
+            payload = self.cache.get(digest, record=False)
+            if payload is not None:
+                return payload, "l1"
+            tier = "l2"
+            if store is not None:
+                try:
+                    payload = store.load(digest)
+                except CacheMismatch:
+                    payload = None  # recompute and overwrite
+            if payload is None:
+                payload = compute()
+                tier = "computed"
+                if store is not None:
+                    store.save(digest, payload)
+            # Populate L1 *before* the flight retires: a request arriving
+            # between flight retirement and a later cache.put would find
+            # neither and lead a second evaluation.
+            self.cache.put(digest, payload)
+            return payload, tier
+
+        (value, tier), leader = self.flights.do(
+            digest, _lead, timeout=FLIGHT_TIMEOUT_S
+        )
+        if not leader:
+            tier = "coalesced"
+        self.metrics.record_tier(tier)
+        return value
+
+    def _bound_engine_memo(self) -> None:
+        """Keep the engine's (unbounded) L1 memo finite in a daemon."""
+        if sweep_memo_stats()["size"] > self.memo_limit:
+            clear_sweep_memo()
+
+    # -- endpoint bodies -----------------------------------------------------
+    def handle_sweep(self, body: dict) -> dict:
+        req = parse_sweep_request(body)
+        # The size estimate is the scheduler's own pool-threshold helper:
+        # cheap (cached feasibility/space scans), and exact enough to keep
+        # an uncapped wide-kernel request from OOM-killing the daemon.
+        from repro.engine.scheduler import _estimated_configs
+
+        estimated = _estimated_configs(req.op, req.env, req.cap)
+        if estimated > MAX_SWEEP_CONFIGS:
+            raise ProtocolError(
+                f"sweep of ~{estimated} configurations exceeds the served "
+                f"limit of {MAX_SWEEP_CONFIGS}; pass a smaller cap"
+            )
+        digest = sweep_request_digest(req)
+        payload = self._resolve(
+            digest,
+            lambda: compute_payload(
+                req.op, req.env, req.gpu, cap=req.cap, seed=req.seed
+            ),
+        )
+        sweep = sweep_from_payload(req.op, payload)
+        return sweep_response_from_sweep(sweep, digest=digest, top_k=req.top_k)
+
+    def handle_optimize(self, body: dict) -> dict:
+        req = parse_optimize_request(body)
+        if req.cap is None or req.cap > MAX_OPTIMIZE_CAP:
+            raise ProtocolError(
+                f"optimize requires a cap of at most {MAX_OPTIMIZE_CAP} "
+                "(whole graphs contain kernels with ~1e10-config spaces)"
+            )
+        digest = optimize_request_digest(req)
+
+        def _compute() -> dict:
+            graph = build_request_graph(req)
+            sweeps = sweep_graph(
+                graph,
+                req.env,
+                CostModel(req.gpu),
+                cap=req.cap,
+                seed=req.seed,
+                jobs=self.jobs,
+                # A storeless service must stay storeless: store=None would
+                # fall back to the process-active store inside sweep_graph.
+                store=self.store if self.store is not None else DISABLE_STORE,
+            )
+            self._bound_engine_memo()
+            return optimize_response_from_sweeps(graph, sweeps, digest=digest)
+
+        # The cached value here is the whole response body (not a store
+        # payload), so L2 is skipped; the response's per-sweep work is
+        # still shared with /v1/sweep through the L2 store digests inside
+        # sweep_graph.
+        return self._resolve(digest, _compute, use_store=False)
+
+    def healthz(self) -> dict:
+        return {
+            "status": "ok",
+            "service": "repro-tuningd",
+            "version": __version__,
+            "protocol": PROTOCOL_VERSION,
+            "cost_model_version": COST_MODEL_VERSION,
+            "payload_format": PAYLOAD_FORMAT,
+            "store": None if self.store is None else self.store.stats(),
+            "cache": self.cache.stats(),
+            "inflight": self.flights.inflight(),
+        }
+
+    def metrics_body(self) -> dict:
+        body = self.metrics.snapshot()
+        body["coalescing"] = {
+            "led": self.flights.led,
+            "coalesced": self.flights.coalesced,
+            "inflight": self.flights.inflight(),
+        }
+        body["cache"] = self.cache.stats()
+        body["store"] = None if self.store is None else self.store.stats()
+        return body
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes HTTP onto a :class:`TuningService` (set per server class)."""
+
+    service: TuningService  # injected by make_server
+    quiet = True
+    server_version = f"repro-tuningd/{__version__}"
+    # Socket timeout: a client that claims a Content-Length and then stalls
+    # must not pin a handler thread of a weeks-lived daemon forever.
+    timeout = 60
+
+    # -- plumbing ------------------------------------------------------------
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not self.quiet:  # pragma: no cover - debug aid
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, obj: dict) -> None:
+        body = canonical_json_bytes(obj)
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> dict:
+        length = self.headers.get("Content-Length")
+        if length is None:
+            raise ProtocolError("missing Content-Length")
+        try:
+            n = int(length)
+        except ValueError:
+            raise ProtocolError(f"malformed Content-Length {length!r}") from None
+        if not 0 <= n <= MAX_BODY_BYTES:
+            # Negative would turn rfile.read into read-until-close, pinning
+            # this handler thread for as long as the client keeps the socket.
+            raise ProtocolError(f"Content-Length outside [0, {MAX_BODY_BYTES}]")
+        raw = self.rfile.read(n)
+        try:
+            return loads(raw)
+        except JSONDecodeError as exc:
+            raise ProtocolError(f"request body is not valid JSON: {exc}") from exc
+
+    def _run(self, endpoint: str, fn) -> None:
+        start = perf_counter()
+        try:
+            # Compute the full body before sending anything: exactly one
+            # response ever goes on the wire, so a handler failure cannot
+            # corrupt a half-written 200 with a trailing 500.
+            try:
+                status, body = 200, fn()
+            except ProtocolError as exc:
+                self.service.metrics.record_error(endpoint)
+                status, body = 400, {"error": str(exc)}
+            except Exception as exc:  # noqa: BLE001 - the daemon must not die
+                self.service.metrics.record_error(endpoint)
+                status, body = 500, {"error": f"{type(exc).__name__}: {exc}"}
+            self._send_json(status, body)
+        except (ConnectionError, TimeoutError):
+            # The client went away mid-send; nothing left to answer.
+            pass
+        finally:
+            self.service.metrics.record_request(endpoint, perf_counter() - start)
+
+    def _not_found(self, method: str) -> None:
+        self.service.metrics.record_error("404")
+        try:
+            self._send_json(
+                404, {"error": f"no such endpoint: {method} {self.path}"}
+            )
+        except (ConnectionError, TimeoutError):
+            pass  # scanner closed the socket mid-404; nothing to answer
+
+    # -- routes --------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        if self.path == "/healthz":
+            self._run("/healthz", self.service.healthz)
+        elif self.path == "/metrics":
+            self._run("/metrics", self.service.metrics_body)
+        else:
+            self._not_found("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        if self.path == "/v1/sweep":
+            self._run("/v1/sweep", lambda: self.service.handle_sweep(self._read_body()))
+        elif self.path == "/v1/optimize":
+            self._run(
+                "/v1/optimize",
+                lambda: self.service.handle_optimize(self._read_body()),
+            )
+        else:
+            self._not_found("POST")
+
+
+def make_server(
+    service: TuningService, host: str = "127.0.0.1", port: int = 0
+) -> ThreadingHTTPServer:
+    """Bind a threaded HTTP server for ``service``.
+
+    ``port=0`` binds an ephemeral port; read the actual one from
+    ``server.server_address[1]``.  One thread per connection: concurrent
+    identical requests genuinely race into the single-flight layer.
+    """
+    handler = type("BoundHandler", (_Handler,), {"service": service})
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    return server
+
+
+@contextmanager
+def serve_background(
+    service: TuningService, host: str = "127.0.0.1", port: int = 0
+):
+    """Run a server on a background thread; yields its base URL.
+
+    The in-process harness used by tests, benchmarks and the quickstart
+    example — requests travel through real sockets and real threads.
+    """
+    server = make_server(service, host, port)
+    bound_host, bound_port = server.server_address[:2]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield f"http://{bound_host}:{bound_port}"
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)

@@ -1,0 +1,48 @@
+"""Smoke test: every ``examples/`` script runs clean end to end.
+
+The examples are the repo's user-facing documentation; this keeps them from
+rotting into dead code paths.  Each script runs in a fresh interpreter with
+a small ``REPRO_SWEEP_CAP`` so the whole sweep stays on a CI budget
+(``slow``-marked: the nightly job runs it).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+EXAMPLES = sorted(p.name for p in (REPO / "examples").glob("*.py"))
+
+
+def test_every_example_is_covered():
+    """New example scripts must stay runnable (and land in EXAMPLES)."""
+    assert len(EXAMPLES) >= 8
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs_clean(script, tmp_path):
+    env = dict(
+        os.environ,
+        PYTHONPATH=str(REPO / "src"),
+        REPRO_SWEEP_CAP="60",  # small sweeps: smoke, not benchmark
+    )
+    # Isolated cwd: export_dataflow.py writes its artifacts relative to it.
+    proc = subprocess.run(
+        [sys.executable, str(REPO / "examples" / script)],
+        cwd=tmp_path,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, (
+        f"{script} failed:\n--- stdout ---\n{proc.stdout[-2000:]}"
+        f"\n--- stderr ---\n{proc.stderr[-2000:]}"
+    )
+    assert proc.stdout.strip(), f"{script} printed nothing"

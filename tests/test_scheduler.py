@@ -156,6 +156,14 @@ class TestCacheTiers:
         n_ops = sum(1 for op in g.ops if not op.is_view)
         assert store.stats()["entries"] == n_ops
 
+    def test_disable_store_sentinel_forces_store_free(self, tmp_path):
+        store = SweepStore(tmp_path)
+        set_sweep_store(store)
+        g = build_mha_graph(qkv_fusion="unfused", include_backward=False)
+        sweeps = sweep_graph(g, ENV, COST, cap=CAP, store=sched_mod.DISABLE_STORE)
+        assert len(sweeps) > 0
+        assert store.stats()["saves"] == 0  # active store untouched
+
     def test_small_cold_work_stays_serial_even_with_jobs(self, monkeypatch):
         # Below the amortization threshold a pool must never spin up.
         def _boom(*a, **k):
@@ -187,3 +195,77 @@ class TestJobsResolution:
 
         assert resolve_jobs(0) == (os.cpu_count() or 1)
         assert resolve_jobs(-1) == (os.cpu_count() or 1)
+
+
+class TestSerialFallback:
+    """Sandboxes without working process pools degrade to serial, warned."""
+
+    def _reference(self, g):
+        return {
+            op.name: sweep_op(op, ENV, COST, cap=CAP, memo=False)
+            for op in g.ops
+            if not op.is_view
+        }
+
+    def test_pool_construction_oserror_falls_back_to_serial(self, monkeypatch):
+        monkeypatch.setattr(sched_mod, "_MIN_PARALLEL_CONFIGS", 0)
+
+        class _NoProcesses:
+            def __init__(self, *args, **kwargs):
+                raise OSError("[Errno 38] Function not implemented")
+
+        monkeypatch.setattr(sched_mod, "ProcessPoolExecutor", _NoProcesses)
+        g = build_mha_graph(qkv_fusion="unfused", include_backward=False)
+        with pytest.warns(RuntimeWarning, match="falling back to serial"):
+            sweeps = sweep_graph(g, ENV, COST, cap=CAP, jobs=4)
+        _assert_sweeps_equal(sweeps, self._reference(g))
+
+    def test_broken_pool_mid_flight_falls_back_to_serial(self, monkeypatch):
+        from concurrent.futures.process import BrokenProcessPool
+
+        monkeypatch.setattr(sched_mod, "_MIN_PARALLEL_CONFIGS", 0)
+
+        class _DiesMidFlight:
+            def __init__(self, *args, **kwargs):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def map(self, fn, args):
+                raise BrokenProcessPool("a child process terminated abruptly")
+
+        monkeypatch.setattr(sched_mod, "ProcessPoolExecutor", _DiesMidFlight)
+        g = build_mha_graph(qkv_fusion="unfused", include_backward=False)
+        with pytest.warns(RuntimeWarning, match="process pool unavailable"):
+            sweeps = sweep_graph(g, ENV, COST, cap=CAP, jobs=2)
+        _assert_sweeps_equal(sweeps, self._reference(g))
+
+    def test_fallback_still_populates_the_store(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(sched_mod, "_MIN_PARALLEL_CONFIGS", 0)
+
+        class _NoProcesses:
+            def __init__(self, *args, **kwargs):
+                raise OSError("no process pools here")
+
+        monkeypatch.setattr(sched_mod, "ProcessPoolExecutor", _NoProcesses)
+        g = build_mha_graph(qkv_fusion="unfused", include_backward=False)
+        store = SweepStore(tmp_path)
+        with pytest.warns(RuntimeWarning):
+            sweep_graph(g, ENV, COST, cap=CAP, jobs=2, store=store)
+        n_ops = sum(1 for op in g.ops if not op.is_view)
+        assert store.stats()["entries"] == n_ops
+
+    def test_serial_jobs_never_touch_the_pool(self, monkeypatch):
+        monkeypatch.setattr(sched_mod, "_MIN_PARALLEL_CONFIGS", 0)
+
+        def _boom(*args, **kwargs):
+            raise AssertionError("jobs=1 must not construct a pool")
+
+        monkeypatch.setattr(sched_mod, "ProcessPoolExecutor", _boom)
+        g = build_mha_graph(qkv_fusion="unfused", include_backward=False)
+        sweeps = sweep_graph(g, ENV, COST, cap=CAP, jobs=1)
+        assert len(sweeps) > 0

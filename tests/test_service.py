@@ -1,0 +1,591 @@
+"""Unit and integration tests for the tuning service (:mod:`repro.service`).
+
+Protocol round trips (the wire key *is* the store key), single-flight
+coalescing, the bounded L1 cache, metrics, and the HTTP daemon end to end —
+including the acceptance property that a served response is byte-identical
+to one derived from a fresh scalar ``sweep_op_reference`` sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro import __version__
+from repro.autotuner.tuner import sweep_op_reference
+from repro.engine import clear_sweep_memo, sweep_digest
+from repro.engine.store import SweepStore, compute_payload
+from repro.fusion import apply_paper_fusion
+from repro.hardware.cost_model import COST_MODEL_VERSION, CostModel
+from repro.hardware.spec import A100, V100
+from repro.ir.dims import bert_large_dims
+from repro.service import (
+    BoundedCache,
+    ProtocolError,
+    ServiceError,
+    SingleFlight,
+    TuningClient,
+    TuningService,
+    canonical_json_bytes,
+    op_from_wire,
+    op_to_wire,
+)
+from repro.service.metrics import ServiceMetrics
+from repro.service.protocol import (
+    gpu_from_wire,
+    gpu_to_wire,
+    parse_optimize_request,
+    parse_sweep_request,
+    sweep_request_digest,
+    sweep_request_wire,
+    sweep_response_from_sweep,
+)
+from repro.service.server import serve_background
+from repro.transformer.graph_builder import build_mha_graph
+
+ENV = bert_large_dims()
+COST = CostModel()
+GPU = COST.gpu
+CAP = 60
+
+
+@pytest.fixture(autouse=True)
+def _cold_memo():
+    clear_sweep_memo()
+    yield
+    clear_sweep_memo()
+
+
+def _ops():
+    g = build_mha_graph(qkv_fusion="unfused", include_backward=False)
+    return g.op("q_proj"), g.op("softmax")
+
+
+def _fused_op():
+    g = apply_paper_fusion(
+        build_mha_graph(qkv_fusion="qkv", include_backward=False), ENV
+    )
+    op = g.op("SM")
+    assert op.members  # a real fusion product, with member sub-operators
+    return op
+
+
+# ---------------------------------------------------------------------------
+# Protocol
+# ---------------------------------------------------------------------------
+
+class TestWireRoundTrip:
+    @pytest.mark.parametrize("pick", [0, 1])
+    def test_digest_survives_the_wire(self, pick):
+        """The protocol's central invariant: wire key == store key."""
+        op = _ops()[pick]
+        rebuilt = op_from_wire(op_to_wire(op))
+        assert sweep_digest(rebuilt, ENV, GPU, cap=CAP, seed=1) == sweep_digest(
+            op, ENV, GPU, cap=CAP, seed=1
+        )
+
+    def test_fused_op_with_members_survives_the_wire(self):
+        op = _fused_op()
+        rebuilt = op_from_wire(op_to_wire(op))
+        assert len(rebuilt.members) == len(op.members)
+        assert sweep_digest(rebuilt, ENV, GPU, cap=CAP, seed=1) == sweep_digest(
+            op, ENV, GPU, cap=CAP, seed=1
+        )
+
+    def test_round_trip_preserves_structure(self):
+        op, _ = _ops()
+        rebuilt = op_from_wire(op_to_wire(op))
+        assert rebuilt.name == op.name
+        assert rebuilt.op_class is op.op_class
+        assert rebuilt.einsum == op.einsum
+        assert [t.dims for t in rebuilt.inputs] == [t.dims for t in op.inputs]
+        assert rebuilt.ispace.independent == op.ispace.independent
+        assert rebuilt.ispace.reduction == op.ispace.reduction
+
+    def test_gpu_round_trip_and_names(self):
+        assert gpu_from_wire(gpu_to_wire(A100)) == A100
+        assert gpu_from_wire("V100") == V100
+        assert gpu_from_wire(None) == V100
+        with pytest.raises(ProtocolError, match="unknown GPU name"):
+            gpu_from_wire("H100")
+
+    def test_unknown_op_class_rejected(self):
+        wire = op_to_wire(_ops()[0])
+        wire["class"] = "quantum annealing"
+        with pytest.raises(ProtocolError, match="unknown operator class"):
+            op_from_wire(wire)
+
+    def test_unknown_dtype_rejected(self):
+        wire = op_to_wire(_ops()[0])
+        wire["inputs"][0]["dtype"] = "int4"
+        with pytest.raises(ProtocolError, match="unknown dtype"):
+            op_from_wire(wire)
+
+    def test_missing_field_names_the_path(self):
+        wire = op_to_wire(_ops()[0])
+        del wire["inputs"][1]["dims"]
+        with pytest.raises(ProtocolError, match=r"op\.inputs\[1\]"):
+            op_from_wire(wire)
+
+
+class TestSweepRequestParsing:
+    def _body(self, **overrides):
+        body = sweep_request_wire(_ops()[0], ENV, cap=CAP, seed=3, top_k=5)
+        body.update(overrides)
+        return body
+
+    def test_parse_round_trip(self):
+        req = parse_sweep_request(self._body())
+        assert req.cap == CAP and req.seed == 3 and req.top_k == 5
+        assert req.gpu == V100
+        assert sweep_request_digest(req) == sweep_digest(
+            req.op, req.env, req.gpu, cap=CAP, seed=3
+        )
+
+    def test_protocol_version_checked(self):
+        with pytest.raises(ProtocolError, match="unsupported protocol"):
+            parse_sweep_request(self._body(protocol=99))
+
+    def test_missing_dim_sizes_rejected(self):
+        with pytest.raises(ProtocolError, match="missing sizes"):
+            parse_sweep_request(self._body(dims={"b": 8}))
+
+    def test_view_op_rejected(self):
+        import dataclasses
+
+        view = dataclasses.replace(_ops()[0], is_view=True)
+        with pytest.raises(ProtocolError, match="view operators"):
+            parse_sweep_request(self._body(op=op_to_wire(view)))
+
+    @pytest.mark.parametrize("cap", [0, -3, 1.5, "many", True])
+    def test_bad_cap_rejected(self, cap):
+        with pytest.raises(ProtocolError, match="cap must be"):
+            parse_sweep_request(self._body(cap=cap))
+
+    def test_uncapped_sweep_allowed(self):
+        assert parse_sweep_request(self._body(cap=None)).cap is None
+
+    @pytest.mark.parametrize("top_k", [0, -1, "all", False])
+    def test_bad_top_k_rejected(self, top_k):
+        with pytest.raises(ProtocolError, match="top_k must be"):
+            parse_sweep_request(self._body(top_k=top_k))
+
+    def test_optimize_request_validation(self):
+        assert parse_optimize_request({"model": "mha"}).model == "mha"
+        with pytest.raises(ProtocolError, match="unknown model"):
+            parse_optimize_request({"model": "resnet"})
+        with pytest.raises(ProtocolError, match="unknown qkv_fusion"):
+            parse_optimize_request({"qkv_fusion": "qkvqkv"})
+
+    def test_omitted_caps_match_the_client_defaults(self):
+        # A hand-written body must land on the same cache keys as a
+        # client-built one, so the server-side defaults are the client's.
+        from repro.service.protocol import (
+            DEFAULT_OPTIMIZE_CAP,
+            DEFAULT_SWEEP_CAP,
+            optimize_request_wire,
+        )
+
+        assert parse_sweep_request(self._body()).cap == CAP
+        bare = dict(self._body())
+        del bare["cap"]
+        assert parse_sweep_request(bare).cap == DEFAULT_SWEEP_CAP
+        assert DEFAULT_SWEEP_CAP == sweep_request_wire(_ops()[0], ENV)["cap"]
+        assert parse_optimize_request({}).cap == DEFAULT_OPTIMIZE_CAP
+        assert DEFAULT_OPTIMIZE_CAP == optimize_request_wire()["cap"]
+
+
+class TestResponseIdentity:
+    def test_engine_and_reference_responses_are_byte_identical(self):
+        """Engine-derived and scalar-reference-derived bodies: equal bytes."""
+        op, _ = _ops()
+        digest = sweep_digest(op, ENV, GPU, cap=CAP, seed=5)
+        from repro.engine.sweep import sweep_from_payload
+
+        engine_sweep = sweep_from_payload(
+            op, compute_payload(op, ENV, GPU, cap=CAP, seed=5)
+        )
+        ref_sweep = sweep_op_reference(op, ENV, COST, cap=CAP, seed=5)
+        a = canonical_json_bytes(
+            sweep_response_from_sweep(engine_sweep, digest=digest, top_k=3)
+        )
+        b = canonical_json_bytes(
+            sweep_response_from_sweep(ref_sweep, digest=digest, top_k=3)
+        )
+        assert a == b
+
+    def test_response_shape(self):
+        op, _ = _ops()
+        sweep = sweep_op_reference(op, ENV, COST, cap=CAP, seed=5)
+        resp = sweep_response_from_sweep(sweep, digest="d" * 64, top_k=4)
+        assert resp["cost_model_version"] == COST_MODEL_VERSION
+        assert resp["num_configs"] == sweep.num_configs
+        assert len(resp["top"]) == min(4, sweep.num_configs)
+        assert resp["best"] == resp["top"][0]
+        assert resp["best"]["total_us"] == sweep.best.total_us
+
+
+# ---------------------------------------------------------------------------
+# Coalescing primitives
+# ---------------------------------------------------------------------------
+
+class TestSingleFlight:
+    def test_concurrent_callers_coalesce_to_one_evaluation(self):
+        sf = SingleFlight()
+        started, release = threading.Event(), threading.Event()
+        calls = []
+
+        def slow():
+            calls.append(1)
+            started.set()
+            release.wait(10)
+            return "payload"
+
+        results = []
+        threads = [
+            threading.Thread(target=lambda: results.append(sf.do("k", slow)))
+        ]
+        threads[0].start()
+        assert started.wait(10)  # the leader is inside fn
+        for _ in range(4):
+            t = threading.Thread(target=lambda: results.append(sf.do("k", slow)))
+            t.start()
+            threads.append(t)
+        deadline = time.monotonic() + 10
+        while sf.coalesced < 4 and time.monotonic() < deadline:
+            time.sleep(0.001)  # followers must be parked before release
+        release.set()
+        for t in threads:
+            t.join(10)
+        assert len(calls) == 1
+        assert sf.led == 1 and sf.coalesced == 4
+        assert [v for v, _ in results] == ["payload"] * 5
+        assert sum(leader for _, leader in results) == 1
+        assert sf.inflight() == 0
+
+    def test_leader_exception_propagates_to_every_waiter(self):
+        sf = SingleFlight()
+        started, release = threading.Event(), threading.Event()
+
+        def boom():
+            started.set()
+            release.wait(10)
+            raise RuntimeError("sweep failed")
+
+        errors = []
+
+        def call():
+            try:
+                sf.do("k", boom)
+            except RuntimeError as exc:
+                errors.append(str(exc))
+
+        threads = [threading.Thread(target=call)]
+        threads[0].start()
+        assert started.wait(10)
+        t = threading.Thread(target=call)
+        t.start()
+        threads.append(t)
+        deadline = time.monotonic() + 10
+        while sf.coalesced < 1 and time.monotonic() < deadline:
+            time.sleep(0.001)
+        release.set()
+        for t in threads:
+            t.join(10)
+        assert errors == ["sweep failed"] * 2
+        # The failed flight is retired: the next caller re-evaluates.
+        value, leader = sf.do("k", lambda: "recovered")
+        assert value == "recovered" and leader
+
+    def test_sequential_callers_each_lead(self):
+        sf = SingleFlight()
+        assert sf.do("k", lambda: 1) == (1, True)
+        assert sf.do("k", lambda: 2) == (2, True)
+        assert sf.led == 2 and sf.coalesced == 0
+
+    def test_follower_wait_times_out_instead_of_parking_forever(self):
+        sf = SingleFlight()
+        started, release = threading.Event(), threading.Event()
+
+        def hung_leader():
+            started.set()
+            release.wait(10)
+            return "late"
+
+        t = threading.Thread(target=lambda: sf.do("k", hung_leader))
+        t.start()
+        assert started.wait(10)
+        with pytest.raises(TimeoutError, match="in-flight evaluation"):
+            sf.do("k", lambda: "n/a", timeout=0.05)
+        release.set()
+        t.join(10)
+
+
+class TestBoundedCache:
+    def test_lru_eviction_order(self):
+        cache = BoundedCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh: "b" is now the LRU entry
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+        assert cache.evictions == 1
+
+    def test_put_overwrite_does_not_evict(self):
+        cache = BoundedCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)
+        assert len(cache) == 2 and cache.evictions == 0
+        assert cache.get("a") == 10
+
+    def test_stats_and_validation(self):
+        with pytest.raises(ValueError):
+            BoundedCache(0)
+        cache = BoundedCache(8)
+        cache.get("missing")
+        cache.put("a", 1)
+        cache.get("a")
+        assert cache.stats() == {
+            "entries": 1, "max_entries": 8, "hits": 1, "misses": 1,
+            "evictions": 0,
+        }
+
+
+class TestServiceMetrics:
+    def test_latency_percentiles(self):
+        m = ServiceMetrics()
+        for ms in range(1, 101):  # 1..100 ms
+            m.record_request("/v1/sweep", ms / 1e3)
+        snap = m.snapshot()["latency_ms"]["/v1/sweep"]
+        assert snap["count"] == 100
+        assert snap["p50_ms"] == pytest.approx(51.0)
+        assert snap["p95_ms"] == pytest.approx(95.0)
+        assert snap["p99_ms"] == pytest.approx(99.0)
+        assert snap["max_ms"] == pytest.approx(100.0)
+
+    def test_tier_counting_and_validation(self):
+        m = ServiceMetrics()
+        m.record_tier("l1")
+        m.record_tier("computed")
+        m.record_tier("l1")
+        assert m.tier_counts() == {
+            "l1": 2, "coalesced": 0, "l2": 0, "computed": 1,
+        }
+        with pytest.raises(ValueError, match="unknown resolve tier"):
+            m.record_tier("l7")
+
+    def test_window_is_bounded(self):
+        from repro.service import metrics as metrics_mod
+
+        m = ServiceMetrics()
+        for _ in range(metrics_mod.WINDOW + 50):
+            m.record_request("/healthz", 0.001)
+        snap = m.snapshot()
+        assert snap["latency_ms"]["/healthz"]["count"] == metrics_mod.WINDOW
+        assert snap["requests"]["/healthz"] == metrics_mod.WINDOW + 50
+
+
+# ---------------------------------------------------------------------------
+# Tiered resolution (service core, HTTP-free)
+# ---------------------------------------------------------------------------
+
+class TestTieredResolution:
+    def test_computed_then_l1_attribution(self):
+        svc = TuningService(store=None)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return {"x": 1}
+
+        assert svc._resolve("d1", compute) == {"x": 1}
+        assert svc.metrics.tier_counts()["computed"] == 1
+        assert svc._resolve("d1", compute) == {"x": 1}
+        assert svc.metrics.tier_counts()["l1"] == 1
+        assert len(calls) == 1
+
+    def test_sweep_resolves_from_l2_across_services(self, tmp_path):
+        op, _ = _ops()
+        body = sweep_request_wire(op, ENV, cap=CAP, seed=2)
+        store = SweepStore(tmp_path)
+        svc1 = TuningService(store=store)
+        first = svc1.handle_sweep(body)
+        assert svc1.metrics.tier_counts()["computed"] == 1
+        assert store.stats()["saves"] == 1
+
+        clear_sweep_memo()
+        svc2 = TuningService(store=SweepStore(tmp_path))
+        second = svc2.handle_sweep(body)
+        assert svc2.metrics.tier_counts() == {
+            "l1": 0, "coalesced": 0, "l2": 1, "computed": 0,
+        }
+        assert canonical_json_bytes(first) == canonical_json_bytes(second)
+
+    def test_storeless_service_ignores_the_active_store(self, tmp_path):
+        # An explicitly storeless daemon must not fall back to the
+        # process-active store inside sweep_graph.
+        from repro.engine import get_sweep_store, set_sweep_store
+
+        old = get_sweep_store()
+        global_store = set_sweep_store(tmp_path / "global")
+        try:
+            svc = TuningService(store=None)
+            svc.handle_optimize(
+                {"model": "mha", "include_backward": False, "cap": CAP}
+            )
+            assert global_store.stats()["saves"] == 0
+            assert global_store.stats()["entries"] == 0
+        finally:
+            set_sweep_store(old)
+
+    def test_engine_memo_stays_bounded(self):
+        from repro.engine.memo import sweep_memo_stats
+
+        svc = TuningService(store=None, memo_limit=0)
+        svc.handle_optimize({"model": "mha", "include_backward": False, "cap": CAP})
+        assert sweep_memo_stats()["size"] == 0  # cleared past the limit
+
+    def test_oversized_sweep_request_rejected_not_attempted(self):
+        # The AIB fused kernel's uncapped space is ~1e10 configurations;
+        # serving it cold would OOM the daemon.
+        svc = TuningService(store=None)
+        aib = apply_paper_fusion(
+            build_mha_graph(qkv_fusion="qkv", include_backward=False), ENV
+        ).op("AIB")
+        body = sweep_request_wire(aib, ENV, cap=None)
+        with pytest.raises(ProtocolError, match="exceeds the served limit"):
+            svc.handle_sweep(body)
+
+    def test_uncapped_or_oversized_optimize_rejected(self):
+        svc = TuningService(store=None)
+        for cap in (None, 10**6):
+            with pytest.raises(ProtocolError, match="cap of at most"):
+                svc.handle_optimize(
+                    {"model": "mha", "include_backward": False, "cap": cap}
+                )
+
+
+# ---------------------------------------------------------------------------
+# The HTTP daemon, end to end
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="class")
+def live_service(tmp_path_factory):
+    """One daemon (with a real on-disk store) shared by a test class."""
+    clear_sweep_memo()
+    store = SweepStore(tmp_path_factory.mktemp("svc-store"))
+    svc = TuningService(store=store, jobs=1)
+    with serve_background(svc) as url:
+        yield svc, TuningClient(url)
+    clear_sweep_memo()
+
+
+class TestHTTPServer:
+    def test_healthz_identity(self, live_service):
+        _, client = live_service
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["version"] == __version__
+        assert health["cost_model_version"] == COST_MODEL_VERSION
+        assert "store" in health and "cache" in health
+
+    def test_sweep_bytes_equal_reference_derived_bytes(self, live_service):
+        _, client = live_service
+        op, _ = _ops()
+        served = client.sweep_raw(op, ENV, cap=CAP, seed=9)
+        req = parse_sweep_request(sweep_request_wire(op, ENV, cap=CAP, seed=9))
+        expected = canonical_json_bytes(
+            sweep_response_from_sweep(
+                sweep_op_reference(op, ENV, COST, cap=CAP, seed=9),
+                digest=sweep_request_digest(req),
+                top_k=3,
+            )
+        )
+        assert served == expected
+
+    def test_concurrent_identical_requests_compute_once(self, live_service):
+        svc, client = live_service
+        _, op = _ops()  # the kernel op: not shared with other tests
+        before = svc.metrics.tier_counts()
+        with ThreadPoolExecutor(8) as pool:
+            bodies = list(
+                pool.map(
+                    lambda _: client.sweep_raw(op, ENV, cap=CAP, seed=11),
+                    range(8),
+                )
+            )
+        assert len(set(bodies)) == 1  # byte-identical across clients
+        after = svc.metrics.tier_counts()
+        assert after["computed"] - before["computed"] == 1
+        delta = sum(after.values()) - sum(before.values())
+        assert delta == 8  # every request attributed to exactly one tier
+
+    def test_optimize_and_repeat_hits_l1(self, live_service):
+        svc, client = live_service
+        first = client.optimize(model="mha", include_backward=False, cap=CAP)
+        assert first["num_kernels"] > 0
+        assert first["total_us"] == pytest.approx(
+            first["forward_us"] + first["backward_us"]
+        )
+        before = svc.metrics.tier_counts()["l1"]
+        second = client.optimize(model="mha", include_backward=False, cap=CAP)
+        assert svc.metrics.tier_counts()["l1"] == before + 1
+        assert canonical_json_bytes(first) == canonical_json_bytes(second)
+
+    def test_malformed_body_is_400(self, live_service):
+        _, client = live_service
+        import urllib.request
+
+        req = urllib.request.Request(
+            f"{client.base_url}/v1/sweep",
+            data=b"{not json",
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(Exception) as exc_info:
+            urllib.request.urlopen(req)
+        assert exc_info.value.code == 400
+
+    @pytest.mark.parametrize("length", ["abc", "-1", str(10**9)])
+    def test_bad_content_length_is_400(self, live_service, length):
+        # A negative length would otherwise turn rfile.read into
+        # read-until-close and pin the handler thread.
+        import http.client
+
+        host, port = live_service[1].base_url.removeprefix("http://").split(":")
+        conn = http.client.HTTPConnection(host, int(port), timeout=10)
+        try:
+            conn.putrequest("POST", "/v1/sweep")
+            conn.putheader("Content-Type", "application/json")
+            conn.putheader("Content-Length", length)
+            conn.endheaders()
+            resp = conn.getresponse()
+            assert resp.status == 400
+        finally:
+            conn.close()
+
+    def test_protocol_error_is_400_with_detail(self, live_service):
+        _, client = live_service
+        with pytest.raises(ServiceError) as exc_info:
+            client.optimize(model="mha", env=bert_large_dims(), cap=-1)
+        assert exc_info.value.status == 400
+        assert "cap must be" in str(exc_info.value)
+
+    def test_unknown_route_is_404(self, live_service):
+        _, client = live_service
+        with pytest.raises(ServiceError) as exc_info:
+            client._request_json("/v2/everything")
+        assert exc_info.value.status == 404
+
+    def test_metrics_endpoint_shape(self, live_service):
+        _, client = live_service
+        body = client.metrics()
+        assert set(body["resolve_tiers"]) == {"l1", "coalesced", "l2", "computed"}
+        assert {"led", "coalesced", "inflight"} <= set(body["coalescing"])
+        assert body["requests"]  # at least the requests this class issued

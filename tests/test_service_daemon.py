@@ -1,0 +1,142 @@
+"""Smoke test of the real daemon process: ``python -m repro serve``.
+
+The in-process tests (``tests/test_service.py``) cover the service logic;
+this file covers the *deployment surface*: a spawned daemon subprocess, the
+``repro query`` CLI against it, concurrent clients coalescing through real
+sockets, the shared on-disk sweep store, and a clean SIGTERM shutdown.
+This is the test the CI service-smoke job runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import pytest
+
+from repro.ir.dims import bert_large_dims
+from repro.service import TuningClient
+from repro.transformer.graph_builder import build_mha_graph
+
+REPO = Path(__file__).resolve().parent.parent
+CAP = 60
+
+# Deselected from tier-1: the dedicated CI service-smoke job (and the
+# nightly run) are the sole runners, so pushes don't pay for the daemon
+# subprocess twice.
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    """A live ``repro serve`` subprocess; yields (proc, client, store_dir)."""
+    store_dir = tmp_path / "sweep-store"
+    env = dict(
+        os.environ,
+        PYTHONPATH=str(REPO / "src"),
+        PYTHONUNBUFFERED="1",
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0",  # ephemeral: parallel CI jobs must not collide
+            "--sweep-store", str(store_dir),
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        banner = proc.stdout.readline()
+        match = re.search(r"http://[\d.]+:(\d+)", banner)
+        assert match, f"no listen address in banner: {banner!r}"
+        client = TuningClient(f"http://127.0.0.1:{match.group(1)}")
+        client.wait_until_ready(timeout=30)
+        yield proc, client, store_dir
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+
+
+def test_daemon_serves_coalesces_and_shuts_down_cleanly(daemon):
+    proc, client, store_dir = daemon
+
+    health = client.healthz()
+    assert health["status"] == "ok"
+    assert health["store"] is not None  # --sweep-store is active
+    assert health["store"]["saves"] == 0
+
+    # Concurrent identical sweeps: one evaluation, identical bytes, and the
+    # evaluation lands in the daemon's on-disk store.
+    op = build_mha_graph(qkv_fusion="unfused", include_backward=False).op(
+        "softmax"
+    )
+    env = bert_large_dims()
+    with ThreadPoolExecutor(8) as pool:
+        bodies = set(
+            pool.map(lambda _: client.sweep_raw(op, env, cap=CAP), range(8))
+        )
+    assert len(bodies) == 1
+    metrics = client.metrics()
+    tiers = metrics["resolve_tiers"]
+    assert tiers["computed"] == 1
+    assert tiers["coalesced"] + tiers["l1"] == 7
+    assert metrics["store"]["saves"] == 1
+    assert list(store_dir.glob("*.npz"))  # the sweep is on disk
+
+    # The query CLI against the same daemon.
+    cli_env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+    out = subprocess.run(
+        [
+            sys.executable, "-m", "repro", "query",
+            "--url", client.base_url, "--health",
+        ],
+        env=cli_env,
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert out.returncode == 0
+    assert json.loads(out.stdout)["status"] == "ok"
+
+    out = subprocess.run(
+        [
+            sys.executable, "-m", "repro", "query",
+            "--url", client.base_url,
+            "--model", "mha", "--cap", str(CAP),
+        ],
+        env=cli_env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert out.returncode == 0
+    assert "kernels" in out.stdout
+
+    # Clean shutdown on SIGTERM: exit code 0 and the shutdown banner.
+    proc.send_signal(signal.SIGTERM)
+    assert proc.wait(timeout=30) == 0
+    assert "clean shutdown" in proc.stdout.read()
+
+
+def test_version_flag():
+    out = subprocess.run(
+        [sys.executable, "-m", "repro", "--version"],
+        env=dict(os.environ, PYTHONPATH=str(REPO / "src")),
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    from repro import __version__
+
+    assert out.returncode == 0
+    assert __version__ in out.stdout
+    assert "cost model" in out.stdout

@@ -288,6 +288,7 @@ class TestSweepOpIntegration:
         sweep_op(contraction, ENV, COST, cap=100, memo=False)
         assert store.stats() == {
             "entries": 0, "hits": 0, "misses": 0, "saves": 0, "rejected": 0,
+            "evictions": 0,
         }
 
     def test_active_store_resolves_from_env(self, tmp_path, monkeypatch):
@@ -300,4 +301,120 @@ class TestSweepOpIntegration:
     def test_stats_without_store_are_zero(self):
         assert sweep_store_stats() == {
             "entries": 0, "hits": 0, "misses": 0, "saves": 0, "rejected": 0,
+            "evictions": 0,
         }
+
+
+class TestEviction:
+    """Size-bounded LRU eviction (``max_bytes``) for long-lived daemons."""
+
+    def _payloads(self, n: int):
+        """n distinct (digest, payload) pairs of near-identical size."""
+        _, kernel = _ops()
+        out = []
+        for seed in range(n):
+            digest = sweep_digest(kernel, ENV, GPU, cap=40, seed=seed)
+            out.append((digest, compute_payload(kernel, ENV, GPU, cap=40, seed=seed)))
+        return out
+
+    def _entry_size(self, tmp_path) -> int:
+        (digest, payload), = self._payloads(1)
+        probe = SweepStore(tmp_path / "probe")
+        return probe.save(digest, payload).stat().st_size
+
+    def test_max_bytes_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            SweepStore(tmp_path, max_bytes=0)
+        with pytest.raises(ValueError, match="max_bytes"):
+            SweepStore(tmp_path, max_bytes=-5)
+
+    def test_oldest_mtime_entry_evicted_over_budget(self, tmp_path):
+        import os
+        import time
+
+        size = self._entry_size(tmp_path)
+        store = SweepStore(tmp_path / "s", max_bytes=2 * size + size // 2)
+        (d1, p1), (d2, p2), (d3, p3) = self._payloads(3)
+        path1 = store.save(d1, p1)
+        path2 = store.save(d2, p2)
+        now = time.time()
+        os.utime(path1, (now - 300, now - 300))  # d1 is the LRU entry
+        os.utime(path2, (now - 100, now - 100))
+        store.save(d3, p3)
+        assert store.load(d1) is None  # evicted
+        assert store.load(d2) is not None
+        assert store.load(d3) is not None
+        assert store.stats()["evictions"] == 1
+        assert store.stats()["entries"] == 2
+
+    def test_load_refreshes_mtime_so_eviction_is_lru(self, tmp_path):
+        import os
+        import time
+
+        size = self._entry_size(tmp_path)
+        store = SweepStore(tmp_path / "s", max_bytes=2 * size + size // 2)
+        (d1, p1), (d2, p2), (d3, p3) = self._payloads(3)
+        path1 = store.save(d1, p1)
+        path2 = store.save(d2, p2)
+        now = time.time()
+        os.utime(path1, (now - 300, now - 300))
+        os.utime(path2, (now - 600, now - 600))  # d2 older than d1 on disk...
+        store.load(d2)  # ...but recently *used*: its mtime refreshes to now
+        store.save(d3, p3)
+        assert store.load(d1) is None  # d1 is the least recently used
+        assert store.load(d2) is not None
+        assert store.load(d3) is not None
+
+    def test_just_written_entry_survives_even_a_tiny_budget(self, tmp_path):
+        store = SweepStore(tmp_path / "s", max_bytes=1)
+        (d1, p1), (d2, p2) = self._payloads(2)
+        store.save(d1, p1)
+        store.save(d2, p2)  # evicts d1, keeps itself despite the budget
+        assert store.load(d2) is not None
+        assert store.stats()["entries"] == 1
+        assert store.stats()["evictions"] == 1
+
+    def test_unbounded_store_never_evicts(self, tmp_path):
+        store = SweepStore(tmp_path / "s")
+        for digest, payload in self._payloads(3):
+            store.save(digest, payload)
+        assert store.stats()["entries"] == 3
+        assert store.stats()["evictions"] == 0
+
+    def test_eviction_preserves_surviving_payloads(self, tmp_path):
+        _, kernel = _ops()
+        size = self._entry_size(tmp_path)
+        store = SweepStore(tmp_path / "s", max_bytes=size + size // 2)
+        import os
+        import time
+
+        (d1, p1), (d2, p2) = self._payloads(2)
+        path1 = store.save(d1, p1)
+        os.utime(path1, (time.time() - 60, time.time() - 60))
+        store.save(d2, p2)
+        _assert_bit_identical(
+            sweep_op_reference(kernel, ENV, COST, cap=40, seed=1),
+            sweep_from_payload(kernel, store.load(d2)),
+        )
+
+
+class TestEnvBudget:
+    def test_env_var_sets_the_budget(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(store_mod.MAX_BYTES_ENV_VAR, "12345")
+        store = set_sweep_store(tmp_path / "s")
+        assert store.max_bytes == 12345
+
+    def test_env_var_resolves_on_first_get(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(store_mod.STORE_ENV_VAR, str(tmp_path / "s"))
+        monkeypatch.setenv(store_mod.MAX_BYTES_ENV_VAR, "777")
+        store_mod._ACTIVE = store_mod._UNSET
+        assert get_sweep_store().max_bytes == 777
+
+    def test_nonpositive_env_budget_means_unbounded(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(store_mod.MAX_BYTES_ENV_VAR, "0")
+        assert set_sweep_store(tmp_path / "s").max_bytes is None
+
+    def test_malformed_env_budget_raises(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(store_mod.MAX_BYTES_ENV_VAR, "lots")
+        with pytest.raises(ValueError, match=store_mod.MAX_BYTES_ENV_VAR):
+            set_sweep_store(tmp_path / "s")
