@@ -22,6 +22,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.hardware.cost_model import CostModel, KernelTime
 from repro.ir.dims import DimEnv
 from repro.ir.graph import DataflowGraph
@@ -71,6 +73,8 @@ class SweepResult:
             | None
         ) = None
         self._pair_minima: dict[tuple[int, int], dict] = {}
+        self._totals_arr: np.ndarray | None = None
+        self._operand_arrays: tuple[list, list] | None = None
 
     # -- distribution queries ------------------------------------------------
     @property
@@ -96,6 +100,74 @@ class SweepResult:
             # avoids materializing any measurement objects.
             return fast()
         return [m.total_us for m in self.measurements]
+
+    def totals_array(self) -> np.ndarray:
+        """Sorted ``total_us`` values as one float64 array.
+
+        Engine sweeps hand back their sorted-totals array without
+        materializing any measurement; plain lists are converted (and
+        cached) on first use.  The configuration-selection fast path reads
+        this instead of looping ``measurements`` in Python.
+        """
+        if self._totals_arr is None:
+            fast = getattr(self.measurements, "totals_array", None)
+            if fast is not None:
+                self._totals_arr = fast()
+            else:
+                self._totals_arr = np.array(
+                    [m.total_us for m in self.measurements], dtype=float
+                )
+        return self._totals_arr
+
+    def operand_layout_arrays(self) -> tuple[list, list]:
+        """Per-operand layout vocabularies plus per-measurement layout ids.
+
+        Returns ``(vocabs, ids)``: for operand slot ``s`` (the op's inputs
+        followed by its outputs), ``vocabs[s]`` is the list of layout
+        choices seen for that operand and ``ids[s]`` an int array mapping
+        each (sorted-order) measurement to its ``vocabs[s]`` index.  A
+        measurement that does not carry slot ``s`` (operand arity can
+        differ across algorithm variants) maps to a ``None`` vocabulary
+        entry, which consumers treat as unconstrained.
+
+        Engine-backed sweeps derive both straight from the enumerated
+        config space; list-backed sweeps are indexed in one pass.  Layout
+        predicates (consistency with pins, penalty terms) then become one
+        small vocabulary scan plus a NumPy gather instead of a Python loop
+        over every measurement.
+        """
+        if self._operand_arrays is None:
+            fast = getattr(self.measurements, "operand_layout_index", None)
+            arrays = fast() if fast is not None else None
+            if arrays is None:
+                arrays = self._index_operand_layouts()
+            self._operand_arrays = arrays
+        return self._operand_arrays
+
+    def _index_operand_layouts(self) -> tuple[list, list]:
+        n_in = len(self.op.inputs)
+        n_out = len(self.op.outputs)
+        slots = n_in + n_out
+        n = len(self.measurements)
+        vocabs: list[list] = [[] for _ in range(slots)]
+        lookup: list[dict] = [{} for _ in range(slots)]
+        ids = [np.empty(n, dtype=np.int64) for _ in range(slots)]
+        for i, m in enumerate(self.measurements):
+            ins = m.config.input_layouts
+            outs = m.config.output_layouts
+            for s in range(slots):
+                if s < n_in:
+                    layout = ins[s] if s < len(ins) else None
+                else:
+                    o = s - n_in
+                    layout = outs[o] if o < len(outs) else None
+                key = layout.dims if layout is not None else None
+                k = lookup[s].get(key)
+                if k is None:
+                    k = lookup[s][key] = len(vocabs[s])
+                    vocabs[s].append(layout)
+                ids[s][i] = k
+        return vocabs, ids
 
     def quantile_us(self, q: float) -> float:
         """Runtime at quantile ``q`` of the (sorted) distribution."""

@@ -116,6 +116,7 @@ def build_schedule(
     sweeps: dict[str, SweepResult] | None = None,
     cap: int | None = 600,
     jobs: int | None = None,
+    fast: bool | None = None,
 ) -> Schedule:
     """Time every kernel of ``graph`` under the framework's policy.
 
@@ -123,7 +124,9 @@ def build_schedule(
     :func:`repro.baselines.frameworks.framework_schedule` for the full
     pipeline from the policy alone).  Whole-graph sweeps route through the
     engine scheduler; ``jobs`` fans cold sweeps out over worker processes
-    without changing any result.
+    without changing any result.  ``fast`` picks the configuration-selection
+    pipeline (vectorized by default, scalar reference with ``fast=False`` /
+    ``REPRO_CONFIGSEL_FAST=0``); both produce bit-identical schedules.
     """
     cost = cost or CostModel()
     schedule = Schedule(framework=policy.name, graph=graph)
@@ -132,7 +135,7 @@ def build_schedule(
         if sweeps is None:
             sweeps = sweep_graph(graph, env, cost, cap=cap, jobs=jobs)
         sel: SelectedConfiguration = select_configurations(
-            graph, env, cost, sweeps=sweeps, cap=cap
+            graph, env, cost, sweeps=sweeps, cap=cap, fast=fast
         )
         for op in graph.ops:
             if op.is_view:

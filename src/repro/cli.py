@@ -22,6 +22,11 @@ under the in-process memo), so later invocations skip re-sweeping; the
 (``REPRO_JOBS`` sets the default; 0 means one per CPU).  Neither option
 changes any reported number — results are bit-identical.
 
+Configuration selection runs on the vectorized fast path (layered
+min-plus SSSP + batched inference) by default; ``--no-fast-select`` (or
+``REPRO_CONFIGSEL_FAST=0``) falls back to the scalar reference.  The two
+are bit-identical, so this is a debugging knob, not a results knob.
+
 Tuning as a service::
 
     python -m repro serve --port 8077 --sweep-store ~/.cache/repro-sweeps
@@ -202,6 +207,13 @@ def _cmd_query(args) -> None:
             f"  {k['op']:<24s}{label:<8s} {k['best']['total_us']:9.2f} us  "
             f"({k['num_configs']} configs swept)"
         )
+    sel = resp.get("selection")
+    if sel:
+        print(
+            f"selection: {sel['total_us']:.1f} us end-to-end "
+            f"(chain {sel['chain_cost_us']:.1f} us, "
+            f"{len(sel['transposes'])} transposes for {sel['transpose_us']:.1f} us)"
+        )
 
 
 _COMMANDS = {
@@ -246,6 +258,12 @@ def main(argv: list[str] | None = None) -> int:
         help="directory of the persistent sweep store "
              "(default: REPRO_SWEEP_STORE or disabled)",
     )
+    parser.add_argument(
+        "--no-fast-select", action="store_true",
+        help="run the scalar reference configuration selection instead of "
+             "the vectorized fast path (same results; also "
+             "REPRO_CONFIGSEL_FAST=0)",
+    )
     service = parser.add_argument_group("tuning service (serve / query)")
     service.add_argument(
         "--host", default="127.0.0.1", help="serve: bind address"
@@ -273,6 +291,12 @@ def main(argv: list[str] | None = None) -> int:
         help="query: QKV input-projection fusion variant",
     )
     args = parser.parse_args(argv)
+    if args.no_fast_select:
+        import os
+
+        from repro.configsel.selector import FAST_ENV_VAR
+
+        os.environ[FAST_ENV_VAR] = "0"
     if args.sweep_store is not None:
         from repro.engine import set_sweep_store
 

@@ -3,15 +3,26 @@
 from .chain import ChainError, ChainStep, primary_chain, project_layout
 from .refinement import RefinementResult, refine_selection
 from .selector import (
+    ChainMatrices,
+    FAST_ENV_VAR,
     SelectedConfiguration,
     TransposeInsertion,
+    build_chain_matrices,
     build_config_graph,
     select_configurations,
 )
-from .sssp import ConfigGraph, SSSPError, shortest_path, shortest_path_networkx
+from .sssp import (
+    ConfigGraph,
+    SSSPError,
+    shortest_path,
+    shortest_path_layered,
+    shortest_path_networkx,
+)
 
 __all__ = [
     "ChainError",
+    "ChainMatrices",
+    "FAST_ENV_VAR",
     "RefinementResult",
     "refine_selection",
     "ChainStep",
@@ -19,10 +30,12 @@ __all__ = [
     "SSSPError",
     "SelectedConfiguration",
     "TransposeInsertion",
+    "build_chain_matrices",
     "build_config_graph",
     "primary_chain",
     "project_layout",
     "select_configurations",
     "shortest_path",
+    "shortest_path_layered",
     "shortest_path_networkx",
 ]

@@ -2,17 +2,40 @@
 
 The configuration graph is a layered DAG (Sec. VI-A: "Because this graph is
 a DAG ... SSSP takes linear time asymptotically"), so one topological
-relaxation pass suffices.  A networkx Dijkstra cross-check is provided and
-the test suite asserts both agree.
+relaxation pass suffices.  Two implementations are provided:
+
+* :func:`shortest_path` — the scalar reference: explicit nodes and edges,
+  node-by-node topological relaxation.  Path ties are broken by edge
+  *insertion order* (the first in-edge of a node that attains its final
+  distance wins), which makes the decoded path a deterministic function of
+  the graph alone.
+* :func:`shortest_path_layered` — the vectorized fast path: the layers are
+  dense min-plus (tropical) cost matrices and each layer is relaxed with a
+  single ``dist[:, None] + M`` broadcast.  ``np.argmin`` keeps the first
+  (lowest-index) minimizer per column, so when the matrices enumerate the
+  same edges in the same order as the scalar graph, cost *and path* are
+  identical — additions associate the same way and ties resolve the same
+  way.
+
+A networkx Dijkstra cross-check is provided (imported lazily: the
+dependency is cross-check-only and must not tax CLI or daemon startup) and
+the test suite asserts all three agree.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
-import networkx as nx
+import numpy as np
 
-__all__ = ["ConfigGraph", "shortest_path", "shortest_path_networkx", "SSSPError"]
+__all__ = [
+    "ConfigGraph",
+    "shortest_path",
+    "shortest_path_layered",
+    "shortest_path_networkx",
+    "SSSPError",
+]
 
 
 class SSSPError(ValueError):
@@ -25,11 +48,13 @@ class ConfigGraph:
 
     edges: dict[tuple[object, object], float] = field(default_factory=dict)
     succ: dict[object, list[object]] = field(default_factory=dict)
+    pred: dict[object, list[object]] = field(default_factory=dict)
     nodes: set = field(default_factory=set)
 
     def add_node(self, node) -> None:
         self.nodes.add(node)
         self.succ.setdefault(node, [])
+        self.pred.setdefault(node, [])
 
     def add_edge(self, u, v, weight: float) -> None:
         """Add an edge, keeping only the lightest among parallel edges."""
@@ -41,6 +66,7 @@ class ConfigGraph:
         if key not in self.edges or weight < self.edges[key]:
             if key not in self.edges:
                 self.succ[u].append(v)
+                self.pred[v].append(u)
             self.edges[key] = weight
 
     @property
@@ -66,32 +92,108 @@ class ConfigGraph:
 
 
 def shortest_path(graph: ConfigGraph, source, target) -> tuple[float, list]:
-    """DAG shortest path by topological relaxation; returns (cost, path)."""
+    """DAG shortest path by topological relaxation; returns (cost, path).
+
+    The path is decoded by backtracking from the target: at every node the
+    first in-edge (in insertion order) that attains the node's distance is
+    followed.  This makes equal-cost tie-breaking a property of the graph's
+    edge order rather than of the relaxation schedule — the invariant the
+    vectorized :func:`shortest_path_layered` reproduces with ``argmin``.
+    """
     if source not in graph.nodes or target not in graph.nodes:
         raise SSSPError("source/target missing from graph")
-    dist: dict[object, float] = {n: float("inf") for n in graph.nodes}
-    prev: dict[object, object] = {}
+    inf = float("inf")
+    dist: dict[object, float] = {n: inf for n in graph.nodes}
     dist[source] = 0.0
     for node in graph._topo_order():
         d = dist[node]
-        if d == float("inf"):
+        if d == inf:
             continue
         for v in graph.succ.get(node, []):
             w = graph.edges[(node, v)]
             if d + w < dist[v]:
                 dist[v] = d + w
-                prev[v] = node
-    if dist[target] == float("inf"):
+    if dist[target] == inf:
         raise SSSPError("target unreachable in configuration graph")
     path = [target]
-    while path[-1] != source:
-        path.append(prev[path[-1]])
+    node = target
+    while node != source:
+        d = dist[node]
+        for u in graph.pred.get(node, []):
+            if dist[u] + graph.edges[(u, node)] == d:
+                node = u
+                break
+        else:  # pragma: no cover - dist came from one of these very sums
+            raise SSSPError("path reconstruction failed")
+        path.append(node)
     path.reverse()
     return dist[target], path
 
 
+def shortest_path_layered(
+    matrices: Sequence[np.ndarray],
+) -> tuple[float, list[int]]:
+    """Min-plus SSSP over a layered DAG given per-layer cost matrices.
+
+    ``matrices[k]`` holds the edge weights from layer ``k`` to layer
+    ``k + 1`` — shape ``(n_k, n_{k+1})``, ``np.inf`` for a missing edge.
+    Layer 0 is the source (``n_0 == 1``) and the last layer the target
+    (``n_L == 1``).  Each layer is relaxed with one broadcast add and one
+    argmin::
+
+        dist_next = np.min(dist[:, None] + M, axis=0)
+
+    which performs exactly the per-edge ``dist[u] + w`` additions of the
+    scalar relaxation, so distances are bit-identical to
+    :func:`shortest_path` on the expanded graph; ``argmin``'s
+    first-minimizer rule matches the scalar decoder's first-in-edge rule
+    when matrix row order equals edge insertion order.
+
+    Returns ``(cost, nodes)`` where ``nodes[k]`` is the chosen node index
+    in layer ``k + 1`` (the final entry is the target, index 0).
+    """
+    mats = [np.asarray(m, dtype=float) for m in matrices]
+    if not mats:
+        raise SSSPError("layered graph has no layers")
+    if mats[0].ndim != 2 or mats[0].shape[0] != 1:
+        raise SSSPError("layer 0 must be a (1, n) source matrix")
+    if mats[-1].shape[1] != 1:
+        raise SSSPError("final layer must be an (n, 1) target matrix")
+    for k, (a, b) in enumerate(zip(mats, mats[1:])):
+        if b.ndim != 2 or a.shape[1] != b.shape[0]:
+            raise SSSPError(
+                f"layer shapes do not chain: {a.shape} then {b.shape} at layer {k}"
+            )
+    for m in mats:
+        if (m < 0).any():
+            raise SSSPError("negative edge weight in layered graph")
+
+    dist = np.zeros(1)
+    argmins: list[np.ndarray] = []
+    for m in mats:
+        full = dist[:, None] + m
+        argmins.append(np.argmin(full, axis=0))
+        dist = np.min(full, axis=0)
+    cost = float(dist[0])
+    if cost == float("inf"):
+        raise SSSPError("target unreachable in configuration graph")
+
+    nodes = [0] * len(mats)
+    j = 0
+    for k in range(len(mats) - 1, -1, -1):
+        nodes[k] = j
+        j = int(argmins[k][j])
+    return cost, nodes
+
+
 def shortest_path_networkx(graph: ConfigGraph, source, target) -> tuple[float, list]:
-    """Cross-check implementation on networkx's Dijkstra."""
+    """Cross-check implementation on networkx's Dijkstra.
+
+    networkx is imported lazily: it is a cross-check-only dependency and
+    must not be paid on every CLI or daemon start.
+    """
+    import networkx as nx
+
     g = nx.DiGraph()
     g.add_nodes_from(graph.nodes)
     for (u, v), w in graph.edges.items():

@@ -74,15 +74,26 @@ class PreSortedMeasurements(Sequence):
     a no-op rather than a forced materialization.
     """
 
-    __slots__ = ("_n", "_build", "_totals", "_items")
+    __slots__ = ("_n", "_build", "_totals", "_items", "_space", "_order")
 
     def __init__(
-        self, n: int, build: Callable[[int], object], sorted_totals: np.ndarray
+        self,
+        n: int,
+        build: Callable[[int], object],
+        sorted_totals: np.ndarray,
+        *,
+        space=None,
+        order: np.ndarray | None = None,
     ) -> None:
         self._n = n
         self._build = build
         self._totals = sorted_totals
         self._items: list[object | None] = [None] * n
+        # The enumerated config space and the stable-sort permutation, kept
+        # so array consumers (the configsel fast path) can read per-
+        # measurement layouts without materializing measurement objects.
+        self._space = space
+        self._order = order
 
     def __len__(self) -> int:
         return self._n
@@ -105,6 +116,37 @@ class PreSortedMeasurements(Sequence):
     def times_us(self) -> list[float]:
         """Sorted totals without materializing measurement objects."""
         return self._totals.tolist()
+
+    def totals_array(self) -> np.ndarray:
+        """Sorted totals as a float64 array (no copy, no materialization)."""
+        return self._totals
+
+    def operand_layout_index(self):
+        """Per-operand layout vocabularies and per-measurement layout ids.
+
+        Returns ``(vocabs, ids)`` where ``vocabs[s]`` lists the layout
+        choices of operand slot ``s`` (inputs then outputs) and ``ids[s]``
+        maps each measurement — in sorted order — to its index in
+        ``vocabs[s]``.  Derived straight from the enumerated space plus the
+        sort permutation, so no measurement objects are built.  ``None``
+        when the sequence was constructed without a space.
+        """
+        if self._space is None or self._order is None:
+            return None
+        from .space import ContractionSpace
+
+        space, order = self._space, self._order
+        if isinstance(space, ContractionSpace):
+            ids = space.triple_idx[order]
+            vocabs = [
+                [t[0] for t in space.triples],
+                [t[1] for t in space.triples],
+                [t[2] for t in space.triples],
+            ]
+            return vocabs, [ids, ids, ids]
+        vocabs = [list(choices) for choices in space.layout_choices]
+        idx = space.idx
+        return vocabs, [idx[order, o] for o in range(space.num_operands)]
 
     def __eq__(self, other) -> bool:
         if isinstance(other, (PreSortedMeasurements, list)):
@@ -145,7 +187,9 @@ def sweep_from_payload(op: OpSpec, payload: dict):
             ),
         )
 
-    measurements = PreSortedMeasurements(len(order), build, sorted_totals)
+    measurements = PreSortedMeasurements(
+        len(order), build, sorted_totals, space=space, order=order
+    )
     return SweepResult(op=op, measurements=measurements)
 
 

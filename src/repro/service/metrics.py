@@ -45,6 +45,11 @@ class ServiceMetrics:
         self._errors: dict[str, int] = {}
         self._tiers: dict[str, int] = {tier: 0 for tier in RESOLVE_TIERS}
         self._latency: dict[str, deque[float]] = {}
+        # Cold /v1/optimize phase breakdown: how much of each computed
+        # response went into sweeping vs. configuration selection.
+        self._optimize_runs = 0
+        self._optimize_sweep_ms = 0.0
+        self._optimize_select_ms = 0.0
 
     # -- recording -----------------------------------------------------------
     def record_request(self, endpoint: str, latency_s: float) -> None:
@@ -65,6 +70,13 @@ class ServiceMetrics:
         with self._lock:
             self._tiers[tier] += 1
 
+    def record_optimize_breakdown(self, sweep_s: float, select_s: float) -> None:
+        """Attribute one cold ``/v1/optimize`` computation to its phases."""
+        with self._lock:
+            self._optimize_runs += 1
+            self._optimize_sweep_ms += sweep_s * 1e3
+            self._optimize_select_ms += select_s * 1e3
+
     # -- reading -------------------------------------------------------------
     def tier_counts(self) -> dict[str, int]:
         with self._lock:
@@ -83,10 +95,21 @@ class ServiceMetrics:
                     "p99_ms": _percentile(samples, 0.99),
                     "max_ms": samples[-1] if samples else 0.0,
                 }
+            runs = self._optimize_runs
             return {
                 "uptime_s": time.time() - self._started,
                 "requests": dict(self._requests),
                 "errors": dict(self._errors),
                 "resolve_tiers": dict(self._tiers),
                 "latency_ms": latency,
+                # Where cold /v1/optimize time goes: the sweep phase
+                # (engine evaluation through the scheduler) vs. the
+                # configuration-selection phase.
+                "optimize_breakdown": {
+                    "computed": runs,
+                    "sweep_ms_total": self._optimize_sweep_ms,
+                    "select_ms_total": self._optimize_select_ms,
+                    "sweep_ms_avg": self._optimize_sweep_ms / runs if runs else 0.0,
+                    "select_ms_avg": self._optimize_select_ms / runs if runs else 0.0,
+                },
             }

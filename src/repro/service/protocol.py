@@ -50,6 +50,7 @@ __all__ = [
     "optimize_response_from_sweeps",
     "parse_optimize_request",
     "parse_sweep_request",
+    "selection_to_wire",
     "sweep_request_digest",
     "sweep_request_wire",
     "sweep_response_from_sweep",
@@ -538,13 +539,44 @@ def sweep_response_from_sweep(sweep, *, digest: str, top_k: int) -> dict:
     }
 
 
+def selection_to_wire(selection) -> dict:
+    """Wire form of a :class:`~repro.configsel.selector.SelectedConfiguration`.
+
+    Deterministic: chain and transposes are emitted in selection order, the
+    chosen map keys by op name (canonical JSON sorts them).
+    """
+    return {
+        "chain": [s.op_name for s in selection.chain],
+        "chain_cost_us": selection.chain_cost_us,
+        "total_us": selection.total_us,
+        "transpose_us": selection.transpose_us,
+        "transposes": [
+            {
+                "tensor": t.tensor,
+                "from_layout": list(t.from_layout.dims),
+                "to_layout": list(t.to_layout.dims),
+                "time_us": t.time_us,
+                "before_op": t.before_op,
+            }
+            for t in selection.transposes
+        ],
+        "chosen": {
+            name: measurement_to_wire(m) for name, m in selection.chosen.items()
+        },
+    }
+
+
 def optimize_response_from_sweeps(
-    graph: DataflowGraph, sweeps: dict, *, digest: str
+    graph: DataflowGraph, sweeps: dict, *, digest: str, selection=None
 ) -> dict:
     """The ``/v1/optimize`` response: the tuned schedule, op by op.
 
     Kernel order is graph order, so the body is deterministic and the
     canonical serialization is byte-stable across servers and runs.
+    ``selection`` (a ``SelectedConfiguration``, optional) adds the global
+    layout assignment — the end-to-end Sec. VI-A result — under
+    ``"selection"``; ``None`` when selection was not run or not possible
+    for the requested graph.
     """
     kernels = []
     forward_us = 0.0
@@ -578,4 +610,5 @@ def optimize_response_from_sweeps(
         "forward_us": forward_us,
         "backward_us": backward_us,
         "total_us": forward_us + backward_us,
+        "selection": None if selection is None else selection_to_wire(selection),
     }

@@ -184,11 +184,17 @@ class TuningService:
         digest = optimize_request_digest(req)
 
         def _compute() -> dict:
+            from repro.configsel.chain import ChainError
+            from repro.configsel.selector import select_configurations
+            from repro.configsel.sssp import SSSPError
+
             graph = build_request_graph(req)
+            cost = CostModel(req.gpu)
+            t0 = perf_counter()
             sweeps = sweep_graph(
                 graph,
                 req.env,
-                CostModel(req.gpu),
+                cost,
                 cap=req.cap,
                 seed=req.seed,
                 jobs=self.jobs,
@@ -196,8 +202,24 @@ class TuningService:
                 # fall back to the process-active store inside sweep_graph.
                 store=self.store if self.store is not None else DISABLE_STORE,
             )
+            sweep_s = perf_counter() - t0
+            # Global configuration selection on the swept graph (the
+            # vectorized fast path unless REPRO_CONFIGSEL_FAST=0).  Not
+            # every requestable graph has a primary chain from "x"; those
+            # responses simply carry no selection section.
+            t0 = perf_counter()
+            try:
+                selection = select_configurations(
+                    graph, req.env, cost, sweeps=sweeps, cap=req.cap
+                )
+            except (SSSPError, ChainError):
+                selection = None
+            select_s = perf_counter() - t0
+            self.metrics.record_optimize_breakdown(sweep_s, select_s)
             self._bound_engine_memo()
-            return optimize_response_from_sweeps(graph, sweeps, digest=digest)
+            return optimize_response_from_sweeps(
+                graph, sweeps, digest=digest, selection=selection
+            )
 
         # The cached value here is the whole response body (not a store
         # payload), so L2 is skipped; the response's per-sweep work is

@@ -1,14 +1,19 @@
 """Tests for chain extraction, SSSP, and global configuration selection."""
 
+import numpy as np
 import pytest
 
 from repro.autotuner.tuner import sweep_graph
 from repro.configsel.chain import ChainError, primary_chain, project_layout
-from repro.configsel.selector import select_configurations
+from repro.configsel.selector import (
+    build_chain_matrices,
+    select_configurations,
+)
 from repro.configsel.sssp import (
     ConfigGraph,
     SSSPError,
     shortest_path,
+    shortest_path_layered,
     shortest_path_networkx,
 )
 from repro.fusion.encoder_kernels import apply_paper_fusion
@@ -168,6 +173,136 @@ class TestSSSP:
         )
         cost, _ = shortest_path(g, "s", "t")
         assert cost == pytest.approx(best)
+
+
+class TestLayeredSSSP:
+    def test_diamond_equivalent(self):
+        # Two parallel middle nodes: s -> {a: 1, b: 5} -> t {a: 10, b: 1}.
+        layers = [np.array([[1.0, 5.0]]), np.array([[10.0], [1.0]])]
+        cost, nodes = shortest_path_layered(layers)
+        assert cost == 6.0
+        assert nodes == [1, 0]  # b, then the target
+
+    def test_matches_scalar_on_dense_layers(self):
+        rng = np.random.default_rng(7)
+        sizes = [1, 3, 4, 2, 1]
+        layers = [
+            rng.uniform(1, 10, size=(a, b)) for a, b in zip(sizes, sizes[1:])
+        ]
+        g = ConfigGraph()
+        for k, m in enumerate(layers):
+            for i in range(m.shape[0]):
+                for j in range(m.shape[1]):
+                    g.add_edge((k, i), (k + 1, j), float(m[i, j]))
+        scost, spath = shortest_path(g, (0, 0), (len(sizes) - 1, 0))
+        lcost, nodes = shortest_path_layered(layers)
+        assert lcost == scost  # same sums, same association order
+        assert [(k + 1, j) for k, j in enumerate(nodes)] == spath[1:]
+
+    def test_tie_breaks_match_scalar(self):
+        # Integer weights force exact ties; both sides must pick the same
+        # (first-in-order) predecessor.
+        rng = np.random.default_rng(11)
+        sizes = [1, 4, 4, 4, 1]
+        layers = [
+            rng.integers(1, 3, size=(a, b)).astype(float)
+            for a, b in zip(sizes, sizes[1:])
+        ]
+        g = ConfigGraph()
+        for k, m in enumerate(layers):
+            for i in range(m.shape[0]):
+                for j in range(m.shape[1]):
+                    g.add_edge((k, i), (k + 1, j), float(m[i, j]))
+        scost, spath = shortest_path(g, (0, 0), (len(sizes) - 1, 0))
+        lcost, nodes = shortest_path_layered(layers)
+        assert lcost == scost
+        assert [(k + 1, j) for k, j in enumerate(nodes)] == spath[1:]
+
+    def test_unreachable(self):
+        layers = [np.array([[np.inf, np.inf]]), np.array([[1.0], [1.0]])]
+        with pytest.raises(SSSPError, match="unreachable"):
+            shortest_path_layered(layers)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(SSSPError, match="negative"):
+            shortest_path_layered([np.array([[-1.0]])])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(SSSPError, match="chain"):
+            shortest_path_layered([np.zeros((1, 2)), np.zeros((3, 1))])
+
+    def test_source_and_target_must_be_singletons(self):
+        with pytest.raises(SSSPError, match="source"):
+            shortest_path_layered([np.zeros((2, 1))])
+        with pytest.raises(SSSPError, match="target"):
+            shortest_path_layered([np.zeros((1, 2))])
+
+
+class TestFastPath:
+    """The vectorized selection pipeline against the scalar reference."""
+
+    def test_fast_matches_scalar_encoder(self, fused_encoder, encoder_sweeps):
+        fast = select_configurations(
+            fused_encoder, ENV, COST, sweeps=encoder_sweeps, cap=400, fast=True
+        )
+        scalar = select_configurations(
+            fused_encoder, ENV, COST, sweeps=encoder_sweeps, cap=400, fast=False
+        )
+        assert fast.chain_cost_us == scalar.chain_cost_us
+        assert fast.transposes == scalar.transposes
+        assert fast.chosen == scalar.chosen
+        assert fast == scalar
+
+    def test_fast_matches_scalar_mha(self):
+        g = apply_paper_fusion(build_mha_graph(qkv_fusion="qkv"), ENV)
+        sweeps = sweep_graph(g, ENV, COST, cap=200)
+        fast = select_configurations(g, ENV, COST, sweeps=sweeps, cap=200, fast=True)
+        scalar = select_configurations(
+            g, ENV, COST, sweeps=sweeps, cap=200, fast=False
+        )
+        assert fast == scalar
+
+    def test_env_escape_hatch(self, fused_encoder, encoder_sweeps, monkeypatch):
+        from repro.configsel.selector import FAST_ENV_VAR
+
+        monkeypatch.setenv(FAST_ENV_VAR, "0")
+        via_env = select_configurations(
+            fused_encoder, ENV, COST, sweeps=encoder_sweeps, cap=400
+        )
+        monkeypatch.setenv(FAST_ENV_VAR, "1")
+        via_fast = select_configurations(
+            fused_encoder, ENV, COST, sweeps=encoder_sweeps, cap=400
+        )
+        assert via_env == via_fast
+
+    def test_chain_matrices_match_config_graph(self, fused_encoder, encoder_sweeps):
+        """Every finite matrix cell is exactly one scalar-graph edge."""
+        from repro.configsel.selector import _SOURCE, _TARGET, build_config_graph
+
+        chain = primary_chain(fused_encoder)
+        mats = build_chain_matrices(fused_encoder, chain, encoder_sweeps, ENV, COST)
+        cg = build_config_graph(fused_encoder, chain, encoder_sweeps, ENV, COST)
+        for idx in range(len(chain)):
+            layouts = mats.boundaries[idx]
+            m = mats.op_cost[idx]
+            for i, lin in enumerate(layouts):
+                for j in range(m.shape[1]):
+                    src = ("dep", idx, lin.dims)
+                    if idx + 1 < len(chain):
+                        dst = ("t", idx + 1, mats.boundaries[idx + 1][j].dims)
+                    else:
+                        dst = _TARGET
+                    edge = cg.edges.get((src, dst))
+                    if np.isfinite(m[i, j]):
+                        assert edge == m[i, j]
+                    else:
+                        assert edge is None
+        # And the layered solve agrees with the scalar walk on cost.
+        scalar_cost, _ = shortest_path(cg, _SOURCE, _TARGET)
+        from repro.configsel.selector import _solve_chain_fast
+
+        fast_cost, _, _ = _solve_chain_fast(mats, chain)
+        assert fast_cost == scalar_cost
 
 
 class TestSelection:

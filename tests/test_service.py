@@ -390,6 +390,21 @@ class TestServiceMetrics:
         assert snap["latency_ms"]["/healthz"]["count"] == metrics_mod.WINDOW
         assert snap["requests"]["/healthz"] == metrics_mod.WINDOW + 50
 
+    def test_optimize_breakdown_accumulates(self):
+        m = ServiceMetrics()
+        assert m.snapshot()["optimize_breakdown"] == {
+            "computed": 0, "sweep_ms_total": 0.0, "select_ms_total": 0.0,
+            "sweep_ms_avg": 0.0, "select_ms_avg": 0.0,
+        }
+        m.record_optimize_breakdown(0.200, 0.010)
+        m.record_optimize_breakdown(0.100, 0.030)
+        snap = m.snapshot()["optimize_breakdown"]
+        assert snap["computed"] == 2
+        assert snap["sweep_ms_total"] == pytest.approx(300.0)
+        assert snap["select_ms_total"] == pytest.approx(40.0)
+        assert snap["sweep_ms_avg"] == pytest.approx(150.0)
+        assert snap["select_ms_avg"] == pytest.approx(20.0)
+
 
 # ---------------------------------------------------------------------------
 # Tiered resolution (service core, HTTP-free)
@@ -443,6 +458,37 @@ class TestTieredResolution:
             assert global_store.stats()["entries"] == 0
         finally:
             set_sweep_store(old)
+
+    def test_optimize_response_carries_selection_and_breakdown(self):
+        from repro.configsel.selector import select_configurations
+        from repro.service.protocol import build_request_graph, parse_optimize_request
+
+        svc = TuningService(store=None)
+        body = {"model": "mha", "include_backward": False, "cap": CAP}
+        resp = svc.handle_optimize(body)
+        sel = resp["selection"]
+        assert sel is not None
+        assert len(sel["chain"]) > 0
+        assert sel["total_us"] > 0
+        assert sel["chain_cost_us"] > 0
+        assert len(sel["chosen"]) == resp["num_kernels"]
+        # The wire selection matches an offline run of the same request.
+        req = parse_optimize_request(body)
+        graph = build_request_graph(req)
+        offline = select_configurations(
+            graph, req.env, CostModel(req.gpu), cap=req.cap
+        )
+        assert sel["chain"] == [s.op_name for s in offline.chain]
+        assert sel["chain_cost_us"] == offline.chain_cost_us
+        assert sel["total_us"] == offline.total_us
+        # Exactly one cold computation was attributed to the two phases.
+        breakdown = svc.metrics.snapshot()["optimize_breakdown"]
+        assert breakdown["computed"] == 1
+        assert breakdown["sweep_ms_total"] > 0
+        assert breakdown["select_ms_total"] > 0
+        # A warm (L1) replay serves the same body without recomputing.
+        assert svc.handle_optimize(body) == resp
+        assert svc.metrics.snapshot()["optimize_breakdown"]["computed"] == 1
 
     def test_engine_memo_stays_bounded(self):
         from repro.engine.memo import sweep_memo_stats
