@@ -115,8 +115,10 @@ def build_schedule(
     *,
     sweeps: dict[str, SweepResult] | None = None,
     cap: int | None = 600,
+    seed: int = 0x5EED,
     jobs: int | None = None,
     fast: bool | None = None,
+    register=None,
 ) -> Schedule:
     """Time every kernel of ``graph`` under the framework's policy.
 
@@ -127,15 +129,20 @@ def build_schedule(
     without changing any result.  ``fast`` picks the configuration-selection
     pipeline (vectorized by default, scalar reference with ``fast=False`` /
     ``REPRO_CONFIGSEL_FAST=0``); both produce bit-identical schedules.
+    ``register`` (a :class:`~repro.registry.ScheduleRegistry` or ``True``
+    for the process-active one) persists the ``"selected"``-mode selection
+    in the schedule registry; other layout modes have no global selection
+    to register and ignore it.
     """
     cost = cost or CostModel()
     schedule = Schedule(framework=policy.name, graph=graph)
 
     if policy.layout_mode == "selected":
         if sweeps is None:
-            sweeps = sweep_graph(graph, env, cost, cap=cap, jobs=jobs)
+            sweeps = sweep_graph(graph, env, cost, cap=cap, seed=seed, jobs=jobs)
         sel: SelectedConfiguration = select_configurations(
-            graph, env, cost, sweeps=sweeps, cap=cap, fast=fast
+            graph, env, cost, sweeps=sweeps, cap=cap, seed=seed, fast=fast,
+            register=register,
         )
         for op in graph.ops:
             if op.is_view:

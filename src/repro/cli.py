@@ -38,6 +38,19 @@ Tuning as a service::
 tuned schedule (or its health/metrics).  The daemon shares the L2 sweep
 store with every batch command, so anything a nightly run swept is served
 warm.
+
+Schedule registry::
+
+    python -m repro register --model encoder --cap 400
+    python -m repro validate --all
+    python -m repro validate --digest <sha256> --deep --registry DIR
+
+``register`` tunes a model graph and persists the schedule as a
+content-addressed registry entry (:mod:`repro.registry`); ``validate``
+replays the layered validator stack (:mod:`repro.validation`) over one
+entry (``--digest``) or every entry (``--all``) and exits non-zero if
+any fails.  ``--registry DIR`` overrides the registry location
+(default: ``REPRO_SCHEDULE_REGISTRY`` or ``<sweep-store>/registry``).
 """
 
 from __future__ import annotations
@@ -216,6 +229,93 @@ def _cmd_query(args) -> None:
         )
 
 
+def _resolve_registry(args):
+    """The registry named by ``--registry`` or the process-active one."""
+    from repro.registry import ScheduleRegistry, get_schedule_registry
+
+    if args.registry is not None:
+        return ScheduleRegistry(args.registry)
+    registry = get_schedule_registry()
+    if registry is None:
+        print(
+            "repro: no schedule registry — pass --registry DIR, set "
+            "REPRO_SCHEDULE_REGISTRY, or enable a sweep store",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    return registry
+
+
+def _cmd_register(args) -> None:
+    """Tune one model graph and persist the schedule in the registry."""
+    from repro.configsel.selector import select_configurations
+    from repro.hardware.spec import V100
+    from repro.service.protocol import OptimizeRequest, build_request_graph
+
+    registry = _resolve_registry(args)
+    req = OptimizeRequest(
+        model=args.model,
+        qkv_fusion=args.qkv_fusion,
+        include_backward=not args.forward_only,
+        fused=not args.unfused,
+        env=_env(args),
+        gpu=V100,
+        cap=args.cap,
+        seed=0x5EED,
+    )
+    graph = build_request_graph(req)
+    sel = select_configurations(
+        graph, req.env, CostModel(req.gpu), cap=args.cap, register=registry
+    )
+    variant = args.qkv_fusion + (", forward-only" if args.forward_only else "")
+    print(f"registered {sel.registered_digest}")
+    print(
+        f"  {args.model} ({variant}): {sel.total_us:.1f} us end-to-end, "
+        f"{len(sel.chosen)} kernels, {len(sel.transposes)} transposes"
+    )
+    print(f"  registry: {registry.root}")
+
+
+def _cmd_validate(args) -> None:
+    """Re-validate registered schedules; exit 1 if any entry fails."""
+    from repro.registry import RegistryError
+    from repro.validation import validate_entry
+
+    registry = _resolve_registry(args)
+    if args.digest is not None:
+        digests = [args.digest]
+    elif args.all:
+        digests = registry.digests()
+        if not digests:
+            print(f"repro validate: registry at {registry.root} is empty")
+            return
+    else:
+        print(
+            "repro validate: pass --digest DIGEST or --all", file=sys.stderr
+        )
+        raise SystemExit(2)
+
+    failed = 0
+    for digest in digests:
+        try:
+            entry = registry.load(digest)
+        except RegistryError as exc:
+            print(f"FAIL {digest} (unloadable: {exc})")
+            failed += 1
+            continue
+        if entry is None:
+            print(f"FAIL {digest} (not found in {registry.root})")
+            failed += 1
+            continue
+        report = validate_entry(entry, deep=args.deep)
+        print(report.summary())
+        if not report.ok:
+            failed += 1
+    print(f"{len(digests) - failed}/{len(digests)} entries valid")
+    if failed:
+        raise SystemExit(1)
+
+
 _COMMANDS = {
     "table1": _cmd_table1,
     "table2": _cmd_table2,
@@ -228,6 +328,8 @@ _COMMANDS = {
     "calibrate": _cmd_calibrate,
     "serve": _cmd_serve,
     "query": _cmd_query,
+    "register": _cmd_register,
+    "validate": _cmd_validate,
 }
 
 
@@ -289,6 +391,33 @@ def main(argv: list[str] | None = None) -> int:
     service.add_argument(
         "--qkv-fusion", choices=("unfused", "qk", "qkv"), default="qkv",
         help="query: QKV input-projection fusion variant",
+    )
+    reg = parser.add_argument_group("schedule registry (register / validate)")
+    reg.add_argument(
+        "--registry", default=None, metavar="DIR",
+        help="directory of the schedule registry "
+             "(default: REPRO_SCHEDULE_REGISTRY or <sweep-store>/registry)",
+    )
+    reg.add_argument(
+        "--digest", default=None, metavar="SHA256",
+        help="validate: check the one entry with this content digest",
+    )
+    reg.add_argument(
+        "--all", action="store_true",
+        help="validate: check every entry in the registry",
+    )
+    reg.add_argument(
+        "--deep", action="store_true",
+        help="validate: also re-select configurations through both "
+             "pipelines and compare against the stored selection",
+    )
+    reg.add_argument(
+        "--forward-only", action="store_true",
+        help="register: tune the forward-only graph",
+    )
+    reg.add_argument(
+        "--unfused", action="store_true",
+        help="register: skip the paper's operator fusion",
     )
     args = parser.parse_args(argv)
     if args.no_fast_select:

@@ -122,6 +122,9 @@ class SelectedConfiguration:
     pinned_layouts: dict[str, Layout]
     transposes: list[TransposeInsertion] = field(default_factory=list)
     chain_cost_us: float = 0.0
+    #: Content digest this selection was registered under (when
+    #: ``select_configurations(register=...)`` persisted it), else None.
+    registered_digest: str | None = None
 
     def op_time_us(self, op_name: str) -> float:
         return self.chosen[op_name].total_us
@@ -565,8 +568,10 @@ def select_configurations(
     sweeps: dict[str, SweepResult] | None = None,
     source: str = "x",
     cap: int | None = 1000,
+    seed: int = 0x5EED,
     jobs: int | None = None,
     fast: bool | None = None,
+    register=None,
 ) -> SelectedConfiguration:
     """Run Step 4: global layout selection and full-graph assembly.
 
@@ -575,11 +580,18 @@ def select_configurations(
     ``fast`` selects the vectorized pipeline (default; ``None`` defers to
     ``REPRO_CONFIGSEL_FAST``) or the scalar reference — the two are
     bit-identical, so the flag never changes any result.
+
+    ``register`` persists the finished selection as a content-addressed
+    :class:`~repro.registry.ScheduleEntry`: pass a
+    :class:`~repro.registry.ScheduleRegistry`, or ``True`` to use the
+    process-active registry (silently skipped when none is configured).
+    The entry's digest lands in ``registered_digest``.  ``seed`` is the
+    sampling seed the sweeps — and the registered digest — are keyed by.
     """
     cost = cost or CostModel()
     use_fast = _fast_enabled(fast)
     if sweeps is None:
-        sweeps = sweep_graph(graph, env, cost, cap=cap, jobs=jobs)
+        sweeps = sweep_graph(graph, env, cost, cap=cap, seed=seed, jobs=jobs)
     chain = primary_chain(graph, source=source)
     if use_fast:
         mats = build_chain_matrices(graph, chain, sweeps, env, cost)
@@ -818,13 +830,33 @@ def select_configurations(
             chosen[op.name] = match
             _pin_config(op, match, pinned, overwrite=False)
 
-    return SelectedConfiguration(
+    selected = SelectedConfiguration(
         chain=chain,
         chosen=chosen,
         pinned_layouts=pinned,
         transposes=transposes,
         chain_cost_us=chain_cost,
     )
+    if register:
+        # Lazy import: the registry package pulls in the service protocol,
+        # which this hot module must not load unless registration is asked.
+        from repro.registry import get_schedule_registry, register_selection
+
+        registry = register if register is not True else get_schedule_registry()
+        if registry is not None:
+            entry = register_selection(
+                registry,
+                graph,
+                env,
+                cost,
+                selected,
+                cap=cap,
+                seed=seed,
+                source=source,
+                registrar="select_configurations",
+            )
+            selected.registered_digest = entry.digest
+    return selected
 
 
 def _iter_operand_layouts(op: OpSpec, m: ConfigMeasurement):

@@ -1,0 +1,68 @@
+"""Content-addressed schedule registry: tuned schedules as durable artifacts.
+
+Configuration selection produces the repository's most expensive artifact —
+a globally tuned schedule — and until now it was transient: an in-memory
+:class:`~repro.configsel.selector.SelectedConfiguration` or a
+``/v1/optimize`` response body that vanished with the process.  This
+package persists selections the same way :mod:`repro.engine.store`
+persists sweeps:
+
+* :mod:`repro.registry.entry` — the :class:`ScheduleEntry` artifact and its
+  canonical wire form: the tuning *problem* (graph signature, dim sizes,
+  ``GPUSpec``, sampling knobs, ``COST_MODEL_VERSION``) plus its *solution*
+  (per-op configurations with exact predicted time splits, inserted
+  transposes, pinned layouts, the claimed end-to-end total) plus
+  *provenance* (the L2 sweep digests selection consumed, timestamps,
+  package version, registrar).
+* :mod:`repro.registry.registry` — :class:`ScheduleRegistry`, a directory
+  of ``<digest>.json`` entries addressed by :func:`schedule_digest` — a
+  SHA-256 over the canonical problem tuple, so the digest identifies the
+  tuning problem and the stored value is its audited answer.  Writes are
+  write-tmp-rename atomic: a concurrent reader (the CLI's ``repro
+  validate`` racing the daemon's ``/v1/register``) never observes a
+  half-written entry.
+
+Entries are validated, not trusted: :mod:`repro.validation` re-derives
+everything an entry claims (structure, bit-exact costs, version freshness)
+and turns drift into actionable reports.  The registry defaults to living
+*alongside* the L2 sweep store (``<store>/registry``), giving the sharded
+fleet and cost-model rollout work a shared, auditable artifact namespace.
+"""
+
+from .entry import (
+    REGISTRY_FORMAT,
+    ScheduleEntry,
+    config_from_wire,
+    graph_from_wire,
+    graph_to_wire,
+    measurement_from_wire,
+    schedule_digest,
+    selection_to_entry_wire,
+)
+from .registry import (
+    REGISTRY_ENV_VAR,
+    RegistryError,
+    ScheduleRegistry,
+    build_entry,
+    get_schedule_registry,
+    register_selection,
+    set_schedule_registry,
+)
+
+__all__ = [
+    "REGISTRY_ENV_VAR",
+    "REGISTRY_FORMAT",
+    "RegistryError",
+    "ScheduleEntry",
+    "ScheduleRegistry",
+    "build_entry",
+    "config_from_wire",
+    "get_schedule_registry",
+    "graph_from_wire",
+    "graph_to_wire",
+    "measurement_from_wire",
+    "register_selection",
+    "schedule_digest",
+    "selection_to_entry_wire",
+    "set_schedule_registry",
+]

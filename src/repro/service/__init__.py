@@ -18,7 +18,10 @@ consumer was a batch process.  This package turns the engine into a
 * :mod:`repro.service.server` — the ``ThreadingHTTPServer`` daemon:
   ``POST /v1/sweep`` (best configurations + predicted times for one
   operator), ``POST /v1/optimize`` (whole-graph tuned schedule through
-  the parallel scheduler), ``GET /healthz``, ``GET /metrics``.
+  the parallel scheduler), ``POST /v1/register`` / ``GET
+  /v1/schedule/<digest>`` (the validate-then-store schedule registry,
+  with a background revalidation loop surfaced in ``/metrics``),
+  ``GET /healthz``, ``GET /metrics``.
 * :mod:`repro.service.client` — a stdlib ``urllib`` client, used by the
   ``repro serve`` / ``repro query`` CLI pair.
 
@@ -41,12 +44,14 @@ from .protocol import (
     sweep_request_digest,
     sweep_response_from_sweep,
 )
-from .server import TuningService, make_server
+from .server import NotFoundError, RegistrationRejected, TuningService, make_server
 
 __all__ = [
     "BoundedCache",
+    "NotFoundError",
     "PROTOCOL_VERSION",
     "ProtocolError",
+    "RegistrationRejected",
     "ServiceError",
     "ServiceMetrics",
     "SingleFlight",

@@ -30,11 +30,19 @@ __all__ = ["ServiceError", "TuningClient"]
 
 
 class ServiceError(RuntimeError):
-    """A non-2xx response (or no response) from the daemon."""
+    """A non-2xx response (or no response) from the daemon.
 
-    def __init__(self, message: str, *, status: int | None = None) -> None:
+    ``body`` carries the parsed JSON error body when there was one —
+    structured rejections (``/v1/register`` validation reports) arrive
+    there, not just as a flattened message.
+    """
+
+    def __init__(
+        self, message: str, *, status: int | None = None, body: dict | None = None
+    ) -> None:
         super().__init__(message)
         self.status = status
+        self.body = body
 
 
 class TuningClient:
@@ -59,13 +67,16 @@ class TuningClient:
                 return resp.read()
         except urllib.error.HTTPError as exc:
             detail = ""
+            error_body: dict | None = None
             try:
-                detail = json.loads(exc.read()).get("error", "")
+                error_body = json.loads(exc.read())
+                detail = error_body.get("error", "")
             except Exception:  # noqa: BLE001 - best-effort error detail
                 pass
             raise ServiceError(
                 f"{path} failed with HTTP {exc.code}: {detail or exc.reason}",
                 status=exc.code,
+                body=error_body,
             ) from exc
         except urllib.error.URLError as exc:
             raise ServiceError(f"cannot reach {url}: {exc.reason}") from exc
@@ -135,6 +146,46 @@ class TuningClient:
                 seed=seed,
             ),
         )
+
+    def register(
+        self,
+        *,
+        model: str = "encoder",
+        qkv_fusion: str = "qkv",
+        include_backward: bool = True,
+        fused: bool = True,
+        env: DimEnv | None = None,
+        gpu: GPUSpec = V100,
+        cap: int | None = DEFAULT_OPTIMIZE_CAP,
+        seed: int = 0x5EED,
+    ) -> dict:
+        """Have the daemon tune a model and register the schedule."""
+        return self._request_json(
+            "/v1/register",
+            optimize_request_wire(
+                model=model,
+                qkv_fusion=qkv_fusion,
+                include_backward=include_backward,
+                fused=fused,
+                env=env,
+                gpu=gpu,
+                cap=cap,
+                seed=seed,
+            ),
+        )
+
+    def register_entry(self, entry_wire: dict) -> dict:
+        """Submit a pre-built schedule entry; the daemon validates first.
+
+        A claim whose recomputed costs disagree with the stored ones is
+        rejected with HTTP 400 and a structured ``report`` body (raised
+        here as :class:`ServiceError`).
+        """
+        return self._request_json("/v1/register", {"entry": entry_wire})
+
+    def schedule(self, digest: str) -> dict:
+        """Fetch one registered schedule entry by content digest."""
+        return self._request_json(f"/v1/schedule/{digest}")
 
     def wait_until_ready(self, *, timeout: float = 30.0, interval: float = 0.1) -> dict:
         """Poll ``/healthz`` until the daemon answers (or raise)."""

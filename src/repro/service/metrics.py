@@ -18,10 +18,22 @@ import threading
 import time
 from collections import deque
 
-__all__ = ["ServiceMetrics", "RESOLVE_TIERS"]
+__all__ = ["ServiceMetrics", "RESOLVE_TIERS", "REGISTRY_EVENTS"]
 
 #: Where a request's sweep was resolved, cheapest tier first.
 RESOLVE_TIERS = ("l1", "coalesced", "l2", "computed")
+
+#: Schedule-registry lifecycle events the daemon counts: entries accepted
+#: by ``/v1/register``, registrations rejected by validation, entries
+#: served from ``/v1/schedule/<digest>``, and background-revalidation
+#: verdicts per entry.
+REGISTRY_EVENTS = (
+    "registered",
+    "rejected",
+    "served",
+    "revalidate_pass",
+    "revalidate_fail",
+)
 
 #: Latency samples retained per endpoint.
 WINDOW = 4096
@@ -50,6 +62,8 @@ class ServiceMetrics:
         self._optimize_runs = 0
         self._optimize_sweep_ms = 0.0
         self._optimize_select_ms = 0.0
+        self._registry_events: dict[str, int] = {e: 0 for e in REGISTRY_EVENTS}
+        self._last_revalidation: dict | None = None
 
     # -- recording -----------------------------------------------------------
     def record_request(self, endpoint: str, latency_s: float) -> None:
@@ -77,7 +91,24 @@ class ServiceMetrics:
             self._optimize_sweep_ms += sweep_s * 1e3
             self._optimize_select_ms += select_s * 1e3
 
+    def record_registry(self, event: str) -> None:
+        if event not in self._registry_events:
+            raise ValueError(
+                f"unknown registry event {event!r}; known: {REGISTRY_EVENTS}"
+            )
+        with self._lock:
+            self._registry_events[event] += 1
+
+    def record_revalidation(self, summary: dict) -> None:
+        """Remember the latest background-revalidation sweep's outcome."""
+        with self._lock:
+            self._last_revalidation = dict(summary)
+
     # -- reading -------------------------------------------------------------
+    def registry_counts(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._registry_events)
+
     def tier_counts(self) -> dict[str, int]:
         with self._lock:
             return dict(self._tiers)
@@ -111,5 +142,9 @@ class ServiceMetrics:
                     "select_ms_total": self._optimize_select_ms,
                     "sweep_ms_avg": self._optimize_sweep_ms / runs if runs else 0.0,
                     "select_ms_avg": self._optimize_select_ms / runs if runs else 0.0,
+                },
+                "registry": {
+                    "events": dict(self._registry_events),
+                    "last_revalidation": self._last_revalidation,
                 },
             }

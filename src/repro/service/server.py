@@ -10,9 +10,18 @@ Endpoints (all JSON, canonical serialization):
 * ``POST /v1/optimize`` — a whole-graph tuned schedule through the
   parallel scheduler (:func:`repro.engine.scheduler.sweep_graph`), with
   the same coalescing over a request-level digest.
+* ``POST /v1/register`` — validate-then-store a schedule into the
+  content-addressed registry: either a pre-built entry (``{"entry":
+  ...}``, whose claimed costs are recomputed and must agree bit-exactly)
+  or an optimize-style request the daemon tunes and registers itself.  A
+  claim that fails validation is rejected with a structured report body,
+  never stored.
+* ``GET /v1/schedule/<digest>`` — one registered entry by content digest
+  (404 on a miss).
 * ``GET /healthz`` — liveness plus identity: package version,
-  ``COST_MODEL_VERSION``, payload format, cache/store occupancy.
-* ``GET /metrics`` — tier hit counts and p50/p95/p99 latencies.
+  ``COST_MODEL_VERSION``, payload format, cache/store/registry occupancy.
+* ``GET /metrics`` — tier hit counts, p50/p95/p99 latencies, registry
+  lifecycle counters and the latest background-revalidation sweep.
 
 The request path never touches the engine's unbounded process memo: sweep
 payloads live in the service's :class:`~repro.service.coalesce.BoundedCache`.
@@ -27,7 +36,7 @@ import threading
 from contextlib import contextmanager
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from json import JSONDecodeError, loads
-from time import perf_counter
+from time import perf_counter, time
 
 from repro import __version__
 from repro.autotuner.cache import CacheMismatch
@@ -57,7 +66,13 @@ from .protocol import (
     sweep_response_from_sweep,
 )
 
-__all__ = ["TuningService", "make_server", "serve_background"]
+__all__ = [
+    "NotFoundError",
+    "RegistrationRejected",
+    "TuningService",
+    "make_server",
+    "serve_background",
+]
 
 #: Largest accepted request body; whole-transformer graphs are ~100 KB.
 MAX_BODY_BYTES = 16 * 2**20
@@ -78,6 +93,18 @@ FLIGHT_TIMEOUT_S = 600.0
 _UNSET = object()
 
 
+class NotFoundError(KeyError):
+    """A well-formed request for a resource that does not exist (HTTP 404)."""
+
+
+class RegistrationRejected(ProtocolError):
+    """A ``/v1/register`` claim that failed validation (HTTP 400 + report)."""
+
+    def __init__(self, message: str, report: dict) -> None:
+        super().__init__(message)
+        self.report = report
+
+
 class TuningService:
     """The daemon's state and request handlers, HTTP-free (unit-testable)."""
 
@@ -85,6 +112,7 @@ class TuningService:
         self,
         *,
         store: SweepStore | None | object = _UNSET,
+        registry=_UNSET,
         jobs: int | None = None,
         cache_entries: int = 1024,
         memo_limit: int = 4096,
@@ -92,11 +120,20 @@ class TuningService:
         if store is _UNSET:
             store = get_sweep_store()
         self.store: SweepStore | None = store  # type: ignore[assignment]
+        if registry is _UNSET:
+            # Lazy import: the registry package is only needed by daemons
+            # that serve it (and pulls validation along at call time).
+            from repro.registry import get_schedule_registry
+
+            registry = get_schedule_registry()
+        self.registry = registry
         self.jobs = jobs
         self.memo_limit = memo_limit
         self.cache = BoundedCache(cache_entries)
         self.flights = SingleFlight()
         self.metrics = ServiceMetrics()
+        self._revalidator: threading.Thread | None = None
+        self._revalidate_stop = threading.Event()
 
     # -- tiered resolution ---------------------------------------------------
     def _resolve(self, digest: str, compute, *, use_store: bool = True):
@@ -227,6 +264,181 @@ class TuningService:
         # sweep_graph.
         return self._resolve(digest, _compute, use_store=False)
 
+    # -- schedule registry ---------------------------------------------------
+    def handle_register(self, body: dict) -> dict:
+        """Validate-then-store one schedule into the registry.
+
+        Two body forms: ``{"entry": <entry wire>}`` registers a claim built
+        elsewhere — its digest must hash from its own content and every
+        validator must pass (the cost validator recomputes the claimed
+        times bit-exactly), else the claim is rejected with the full
+        report and nothing is stored.  An optimize-style body (``{"model":
+        ...}``) makes the daemon tune the schedule itself and register the
+        result.
+        """
+        from repro.registry import ScheduleEntry
+        from repro.registry.entry import EntryError
+        from repro.validation import validate_entry
+
+        if self.registry is None:
+            raise ProtocolError(
+                "this daemon has no schedule registry configured "
+                "(set REPRO_SCHEDULE_REGISTRY or attach a sweep store)"
+            )
+        if not isinstance(body, dict):
+            raise ProtocolError("request body must be a JSON object")
+        if "entry" in body:
+            try:
+                entry = ScheduleEntry.from_wire(body["entry"], "entry")
+                recomputed = entry.recompute_digest()
+            except EntryError as exc:
+                raise ProtocolError(str(exc)) from exc
+            if recomputed != entry.digest:
+                raise ProtocolError(
+                    f"entry declares digest {entry.digest}, but its content "
+                    f"hashes to {recomputed}"
+                )
+        else:
+            entry = self._tune_entry(body)
+        report = validate_entry(entry)
+        if not report.ok:
+            self.metrics.record_registry("rejected")
+            raise RegistrationRejected(
+                f"schedule {entry.digest} failed validation with "
+                f"{len(report.errors())} error(s); nothing was stored",
+                report.to_wire(),
+            )
+        self.registry.register(entry)
+        self.metrics.record_registry("registered")
+        return {
+            "digest": entry.digest,
+            "registered": True,
+            "total_us": entry.total_us,
+            "report": report.to_wire(),
+        }
+
+    def _tune_entry(self, body: dict):
+        """Tune an optimize-style request and build its registry entry."""
+        from repro.configsel.chain import ChainError
+        from repro.configsel.selector import select_configurations
+        from repro.configsel.sssp import SSSPError
+        from repro.registry import build_entry
+
+        req = parse_optimize_request(body)
+        if req.cap is None or req.cap > MAX_OPTIMIZE_CAP:
+            raise ProtocolError(
+                f"register requires a cap of at most {MAX_OPTIMIZE_CAP} "
+                "(whole graphs contain kernels with ~1e10-config spaces)"
+            )
+        graph = build_request_graph(req)
+        cost = CostModel(req.gpu)
+        sweeps = sweep_graph(
+            graph,
+            req.env,
+            cost,
+            cap=req.cap,
+            seed=req.seed,
+            jobs=self.jobs,
+            store=self.store if self.store is not None else DISABLE_STORE,
+        )
+        try:
+            selection = select_configurations(
+                graph, req.env, cost, sweeps=sweeps, cap=req.cap, seed=req.seed
+            )
+        except (SSSPError, ChainError) as exc:
+            raise ProtocolError(
+                f"model {req.model!r} admits no global selection: {exc}"
+            ) from exc
+        self._bound_engine_memo()
+        return build_entry(
+            graph,
+            req.env,
+            cost,
+            selection,
+            cap=req.cap,
+            seed=req.seed,
+            registrar="daemon",
+        )
+
+    def handle_schedule(self, digest: str) -> dict:
+        """One registered entry by content digest (404 on a clean miss)."""
+        if self.registry is None:
+            raise ProtocolError(
+                "this daemon has no schedule registry configured"
+            )
+        if not digest or "/" in digest or "." in digest:
+            raise ProtocolError(f"malformed schedule digest {digest!r}")
+        entry = self.registry.load(digest)  # RegistryError (corrupt) → 500
+        if entry is None:
+            raise NotFoundError(f"no registered schedule {digest}")
+        self.metrics.record_registry("served")
+        return entry.to_wire()
+
+    def revalidate_registry(self, *, deep: bool = False) -> dict:
+        """Re-validate every registered entry; summarize into ``/metrics``.
+
+        Corrupt entries count as failures (with the load error as the
+        report) rather than aborting the sweep — one bad file must not
+        hide the rest of the registry.
+        """
+        from repro.registry import RegistryError
+        from repro.validation import validate_entry
+
+        summary: dict = {
+            "at": time(),
+            "deep": deep,
+            "checked": 0,
+            "passed": 0,
+            "failed": 0,
+            "failures": {},
+        }
+        if self.registry is None:
+            self.metrics.record_revalidation(summary)
+            return summary
+        for digest, item in self.registry.entries():
+            summary["checked"] += 1
+            if isinstance(item, RegistryError):
+                summary["failed"] += 1
+                summary["failures"][digest] = [f"error(registry/load): {item}"]
+                self.metrics.record_registry("revalidate_fail")
+                continue
+            report = validate_entry(item, deep=deep)
+            if report.ok:
+                summary["passed"] += 1
+                self.metrics.record_registry("revalidate_pass")
+            else:
+                summary["failed"] += 1
+                summary["failures"][digest] = [
+                    i.render() for i in report.errors()[:8]
+                ]
+                self.metrics.record_registry("revalidate_fail")
+        self.metrics.record_revalidation(summary)
+        return summary
+
+    def start_revalidation(self, interval_s: float = 300.0) -> None:
+        """Run :meth:`revalidate_registry` periodically on a daemon thread."""
+        if self._revalidator is not None and self._revalidator.is_alive():
+            return
+        self._revalidate_stop.clear()
+
+        def _loop() -> None:
+            while not self._revalidate_stop.wait(interval_s):
+                try:
+                    self.revalidate_registry()
+                except Exception:  # noqa: BLE001 - the loop must survive
+                    self.metrics.record_error("revalidate")
+
+        self._revalidator = threading.Thread(
+            target=_loop, daemon=True, name="registry-revalidator"
+        )
+        self._revalidator.start()
+
+    def stop_revalidation(self) -> None:
+        self._revalidate_stop.set()
+        if self._revalidator is not None:
+            self._revalidator.join(timeout=5)
+            self._revalidator = None
+
     def healthz(self) -> dict:
         return {
             "status": "ok",
@@ -236,6 +448,7 @@ class TuningService:
             "cost_model_version": COST_MODEL_VERSION,
             "payload_format": PAYLOAD_FORMAT,
             "store": None if self.store is None else self.store.stats(),
+            "registry": None if self.registry is None else self.registry.stats(),
             "cache": self.cache.stats(),
             "inflight": self.flights.inflight(),
         }
@@ -249,6 +462,9 @@ class TuningService:
         }
         body["cache"] = self.cache.stats()
         body["store"] = None if self.store is None else self.store.stats()
+        body["registry"]["store"] = (
+            None if self.registry is None else self.registry.stats()
+        )
         return body
 
 
@@ -301,9 +517,15 @@ class _Handler(BaseHTTPRequestHandler):
             # corrupt a half-written 200 with a trailing 500.
             try:
                 status, body = 200, fn()
+            except RegistrationRejected as exc:
+                self.service.metrics.record_error(endpoint)
+                status, body = 400, {"error": str(exc), "report": exc.report}
             except ProtocolError as exc:
                 self.service.metrics.record_error(endpoint)
                 status, body = 400, {"error": str(exc)}
+            except NotFoundError as exc:
+                self.service.metrics.record_error(endpoint)
+                status, body = 404, {"error": str(exc.args[0] if exc.args else exc)}
             except Exception as exc:  # noqa: BLE001 - the daemon must not die
                 self.service.metrics.record_error(endpoint)
                 status, body = 500, {"error": f"{type(exc).__name__}: {exc}"}
@@ -329,6 +551,11 @@ class _Handler(BaseHTTPRequestHandler):
             self._run("/healthz", self.service.healthz)
         elif self.path == "/metrics":
             self._run("/metrics", self.service.metrics_body)
+        elif self.path.startswith("/v1/schedule/"):
+            digest = self.path[len("/v1/schedule/"):]
+            self._run(
+                "/v1/schedule", lambda: self.service.handle_schedule(digest)
+            )
         else:
             self._not_found("GET")
 
@@ -339,6 +566,11 @@ class _Handler(BaseHTTPRequestHandler):
             self._run(
                 "/v1/optimize",
                 lambda: self.service.handle_optimize(self._read_body()),
+            )
+        elif self.path == "/v1/register":
+            self._run(
+                "/v1/register",
+                lambda: self.service.handle_register(self._read_body()),
             )
         else:
             self._not_found("POST")

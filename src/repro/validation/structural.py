@@ -1,0 +1,343 @@
+"""Structural validation: the selection is a well-formed schedule.
+
+Checks shape, not time.  A structurally valid entry assigns exactly one
+configuration to every computational operator, every assigned layout is a
+real permutation of its operand's dims (with vector/warp knobs drawn from
+the operator's iteration space), every recorded transpose connects two
+distinct layouts of an existing tensor and lands on the layout its
+consumer actually runs with, and every operand that departs from its
+tensor's pinned layout is paid for by exactly such a transpose — the
+pin-coherence rule that makes the schedule executable edge by edge.
+
+The pin is the coherence anchor: selection pins each tensor to one layout
+(the SSSP boundary decision for chain inputs, first-come elsewhere) and
+records an explicit :class:`~repro.configsel.selector.TransposeInsertion`
+whenever a chosen configuration deviates.  So "operand layouts coherent
+across every edge" reduces to: *deviating operand ⇒ matching transpose*,
+and *every pin is realized by some chosen configuration* (a pin nothing
+uses is a mutated or orphaned pin).
+"""
+
+from __future__ import annotations
+
+from repro.ir.operator import OpClass, OpSpec
+from repro.layouts.config import HEURISTIC_ALGORITHM, NUM_GEMM_ALGORITHMS
+from repro.layouts.layout import Layout
+
+from .base import BaseValidator, ValidationContext, ValidationIssue
+
+__all__ = ["StructuralValidator"]
+
+
+def _operand_layouts(op: OpSpec, config):
+    yield from zip(op.inputs, config.input_layouts)
+    yield from zip(op.outputs, config.output_layouts)
+
+
+class StructuralValidator(BaseValidator):
+    """Every op assigned, every edge coherent, no dangling transposes."""
+
+    name = "structural"
+
+    def validate(self, ctx: ValidationContext) -> list[ValidationIssue]:
+        issues: list[ValidationIssue] = []
+        if ctx.chosen_error is not None:
+            issues.append(self.error("selection-unparseable", ctx.chosen_error))
+            return issues
+        if ctx.pinned_error is not None:
+            issues.append(self.error("pins-unparseable", ctx.pinned_error))
+            return issues
+        if ctx.transposes_error is not None:
+            issues.append(self.error("transposes-unparseable", ctx.transposes_error))
+            return issues
+
+        graph = ctx.graph
+        expected = {op.name for op in graph.ops if not op.is_view}
+        assigned = set(ctx.chosen)
+
+        for name in sorted(expected - assigned):
+            issues.append(
+                self.error(
+                    "unassigned-op",
+                    f"operator {name!r} has no chosen configuration",
+                    op=name,
+                )
+            )
+        for name in sorted(assigned - expected):
+            view = any(op.name == name and op.is_view for op in graph.ops)
+            what = "a view (views take no configuration)" if view else "not in the graph"
+            issues.append(
+                self.error(
+                    "unknown-op",
+                    f"selection assigns a configuration to {name!r}, which is {what}",
+                    op=name,
+                )
+            )
+
+        for name in sorted(assigned & expected):
+            issues.extend(self._check_assignment(ctx, graph.op(name), ctx.chosen[name]))
+
+        issues.extend(self._check_chain(ctx))
+        issues.extend(self._check_transposes(ctx))
+        issues.extend(self._check_pins(ctx))
+        issues.extend(self._check_edge_coherence(ctx))
+        return issues
+
+    # -- per-assignment well-formedness --------------------------------------
+    def _check_assignment(self, ctx, op: OpSpec, m) -> list[ValidationIssue]:
+        issues: list[ValidationIssue] = []
+        cfg = m.config
+        if cfg.op_name != op.name:
+            issues.append(
+                self.error(
+                    "config-op-mismatch",
+                    f"configuration is named for {cfg.op_name!r}",
+                    op=op.name,
+                )
+            )
+        if len(cfg.input_layouts) != len(op.inputs) or len(cfg.output_layouts) != len(
+            op.outputs
+        ):
+            issues.append(
+                self.error(
+                    "config-arity",
+                    f"configuration carries {len(cfg.input_layouts)} input / "
+                    f"{len(cfg.output_layouts)} output layouts for an operator "
+                    f"with {len(op.inputs)} inputs / {len(op.outputs)} outputs",
+                    op=op.name,
+                )
+            )
+            return issues  # operand-wise checks would misalign
+        for t, layout in _operand_layouts(op, cfg):
+            if not layout.matches(t):
+                issues.append(
+                    self.error(
+                        "layout-dims",
+                        f"layout {layout.dims} is not a permutation of operand "
+                        f"{t.name!r} dims {t.dims}",
+                        op=op.name,
+                    )
+                )
+        if op.op_class is not OpClass.TENSOR_CONTRACTION:
+            if cfg.vector_dim is not None and cfg.vector_dim not in op.ispace.all_dims:
+                issues.append(
+                    self.error(
+                        "vector-dim",
+                        f"vector dim {cfg.vector_dim!r} is outside the iteration "
+                        f"space {tuple(op.ispace.all_dims)}",
+                        op=op.name,
+                    )
+                )
+            if (
+                cfg.warp_reduce_dim is not None
+                and cfg.warp_reduce_dim not in op.ispace.reduction
+            ):
+                issues.append(
+                    self.error(
+                        "warp-dim",
+                        f"warp-reduce dim {cfg.warp_reduce_dim!r} is not a "
+                        f"reduction dim {tuple(op.ispace.reduction)}",
+                        op=op.name,
+                    )
+                )
+        if not (
+            cfg.algorithm == HEURISTIC_ALGORITHM
+            or 0 <= cfg.algorithm < NUM_GEMM_ALGORITHMS
+        ):
+            issues.append(
+                self.error(
+                    "algorithm-range",
+                    f"GEMM algorithm index {cfg.algorithm} out of range",
+                    op=op.name,
+                )
+            )
+        return issues
+
+    # -- the chain ------------------------------------------------------------
+    def _check_chain(self, ctx) -> list[ValidationIssue]:
+        issues: list[ValidationIssue] = []
+        chain = ctx.entry.selection.get("chain", ())
+        for name in chain:
+            if str(name) not in ctx.chosen:
+                issues.append(
+                    self.error(
+                        "chain-unassigned",
+                        f"chain operator {name!r} has no chosen configuration",
+                        op=str(name),
+                    )
+                )
+        return issues
+
+    # -- transposes -----------------------------------------------------------
+    def _check_transposes(self, ctx) -> list[ValidationIssue]:
+        issues: list[ValidationIssue] = []
+        for t in ctx.transposes:
+            try:
+                spec = ctx.graph.container(t.tensor)
+            except KeyError:
+                issues.append(
+                    self.error(
+                        "transpose-unknown-tensor",
+                        f"transpose names tensor {t.tensor!r}, which the graph "
+                        f"does not contain",
+                        op=t.before_op,
+                    )
+                )
+                continue
+            if t.from_layout == t.to_layout:
+                issues.append(
+                    self.error(
+                        "transpose-identity",
+                        f"transpose of {t.tensor!r} maps {t.from_layout.dims} to "
+                        f"itself (a dangling no-op kernel)",
+                        op=t.before_op,
+                    )
+                )
+            for which, layout in (("from", t.from_layout), ("to", t.to_layout)):
+                if not layout.matches(spec):
+                    issues.append(
+                        self.error(
+                            "transpose-layout-dims",
+                            f"transpose {which}-layout {layout.dims} is not a "
+                            f"permutation of {t.tensor!r} dims {spec.dims}",
+                            op=t.before_op,
+                        )
+                    )
+            consumer = ctx.chosen.get(t.before_op)
+            if consumer is None:
+                issues.append(
+                    self.error(
+                        "transpose-dangling",
+                        f"transpose of {t.tensor!r} is placed before "
+                        f"{t.before_op!r}, which has no chosen configuration",
+                        op=t.before_op,
+                    )
+                )
+                continue
+            try:
+                op = ctx.graph.op(t.before_op)
+            except KeyError:
+                continue  # already reported as unknown-op
+            slots = [
+                layout
+                for spec_t, layout in _operand_layouts(op, consumer.config)
+                if spec_t.name == t.tensor
+            ]
+            if not slots:
+                issues.append(
+                    self.error(
+                        "transpose-dangling",
+                        f"transpose of {t.tensor!r} is placed before "
+                        f"{t.before_op!r}, which never touches that tensor",
+                        op=t.before_op,
+                    )
+                )
+            elif t.to_layout not in slots:
+                issues.append(
+                    self.error(
+                        "transpose-endpoint",
+                        f"transpose delivers {t.tensor!r} in layout "
+                        f"{t.to_layout.dims}, but {t.before_op!r} runs it in "
+                        f"{[s.dims for s in slots]}",
+                        op=t.before_op,
+                    )
+                )
+        return issues
+
+    # -- pinned layouts -------------------------------------------------------
+    def _check_pins(self, ctx) -> list[ValidationIssue]:
+        issues: list[ValidationIssue] = []
+        realized: dict[str, set[tuple[str, ...]]] = {}
+        for name, m in ctx.chosen.items():
+            try:
+                op = ctx.graph.op(name)
+            except KeyError:
+                continue
+            for t, layout in _operand_layouts(op, m.config):
+                realized.setdefault(t.name, set()).add(layout.dims)
+        for tensor, pin in sorted(ctx.pinned.items()):
+            try:
+                spec = ctx.graph.container(tensor)
+            except KeyError:
+                issues.append(
+                    self.error(
+                        "pin-unknown-tensor",
+                        f"pinned layout names tensor {tensor!r}, which the graph "
+                        f"does not contain",
+                    )
+                )
+                continue
+            if not pin.matches(spec):
+                issues.append(
+                    self.error(
+                        "pin-layout-dims",
+                        f"pinned layout {pin.dims} is not a permutation of "
+                        f"{tensor!r} dims {spec.dims}",
+                    )
+                )
+                continue
+            used = realized.get(tensor, set())
+            if used and pin.dims not in used:
+                issues.append(
+                    self.error(
+                        "pin-unrealized",
+                        f"tensor {tensor!r} is pinned to {pin.dims}, but no "
+                        f"chosen configuration runs it in that layout "
+                        f"(seen: {sorted(used)})",
+                    )
+                )
+        return issues
+
+    # -- edge coherence -------------------------------------------------------
+    def _check_edge_coherence(self, ctx) -> list[ValidationIssue]:
+        """Deviating operand ⇒ matching recorded transpose.
+
+        Selection's contract: each tensor's pinned layout is the layout it
+        materializes in, and any chosen configuration accessing it in a
+        different layout is bridged by an explicit transpose — either a
+        consumer-side one delivering the tensor *to* this operator in its
+        layout, or a producer-side one carrying this operator's layout
+        *back to* the pin (the chain's arrival→consumed transposes, which
+        sit before the downstream consumer while it is the upstream
+        producer that deviates).  A deviation bridged by neither is an
+        incoherent edge — the kernel would read data in an order it was
+        never stored in.
+        """
+        issues: list[ValidationIssue] = []
+        by_consumer: dict[tuple[str, str], set[tuple[str, ...]]] = {}
+        outbound: dict[str, set[tuple[tuple[str, ...], tuple[str, ...]]]] = {}
+        for t in ctx.transposes:
+            by_consumer.setdefault((t.tensor, t.before_op), set()).add(
+                t.to_layout.dims
+            )
+            outbound.setdefault(t.tensor, set()).add(
+                (t.from_layout.dims, t.to_layout.dims)
+            )
+        for name, m in sorted(ctx.chosen.items()):
+            try:
+                op = ctx.graph.op(name)
+            except KeyError:
+                continue
+            if len(m.config.input_layouts) != len(op.inputs) or len(
+                m.config.output_layouts
+            ) != len(op.outputs):
+                continue  # arity already reported; operand zip would misalign
+            for t, layout in _operand_layouts(op, m.config):
+                pin = ctx.pinned.get(t.name)
+                if pin is None or layout == pin:
+                    continue
+                delivered = layout.dims in by_consumer.get((t.name, name), set())
+                carried_back = (layout.dims, pin.dims) in outbound.get(
+                    t.name, set()
+                )
+                if not delivered and not carried_back:
+                    issues.append(
+                        self.error(
+                            "edge-incoherent",
+                            f"{name!r} runs {t.name!r} in layout {layout.dims} "
+                            f"while the tensor is pinned to {pin.dims}, and no "
+                            f"recorded transpose bridges the edge",
+                            op=name,
+                        )
+                    )
+        return issues

@@ -635,3 +635,176 @@ class TestHTTPServer:
         assert set(body["resolve_tiers"]) == {"l1", "coalesced", "l2", "computed"}
         assert {"led", "coalesced", "inflight"} <= set(body["coalescing"])
         assert body["requests"]  # at least the requests this class issued
+
+# ---------------------------------------------------------------------------
+# The schedule registry endpoints
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="class")
+def registry_service(tmp_path_factory):
+    """A daemon with a sweep store AND a schedule registry attached."""
+    from repro.registry import ScheduleRegistry
+
+    clear_sweep_memo()
+    store = SweepStore(tmp_path_factory.mktemp("reg-store"))
+    registry = ScheduleRegistry(tmp_path_factory.mktemp("reg") / "registry")
+    svc = TuningService(store=store, registry=registry, jobs=1)
+    with serve_background(svc) as url:
+        yield svc, TuningClient(url)
+    svc.stop_revalidation()
+    clear_sweep_memo()
+
+
+class TestRegistryEndpoints:
+    def _registered(self, client):
+        return client.register(
+            model="mha", include_backward=False, env=ENV, cap=CAP
+        )
+
+    def test_register_then_fetch_round_trip(self, registry_service):
+        svc, client = registry_service
+        resp = self._registered(client)
+        assert resp["registered"] is True
+        assert resp["report"]["ok"] is True
+
+        entry_wire = client.schedule(resp["digest"])
+        assert entry_wire["digest"] == resp["digest"]
+        assert entry_wire["selection"]["total_us"] == resp["total_us"]
+        assert entry_wire["provenance"]["registrar"] == "daemon"
+        assert resp["digest"] in svc.registry.digests()
+        assert svc.metrics.registry_counts()["served"] >= 1
+        assert client.healthz()["registry"]["entries"] >= 1
+
+    def test_resubmitting_a_served_entry_verbatim_is_accepted(
+        self, registry_service
+    ):
+        _, client = registry_service
+        entry_wire = client.schedule(self._registered(client)["digest"])
+        resp = client.register_entry(entry_wire)
+        assert resp["registered"] is True
+        assert resp["digest"] == entry_wire["digest"]
+
+    def test_adversarial_claimed_cost_is_rejected_with_report(
+        self, registry_service
+    ):
+        """An entry whose claimed cost disagrees with recomputation gets a
+        structured 400 — full validation report in the body — and nothing
+        is stored; ``/metrics`` counts the rejection."""
+        svc, client = registry_service
+        clean = self._registered(client)
+        entry_wire = client.schedule(clean["digest"])
+        tampered = json.loads(json.dumps(entry_wire))
+        tampered["selection"]["total_us"] += 3.0
+
+        before = svc.metrics.registry_counts()["rejected"]
+        with pytest.raises(ServiceError) as exc_info:
+            client.register_entry(tampered)
+        err = exc_info.value
+        assert err.status == 400
+        assert err.body is not None and "report" in err.body
+
+        report = err.body["report"]
+        assert report["ok"] is False
+        errors = [i for i in report["issues"] if i["severity"] == "error"]
+        assert errors, report
+        assert all(i["validator"] == "cost" for i in errors)
+        assert any(i["code"] == "total-drift" for i in errors)
+
+        # The rejection is counted, and the stored entry is untouched.
+        assert svc.metrics.registry_counts()["rejected"] == before + 1
+        assert client.metrics()["registry"]["events"]["rejected"] == before + 1
+        served = client.schedule(clean["digest"])
+        assert served["selection"]["total_us"] == clean["total_us"]
+
+    def test_tampered_problem_tuple_is_rejected_as_digest_mismatch(
+        self, registry_service
+    ):
+        _, client = registry_service
+        entry_wire = client.schedule(self._registered(client)["digest"])
+        tampered = json.loads(json.dumps(entry_wire))
+        tampered["knobs"]["seed"] = 424242
+        with pytest.raises(ServiceError) as exc_info:
+            client.register_entry(tampered)
+        assert exc_info.value.status == 400
+        assert "hashes to" in str(exc_info.value)
+
+    def test_unknown_digest_is_404(self, registry_service):
+        _, client = registry_service
+        with pytest.raises(ServiceError) as exc_info:
+            client.schedule("0" * 64)
+        assert exc_info.value.status == 404
+
+    def test_malformed_digest_is_400(self, registry_service):
+        _, client = registry_service
+        with pytest.raises(ServiceError) as exc_info:
+            client._request_json("/v1/schedule/..%2Fescape")
+        assert exc_info.value.status == 400
+
+    def test_register_cap_guard(self, registry_service):
+        _, client = registry_service
+        with pytest.raises(ServiceError) as exc_info:
+            client.register(
+                model="mha", include_backward=False, env=ENV, cap=None
+            )
+        assert exc_info.value.status == 400
+        assert "cap" in str(exc_info.value)
+
+    def test_revalidation_sweep_and_metrics(self, registry_service):
+        svc, client = registry_service
+        digest = self._registered(client)["digest"]
+        summary = svc.revalidate_registry()
+        assert summary["checked"] >= 1
+        assert summary["failed"] == 0
+        last = client.metrics()["registry"]["last_revalidation"]
+        assert last["checked"] == summary["checked"]
+        assert last["at"] == summary["at"]
+
+        # Corrupt the stored entry on disk: the sweep reports, not crashes.
+        path = svc.registry.path_for(digest)
+        original = path.read_bytes()
+        tampered = json.loads(original)
+        tampered["selection"]["total_us"] += 1.0
+        path.write_bytes(json.dumps(tampered).encode())
+        try:
+            summary = svc.revalidate_registry()
+            assert summary["failed"] == 1
+            assert digest in summary["failures"]
+            assert any(
+                "total-drift" in line for line in summary["failures"][digest]
+            )
+            assert svc.metrics.registry_counts()["revalidate_fail"] >= 1
+        finally:
+            path.write_bytes(original)
+
+    def test_background_revalidation_thread(self, registry_service):
+        svc, client = registry_service
+        self._registered(client)
+        before = svc.metrics.registry_counts()["revalidate_pass"]
+        svc.start_revalidation(interval_s=0.05)
+        try:
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                if svc.metrics.registry_counts()["revalidate_pass"] > before:
+                    break
+                time.sleep(0.02)
+            assert svc.metrics.registry_counts()["revalidate_pass"] > before
+            assert client.metrics()["registry"]["last_revalidation"] is not None
+        finally:
+            svc.stop_revalidation()
+
+
+class TestRegistryUnconfigured:
+    def test_endpoints_refuse_without_a_registry(self):
+        svc = TuningService(store=None, registry=None)
+        with serve_background(svc) as url:
+            client = TuningClient(url)
+            with pytest.raises(ServiceError) as exc_info:
+                client.schedule("0" * 64)
+            assert exc_info.value.status == 400
+            with pytest.raises(ServiceError) as exc_info:
+                client.register(
+                    model="mha", include_backward=False, env=ENV, cap=CAP
+                )
+            assert exc_info.value.status == 400
+            assert "no schedule registry" in str(exc_info.value)
+            assert client.healthz()["registry"] is None
