@@ -21,11 +21,13 @@ from concurrent.futures import ThreadPoolExecutor
 import pytest
 
 from repro.autotuner.tuner import sweep_op_reference
-from repro.engine import clear_sweep_memo
+from repro.engine import clear_sweep_memo, sweep_from_payload
+from repro.engine.store import SweepStore
 from repro.ir.dims import bert_large_dims
 from repro.service import TuningClient, TuningService, canonical_json_bytes
 from repro.service.protocol import (
     parse_sweep_request,
+    payload_from_packed,
     sweep_request_digest,
     sweep_request_wire,
     sweep_response_from_sweep,
@@ -47,6 +49,13 @@ SEED = 0x5EED
 #: Closed-loop load shape: CLIENTS workers, REQUESTS_PER_CLIENT each.
 CLIENTS = 8
 REQUESTS_PER_CLIENT = 25
+#: Binary-wire shape: with ``cap == top_k`` (at the protocol's MAX_TOP_K)
+#: the JSON body and the packed npz carry the same information — every
+#: sampled configuration's predicted times — so the size comparison below
+#: is between two honest encodings of one result, not truncation levels.
+PACKED_CAP = 50
+#: Round trips per latency arm (median taken).
+REVALIDATIONS = 30
 
 
 def _ops():
@@ -139,4 +148,79 @@ def test_service_load(env, cost):
             f"warm service path only {speedup:.1f}x the cold single-request "
             f"path (cold {t_cold * 1e3:.1f} ms, warm {1e3 / warm_rps:.2f} "
             "ms/req)"
+        )
+
+
+def _median_rtt(fn, rounds: int) -> float:
+    times = []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return sorted(times)[rounds // 2]
+
+
+def test_binary_wire_size_and_revalidation_latency(env, cost, tmp_path):
+    """Packed body < information-equal JSON; 304 round trip < full body."""
+    op, _ = _ops()
+    clear_sweep_memo()
+
+    service = TuningService(store=SweepStore(tmp_path / "store"), jobs=1)
+    with serve_background(service) as url:
+        client = TuningClient(url)
+
+        # --- size: the packed npz vs the JSON body carrying every config.
+        status, etag, packed = client.sweep_packed_raw(
+            op, env, cap=PACKED_CAP, seed=SEED
+        )
+        assert status == 200 and etag
+        json_body = client.sweep_raw(
+            op, env, cap=PACKED_CAP, seed=SEED, top_k=PACKED_CAP
+        )
+        assert len(packed) < len(json_body), (
+            f"packed body ({len(packed)} B) not smaller than the "
+            f"information-equal JSON body ({len(json_body)} B)"
+        )
+
+        # The packed bytes decode (through the store's own validating
+        # deserializer) to the engine's exact reference measurements.
+        payload = payload_from_packed(packed, digest=etag.strip('"'))
+        decoded = sweep_from_payload(op, payload)
+        reference = sweep_op_reference(op, env, cost, cap=PACKED_CAP, seed=SEED)
+        assert decoded.times_us() == [m.total_us for m in reference.measurements]
+
+        # --- latency: warm full-body fetches vs ETag revalidations, on the
+        # wide cap=20k sweep where the 304 saves a real transfer (the
+        # packed body there is hundreds of KB of measurement arrays).
+        s, wide_etag, wide_packed = client.sweep_packed_raw(op, env, cap=CAP, seed=SEED)
+        assert s == 200 and wide_etag
+
+        def full_body():
+            s, _, body = client.sweep_packed_raw(op, env, cap=CAP, seed=SEED)
+            assert s == 200 and body == wide_packed
+
+        def revalidate():
+            s, _, body = client.sweep_packed_raw(
+                op, env, cap=CAP, seed=SEED, etag=wide_etag
+            )
+            assert s == 304 and body == b""
+
+        t_full = _median_rtt(full_body, REVALIDATIONS)
+        t_304 = _median_rtt(revalidate, REVALIDATIONS)
+
+        kinds = client.metrics()["responses"]
+        print(
+            f"\n=== Binary wire (fused kernel) ===\n"
+            f"  cap={PACKED_CAP}: packed body {len(packed)} B   "
+            f"json body (top_k={PACKED_CAP}) {len(json_body)} B\n"
+            f"  cap={CAP}: packed body {len(wide_packed)} B\n"
+            f"  full-body rtt: {t_full * 1e3:6.2f} ms   "
+            f"304 rtt: {t_304 * 1e3:6.2f} ms   (median of {REVALIDATIONS})\n"
+            f"  response kinds: {kinds}"
+        )
+        assert kinds["binary"] == 2 + REVALIDATIONS
+        assert kinds["not_modified"] == REVALIDATIONS
+        assert t_304 < t_full, (
+            f"304 revalidation ({t_304 * 1e3:.2f} ms) not faster than the "
+            f"full packed body ({t_full * 1e3:.2f} ms)"
         )

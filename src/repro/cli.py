@@ -366,6 +366,12 @@ def main(argv: list[str] | None = None) -> int:
              "the vectorized fast path (same results; also "
              "REPRO_CONFIGSEL_FAST=0)",
     )
+    parser.add_argument(
+        "--no-delta-sweep", action="store_true",
+        help="always evaluate cold on an exact-digest store miss instead "
+             "of delta re-sweeping from a structural twin (same results; "
+             "also REPRO_DELTA_SWEEP=0)",
+    )
     service = parser.add_argument_group("tuning service (serve / query)")
     service.add_argument(
         "--host", default="127.0.0.1", help="serve: bind address"
@@ -426,6 +432,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.configsel.selector import FAST_ENV_VAR
 
         os.environ[FAST_ENV_VAR] = "0"
+    if args.no_delta_sweep:
+        from repro.engine import set_delta_enabled
+
+        set_delta_enabled(False)
     if args.sweep_store is not None:
         from repro.engine import set_sweep_store
 

@@ -42,15 +42,24 @@ from .batched import BatchedTimes, evaluate_contraction, evaluate_kernel
 from .store import (
     SweepStore,
     compute_payload,
+    compute_payload_delta,
     get_sweep_store,
+    pack_payload_bytes,
+    read_payload_npz,
     set_sweep_store,
+    structural_sweep_digest,
     sweep_digest,
     sweep_store_stats,
+    write_payload_npz,
 )
 from .scheduler import resolve_jobs, set_default_jobs, sweep_graph
 from .sweep import (
     PreSortedMeasurements,
     contraction_time_split,
+    delta_enabled,
+    delta_payload_from_store,
+    load_or_compute_payload,
+    set_delta_enabled,
     sweep_from_payload,
     sweep_op,
 )
@@ -63,16 +72,24 @@ __all__ = [
     "SweepStore",
     "clear_sweep_memo",
     "compute_payload",
+    "compute_payload_delta",
     "contraction_time_split",
+    "delta_enabled",
+    "delta_payload_from_store",
     "enumerate_contraction_space",
     "enumerate_kernel_space",
     "evaluate_contraction",
     "evaluate_kernel",
     "get_sweep_store",
+    "load_or_compute_payload",
     "memo_key",
+    "pack_payload_bytes",
+    "read_payload_npz",
     "resolve_jobs",
     "set_default_jobs",
+    "set_delta_enabled",
     "set_sweep_store",
+    "structural_sweep_digest",
     "sweep_digest",
     "sweep_from_payload",
     "sweep_graph",

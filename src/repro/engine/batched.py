@@ -24,7 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.hardware.efficiency import (
-    contraction_shared_factors,
+    contraction_triple_factors,
     operand_access_eff,
 )
 
@@ -40,11 +40,15 @@ from repro.hardware.efficiency import (  # noqa: F401  (private by convention)
 )
 from repro.hardware.spec import GPUSpec
 from repro.ir.dims import DimEnv
-from repro.layouts.config import NUM_GEMM_ALGORITHMS
 
 from .space import ContractionSpace, KernelSpace
 
-__all__ = ["BatchedTimes", "evaluate_contraction", "evaluate_kernel"]
+__all__ = [
+    "BatchedTimes",
+    "evaluate_contraction",
+    "evaluate_kernel",
+    "kernel_jitter_units",
+]
 
 
 @dataclass(frozen=True)
@@ -62,23 +66,24 @@ class BatchedTimes:
 
 
 def evaluate_contraction(
-    space: ContractionSpace, env: DimEnv, gpu: GPUSpec
+    space: ContractionSpace,
+    env: DimEnv,
+    gpu: GPUSpec,
+    *,
+    layout_units: np.ndarray | None = None,
 ) -> BatchedTimes:
-    """Roofline-time every contraction config in one vector pass."""
+    """Roofline-time every contraction config in one vector pass.
+
+    ``layout_units`` optionally supplies the precomputed (size-independent)
+    per-triple layout-factor units of
+    :func:`~repro.hardware.efficiency.contraction_layout_units` — e.g. from
+    a stored payload on the delta re-sweep path; ``None`` computes them
+    here.
+    """
     op = space.op
-    t = len(space.triples)
-    pre_tc = np.empty(t)
-    pre_fp = np.empty(t)
-    wave = np.empty(t)
-    div8 = np.empty(t, dtype=bool)
-    algo_factors = np.empty((t, NUM_GEMM_ALGORITHMS))
-    for i, (la, lb, lc, shape) in enumerate(space.triples):
-        p_tc, p_fp, w, d8, afs = contraction_shared_factors(op, la, lb, lc, shape, gpu)
-        pre_tc[i] = p_tc
-        pre_fp[i] = p_fp
-        wave[i] = w
-        div8[i] = d8
-        algo_factors[i] = afs
+    pre_tc, pre_fp, wave, div8, algo_factors, _units = contraction_triple_factors(
+        op, space.triples, gpu, layout_units=layout_units
+    )
 
     ti = space.triple_idx
     tc_legal = space.tc_flags & div8[ti]
@@ -109,8 +114,54 @@ def evaluate_contraction(
     )
 
 
-def evaluate_kernel(space: KernelSpace, env: DimEnv, gpu: GPUSpec) -> BatchedTimes:
-    """Roofline-time every memory-bound kernel config in one vector pass."""
+def kernel_jitter_units(space: KernelSpace) -> np.ndarray:
+    """Deterministic per-config jitter units in [0, 1), evaluation order.
+
+    Keyed by the OpConfig identity string exactly as the scalar model keys
+    it (kernel configs carry the default algorithm/tensor-core fields).
+    The array depends only on the op name, the layout/vector/warp choice
+    strings and the index rows — never on dim *sizes* — so a delta
+    re-sweep reuses the persisted array instead of re-hashing every key.
+    ``crc32 / 2**32`` is exact in float64, so the round trip through a
+    stored payload is bit-identical.
+    """
+    op = space.op
+    idx = space.idx
+    in_strs = [
+        [str(l) for l in choices] for choices in space.layout_choices[: len(op.inputs)]
+    ]
+    out_strs = [
+        [str(l) for l in choices] for choices in space.layout_choices[len(op.inputs):]
+    ]
+    vec_strs = [str(v) for v in space.vec_choices]
+    warp_strs = [str(w) for w in space.warp_choices]
+    name = op.name
+    crc32 = zlib.crc32
+    units = np.empty(space.num_configs)
+    for i, row in enumerate(idx.tolist()):
+        ins = "/".join(s[row[o]] for o, s in enumerate(in_strs))
+        outs = "/".join(s[row[len(in_strs) + o]] for o, s in enumerate(out_strs))
+        key = (
+            f"kernel|{name}|in:{ins}|out:{outs}|vec:{vec_strs[row[-2]]}"
+            f"|warp:{warp_strs[row[-1]]}|algo:-1|tc:1"
+        )
+        units[i] = crc32(key.encode())
+    return units / 2**32
+
+
+def evaluate_kernel(
+    space: KernelSpace,
+    env: DimEnv,
+    gpu: GPUSpec,
+    *,
+    units: np.ndarray | None = None,
+) -> BatchedTimes:
+    """Roofline-time every memory-bound kernel config in one vector pass.
+
+    ``units`` optionally supplies the precomputed jitter units of
+    :func:`kernel_jitter_units` (e.g. from a stored payload on the delta
+    re-sweep path); ``None`` computes them here.
+    """
     op = space.op
     idx = space.idx
     n = space.num_configs
@@ -151,29 +202,8 @@ def evaluate_kernel(space: KernelSpace, env: DimEnv, gpu: GPUSpec) -> BatchedTim
         mem = np.where(same, np.minimum(0.95, mem * _REGISTER_BONUS), mem)
         mem = np.where(narrow, mem * _NARROW_WARP_PENALTY, mem)
 
-    # Deterministic per-config jitter, keyed by the OpConfig identity string
-    # exactly as the scalar model keys it (kernel configs carry the default
-    # algorithm/tensor-core fields).
-    in_strs = [
-        [str(l) for l in choices] for choices in space.layout_choices[: len(op.inputs)]
-    ]
-    out_strs = [
-        [str(l) for l in choices] for choices in space.layout_choices[len(op.inputs):]
-    ]
-    vec_strs = [str(v) for v in vec_choices]
-    warp_strs = [str(w) for w in warp_choices]
-    name = op.name
-    crc32 = zlib.crc32
-    units = np.empty(n)
-    for i, row in enumerate(idx.tolist()):
-        ins = "/".join(s[row[o]] for o, s in enumerate(in_strs))
-        outs = "/".join(s[row[len(in_strs) + o]] for o, s in enumerate(out_strs))
-        key = (
-            f"kernel|{name}|in:{ins}|out:{outs}|vec:{vec_strs[row[-2]]}"
-            f"|warp:{warp_strs[row[-1]]}|algo:-1|tc:1"
-        )
-        units[i] = crc32(key.encode())
-    units = units / 2**32
+    if units is None:
+        units = kernel_jitter_units(space)
     jitter = 1.0 + _JITTER * (2.0 * units - 1.0)
     mem = np.minimum(0.95, np.maximum(_STRIDED_FLOOR / 2, mem * jitter))
 

@@ -39,7 +39,7 @@ from repro.ir.operator import OpClass, OpSpec
 
 from .memo import memo_get, memo_key, memo_put
 from .store import SweepStore, compute_payload, get_sweep_store, sweep_digest
-from .sweep import sweep_from_payload, sweep_op
+from .sweep import delta_payload_from_store, sweep_from_payload, sweep_op
 
 __all__ = ["DISABLE_STORE", "sweep_graph", "resolve_jobs", "set_default_jobs"]
 
@@ -205,13 +205,23 @@ def sweep_graph(
 
     payloads: dict[str, dict] = {}
     cold: list[str] = []
-    for digest in groups:
+    for digest, members in groups.items():
         payload = None
         if store is not None:
             try:
                 payload = store.load(digest)
             except CacheMismatch:
                 payload = None  # recompute and overwrite below
+            if payload is None:
+                # Exact miss: a structural twin (same op, different dim
+                # sizes) still saves the enumeration — delta re-sweep and
+                # persist under the exact digest before cold fan-out.
+                rep = members[0][0]
+                payload = delta_payload_from_store(
+                    rep, env, gpu, cap=cap, seed=seed, store=store
+                )
+                if payload is not None:
+                    store.save(digest, payload)
         if payload is None:
             cold.append(digest)
         else:

@@ -33,7 +33,7 @@ from repro.layouts.configspace import (
     kernel_config_indices,
     kernel_space,
 )
-from repro.layouts.gemm_mapping import GemmShape
+from repro.layouts.gemm_mapping import GemmShape, _shape_from_structure
 from repro.layouts.layout import Layout
 
 __all__ = [
@@ -41,6 +41,7 @@ __all__ = [
     "KernelSpace",
     "enumerate_contraction_space",
     "enumerate_kernel_space",
+    "shapes_from_structures",
 ]
 
 
@@ -128,6 +129,24 @@ def enumerate_contraction_space(op: OpSpec, env: DimEnv) -> ContractionSpace:
     return ContractionSpace(
         op=op, triples=triples, triple_idx=triple_idx, tc_flags=tc_flags, algos=algos
     )
+
+
+def shapes_from_structures(structures, env: DimEnv) -> list[GemmShape]:
+    """Instantiate persisted GEMM-mapping structures at concrete dim sizes.
+
+    ``structures`` is the JSON round-trip of the size-independent
+    ``(m_group, n_group, k_group, batch_group, trans_a, trans_b)`` tuples
+    of :func:`repro.layouts.gemm_mapping.feasible_triple_structures` — the
+    skeleton a delta re-sweep reuses instead of re-running the rank!^3
+    feasibility scan.  Shapes come out identical to a fresh enumeration
+    because :func:`_shape_from_structure` is the single instantiation path.
+    """
+    return [
+        _shape_from_structure(
+            (tuple(m), tuple(n), tuple(k), tuple(b), bool(ta), bool(tb)), env
+        )
+        for m, n, k, b, ta, tb in structures
+    ]
 
 
 def enumerate_kernel_space(

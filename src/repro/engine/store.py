@@ -50,34 +50,47 @@ import numpy as np
 
 from repro.autotuner.cache import CacheMismatch
 from repro.hardware.cost_model import COST_MODEL_VERSION
+from repro.hardware.efficiency import contraction_layout_units
 from repro.hardware.spec import GPUSpec
 from repro.ir.dims import DimEnv
 from repro.ir.operator import OpClass, OpSpec
 from repro.layouts.config import NUM_GEMM_ALGORITHMS
 from repro.layouts.configspace import kernel_space
+from repro.layouts.gemm_mapping import feasible_triple_structures
 from repro.layouts.layout import Layout
+from repro.ops.einsum_utils import parse_einsum
 
-from .batched import evaluate_contraction, evaluate_kernel
+from .batched import evaluate_contraction, evaluate_kernel, kernel_jitter_units
 from .space import (
     ContractionSpace,
     KernelSpace,
     enumerate_contraction_space,
     enumerate_kernel_space,
+    shapes_from_structures,
 )
 
 __all__ = [
     "PAYLOAD_FORMAT",
     "SweepStore",
     "compute_payload",
+    "compute_payload_delta",
     "get_sweep_store",
+    "pack_payload_bytes",
+    "read_payload_npz",
     "set_sweep_store",
     "space_from_payload",
+    "structural_sweep_digest",
     "sweep_digest",
     "sweep_store_stats",
+    "write_payload_npz",
 ]
 
-#: Payload layout version; bump when the npz schema changes.
-PAYLOAD_FORMAT = 1
+#: Payload layout version; bump when the npz schema changes.  Format 2 adds
+#: the delta-re-sweep skeleton: the structural digest, the persisted GEMM
+#: structures of contraction triples, the kernel jitter units, and int32
+#: packing of the index matrix.  Format-1 entries are rejected with
+#: :class:`CacheMismatch` and recomputed, exactly like a cost-model bump.
+PAYLOAD_FORMAT = 2
 
 #: Environment variable naming the store directory (CLI: ``--sweep-store``).
 STORE_ENV_VAR = "REPRO_SWEEP_STORE"
@@ -177,9 +190,79 @@ def sweep_digest(
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
+def canonical_structural_key(
+    op: OpSpec, env: DimEnv, gpu: GPUSpec, *, cap: int | None, seed: int
+) -> dict:
+    """The exact sweep key with dim *sizes* abstracted away.
+
+    Two sweeps share a structural key iff they differ only in the sizes
+    bound to the op's dims — same op signature, GPU and effective sampling
+    knobs.  Everything that shapes the enumerated config space (layout
+    choices, feasibility masks, sampled index rows, jitter keys) is a
+    function of this key alone, which is what makes the delta re-sweep
+    sound: on a structural hit only the size-dependent arrays (flops,
+    bytes, times) need recomputing.  The knobs are structural too:
+    whether ``cap`` binds depends on the choice-list lengths, never on
+    sizes.
+    """
+    key = canonical_sweep_key(op, env, gpu, cap=cap, seed=seed)
+    key["env"] = sorted(_op_dims(op))  # names only; sizes abstracted
+    key["structural"] = True
+    return key
+
+
+def structural_sweep_digest(
+    op: OpSpec, env: DimEnv, gpu: GPUSpec, *, cap: int | None, seed: int
+) -> str:
+    """Digest of :func:`canonical_structural_key` (the delta-re-sweep key)."""
+    key = canonical_structural_key(op, env, gpu, cap=cap, seed=seed)
+    blob = json.dumps(key, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
 # ---------------------------------------------------------------------------
 # Payloads: the serialized form of one evaluated sweep
 # ---------------------------------------------------------------------------
+
+def _contraction_structures(op: OpSpec) -> list[list]:
+    """JSON-able GEMM structures of a contraction, enumeration order.
+
+    One entry per feasible layout triple: the size-independent
+    ``(m_group, n_group, k_group, batch_group, trans_a, trans_b)`` of the
+    mapping.  Reads the cached feasibility scan
+    (:func:`feasible_triple_structures`), which is the same generator the
+    enumeration itself consumes — so index ``i`` here describes
+    ``triples[i]`` of the enumerated space.
+    """
+    feasible = feasible_triple_structures(
+        parse_einsum(op.einsum),
+        op.inputs[0].dims,
+        op.inputs[1].dims,
+        op.outputs[0].dims,
+    )
+    return [
+        [list(m), list(n), list(k), list(b), bool(ta), bool(tb)]
+        for _la, _lb, _lc, (m, n, k, b, ta, tb) in feasible
+    ]
+
+
+def _finish_payload(op: OpSpec, times, extra: dict, structural: str) -> dict:
+    """Sort and package evaluated times into the serializable payload form."""
+    order = np.argsort(times.total_us, kind="stable")
+    payload = {
+        "format": PAYLOAD_FORMAT,
+        "version": COST_MODEL_VERSION,
+        "op_name": op.name,
+        "structural": structural,
+        "launch_us": times.launch_us,
+        "compute_us": times.compute_us,
+        "memory_us": times.memory_us,
+        "order": order,
+        "sorted_totals": times.total_us[order],
+    }
+    payload.update(extra)
+    return payload
+
 
 def compute_payload(
     op: OpSpec, env: DimEnv, gpu: GPUSpec, *, cap: int | None, seed: int
@@ -189,24 +272,32 @@ def compute_payload(
     The payload carries the evaluation-order timing arrays, the stable-sort
     permutation, and name-free layout choice tables — everything needed to
     rebuild the sweep lazily for *any* structurally identical operator
-    without re-running the roofline.
+    without re-running the roofline.  Format 2 also persists the
+    size-independent skeleton (GEMM structures, kernel jitter units, the
+    structural digest) so a later sweep of the same op at *different* dim
+    sizes can delta-re-sweep instead of starting cold.
     """
+    structural = structural_sweep_digest(op, env, gpu, cap=cap, seed=seed)
     if op.op_class is OpClass.TENSOR_CONTRACTION:
         space = enumerate_contraction_space(op, env)
-        times = evaluate_contraction(space, env, gpu)
+        layout_units = contraction_layout_units(op, space.triples)
+        times = evaluate_contraction(space, env, gpu, layout_units=layout_units)
         extra = {
             "kind": "contraction",
             "triples": [
                 [list(la.dims), list(lb.dims), list(lc.dims)]
                 for la, lb, lc, _shape in space.triples
             ],
+            "structures": _contraction_structures(op),
             "triple_idx": space.triple_idx,
             "tc_flags": space.tc_flags,
             "algos": space.algos,
+            "layout_units": layout_units,
         }
     else:
         space = enumerate_kernel_space(op, env, cap=cap, seed=seed)
-        times = evaluate_kernel(space, env, gpu)
+        units = kernel_jitter_units(space)
+        times = evaluate_kernel(space, env, gpu, units=units)
         extra = {
             "kind": "kernel",
             "layout_choices": [
@@ -215,20 +306,89 @@ def compute_payload(
             "vec_choices": list(space.vec_choices),
             "warp_choices": list(space.warp_choices),
             "idx": space.idx,
+            "units": units,
         }
-    order = np.argsort(times.total_us, kind="stable")
-    payload = {
-        "format": PAYLOAD_FORMAT,
-        "version": COST_MODEL_VERSION,
-        "op_name": op.name,
-        "launch_us": times.launch_us,
-        "compute_us": times.compute_us,
-        "memory_us": times.memory_us,
-        "order": order,
-        "sorted_totals": times.total_us[order],
-    }
-    payload.update(extra)
-    return payload
+    return _finish_payload(op, times, extra, structural)
+
+
+def compute_payload_delta(
+    op: OpSpec,
+    env: DimEnv,
+    gpu: GPUSpec,
+    *,
+    cap: int | None,
+    seed: int,
+    base: dict,
+    structural: str | None = None,
+) -> dict:
+    """Re-evaluate a structural twin's skeleton at new dim sizes.
+
+    ``base`` is a stored payload whose structural digest matches this
+    sweep's (same op signature, GPU and knobs — only dim sizes differ).
+    The enumerated space is rebuilt from the persisted skeleton — layout
+    tables, index rows, GEMM structures, jitter units — and only the
+    size-dependent arrays (flops, bytes, times, sort) are recomputed, so
+    the result is bit-identical to a cold :func:`compute_payload` while
+    skipping the feasibility scan, the sampling loop and the jitter
+    hashing.  Raises :class:`CacheMismatch` when ``base`` is not actually
+    a usable twin (wrong kind, wrong structural digest, missing skeleton);
+    callers fall back to a cold sweep.  ``structural`` optionally passes
+    the already-computed structural digest of this sweep.
+    """
+    if structural is None:
+        structural = structural_sweep_digest(op, env, gpu, cap=cap, seed=seed)
+    if base.get("structural") != structural:
+        raise CacheMismatch(
+            f"delta base declares structural digest {base.get('structural')!r}, "
+            f"expected {structural!r}"
+        )
+    if op.op_class is OpClass.TENSOR_CONTRACTION:
+        if base.get("kind") != "contraction":
+            raise CacheMismatch("delta base is not a contraction payload")
+        structures = base.get("structures")
+        if structures is None or len(structures) != len(base["triples"]):
+            raise CacheMismatch("delta base lacks usable GEMM structures")
+        layout_units = base.get("layout_units")
+        if layout_units is None or layout_units.shape[0] != len(base["triples"]):
+            raise CacheMismatch("delta base lacks usable layout units")
+        shapes = shapes_from_structures(structures, env)
+        space = ContractionSpace(
+            op=op,
+            triples=[
+                (_layout(tuple(la)), _layout(tuple(lb)), _layout(tuple(lc)), shape)
+                for (la, lb, lc), shape in zip(base["triples"], shapes)
+            ],
+            triple_idx=base["triple_idx"],
+            tc_flags=base["tc_flags"],
+            algos=base["algos"],
+        )
+        times = evaluate_contraction(space, env, gpu, layout_units=layout_units)
+        extra = {
+            "kind": "contraction",
+            "triples": base["triples"],
+            "structures": structures,
+            "triple_idx": base["triple_idx"],
+            "tc_flags": base["tc_flags"],
+            "algos": base["algos"],
+            "layout_units": layout_units,
+        }
+    else:
+        if base.get("kind") != "kernel":
+            raise CacheMismatch("delta base is not a kernel payload")
+        units = base.get("units")
+        if units is None or units.shape[0] != base["order"].shape[0]:
+            raise CacheMismatch("delta base lacks usable jitter units")
+        space = space_from_payload(op, base)
+        times = evaluate_kernel(space, env, gpu, units=units)
+        extra = {
+            "kind": "kernel",
+            "layout_choices": base["layout_choices"],
+            "vec_choices": base["vec_choices"],
+            "warp_choices": base["warp_choices"],
+            "idx": base["idx"],
+            "units": units,
+        }
+    return _finish_payload(op, times, extra, structural)
 
 
 @lru_cache(maxsize=4096)
@@ -276,12 +436,17 @@ def _index_in_range(idx: np.ndarray, size: int) -> bool:
     return bool(((idx >= 0) & (idx < size)).all())
 
 
-def _validate_payload(payload: dict, digest: str | None, path: Path | str) -> None:
+def _validate_payload(
+    payload: dict, digest: str | None, path: Path | str, *, skeleton_only: bool = False
+) -> None:
     """Structural sanity of a deserialized payload; raises CacheMismatch.
 
     Every index array is bounds-checked against its choice table so a
     corrupted entry surfaces here — never as a silently wrong (or
     end-relative) configuration at measurement-access time.
+    ``skeleton_only`` validates a payload read without its time matrix
+    (see :func:`read_payload_npz`): all skeleton checks still run, the
+    time-array ones are skipped.
     """
     where = f"sweep-store entry {path}"
     if payload.get("format") != PAYLOAD_FORMAT:
@@ -301,8 +466,10 @@ def _validate_payload(payload: dict, digest: str | None, path: Path | str) -> No
             f"{where} declares digest {payload.get('digest')!r}, "
             f"expected {digest!r}"
         )
+    if not isinstance(payload.get("structural"), str) or not payload["structural"]:
+        raise CacheMismatch(f"{where} carries no structural digest")
     n = payload["order"].shape[0]
-    for key in _ARRAY_KEYS:
+    for key in _ARRAY_KEYS if not skeleton_only else ("order",):
         if payload[key].shape[0] != n:
             raise CacheMismatch(f"{where}: array {key!r} has inconsistent length")
     if not _index_in_range(payload["order"], n or 1):
@@ -315,6 +482,19 @@ def _validate_payload(payload: dict, digest: str | None, path: Path | str) -> No
             raise CacheMismatch(f"{where}: triple index out of range")
         if not _index_in_range(payload["algos"], NUM_GEMM_ALGORITHMS):
             raise CacheMismatch(f"{where}: algorithm index out of range")
+        structures = payload.get("structures")
+        if not isinstance(structures, list) or len(structures) != len(
+            payload["triples"]
+        ):
+            raise CacheMismatch(f"{where}: GEMM structures inconsistent with triples")
+        lu = payload.get("layout_units")
+        t = len(payload["triples"])
+        if (
+            not isinstance(lu, np.ndarray)
+            or lu.shape != (t,)
+            or (t and not bool(((lu >= 0.0) & (lu < 1.0)).all()))
+        ):
+            raise CacheMismatch(f"{where}: layout units missing or out of range")
     elif payload["kind"] == "kernel":
         idx = payload["idx"]
         sizes = [len(c) for c in payload["layout_choices"]] + [
@@ -326,8 +506,100 @@ def _validate_payload(payload: dict, digest: str | None, path: Path | str) -> No
         for col, size in enumerate(sizes):
             if not _index_in_range(idx[:, col], size):
                 raise CacheMismatch(f"{where}: knob index column {col} out of range")
+        units = payload.get("units")
+        if (
+            not isinstance(units, np.ndarray)
+            or units.shape != (n,)
+            or (n and not bool(((units >= 0.0) & (units < 1.0)).all()))
+        ):
+            raise CacheMismatch(f"{where}: jitter units missing or out of range")
     else:
         raise CacheMismatch(f"{where}: unknown payload kind {payload['kind']!r}")
+
+
+# ---------------------------------------------------------------------------
+# The npz serialization (shared by the store and the packed wire path)
+# ---------------------------------------------------------------------------
+
+def write_payload_npz(fh, digest: str, payload: dict) -> None:
+    """Serialize one payload to an open binary file in the store's format.
+
+    Three array members: the per-config time matrix ``F`` (float64 —
+    bit-exactness), the index matrix ``I``, and the size-independent
+    skeleton floats ``T`` (layout-factor units per triple for contractions,
+    jitter units per config for kernels).  Keeping the skeleton out of
+    ``F`` lets a structural (delta-re-sweep) load skip the time matrix
+    entirely — the base sweep's times are dead weight there.  ``I`` is
+    stored int32 when its values fit (they are indices into small choice
+    tables, so they always do in practice): half the bytes on disk and on
+    the packed wire, widened back to int64 on read.
+    """
+    floats = np.vstack(
+        [payload["compute_us"], payload["memory_us"], payload["sorted_totals"]]
+    )
+    if payload["kind"] == "contraction":
+        ints = np.vstack(
+            [
+                payload["order"],
+                payload["triple_idx"],
+                payload["algos"],
+                payload["tc_flags"].astype(np.int64),
+            ]
+        )
+        skeleton = payload["layout_units"]
+    else:
+        ints = np.vstack([payload["order"], payload["idx"].T])
+        skeleton = payload["units"]
+    if ints.size == 0 or (
+        ints.min() >= np.iinfo(np.int32).min and ints.max() <= np.iinfo(np.int32).max
+    ):
+        ints = ints.astype(np.int32)
+    meta = {k: v for k, v in payload.items() if not isinstance(v, np.ndarray)}
+    meta["digest"] = digest
+    np.savez(fh, meta=json.dumps(meta), F=floats, I=ints, T=skeleton)
+
+
+def read_payload_npz(source, *, skeleton_only: bool = False) -> dict:
+    """Deserialize one payload from a path or binary file-like object.
+
+    Inverse of :func:`write_payload_npz`; also how a client decodes the
+    packed ``/v1/sweep`` response (the wire bytes *are* the stored file).
+    ``skeleton_only`` skips the time matrix — a delta re-sweep discards the
+    base sweep's times, and ``F`` is the largest member of the file — so
+    the returned payload lacks ``compute_us``/``memory_us``/
+    ``sorted_totals`` and must not be served as a sweep.
+    """
+    with np.load(source, allow_pickle=False) as z:
+        payload = dict(json.loads(str(z["meta"][()])))
+        ints = z["I"].astype(np.int64)
+        skeleton = z["T"] if "T" in z.files else None
+        if not skeleton_only:
+            floats = z["F"]
+            payload["compute_us"] = floats[0]
+            payload["memory_us"] = floats[1]
+            payload["sorted_totals"] = floats[2]
+    payload["order"] = ints[0]
+    if payload.get("kind") == "contraction":
+        payload["triple_idx"] = ints[1]
+        payload["algos"] = ints[2]
+        payload["tc_flags"] = ints[3] != 0
+        if skeleton is not None:
+            payload["layout_units"] = skeleton
+    else:
+        payload["idx"] = ints[1:].T
+        if skeleton is not None:
+            payload["units"] = skeleton
+    return payload
+
+
+def pack_payload_bytes(digest: str, payload: dict) -> bytes:
+    """One payload as in-memory npz bytes (the packed wire fallback when
+    the response cannot be streamed straight from a store file)."""
+    import io
+
+    buf = io.BytesIO()
+    write_payload_npz(buf, digest, payload)
+    return buf.getvalue()
 
 
 # ---------------------------------------------------------------------------
@@ -346,7 +618,16 @@ class SweepStore:
 
     Counter updates and eviction hold an internal lock: the tuning daemon
     shares one store across its handler threads.
+
+    A sidecar JSON map (``structural.json``) indexes structural digests to
+    the exact digest most recently saved under each, so a delta-re-sweep
+    lookup never scans the directory.  The index is maintained on every
+    save and eviction; a stale entry (its npz pruned externally) is
+    self-healing — dropped on the first failed lookup.
     """
+
+    #: Sidecar file mapping structural digest -> exact digest of a twin.
+    INDEX_NAME = "structural.json"
 
     def __init__(self, root: str | Path, *, max_bytes: int | None = None) -> None:
         # expanduser: tilde paths arrive unexpanded from CI yaml env blocks,
@@ -357,14 +638,21 @@ class SweepStore:
         self.max_bytes = max_bytes
         self._lock = threading.Lock()  # counters only: held briefly
         self._evict_lock = threading.Lock()  # serializes budget scans
+        self._index_lock = threading.Lock()  # guards the structural index
+        self._index: dict[str, str] | None = None  # lazily loaded sidecar
         self.hits = 0
         self.misses = 0
         self.saves = 0
         self.rejected = 0
         self.evictions = 0
+        self.delta_hits = 0
 
     def path_for(self, digest: str) -> Path:
         return self.root / f"{digest}.npz"
+
+    @property
+    def index_path(self) -> Path:
+        return self.root / self.INDEX_NAME
 
     def __contains__(self, digest: str) -> bool:
         return self.path_for(digest).exists()
@@ -412,34 +700,16 @@ class SweepStore:
     def save(self, digest: str, payload: dict) -> Path:
         """Atomically persist one payload under its digest.
 
-        The per-config arrays are packed into one float64 and one int64
-        matrix (``F``/``I``) so a load costs two array reads instead of
-        seven — zip-member overhead dominates warm-hit latency.
+        Serialization lives in :func:`write_payload_npz`; this adds the
+        atomic tmp-then-replace dance, counters, the structural sidecar
+        update and budget eviction.
         """
         self.root.mkdir(parents=True, exist_ok=True)
         path = self.path_for(digest)
-        floats = np.vstack(
-            [payload["compute_us"], payload["memory_us"], payload["sorted_totals"]]
-        )
-        if payload["kind"] == "contraction":
-            ints = np.vstack(
-                [
-                    payload["order"],
-                    payload["triple_idx"],
-                    payload["algos"],
-                    payload["tc_flags"].astype(np.int64),
-                ]
-            )
-        else:
-            ints = np.vstack([payload["order"], payload["idx"].T])
-        meta = {
-            k: v for k, v in payload.items() if not isinstance(v, np.ndarray)
-        }
-        meta["digest"] = digest
         fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
-                np.savez(fh, meta=json.dumps(meta), F=floats, I=ints)
+                write_payload_npz(fh, digest, payload)
             os.replace(tmp, path)
         except BaseException:
             if os.path.exists(tmp):
@@ -447,12 +717,109 @@ class SweepStore:
             raise
         with self._lock:
             self.saves += 1
+        structural = payload.get("structural")
+        if isinstance(structural, str) and structural:
+            with self._index_lock:
+                index = self._load_index_locked()
+                if index.get(structural) != digest:
+                    index[structural] = digest
+                    self._persist_index_locked(index)
         if self.max_bytes is not None:
             # Own lock: the O(entries) directory scan must not block the
             # counter updates of concurrent loads.
             with self._evict_lock:
                 self._evict_over_budget(keep=path)
         return path
+
+    # -- structural sidecar index ------------------------------------------
+
+    def _load_index_locked(self) -> dict[str, str]:
+        """The structural map; lazily read.  Caller holds ``_index_lock``."""
+        if self._index is None:
+            try:
+                raw = json.loads(self.index_path.read_text())
+                # A corrupt or foreign file degrades to an empty map — the
+                # index is a pure accelerator, npz entries stay canonical.
+                self._index = {
+                    k: v
+                    for k, v in raw.items()
+                    if isinstance(k, str) and isinstance(v, str)
+                } if isinstance(raw, dict) else {}
+            except (OSError, ValueError):
+                self._index = {}
+        return self._index
+
+    def _persist_index_locked(self, index: dict[str, str]) -> None:
+        """Atomically rewrite the sidecar.  Caller holds ``_index_lock``.
+
+        Last-writer-wins across processes: a clobbered mapping merely
+        points a structural digest at a different (equally valid) twin,
+        and a stale one self-heals in :meth:`load_structural`.
+        """
+        try:
+            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as fh:
+                    json.dump(index, fh, sort_keys=True)
+                os.replace(tmp, self.index_path)
+            except BaseException:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+                raise
+        except OSError:  # pragma: no cover - read-only stores are fine
+            pass
+
+    def _drop_index_entries(self, exact_digests: set[str]) -> None:
+        """Drop sidecar entries pointing at the given exact digests."""
+        if not exact_digests:
+            return
+        with self._index_lock:
+            index = self._load_index_locked()
+            stale = [k for k, v in index.items() if v in exact_digests]
+            if stale:
+                for k in stale:
+                    del index[k]
+                self._persist_index_locked(index)
+
+    def load_structural(self, structural: str) -> dict | None:
+        """A validated skeleton payload twin to ``structural``, or None.
+
+        Read in skeleton-only mode: the base sweep's *times* are dead
+        weight for a delta re-sweep (they are recomputed at the new dim
+        sizes), so the time matrix is never deserialized and the returned
+        payload must only feed :func:`compute_payload_delta`.  Any failure
+        — missing index entry, pruned npz, corrupt or version-mismatched
+        payload, structural-digest mismatch — drops the sidecar entry and
+        returns ``None``; the caller falls back to a cold sweep.
+        Deliberately does not touch hits/misses: those count exact lookups,
+        and a structural probe always follows an exact miss.
+        """
+        with self._index_lock:
+            exact = self._load_index_locked().get(structural)
+        if exact is None:
+            return None
+        path = self.path_for(exact)
+        try:
+            payload = read_payload_npz(path, skeleton_only=True)
+            _validate_payload(payload, exact, path, skeleton_only=True)
+            if payload.get("structural") != structural:
+                raise CacheMismatch(
+                    f"sidecar entry {structural[:12]} points at {path} whose "
+                    f"structural digest differs"
+                )
+        except Exception:
+            self._drop_index_entries({exact})
+            return None
+        try:
+            os.utime(path)
+        except OSError:  # pragma: no cover - read-only stores are fine
+            pass
+        return payload
+
+    def record_delta_hit(self) -> None:
+        """Count one successful delta re-sweep served from this store."""
+        with self._lock:
+            self.delta_hits += 1
 
     def _evict_over_budget(self, *, keep: Path) -> None:
         """Delete oldest-mtime entries until the store fits ``max_bytes``.
@@ -482,6 +849,7 @@ class SweepStore:
         if total <= self.max_bytes:
             return
         entries.sort(key=lambda e: (e[0], e[2].name))
+        evicted: set[str] = set()
         for mtime, size, path in entries:
             if total <= self.max_bytes:
                 break
@@ -492,26 +860,16 @@ class SweepStore:
             except OSError:  # pragma: no cover - raced with another process
                 continue
             total -= size
+            evicted.add(path.stem)
             with self._lock:
                 self.evictions += 1
+        # Evicting an npz also drops its structural sidecar entry, so a
+        # structural lookup never dereferences a digest known to be gone.
+        self._drop_index_entries(evicted)
 
     @staticmethod
     def _read(path: Path) -> dict:
-        with np.load(path, allow_pickle=False) as z:
-            payload = dict(json.loads(str(z["meta"][()])))
-            floats = z["F"]
-            ints = z["I"]
-        payload["compute_us"] = floats[0]
-        payload["memory_us"] = floats[1]
-        payload["sorted_totals"] = floats[2]
-        payload["order"] = ints[0]
-        if payload.get("kind") == "contraction":
-            payload["triple_idx"] = ints[1]
-            payload["algos"] = ints[2]
-            payload["tc_flags"] = ints[3] != 0
-        else:
-            payload["idx"] = ints[1:].T
-        return payload
+        return read_payload_npz(path)
 
     def stats(self) -> dict[str, int]:
         entries = (
@@ -524,6 +882,7 @@ class SweepStore:
             "saves": self.saves,
             "rejected": self.rejected,
             "evictions": self.evictions,
+            "delta_hits": self.delta_hits,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -582,5 +941,6 @@ def sweep_store_stats() -> dict[str, int]:
             "saves": 0,
             "rejected": 0,
             "evictions": 0,
+            "delta_hits": 0,
         }
     return store.stats()

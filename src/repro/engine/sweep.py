@@ -26,6 +26,7 @@ Results are bit-identical to :func:`repro.autotuner.tuner.sweep_op_reference`
 
 from __future__ import annotations
 
+import os
 from collections.abc import Sequence
 from typing import Callable
 
@@ -49,8 +50,10 @@ from .memo import (
 from .store import (
     SweepStore,
     compute_payload,
+    compute_payload_delta,
     get_sweep_store,
     space_from_payload,
+    structural_sweep_digest,
     sweep_digest,
 )
 
@@ -58,10 +61,67 @@ __all__ = [
     "sweep_op",
     "sweep_from_payload",
     "load_or_compute_payload",
+    "delta_payload_from_store",
+    "delta_enabled",
+    "set_delta_enabled",
     "contraction_time_split",
     "clear_sweep_memo",
     "sweep_memo_stats",
 ]
+
+#: Environment variable gating the delta re-sweep path ("0"/"false" disables).
+DELTA_ENV_VAR = "REPRO_DELTA_SWEEP"
+
+_delta_override: bool | None = None
+
+
+def set_delta_enabled(enabled: bool | None) -> None:
+    """Force the delta re-sweep path on/off; ``None`` re-reads the env var."""
+    global _delta_override
+    _delta_override = enabled
+
+
+def delta_enabled() -> bool:
+    """Whether structural-twin delta re-sweeps are enabled (default: yes)."""
+    if _delta_override is not None:
+        return _delta_override
+    raw = os.environ.get(DELTA_ENV_VAR, "").strip().lower()
+    return raw not in ("0", "false", "no", "off")
+
+
+def delta_payload_from_store(
+    op: OpSpec,
+    env: DimEnv,
+    gpu: GPUSpec,
+    *,
+    cap: int | None,
+    seed: int,
+    store: SweepStore | None,
+) -> dict | None:
+    """Delta-re-sweep from a structural twin in ``store``, or ``None``.
+
+    Probes the store's structural sidecar for a payload that differs from
+    this sweep only in dim sizes and re-evaluates its persisted skeleton at
+    the new sizes (:func:`compute_payload_delta`) — bit-identical to a cold
+    sweep, minus the enumeration work.  Returns ``None`` when the path is
+    disabled, no twin exists, or the twin turns out unusable; the caller
+    falls back to a cold sweep.  Does **not** save the result: callers
+    persist it under the new exact digest themselves.
+    """
+    if store is None or not delta_enabled():
+        return None
+    structural = structural_sweep_digest(op, env, gpu, cap=cap, seed=seed)
+    base = store.load_structural(structural)
+    if base is None:
+        return None
+    try:
+        payload = compute_payload_delta(
+            op, env, gpu, cap=cap, seed=seed, base=base, structural=structural
+        )
+    except CacheMismatch:
+        return None
+    store.record_delta_hit()
+    return payload
 
 
 class PreSortedMeasurements(Sequence):
@@ -202,11 +262,14 @@ def load_or_compute_payload(
     seed: int,
     store: SweepStore | None = None,
 ) -> dict:
-    """L2 lookup with compute-and-persist fallback.
+    """L2 lookup with delta-re-sweep and compute-and-persist fallbacks.
 
-    A mismatched or corrupt store entry (``CacheMismatch``) is recomputed
-    and overwritten, never reused.  With no store configured this is a
-    plain batched evaluation.
+    Resolution order on an exact miss: first try a structural twin
+    (:func:`delta_payload_from_store`), then a cold batched evaluation;
+    either result is persisted under the exact digest.  A mismatched or
+    corrupt store entry (``CacheMismatch``) is recomputed and overwritten,
+    never reused.  With no store configured this is a plain batched
+    evaluation.
     """
     store = store if store is not None else get_sweep_store()
     if store is None:
@@ -217,7 +280,11 @@ def load_or_compute_payload(
     except CacheMismatch:
         payload = None
     if payload is None:
-        payload = compute_payload(op, env, gpu, cap=cap, seed=seed)
+        payload = delta_payload_from_store(
+            op, env, gpu, cap=cap, seed=seed, store=store
+        )
+        if payload is None:
+            payload = compute_payload(op, env, gpu, cap=cap, seed=seed)
         store.save(digest, payload)
     return payload
 

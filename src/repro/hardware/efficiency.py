@@ -31,6 +31,9 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
 
 from repro.ir.dims import DimEnv
 from repro.ir.operator import OpClass, OpSpec
@@ -44,7 +47,9 @@ from .spec import GPUSpec, V100
 __all__ = [
     "Efficiency",
     "contraction_efficiency",
+    "contraction_layout_units",
     "contraction_shared_factors",
+    "contraction_triple_factors",
     "kernel_efficiency",
     "operand_access_eff",
     "op_efficiency",
@@ -188,6 +193,28 @@ def contraction_efficiency(
     return Efficiency(compute=compute, memory=_GEMM_MEM_EFF, tensor_cores=tc_legal)
 
 
+@lru_cache(maxsize=4096)
+def _shape_factors(shape: GemmShape, gpu: GPUSpec) -> tuple[float, float, float, bool, str]:
+    """Size-only factors shared by every layout triple mapping to ``shape``.
+
+    Hot in the batched engine: an operator's feasible triples collapse to a
+    handful of distinct GEMM shapes, so the saturation/wave transcendentals
+    run once per shape instead of once per triple.  Pure value cache —
+    identical inputs, identical floats — so bit-identity is untouched.
+    """
+    return (
+        _tc_saturation(shape),
+        _fp16_saturation(shape),
+        _wave_quantization(shape, gpu),
+        shape.m % 8 == 0 and shape.n % 8 == 0 and shape.k % 8 == 0,
+        shape.label(),
+    )
+
+
+#: str(algorithm id) bytes, indexed by id (suffix operand of the rolling CRC).
+_ALGO_SUFFIXES = tuple(str(a).encode() for a in range(NUM_GEMM_ALGORITHMS))
+
+
 def contraction_shared_factors(
     op: OpSpec, la: Layout, lb: Layout, lc: Layout, shape: GemmShape, gpu: GPUSpec
 ) -> tuple[float, float, float, bool, tuple[float, ...]]:
@@ -199,21 +226,101 @@ def contraction_shared_factors(
     factor.  The batched sweep engine hoists these out of its per-config
     loop; the arithmetic — including association order — matches the scalar
     path exactly so engine results stay bit-identical to the reference.
+
+    The per-algorithm units roll the CRC forward from the shared
+    ``algo|label|layouts`` prefix instead of re-hashing it per algorithm:
+    ``crc32(p + s) == crc32(s, crc32(p))``, so the units — and the factors
+    derived from them in :func:`_in_range`'s exact arithmetic — are the
+    same bits the one-shot hash produces.
     """
     layouts_key = f"{la}/{lb}/{lc}"
     layout_factor = _in_range(
         _unit("gemm-layout", op.einsum, layouts_key, shape.trans_a, shape.trans_b),
         _LAYOUT_FACTOR_RANGE,
     )
-    pre_tc = _GEMM_TC_BASE * _tc_saturation(shape) * layout_factor
-    pre_fp16 = _GEMM_FP16_BASE * _fp16_saturation(shape) * layout_factor
-    wave = _wave_quantization(shape, gpu)
-    tc_divisible = shape.m % 8 == 0 and shape.n % 8 == 0 and shape.k % 8 == 0
+    sat_tc, sat_fp16, wave, tc_divisible, label = _shape_factors(shape, gpu)
+    pre_tc = _GEMM_TC_BASE * sat_tc * layout_factor
+    pre_fp16 = _GEMM_FP16_BASE * sat_fp16 * layout_factor
+    crc32 = zlib.crc32
+    prefix = crc32(f"algo|{label}|{layouts_key}|".encode())
+    lo, hi = _ALGO_FACTOR_RANGE
+    span = hi - lo
     algo_factors = tuple(
-        _in_range(_unit("algo", shape.label(), layouts_key, a), _ALGO_FACTOR_RANGE)
-        for a in range(NUM_GEMM_ALGORITHMS)
+        lo + (crc32(suffix, prefix) / 2**32) * span for suffix in _ALGO_SUFFIXES
     )
     return pre_tc, pre_fp16, wave, tc_divisible, algo_factors
+
+
+def contraction_layout_units(op: OpSpec, triples) -> np.ndarray:
+    """Per-triple layout-factor units in [0, 1), enumeration order.
+
+    ``triples`` is a ``(layout_a, layout_b, layout_c, shape)`` sequence.
+    The units depend on the einsum, the layout strings and the transpose
+    flags — never on dim *sizes* — so a delta re-sweep reuses the persisted
+    array instead of re-hashing every key.  ``crc32 / 2**32`` is exact in
+    float64, so the round trip through a stored payload is bit-identical.
+    """
+    units = np.empty(len(triples))
+    for i, (la, lb, lc, shape) in enumerate(triples):
+        units[i] = _unit(
+            "gemm-layout", op.einsum, f"{la}/{lb}/{lc}", shape.trans_a, shape.trans_b
+        )
+    return units
+
+
+def contraction_triple_factors(
+    op: OpSpec, triples, gpu: GPUSpec, *, layout_units: np.ndarray | None = None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """:func:`contraction_shared_factors` over a whole triple list, batched.
+
+    Returns ``(pre_tc, pre_fp16, wave, tc_divisible, algo_factors,
+    layout_units)`` arrays — ``algo_factors`` of shape
+    ``(len(triples), NUM_GEMM_ALGORITHMS)`` — bit-identical to calling the
+    scalar helper per triple:
+
+    * the size-only shape factors come from the same :func:`_shape_factors`
+      cache;
+    * the per-algorithm CRCs roll forward from a per-*label* base
+      (``crc32(p + s) == crc32(s, crc32(p))``), hashing each label once per
+      distinct GEMM shape instead of once per (triple, algorithm);
+    * the factor mixing (``lo + u·span``, ``(BASE · sat) · layout_factor``)
+      runs element-wise in float64 with the scalar association order, and
+      raw CRC values are exact in float64.
+
+    ``layout_units`` optionally supplies the size-independent units of
+    :func:`contraction_layout_units` (e.g. from a stored payload on the
+    delta re-sweep path); ``None`` computes them here.
+    """
+    t = len(triples)
+    sat_tc = np.empty(t)
+    sat_fp16 = np.empty(t)
+    wave = np.empty(t)
+    div8 = np.empty(t, dtype=bool)
+    algo_crcs = np.empty((t, NUM_GEMM_ALGORITHMS))
+    if layout_units is None:
+        layout_units = contraction_layout_units(op, triples)
+    crc32 = zlib.crc32
+    label_base: dict[str, int] = {}
+    for i, (la, lb, lc, shape) in enumerate(triples):
+        s_tc, s_fp, w, d8, label = _shape_factors(shape, gpu)
+        sat_tc[i] = s_tc
+        sat_fp16[i] = s_fp
+        wave[i] = w
+        div8[i] = d8
+        base = label_base.get(label)
+        if base is None:
+            base = label_base[label] = crc32(f"algo|{label}|".encode())
+        mid = crc32(f"{la}/{lb}/{lc}|".encode(), base)
+        row = algo_crcs[i]
+        for a, suffix in enumerate(_ALGO_SUFFIXES):
+            row[a] = crc32(suffix, mid)
+    lo, hi = _LAYOUT_FACTOR_RANGE
+    layout_factor = lo + layout_units * (hi - lo)
+    pre_tc = (_GEMM_TC_BASE * sat_tc) * layout_factor
+    pre_fp16 = (_GEMM_FP16_BASE * sat_fp16) * layout_factor
+    lo_a, hi_a = _ALGO_FACTOR_RANGE
+    algo_factors = lo_a + (algo_crcs / 2**32) * (hi_a - lo_a)
+    return pre_tc, pre_fp16, wave, div8, algo_factors, layout_units
 
 
 def _operand_access_eff(
@@ -242,7 +349,9 @@ def _operand_access_eff(
 
 #: Public name for the per-operand access model (the batched engine tabulates
 #: it once per (operand, layout, vector-dim) instead of once per config).
-operand_access_eff = _operand_access_eff
+#: Cached: the same (layout, vector-dim, env) cells recur across operators
+#: and sweeps, and the function is pure — identical inputs, identical float.
+operand_access_eff = lru_cache(maxsize=65536)(_operand_access_eff)
 
 
 def kernel_efficiency(op: OpSpec, config: OpConfig, env: DimEnv) -> Efficiency:

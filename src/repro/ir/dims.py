@@ -71,7 +71,13 @@ class DimEnv(Mapping[str, int]):
         return len(self.sizes)
 
     def __hash__(self) -> int:
-        return hash(tuple(sorted(self.sizes.items())))
+        # Cached: DimEnv keys lru_cache lookups on sweep hot paths, and the
+        # O(n log n) canonicalization would otherwise rerun per lookup.
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash(tuple(sorted(self.sizes.items())))
+            object.__setattr__(self, "_hash", h)
+        return h
 
     # -- helpers ------------------------------------------------------------
     def volume(self, dims: Iterable[str]) -> int:

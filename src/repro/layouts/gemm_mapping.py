@@ -194,8 +194,14 @@ def _map_structure(
     return (m_group, n_group, k_group, batch_group, va[1], vb[1])
 
 
+@lru_cache(maxsize=65536)
 def _shape_from_structure(structure: GemmStructure, env: DimEnv) -> GemmShape:
-    """Instantiate a structural mapping at concrete dimension sizes."""
+    """Instantiate a structural mapping at concrete dimension sizes.
+
+    Cached: a sweep instantiates every feasible triple, but distinct triples
+    collapse to few distinct dim-group structures, and repeated sweeps at
+    the same sizes (delta re-sweeps, dedup probes) repeat them exactly.
+    """
     m_group, n_group, k_group, batch_group, trans_a, trans_b = structure
     return GemmShape(
         m=prod(env[d] for d in m_group) if m_group else 1,

@@ -83,8 +83,14 @@ class Layout:
             return False
         return all(b == a + 1 for a, b in zip(pos, pos[1:]))
 
-    def __str__(self) -> str:  # pragma: no cover - cosmetic
-        return "".join(self.dims)
+    def __str__(self) -> str:
+        # Cached: layout strings key the efficiency model's hashes, and the
+        # sweep hot loops stringify the same interned instances repeatedly.
+        s = self.__dict__.get("_str")
+        if s is None:
+            s = "".join(self.dims)
+            object.__setattr__(self, "_str", s)
+        return s
 
 
 @lru_cache(maxsize=4096)

@@ -18,11 +18,13 @@ from repro.ir.dims import DimEnv
 from repro.ir.operator import OpSpec
 
 from .protocol import (
+    BINARY_CONTENT_TYPE,
     DEFAULT_OPTIMIZE_CAP,
     DEFAULT_SWEEP_CAP,
     DEFAULT_TOP_K,
     canonical_json_bytes,
     optimize_request_wire,
+    payload_from_packed,
     sweep_request_wire,
 )
 
@@ -53,33 +55,89 @@ class TuningClient:
         self.timeout = timeout
 
     # -- transport -----------------------------------------------------------
-    def _request(self, path: str, body: dict | None = None) -> bytes:
+    def _raw(
+        self,
+        path: str,
+        body: dict | None = None,
+        *,
+        headers: dict[str, str] | None = None,
+    ) -> tuple[int, dict[str, str], bytes]:
+        """One round trip: ``(status, response headers, body bytes)``.
+
+        ``Accept-Encoding: identity`` is always sent explicitly — the
+        byte-identity and payload-size checks this client backs are
+        meaningless if a transparent proxy re-compresses the body.  A
+        ``304 Not Modified`` is a successful revalidation, returned as
+        ``(304, headers, b"")`` rather than raised.
+        """
         url = f"{self.base_url}{path}"
         data = None if body is None else canonical_json_bytes(body)
+        merged = {"Accept-Encoding": "identity"}
+        if data is not None:
+            merged["Content-Type"] = "application/json"
+        if headers:
+            merged.update(headers)
         req = urllib.request.Request(
             url,
             data=data,
-            headers={"Content-Type": "application/json"} if data else {},
+            headers=merged,
             method="POST" if data is not None else "GET",
         )
         try:
             with urllib.request.urlopen(req, timeout=self.timeout) as resp:
-                return resp.read()
+                return resp.status, dict(resp.headers), resp.read()
         except urllib.error.HTTPError as exc:
-            detail = ""
-            error_body: dict | None = None
-            try:
-                error_body = json.loads(exc.read())
-                detail = error_body.get("error", "")
-            except Exception:  # noqa: BLE001 - best-effort error detail
-                pass
-            raise ServiceError(
-                f"{path} failed with HTTP {exc.code}: {detail or exc.reason}",
-                status=exc.code,
-                body=error_body,
-            ) from exc
+            if exc.code == 304:
+                return 304, dict(exc.headers), b""
+            raise self._service_error(path, exc) from exc
         except urllib.error.URLError as exc:
             raise ServiceError(f"cannot reach {url}: {exc.reason}") from exc
+
+    @staticmethod
+    def _service_error(path: str, exc: urllib.error.HTTPError) -> "ServiceError":
+        """Surface as much of an HTTP error body as the daemon sent.
+
+        Structured JSON errors contribute their ``error`` message and, for
+        ``/v1/register`` rejections, a summary of the validation report;
+        non-JSON bodies are carried raw (truncated) instead of dropped.
+        """
+        raw = b""
+        try:
+            raw = exc.read()
+        except Exception:  # noqa: BLE001 - the socket may already be gone
+            pass
+        error_body: dict | None = None
+        detail = ""
+        try:
+            error_body = json.loads(raw)
+            detail = error_body.get("error", "")
+            report = error_body.get("report")
+            if isinstance(report, dict):
+                issues = report.get("issues")
+                if isinstance(issues, list) and issues:
+                    rendered = "; ".join(
+                        f"{i.get('validator')}/{i.get('code')}: {i.get('message')}"
+                        for i in issues[:3]
+                        if isinstance(i, dict)
+                    )
+                    detail = f"{detail} [{len(issues)} issue(s): {rendered}]"
+        except Exception:  # noqa: BLE001 - best-effort error detail
+            error_body = None
+            detail = raw.decode("utf-8", "replace")[:500]
+        return ServiceError(
+            f"{path} failed with HTTP {exc.code}: {detail or exc.reason}",
+            status=exc.code,
+            body=error_body,
+        )
+
+    def _request(
+        self,
+        path: str,
+        body: dict | None = None,
+        *,
+        headers: dict[str, str] | None = None,
+    ) -> bytes:
+        return self._raw(path, body, headers=headers)[2]
 
     def _request_json(self, path: str, body: dict | None = None) -> dict:
         return json.loads(self._request(path, body))
@@ -119,6 +177,77 @@ class TuningClient:
     ) -> dict:
         """Ranked configurations + predicted times for one operator."""
         return json.loads(self.sweep_raw(op, env, gpu, cap=cap, seed=seed, top_k=top_k))
+
+    def sweep_conditional(
+        self,
+        op: OpSpec,
+        env: DimEnv,
+        gpu: GPUSpec = V100,
+        *,
+        cap: int | None = DEFAULT_SWEEP_CAP,
+        seed: int = 0x5EED,
+        top_k: int = DEFAULT_TOP_K,
+        etag: str | None = None,
+    ) -> tuple[int, str | None, bytes]:
+        """A revalidating sweep: ``(status, etag, body bytes)``.
+
+        Pass the ``ETag`` of a previously fetched response; a ``304``
+        status with an empty body means the held representation is still
+        current.  Without ``etag`` this is a plain fetch that also returns
+        the tag to revalidate with later.
+        """
+        headers = {"If-None-Match": etag} if etag else None
+        status, resp_headers, data = self._raw(
+            "/v1/sweep",
+            sweep_request_wire(op, env, gpu, cap=cap, seed=seed, top_k=top_k),
+            headers=headers,
+        )
+        return status, resp_headers.get("ETag"), data
+
+    def sweep_packed_raw(
+        self,
+        op: OpSpec,
+        env: DimEnv,
+        gpu: GPUSpec = V100,
+        *,
+        cap: int | None = DEFAULT_SWEEP_CAP,
+        seed: int = 0x5EED,
+        etag: str | None = None,
+    ) -> tuple[int, str | None, bytes]:
+        """The packed binary ``/v1/sweep`` response: ``(status, etag, bytes)``.
+
+        The bytes are the server's L2 store ``.npz`` file verbatim;
+        ``etag`` (from a previous call) turns this into a revalidation
+        that answers ``304`` with no body when still current.
+        """
+        headers = {"Accept": BINARY_CONTENT_TYPE}
+        if etag:
+            headers["If-None-Match"] = etag
+        status, resp_headers, data = self._raw(
+            "/v1/sweep",
+            sweep_request_wire(op, env, gpu, cap=cap, seed=seed),
+            headers=headers,
+        )
+        return status, resp_headers.get("ETag"), data
+
+    def sweep_packed(
+        self,
+        op: OpSpec,
+        env: DimEnv,
+        gpu: GPUSpec = V100,
+        *,
+        cap: int | None = DEFAULT_SWEEP_CAP,
+        seed: int = 0x5EED,
+    ) -> dict:
+        """The full measurement payload, decoded from the packed response.
+
+        Unlike :meth:`sweep` this carries *every* sampled configuration's
+        times (not a ``top_k`` truncation), validated by the store's own
+        deserializer and checked against the response ``ETag`` digest.
+        """
+        _, etag, data = self.sweep_packed_raw(op, env, gpu, cap=cap, seed=seed)
+        digest = etag.strip('"') if etag else None
+        return payload_from_packed(data, digest=digest)
 
     def optimize(
         self,

@@ -18,10 +18,18 @@ import threading
 import time
 from collections import deque
 
-__all__ = ["ServiceMetrics", "RESOLVE_TIERS", "REGISTRY_EVENTS"]
+__all__ = ["ServiceMetrics", "RESOLVE_TIERS", "RESPONSE_KINDS", "REGISTRY_EVENTS"]
 
-#: Where a request's sweep was resolved, cheapest tier first.
-RESOLVE_TIERS = ("l1", "coalesced", "l2", "computed")
+#: Where a request's sweep was resolved, cheapest tier first.  ``delta``
+#: counts requests whose exact digest missed L2 but whose payload was
+#: rebuilt from a structural twin (a stored sweep of the same op shape at
+#: different dim sizes) instead of a cold evaluation.
+RESOLVE_TIERS = ("l1", "coalesced", "l2", "delta", "computed")
+
+#: How a ``/v1/sweep`` response left the daemon: canonical JSON (the
+#: default), the packed binary npz representation, or a 304 Not Modified
+#: revalidation that carried no body at all.
+RESPONSE_KINDS = ("json", "binary", "not_modified")
 
 #: Schedule-registry lifecycle events the daemon counts: entries accepted
 #: by ``/v1/register``, registrations rejected by validation, entries
@@ -56,6 +64,7 @@ class ServiceMetrics:
         self._requests: dict[str, int] = {}
         self._errors: dict[str, int] = {}
         self._tiers: dict[str, int] = {tier: 0 for tier in RESOLVE_TIERS}
+        self._responses: dict[str, int] = {kind: 0 for kind in RESPONSE_KINDS}
         self._latency: dict[str, deque[float]] = {}
         # Cold /v1/optimize phase breakdown: how much of each computed
         # response went into sweeping vs. configuration selection.
@@ -83,6 +92,12 @@ class ServiceMetrics:
             raise ValueError(f"unknown resolve tier {tier!r}; known: {RESOLVE_TIERS}")
         with self._lock:
             self._tiers[tier] += 1
+
+    def record_response(self, kind: str) -> None:
+        if kind not in self._responses:
+            raise ValueError(f"unknown response kind {kind!r}; known: {RESPONSE_KINDS}")
+        with self._lock:
+            self._responses[kind] += 1
 
     def record_optimize_breakdown(self, sweep_s: float, select_s: float) -> None:
         """Attribute one cold ``/v1/optimize`` computation to its phases."""
@@ -132,6 +147,7 @@ class ServiceMetrics:
                 "requests": dict(self._requests),
                 "errors": dict(self._errors),
                 "resolve_tiers": dict(self._tiers),
+                "responses": dict(self._responses),
                 "latency_ms": latency,
                 # Where cold /v1/optimize time goes: the sweep phase
                 # (engine evaluation through the scheduler) vs. the

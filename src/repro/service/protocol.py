@@ -34,11 +34,16 @@ from repro.ir.dtypes import FP16, FP32, FP64, DType
 from repro.layouts.config import OpConfig
 
 __all__ = [
+    "BINARY_CONTENT_TYPE",
     "PROTOCOL_VERSION",
     "OptimizeRequest",
     "ProtocolError",
     "SweepRequest",
+    "accepts_packed",
     "canonical_json_bytes",
+    "etag_matches",
+    "payload_from_packed",
+    "sweep_etag",
     "config_to_wire",
     "gpu_from_wire",
     "gpu_to_wire",
@@ -58,6 +63,12 @@ __all__ = [
 
 #: Wire schema version; embedded in every request and response.
 PROTOCOL_VERSION = 1
+
+#: Media type of the packed binary ``/v1/sweep`` representation: the wire
+#: bytes are exactly the L2 store's ``.npz`` payload file, so a server with
+#: a warm store streams the response zero-copy from disk and the client
+#: decodes it with the store's own reader.
+BINARY_CONTENT_TYPE = "application/x-repro-npz"
 
 #: Default number of ranked configurations returned by ``/v1/sweep``.
 DEFAULT_TOP_K = 3
@@ -485,6 +496,79 @@ def optimize_request_digest(req: OptimizeRequest) -> str:
         "seed": req.seed,
     }
     return hashlib.sha256(canonical_json_bytes(key)).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# ETag revalidation and the packed binary representation
+# ---------------------------------------------------------------------------
+
+def sweep_etag(digest: str, *, top_k: int | None = None) -> str:
+    """The strong entity tag of one ``/v1/sweep`` representation.
+
+    The sweep digest already content-addresses the full measurement set,
+    but the *JSON body* also depends on ``top_k`` (it truncates the ranked
+    list), so the JSON tag carries it; the packed binary body is the whole
+    payload regardless of ``top_k``, so its tag is the bare digest.
+    """
+    if top_k is None:
+        return f'"{digest}"'
+    return f'"{digest}.k{top_k}"'
+
+
+def etag_matches(if_none_match: str | None, etag: str) -> bool:
+    """RFC 7232 ``If-None-Match`` evaluation against one strong ETag.
+
+    Accepts ``*``, comma-separated candidate lists, and weak-comparison
+    ``W/`` prefixes (a weak tag matches its strong twin under the
+    weak-comparison rules 304 revalidation uses).
+    """
+    if not if_none_match:
+        return False
+    if if_none_match.strip() == "*":
+        return True
+    for candidate in if_none_match.split(","):
+        candidate = candidate.strip()
+        if candidate.startswith("W/"):
+            candidate = candidate[2:]
+        if candidate == etag:
+            return True
+    return False
+
+
+def accepts_packed(accept: str | None) -> bool:
+    """Whether an ``Accept`` header opts into the packed binary response."""
+    if not accept:
+        return False
+    return any(
+        part.split(";", 1)[0].strip().lower() == BINARY_CONTENT_TYPE
+        for part in accept.split(",")
+    )
+
+
+def payload_from_packed(data: bytes, *, digest: str | None = None) -> dict:
+    """Decode and validate one packed ``/v1/sweep`` response body.
+
+    The bytes are an L2 store ``.npz`` file; this runs the store's own
+    deserializer *and* its structural validation (bounds-checked index
+    arrays, digest agreement when ``digest`` is given), so a corrupt or
+    truncated wire body surfaces as :class:`ProtocolError` — never as a
+    silently wrong measurement downstream.
+    """
+    import io
+
+    from repro.autotuner.cache import CacheMismatch
+    from repro.engine.store import _validate_payload, read_payload_npz
+
+    try:
+        payload = read_payload_npz(io.BytesIO(data))
+        _validate_payload(payload, digest, "<packed response>")
+    except CacheMismatch as exc:
+        raise ProtocolError(f"packed sweep response failed validation: {exc}") from exc
+    except ProtocolError:
+        raise
+    except Exception as exc:  # zipfile/json/numpy decode failures
+        raise ProtocolError(f"packed sweep response is not a payload npz: {exc}") from exc
+    return payload
 
 
 # ---------------------------------------------------------------------------

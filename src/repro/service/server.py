@@ -5,8 +5,13 @@ Endpoints (all JSON, canonical serialization):
 * ``POST /v1/sweep`` — best configurations + predicted times for one
   operator.  Resolution order per request digest: bounded in-memory cache
   (L1) → in-flight coalescing (single-flight) → persistent store (L2) →
-  cold batched evaluation; every request is attributed to exactly one
-  tier in ``/metrics``.
+  delta re-sweep from a structural L2 twin → cold batched evaluation;
+  every request is attributed to exactly one tier in ``/metrics``.
+  Responses carry a strong ``ETag``; a request presenting it back via
+  ``If-None-Match`` gets ``304 Not Modified`` with an empty body, before
+  any resolution work.  ``Accept: application/x-repro-npz`` opts into the
+  packed binary representation — the L2 store's own ``.npz`` payload,
+  streamed zero-copy from the store file when one exists.
 * ``POST /v1/optimize`` — a whole-graph tuned schedule through the
   parallel scheduler (:func:`repro.engine.scheduler.sweep_graph`), with
   the same coalescing over a request-level digest.
@@ -32,11 +37,15 @@ grows past ``memo_limit`` entries — a long-lived daemon stays bounded.
 
 from __future__ import annotations
 
+import os
+import shutil
 import threading
 from contextlib import contextmanager
+from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from json import JSONDecodeError, loads
 from time import perf_counter, time
+from typing import BinaryIO
 
 from repro import __version__
 from repro.autotuner.cache import CacheMismatch
@@ -47,21 +56,26 @@ from repro.engine.store import (
     SweepStore,
     compute_payload,
     get_sweep_store,
+    pack_payload_bytes,
 )
-from repro.engine.sweep import sweep_from_payload
+from repro.engine.sweep import delta_payload_from_store, sweep_from_payload
 from repro.hardware.cost_model import COST_MODEL_VERSION, CostModel
 
 from .coalesce import BoundedCache, SingleFlight
 from .metrics import ServiceMetrics
 from .protocol import (
+    BINARY_CONTENT_TYPE,
     PROTOCOL_VERSION,
     ProtocolError,
+    accepts_packed,
     build_request_graph,
     canonical_json_bytes,
+    etag_matches,
     optimize_request_digest,
     optimize_response_from_sweeps,
     parse_optimize_request,
     parse_sweep_request,
+    sweep_etag,
     sweep_request_digest,
     sweep_response_from_sweep,
 )
@@ -70,6 +84,7 @@ __all__ = [
     "NotFoundError",
     "RegistrationRejected",
     "TuningService",
+    "WireReply",
     "make_server",
     "serve_background",
 ]
@@ -95,6 +110,23 @@ _UNSET = object()
 
 class NotFoundError(KeyError):
     """A well-formed request for a resource that does not exist (HTTP 404)."""
+
+
+@dataclass
+class WireReply:
+    """A fully-determined HTTP response below the JSON layer.
+
+    ``body`` carries in-memory responses; ``stream`` (exclusive with a
+    non-empty body) is an open binary file the handler copies straight to
+    the socket — the zero-copy path for packed payloads already sitting in
+    the L2 store.  Whoever sends the reply owns closing the stream.
+    """
+
+    status: int
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+    stream: BinaryIO | None = None
+    stream_len: int = 0
 
 
 class RegistrationRejected(ProtocolError):
@@ -136,11 +168,14 @@ class TuningService:
         self._revalidate_stop = threading.Event()
 
     # -- tiered resolution ---------------------------------------------------
-    def _resolve(self, digest: str, compute, *, use_store: bool = True):
-        """Resolve one digest through L1 → in-flight → L2 → evaluation.
+    def _resolve(self, digest: str, compute, *, use_store: bool = True, delta=None):
+        """Resolve one digest through L1 → in-flight → L2 → delta → evaluation.
 
         ``compute`` runs at most once across all concurrent callers of
         ``digest``; the chosen tier is recorded in the metrics.
+        ``delta`` (optional) is tried between the L2 miss and the cold
+        evaluation: it may rebuild the payload from a structurally
+        identical stored sweep, returning ``None`` when it cannot.
         ``use_store=False`` skips the L2 step for values that are not store
         payloads (whole optimize responses).
         """
@@ -163,11 +198,18 @@ class TuningService:
                     payload = store.load(digest)
                 except CacheMismatch:
                     payload = None  # recompute and overwrite
+            if payload is None and delta is not None:
+                payload = delta()
+                if payload is not None:
+                    tier = "delta"
             if payload is None:
                 payload = compute()
                 tier = "computed"
-                if store is not None:
-                    store.save(digest, payload)
+            if tier in ("delta", "computed") and store is not None:
+                # Delta results persist under the *exact* digest too — the
+                # next same-size request is a plain L2 hit, and the entry
+                # becomes a structural base for further perturbations.
+                store.save(digest, payload)
             # Populate L1 *before* the flight retires: a request arriving
             # between flight retirement and a later cache.put would find
             # neither and lead a second evaluation.
@@ -188,8 +230,8 @@ class TuningService:
             clear_sweep_memo()
 
     # -- endpoint bodies -----------------------------------------------------
-    def handle_sweep(self, body: dict) -> dict:
-        req = parse_sweep_request(body)
+    def _resolve_sweep(self, req, digest: str) -> dict:
+        """One sweep request's payload through the full tier chain."""
         # The size estimate is the scheduler's own pool-threshold helper:
         # cheap (cached feasibility/space scans), and exact enough to keep
         # an uncapped wide-kernel request from OOM-killing the daemon.
@@ -201,15 +243,79 @@ class TuningService:
                 f"sweep of ~{estimated} configurations exceeds the served "
                 f"limit of {MAX_SWEEP_CONFIGS}; pass a smaller cap"
             )
-        digest = sweep_request_digest(req)
-        payload = self._resolve(
+        return self._resolve(
             digest,
             lambda: compute_payload(
                 req.op, req.env, req.gpu, cap=req.cap, seed=req.seed
             ),
+            delta=lambda: delta_payload_from_store(
+                req.op, req.env, req.gpu, cap=req.cap, seed=req.seed,
+                store=self.store,
+            ),
         )
+
+    def handle_sweep(self, body: dict) -> dict:
+        req = parse_sweep_request(body)
+        digest = sweep_request_digest(req)
+        payload = self._resolve_sweep(req, digest)
         sweep = sweep_from_payload(req.op, payload)
         return sweep_response_from_sweep(sweep, digest=digest, top_k=req.top_k)
+
+    def handle_sweep_wire(
+        self, body: dict, *, accept: str | None = None, if_none_match: str | None = None
+    ) -> WireReply:
+        """``/v1/sweep`` below the JSON layer: ETag revalidation + packing.
+
+        The ETag is revalidated *before* the size guard and any resolution
+        work — a 304 costs one digest computation, nothing else.  That is
+        sound because responses are pure functions of the request digest
+        (and ``top_k``, which the JSON tag carries): a client holding a
+        representation under a matching tag holds the current bytes.
+        """
+        req = parse_sweep_request(body)
+        digest = sweep_request_digest(req)
+        binary = accepts_packed(accept)
+        etag = sweep_etag(digest, top_k=None if binary else req.top_k)
+        if etag_matches(if_none_match, etag):
+            self.metrics.record_response("not_modified")
+            return WireReply(status=304, headers={"ETag": etag})
+        payload = self._resolve_sweep(req, digest)
+        if binary:
+            reply = self._packed_reply(digest, payload, etag)
+            self.metrics.record_response("binary")
+            return reply
+        sweep = sweep_from_payload(req.op, payload)
+        response = sweep_response_from_sweep(sweep, digest=digest, top_k=req.top_k)
+        self.metrics.record_response("json")
+        return WireReply(
+            status=200,
+            headers={"Content-Type": "application/json", "ETag": etag},
+            body=canonical_json_bytes(response),
+        )
+
+    def _packed_reply(self, digest: str, payload: dict, etag: str) -> WireReply:
+        """The packed binary representation, streamed from L2 when possible.
+
+        The wire bytes are exactly the store's ``.npz`` file, so a warm
+        store serves an open file handle and the handler copies it to the
+        socket without deserializing; a storeless daemon (or a just-evicted
+        entry) packs the in-memory payload instead — byte-identical content
+        either way, since the store writer is deterministic.
+        """
+        headers = {"Content-Type": BINARY_CONTENT_TYPE, "ETag": etag}
+        if self.store is not None:
+            try:
+                fh = open(self.store.path_for(digest), "rb")
+            except OSError:
+                fh = None  # evicted or never persisted; fall through to pack
+            if fh is not None:
+                size = os.fstat(fh.fileno()).st_size
+                return WireReply(
+                    status=200, headers=headers, stream=fh, stream_len=size
+                )
+        return WireReply(
+            status=200, headers=headers, body=pack_payload_bytes(digest, payload)
+        )
 
     def handle_optimize(self, body: dict) -> dict:
         req = parse_optimize_request(body)
@@ -491,6 +597,24 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_reply(self, reply: WireReply) -> None:
+        try:
+            self.send_response(reply.status)
+            for name, value in reply.headers.items():
+                self.send_header(name, value)
+            if reply.stream is not None:
+                self.send_header("Content-Length", str(reply.stream_len))
+                self.end_headers()
+                shutil.copyfileobj(reply.stream, self.wfile)
+            else:
+                self.send_header("Content-Length", str(len(reply.body)))
+                self.end_headers()
+                if reply.body:
+                    self.wfile.write(reply.body)
+        finally:
+            if reply.stream is not None:
+                reply.stream.close()
+
     def _read_body(self) -> dict:
         length = self.headers.get("Content-Length")
         if length is None:
@@ -514,9 +638,17 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             # Compute the full body before sending anything: exactly one
             # response ever goes on the wire, so a handler failure cannot
-            # corrupt a half-written 200 with a trailing 500.
+            # corrupt a half-written 200 with a trailing 500.  ``fn`` may
+            # return a plain dict (a 200 JSON body) or a WireReply carrying
+            # its own status, headers and bytes/stream.
+            reply: WireReply | None = None
+            status, body = 200, {}
             try:
-                status, body = 200, fn()
+                result = fn()
+                if isinstance(result, WireReply):
+                    reply = result
+                else:
+                    body = result
             except RegistrationRejected as exc:
                 self.service.metrics.record_error(endpoint)
                 status, body = 400, {"error": str(exc), "report": exc.report}
@@ -529,7 +661,10 @@ class _Handler(BaseHTTPRequestHandler):
             except Exception as exc:  # noqa: BLE001 - the daemon must not die
                 self.service.metrics.record_error(endpoint)
                 status, body = 500, {"error": f"{type(exc).__name__}: {exc}"}
-            self._send_json(status, body)
+            if reply is not None:
+                self._send_reply(reply)
+            else:
+                self._send_json(status, body)
         except (ConnectionError, TimeoutError):
             # The client went away mid-send; nothing left to answer.
             pass
@@ -561,7 +696,14 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
         if self.path == "/v1/sweep":
-            self._run("/v1/sweep", lambda: self.service.handle_sweep(self._read_body()))
+            self._run(
+                "/v1/sweep",
+                lambda: self.service.handle_sweep_wire(
+                    self._read_body(),
+                    accept=self.headers.get("Accept"),
+                    if_none_match=self.headers.get("If-None-Match"),
+                ),
+            )
         elif self.path == "/v1/optimize":
             self._run(
                 "/v1/optimize",

@@ -1,0 +1,160 @@
+"""Hypothesis property tests: delta re-sweeps are bit-identical to cold.
+
+Randomizes operators, base dimension sizes and *perturbed* sizes; the base
+sweep is saved to a store, the perturbed problem is resolved through
+:func:`delta_payload_from_store` (reusing the stored structural skeleton),
+and the result is compared against a cold scalar ``sweep_op_reference``
+sweep at the perturbed sizes — same configs, same order, exact float
+equality on every ``KernelTime`` component.  This is the acceptance
+property of the delta tier: structural reuse must never change a single
+bit of the answer.
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autotuner.tuner import sweep_op_reference
+from repro.engine.store import (
+    SweepStore,
+    compute_payload,
+    structural_sweep_digest,
+    sweep_digest,
+)
+from repro.engine.sweep import delta_payload_from_store, sweep_from_payload
+from repro.hardware.cost_model import CostModel
+from repro.ir.dims import DimEnv
+from repro.ir.iteration_space import IterationSpace
+from repro.ir.operator import OpClass, OpSpec
+from repro.ir.tensor import TensorSpec
+from repro.ops.contraction import contraction_spec
+
+COST = CostModel()
+
+_SIZES = st.sampled_from([1, 2, 3, 4, 7, 8, 15, 16, 24, 32, 40, 64, 96, 513])
+
+_EINSUMS = [
+    ("mk,kn->mn", ("m", "k"), ("k", "n"), ("m", "n")),
+    ("bmk,bkn->bmn", ("b", "m", "k"), ("b", "k", "n"), ("b", "m", "n")),
+    ("phb,pwb->hwb", ("p", "h", "b"), ("p", "w", "b"), ("h", "w", "b")),
+]
+
+# One store for the whole module: structurally identical examples share
+# their skeleton entries exactly as a long-lived daemon's store would.
+_STORE_DIR = tempfile.TemporaryDirectory(prefix="repro-delta-store-")
+STORE = SweepStore(_STORE_DIR.name)
+
+
+def _perturbed(draw, env: DimEnv) -> DimEnv:
+    """A same-named environment with at least one size changed."""
+    sizes = {d: draw(_SIZES) for d in env}
+    if sizes == dict(env):
+        first = next(iter(sizes))
+        sizes[first] += 1
+    return DimEnv(sizes)
+
+
+@st.composite
+def kernel_cases(draw):
+    """A random memory-bound op with base and perturbed sizes."""
+    dims = draw(
+        st.lists(st.sampled_from("abcde"), min_size=2, max_size=3, unique=True)
+    )
+    dims = tuple(dims)
+    env = DimEnv({d: draw(_SIZES) for d in dims})
+    reduce_last = draw(st.booleans())
+    if reduce_last and len(dims) > 1:
+        ispace = IterationSpace(dims[:-1], (dims[-1],))
+        op_class = OpClass.STAT_NORMALIZATION
+    else:
+        ispace = IterationSpace(dims)
+        op_class = OpClass.ELEMENTWISE
+    inputs = [TensorSpec("x", dims)]
+    if draw(st.integers(min_value=0, max_value=1)):
+        inputs.append(TensorSpec("s", (dims[0],)))
+    op = OpSpec(
+        name="k",
+        op_class=op_class,
+        inputs=tuple(inputs),
+        outputs=(TensorSpec("y", dims),),
+        ispace=ispace,
+        flop_per_point=draw(st.sampled_from([0.0, 1.0, 2.0])),
+    )
+    cap = draw(st.sampled_from([None, 5, 17, 50]))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    return op, env, _perturbed(draw, env), cap, seed
+
+
+@st.composite
+def contraction_cases(draw):
+    einsum, da, db, dc = draw(st.sampled_from(_EINSUMS))
+    all_dims = sorted(set(da) | set(db) | set(dc))
+    env = DimEnv({d: draw(_SIZES) for d in all_dims})
+    a = TensorSpec("a", da)
+    b = TensorSpec("b", db)
+    op = contraction_spec("c", einsum, (a.name, b.name), "y")
+    return op, env, _perturbed(draw, env)
+
+
+def _warm_base(op, env, *, cap, seed) -> None:
+    digest = sweep_digest(op, env, COST.gpu, cap=cap, seed=seed)
+    if digest not in STORE:
+        STORE.save(digest, compute_payload(op, env, COST.gpu, cap=cap, seed=seed))
+
+
+def _assert_bit_identical(ref, loaded):
+    assert loaded.num_configs == ref.num_configs
+    assert loaded.times_us() == [m.total_us for m in ref.measurements]
+    for a, b in zip(ref.measurements, loaded.measurements):
+        assert a.config == b.config
+        assert a.time.compute_us == b.time.compute_us
+        assert a.time.memory_us == b.time.memory_us
+        assert a.time.launch_us == b.time.launch_us
+
+
+@settings(max_examples=25, deadline=None)
+@given(kernel_cases())
+def test_kernel_delta_resweep_bit_identical_to_cold(params):
+    op, base, perturbed, cap, seed = params
+    _warm_base(op, base, cap=cap, seed=seed)
+    delta = delta_payload_from_store(
+        op, perturbed, COST.gpu, cap=cap, seed=seed, store=STORE
+    )
+    same_structure = structural_sweep_digest(
+        op, base, COST.gpu, cap=cap, seed=seed
+    ) == structural_sweep_digest(op, perturbed, COST.gpu, cap=cap, seed=seed)
+    if not same_structure:
+        # Size changes may flip whether ``cap`` binds; then the sampled
+        # rows differ and the delta path must refuse, not approximate.
+        assert delta is None
+        return
+    assert delta is not None
+    _assert_bit_identical(
+        sweep_op_reference(op, perturbed, COST, cap=cap, seed=seed),
+        sweep_from_payload(op, delta),
+    )
+    # The rebuilt payload still names the shared structural key (digests
+    # are stamped at save time, under the perturbed problem's exact key).
+    assert delta["structural"] == structural_sweep_digest(
+        op, perturbed, COST.gpu, cap=cap, seed=seed
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(contraction_cases())
+def test_contraction_delta_resweep_bit_identical_to_cold(params):
+    op, base, perturbed = params
+    _warm_base(op, base, cap=2000, seed=0x5EED)
+    delta = delta_payload_from_store(
+        op, perturbed, COST.gpu, cap=2000, seed=0x5EED, store=STORE
+    )
+    # Contraction sweeps are exhaustive (cap/seed-free), so any same-shape
+    # problem is a structural twin: the delta path must always engage.
+    assert delta is not None
+    _assert_bit_identical(
+        sweep_op_reference(op, perturbed, COST),
+        sweep_from_payload(op, delta),
+    )

@@ -375,10 +375,22 @@ class TestServiceMetrics:
         m.record_tier("computed")
         m.record_tier("l1")
         assert m.tier_counts() == {
-            "l1": 2, "coalesced": 0, "l2": 0, "computed": 1,
+            "l1": 2, "coalesced": 0, "l2": 0, "delta": 0, "computed": 1,
         }
         with pytest.raises(ValueError, match="unknown resolve tier"):
             m.record_tier("l7")
+
+    def test_response_kind_counting_and_validation(self):
+        m = ServiceMetrics()
+        m.record_response("json")
+        m.record_response("binary")
+        m.record_response("not_modified")
+        m.record_response("json")
+        assert m.snapshot()["responses"] == {
+            "json": 2, "binary": 1, "not_modified": 1,
+        }
+        with pytest.raises(ValueError, match="unknown response kind"):
+            m.record_response("xml")
 
     def test_window_is_bounded(self):
         from repro.service import metrics as metrics_mod
@@ -438,7 +450,7 @@ class TestTieredResolution:
         svc2 = TuningService(store=SweepStore(tmp_path))
         second = svc2.handle_sweep(body)
         assert svc2.metrics.tier_counts() == {
-            "l1": 0, "coalesced": 0, "l2": 1, "computed": 0,
+            "l1": 0, "coalesced": 0, "l2": 1, "delta": 0, "computed": 0,
         }
         assert canonical_json_bytes(first) == canonical_json_bytes(second)
 
@@ -632,9 +644,269 @@ class TestHTTPServer:
     def test_metrics_endpoint_shape(self, live_service):
         _, client = live_service
         body = client.metrics()
-        assert set(body["resolve_tiers"]) == {"l1", "coalesced", "l2", "computed"}
+        assert set(body["resolve_tiers"]) == {
+            "l1", "coalesced", "l2", "delta", "computed",
+        }
+        assert set(body["responses"]) == {"json", "binary", "not_modified"}
         assert {"led", "coalesced", "inflight"} <= set(body["coalescing"])
         assert body["requests"]  # at least the requests this class issued
+
+# ---------------------------------------------------------------------------
+# ETag revalidation and the packed binary wire path
+# ---------------------------------------------------------------------------
+
+class TestEtagHelpers:
+    def test_json_tag_carries_top_k_binary_tag_does_not(self):
+        from repro.service.protocol import sweep_etag
+
+        assert sweep_etag("abc") == '"abc"'
+        assert sweep_etag("abc", top_k=7) == '"abc.k7"'
+        # Different truncations are different representations.
+        assert sweep_etag("abc", top_k=3) != sweep_etag("abc", top_k=5)
+
+    @pytest.mark.parametrize(
+        "header,matches",
+        [
+            (None, False),
+            ("", False),
+            ('"abc.k3"', True),
+            ('W/"abc.k3"', True),
+            ('"other", "abc.k3"', True),
+            ("*", True),
+            ('"abc.k5"', False),
+            ('"abc"', False),
+        ],
+    )
+    def test_if_none_match_evaluation(self, header, matches):
+        from repro.service.protocol import etag_matches
+
+        assert etag_matches(header, '"abc.k3"') is matches
+
+    @pytest.mark.parametrize(
+        "accept,packed",
+        [
+            (None, False),
+            ("application/json", False),
+            ("application/x-repro-npz", True),
+            ("Application/X-Repro-NPZ", True),
+            ("application/json, application/x-repro-npz;q=0.9", True),
+            ("*/*", False),  # packing is strictly opt-in by exact type
+        ],
+    )
+    def test_accept_negotiation(self, accept, packed):
+        from repro.service.protocol import accepts_packed
+
+        assert accepts_packed(accept) is packed
+
+
+class TestWirePath:
+    def test_revalidation_is_304_with_empty_body(self, live_service):
+        _, client = live_service
+        op, _ = _ops()
+        status, etag, body = client.sweep_conditional(op, ENV, cap=CAP, seed=21)
+        assert status == 200 and etag and body
+        status2, etag2, body2 = client.sweep_conditional(
+            op, ENV, cap=CAP, seed=21, etag=etag
+        )
+        assert (status2, etag2, body2) == (304, etag, b"")
+
+    def test_304_short_circuits_before_resolution(self, live_service):
+        svc, client = live_service
+        op, _ = _ops()
+        _, etag, _ = client.sweep_conditional(op, ENV, cap=CAP, seed=22)
+        before = svc.metrics.tier_counts()
+        status, _, _ = client.sweep_conditional(op, ENV, cap=CAP, seed=22, etag=etag)
+        assert status == 304
+        # No tier was consulted: the revalidation never touched resolution.
+        assert svc.metrics.tier_counts() == before
+
+    def test_stale_etag_gets_a_full_body(self, live_service):
+        _, client = live_service
+        op, _ = _ops()
+        status, _, body = client.sweep_conditional(
+            op, ENV, cap=CAP, seed=23, etag='"not-the-current-tag"'
+        )
+        assert status == 200 and body
+
+    def test_top_k_is_part_of_the_json_representation(self, live_service):
+        _, client = live_service
+        op, _ = _ops()
+        _, etag3, _ = client.sweep_conditional(op, ENV, cap=CAP, seed=24, top_k=3)
+        status, etag5, _ = client.sweep_conditional(
+            op, ENV, cap=CAP, seed=24, top_k=5, etag=etag3
+        )
+        # A tag held for the top-3 body must not validate the top-5 body.
+        assert status == 200 and etag5 != etag3
+
+    def test_packed_decodes_to_the_exact_json_measurements(self, live_service):
+        from repro.engine.sweep import sweep_from_payload
+
+        _, client = live_service
+        op, _ = _ops()
+        served = json.loads(client.sweep_raw(op, ENV, cap=CAP, seed=25))
+        payload = client.sweep_packed(op, ENV, cap=CAP, seed=25)
+        rebuilt = sweep_response_from_sweep(
+            sweep_from_payload(op, payload), digest=served["digest"], top_k=3
+        )
+        assert canonical_json_bytes(rebuilt) == canonical_json_bytes(served)
+
+    def test_packed_bytes_are_the_store_file(self, live_service):
+        svc, client = live_service
+        op, _ = _ops()
+        status, etag, data = client.sweep_packed_raw(op, ENV, cap=CAP, seed=26)
+        assert status == 200
+        digest = etag.strip('"')
+        assert data == svc.store.path_for(digest).read_bytes()
+
+    def test_storeless_pack_matches_streamed_bytes(self, live_service, tmp_path):
+        # The in-memory fallback of a storeless daemon produces the same
+        # bytes the store-streaming daemon serves (deterministic writer).
+        _, client = live_service
+        op, _ = _ops()
+        _, _, streamed = client.sweep_packed_raw(op, ENV, cap=CAP, seed=27)
+        clear_sweep_memo()
+        storeless = TuningService(store=None)
+        with serve_background(storeless) as url:
+            _, _, packed = TuningClient(url).sweep_packed_raw(
+                op, ENV, cap=CAP, seed=27
+            )
+        assert packed == streamed
+
+    def test_corrupt_packed_body_is_rejected_at_decode(self):
+        from repro.service.protocol import payload_from_packed
+
+        with pytest.raises(ProtocolError, match="packed sweep response"):
+            payload_from_packed(b"PK\x03\x04 definitely not an npz")
+
+    def test_packed_digest_mismatch_is_rejected(self, live_service):
+        _, client = live_service
+        op, _ = _ops()
+        from repro.service.protocol import payload_from_packed
+
+        _, _, data = client.sweep_packed_raw(op, ENV, cap=CAP, seed=28)
+        with pytest.raises(ProtocolError, match="failed validation"):
+            payload_from_packed(data, digest="0" * 64)
+
+    def test_response_kinds_are_counted(self, live_service):
+        svc, client = live_service
+        op, _ = _ops()
+        before = svc.metrics.snapshot()["responses"]
+        client.sweep(op, ENV, cap=CAP, seed=29)
+        _, etag, _ = client.sweep_packed_raw(op, ENV, cap=CAP, seed=29)
+        client.sweep_packed_raw(op, ENV, cap=CAP, seed=29, etag=etag)
+        after = svc.metrics.snapshot()["responses"]
+        assert after["json"] - before["json"] == 1
+        assert after["binary"] - before["binary"] == 1
+        assert after["not_modified"] - before["not_modified"] == 1
+
+
+class TestDeltaTier:
+    def test_structural_twin_resolves_via_delta(self, tmp_path):
+        from repro.engine.store import structural_sweep_digest
+
+        op, _ = _ops()
+        store = SweepStore(tmp_path)
+        svc = TuningService(store=store, registry=None)
+        warm = bert_large_dims()
+        perturbed = bert_large_dims(seq=513)
+        svc.handle_sweep(sweep_request_wire(op, warm, cap=CAP, seed=31))
+        assert svc.metrics.tier_counts()["computed"] == 1
+        # Same op structure, different sizes: one structural digest.
+        assert structural_sweep_digest(
+            op, warm, GPU, cap=CAP, seed=31
+        ) == structural_sweep_digest(op, perturbed, GPU, cap=CAP, seed=31)
+        served = svc.handle_sweep(sweep_request_wire(op, perturbed, cap=CAP, seed=31))
+        tiers = svc.metrics.tier_counts()
+        assert tiers["delta"] == 1 and tiers["computed"] == 1
+        assert store.stats()["delta_hits"] == 1
+        # The delta-resolved body is byte-identical to a cold reference.
+        req = parse_sweep_request(sweep_request_wire(op, perturbed, cap=CAP, seed=31))
+        expected = sweep_response_from_sweep(
+            sweep_op_reference(op, perturbed, COST, cap=CAP, seed=31),
+            digest=sweep_request_digest(req),
+            top_k=3,
+        )
+        assert canonical_json_bytes(served) == canonical_json_bytes(expected)
+        # The delta result persisted under its exact digest: a rerun in a
+        # fresh service is a plain L2 hit.
+        clear_sweep_memo()
+        svc2 = TuningService(store=SweepStore(tmp_path), registry=None)
+        svc2.handle_sweep(sweep_request_wire(op, perturbed, cap=CAP, seed=31))
+        assert svc2.metrics.tier_counts()["l2"] == 1
+
+    def test_delta_disabled_falls_back_to_cold(self, tmp_path):
+        from repro.engine import set_delta_enabled
+
+        op, _ = _ops()
+        store = SweepStore(tmp_path)
+        svc = TuningService(store=store, registry=None)
+        svc.handle_sweep(sweep_request_wire(op, bert_large_dims(), cap=CAP, seed=32))
+        set_delta_enabled(False)
+        try:
+            svc.handle_sweep(
+                sweep_request_wire(op, bert_large_dims(seq=513), cap=CAP, seed=32)
+            )
+        finally:
+            set_delta_enabled(None)
+        tiers = svc.metrics.tier_counts()
+        assert tiers["delta"] == 0 and tiers["computed"] == 2
+
+
+class TestClientErrorSurfacing:
+    def _http_error(self, code: int, body: bytes):
+        import io
+        import urllib.error
+
+        return urllib.error.HTTPError(
+            "http://x/v1/register", code, "Bad Request", {}, io.BytesIO(body)
+        )
+
+    def test_json_error_detail_is_surfaced(self):
+        exc = TuningClient._service_error(
+            "/v1/sweep", self._http_error(400, b'{"error": "cap must be positive"}')
+        )
+        assert "cap must be positive" in str(exc)
+        assert exc.status == 400 and exc.body == {"error": "cap must be positive"}
+
+    def test_validation_report_issues_are_summarized(self):
+        body = canonical_json_bytes(
+            {
+                "error": "schedule x failed validation with 2 error(s)",
+                "report": {
+                    "ok": False,
+                    "issues": [
+                        {
+                            "severity": "error",
+                            "validator": "costs",
+                            "code": "total-us",
+                            "message": "claimed 1.0us, recomputed 2.0us",
+                            "op": None,
+                        },
+                        {
+                            "severity": "error",
+                            "validator": "costs",
+                            "code": "chain-us",
+                            "message": "chain cost disagrees",
+                            "op": None,
+                        },
+                    ],
+                },
+            }
+        )
+        exc = TuningClient._service_error("/v1/register", self._http_error(400, body))
+        msg = str(exc)
+        assert "2 issue(s)" in msg
+        assert "costs/total-us: claimed 1.0us, recomputed 2.0us" in msg
+        assert exc.body["report"]["issues"]  # full report still attached
+
+    def test_non_json_error_body_is_carried_truncated(self):
+        exc = TuningClient._service_error(
+            "/v1/sweep", self._http_error(502, b"<html>bad gateway" + b"x" * 1000)
+        )
+        assert "<html>bad gateway" in str(exc)
+        assert len(str(exc)) < 600
+        assert exc.body is None
+
 
 # ---------------------------------------------------------------------------
 # The schedule registry endpoints

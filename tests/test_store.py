@@ -288,7 +288,7 @@ class TestSweepOpIntegration:
         sweep_op(contraction, ENV, COST, cap=100, memo=False)
         assert store.stats() == {
             "entries": 0, "hits": 0, "misses": 0, "saves": 0, "rejected": 0,
-            "evictions": 0,
+            "evictions": 0, "delta_hits": 0,
         }
 
     def test_active_store_resolves_from_env(self, tmp_path, monkeypatch):
@@ -301,7 +301,7 @@ class TestSweepOpIntegration:
     def test_stats_without_store_are_zero(self):
         assert sweep_store_stats() == {
             "entries": 0, "hits": 0, "misses": 0, "saves": 0, "rejected": 0,
-            "evictions": 0,
+            "evictions": 0, "delta_hits": 0,
         }
 
 
@@ -396,6 +396,180 @@ class TestEviction:
             sweep_op_reference(kernel, ENV, COST, cap=40, seed=1),
             sweep_from_payload(kernel, store.load(d2)),
         )
+
+
+class TestStructuralIndex:
+    """The sidecar map from structural digests to exact-digest twins."""
+
+    def _warm(self, store, *, seq=512, cap=100, seed=3):
+        contraction, _ = _ops()
+        env = bert_large_dims(seq=seq)
+        digest = sweep_digest(contraction, env, GPU, cap=cap, seed=seed)
+        structural = store_mod.structural_sweep_digest(
+            contraction, env, GPU, cap=cap, seed=seed
+        )
+        store.save(digest, compute_payload(contraction, env, GPU, cap=cap, seed=seed))
+        return contraction, env, digest, structural
+
+    def test_save_maintains_the_sidecar(self, tmp_path):
+        store = SweepStore(tmp_path)
+        _, _, digest, structural = self._warm(store)
+        assert json.loads(store.index_path.read_text()) == {structural: digest}
+
+    def test_structural_lookup_never_scans_the_directory(self, tmp_path):
+        store = SweepStore(tmp_path)
+        _, _, digest, structural = self._warm(store)
+        # A fresh store object over the same directory resolves purely
+        # through the sidecar file.
+        fresh = SweepStore(tmp_path)
+        payload = fresh.load_structural(structural)
+        assert payload is not None
+        assert payload["structural"] == structural
+        # Skeleton-only: the base times were not deserialized.
+        assert "compute_us" not in payload and "sorted_totals" not in payload
+
+    def test_same_structure_different_sizes_share_one_entry(self, tmp_path):
+        store = SweepStore(tmp_path)
+        _, _, d512, s512 = self._warm(store, seq=512)
+        _, _, d513, s513 = self._warm(store, seq=513)
+        assert s512 == s513 and d512 != d513
+        # Last writer wins: the sidecar points at the newest twin.
+        assert json.loads(store.index_path.read_text()) == {s512: d513}
+
+    def test_eviction_drops_the_sidecar_entry(self, tmp_path):
+        store = SweepStore(tmp_path)
+        contraction, env, digest, structural = self._warm(store)
+        size = store.path_for(digest).stat().st_size
+        import os
+        import time
+
+        bounded = SweepStore(tmp_path, max_bytes=size)
+        os.utime(store.path_for(digest), (time.time() - 300, time.time() - 300))
+        # Saving a structurally different op over budget evicts the old npz
+        # and must drop its sidecar entry with it.
+        _, kernel = _ops()
+        kd = sweep_digest(kernel, ENV, GPU, cap=40, seed=0)
+        bounded.save(kd, compute_payload(kernel, ENV, GPU, cap=40, seed=0))
+        assert not store.path_for(digest).exists()
+        assert structural not in json.loads(store.index_path.read_text())
+        assert bounded.load_structural(structural) is None
+
+    def test_stale_sidecar_entry_self_heals(self, tmp_path):
+        store = SweepStore(tmp_path)
+        _, _, digest, structural = self._warm(store)
+        store.path_for(digest).unlink()  # pruned externally (nightly CI)
+        assert store.load_structural(structural) is None
+        # The dangling mapping was dropped, not retried forever.
+        assert json.loads(store.index_path.read_text()) == {}
+
+    def test_corrupt_twin_is_dropped_not_served(self, tmp_path):
+        store = SweepStore(tmp_path)
+        _, _, digest, structural = self._warm(store)
+        store.path_for(digest).write_bytes(b"garbage")
+        assert store.load_structural(structural) is None
+        assert structural not in json.loads(store.index_path.read_text())
+
+    def test_corrupt_sidecar_degrades_to_empty(self, tmp_path):
+        store = SweepStore(tmp_path)
+        _, _, digest, structural = self._warm(store)
+        store.index_path.write_text("{not json")
+        fresh = SweepStore(tmp_path)
+        assert fresh.load_structural(structural) is None
+        # The exact entry is untouched — the index is a pure accelerator.
+        assert fresh.load(digest) is not None
+
+
+class TestDeltaResweep:
+    """The delta tier: rebuild a perturbed-size payload from a twin."""
+
+    def test_load_or_compute_uses_the_delta_path(self, tmp_path):
+        from repro.engine.sweep import delta_payload_from_store
+
+        contraction, _ = _ops()
+        store = SweepStore(tmp_path)
+        env512 = bert_large_dims(seq=512)
+        env513 = bert_large_dims(seq=513)
+        d512 = sweep_digest(contraction, env512, GPU, cap=100, seed=5)
+        store.save(d512, compute_payload(contraction, env512, GPU, cap=100, seed=5))
+        delta = delta_payload_from_store(
+            contraction, env513, GPU, cap=100, seed=5, store=store
+        )
+        assert delta is not None
+        assert store.stats()["delta_hits"] == 1
+        # Bit-identical to the cold scalar reference at the new sizes.
+        _assert_bit_identical(
+            sweep_op_reference(contraction, env513, COST, cap=100, seed=5),
+            sweep_from_payload(contraction, delta),
+        )
+
+    def test_delta_result_persists_under_the_exact_digest(self, tmp_path):
+        contraction, _ = _ops()
+        store = SweepStore(tmp_path)
+        env512 = bert_large_dims(seq=512)
+        env513 = bert_large_dims(seq=513)
+        d512 = sweep_digest(contraction, env512, GPU, cap=100, seed=6)
+        d513 = sweep_digest(contraction, env513, GPU, cap=100, seed=6)
+        store.save(d512, compute_payload(contraction, env512, GPU, cap=100, seed=6))
+        load_or_compute_payload(contraction, env513, GPU, cap=100, seed=6, store=store)
+        assert store.stats()["delta_hits"] == 1
+        assert store.path_for(d513).exists()
+        # And round-trips exactly through a plain exact-digest load.
+        _assert_bit_identical(
+            sweep_op_reference(contraction, env513, COST, cap=100, seed=6),
+            sweep_from_payload(contraction, store.load(d513)),
+        )
+
+    def test_delta_disabled_by_env_and_override(self, tmp_path, monkeypatch):
+        from repro.engine.sweep import (
+            DELTA_ENV_VAR,
+            delta_enabled,
+            delta_payload_from_store,
+            set_delta_enabled,
+        )
+
+        contraction, _ = _ops()
+        store = SweepStore(tmp_path)
+        env512 = bert_large_dims(seq=512)
+        env513 = bert_large_dims(seq=513)
+        d512 = sweep_digest(contraction, env512, GPU, cap=100, seed=8)
+        store.save(d512, compute_payload(contraction, env512, GPU, cap=100, seed=8))
+        monkeypatch.setenv(DELTA_ENV_VAR, "0")
+        assert not delta_enabled()
+        assert delta_payload_from_store(
+            contraction, env513, GPU, cap=100, seed=8, store=store
+        ) is None
+        set_delta_enabled(True)  # explicit override beats the env var
+        try:
+            assert delta_enabled()
+            assert delta_payload_from_store(
+                contraction, env513, GPU, cap=100, seed=8, store=store
+            ) is not None
+        finally:
+            set_delta_enabled(None)
+
+    def test_knob_change_is_not_a_structural_twin(self, tmp_path):
+        from repro.engine.sweep import delta_payload_from_store
+
+        contraction, kernel = _ops()
+        store = SweepStore(tmp_path)
+        env = bert_large_dims()
+        # A capped kernel sweep's sampled rows depend on (cap, seed), so
+        # those knobs are structural: changing either is a different
+        # problem, not a twin.
+        kd = sweep_digest(kernel, env, GPU, cap=40, seed=9)
+        store.save(kd, compute_payload(kernel, env, GPU, cap=40, seed=9))
+        assert delta_payload_from_store(
+            kernel, env, GPU, cap=40, seed=10, store=store
+        ) is None
+        assert delta_payload_from_store(
+            kernel, env, GPU, cap=20, seed=9, store=store
+        ) is None
+        # The GPU spec is structural for every op class.
+        cd = sweep_digest(contraction, env, GPU, cap=100, seed=9)
+        store.save(cd, compute_payload(contraction, env, GPU, cap=100, seed=9))
+        assert delta_payload_from_store(
+            contraction, env, A100, cap=100, seed=9, store=store
+        ) is None
 
 
 class TestEnvBudget:
