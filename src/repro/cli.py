@@ -37,7 +37,22 @@ Tuning as a service::
 (:mod:`repro.service`); ``query`` asks a running daemon for a whole-graph
 tuned schedule (or its health/metrics).  The daemon shares the L2 sweep
 store with every batch command, so anything a nightly run swept is served
-warm.
+warm.  SIGTERM drains gracefully: the daemon stops accepting, finishes
+in-flight requests within ``--drain-deadline`` seconds (default
+``REPRO_DRAIN_DEADLINE_S`` or 10), and exits 0.
+
+The sharded tuning fleet::
+
+    python -m repro fleet serve --role coordinator --port 8077
+    python -m repro fleet serve --role worker --port 0 \
+        --coordinator-url http://127.0.0.1:8077
+    python -m repro fleet status --url http://127.0.0.1:8077
+
+A coordinator is a full daemon plus ``POST /v1/optimize_batch`` and the
+fleet membership endpoints; workers are plain daemons that register and
+heartbeat (:mod:`repro.service.fleet`).  Retry/quarantine knobs come from
+``REPRO_FLEET_*`` environment variables; ``REPRO_FAULT_SPEC`` arms the
+fault-injection harness (see the README's Fleet section).
 
 Schedule registry::
 
@@ -154,13 +169,63 @@ def _cmd_movement(args) -> None:
     )
 
 
+def _drain_deadline(args) -> float:
+    """``--drain-deadline``, else ``REPRO_DRAIN_DEADLINE_S``, else 10 s."""
+    if getattr(args, "drain_deadline", None) is not None:
+        return args.drain_deadline
+    import os
+
+    raw = os.environ.get("REPRO_DRAIN_DEADLINE_S", "").strip()
+    return float(raw) if raw else 10.0
+
+
+def _serve_until_signaled(
+    server, service, *, name: str, drain_deadline_s: float, cleanup=None
+) -> None:
+    """Serve until SIGINT/SIGTERM, then drain gracefully and exit 0.
+
+    On SIGTERM: readiness flips off (``/readyz`` answers 503, so fleet
+    coordinators and load balancers stop routing here), the accept loop
+    stops, in-flight requests get ``drain_deadline_s`` to finish, and the
+    process prints ``<name>: clean shutdown`` on its way to exit code 0.
+    """
+    import signal
+    import threading
+
+    def _sigterm(signum, frame):  # pragma: no cover - signal plumbing
+        # One-shot: a second TERM during the shutdown path must not
+        # re-enter and spoil the clean exit code.
+        signal.signal(signal.SIGTERM, signal.SIG_IGN)
+        service.begin_drain()
+        # serve_forever blocks *this* thread; shutdown() must be called
+        # from another one or the two deadlock.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _sigterm)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        service.begin_drain()
+    finally:
+        drained = server.drain(drain_deadline_s)
+        server.server_close()
+        if cleanup is not None:
+            cleanup()
+        if not drained:
+            print(
+                f"{name}: drain deadline ({drain_deadline_s}s) expired with "
+                f"{server.inflight()} request(s) in flight",
+                file=sys.stderr,
+            )
+        print(f"{name}: clean shutdown")
+
+
 def _cmd_serve(args) -> None:
     """Run the tuning daemon until interrupted (SIGINT/SIGTERM)."""
-    import signal
-
     from repro.service import TuningService, make_server
 
-    service = TuningService()
+    service = TuningService(warm=False)
+    service.start_warmup()
     server = make_server(service, args.host, args.port)
     host, port = server.server_address[:2]
     store = service.store
@@ -169,21 +234,12 @@ def _cmd_serve(args) -> None:
         f"listening on http://{host}:{port}"
     )
     print(f"sweep store: {store.root if store is not None else 'disabled'}")
-
-    def _sigterm(signum, frame):  # pragma: no cover - signal plumbing
-        # One-shot: a second TERM during the shutdown path must not raise
-        # out of the finally block and spoil the clean exit code.
-        signal.signal(signal.SIGTERM, signal.SIG_IGN)
-        raise KeyboardInterrupt
-
-    signal.signal(signal.SIGTERM, _sigterm)
-    try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        pass
-    finally:
-        server.server_close()
-        print("repro-tuningd: clean shutdown")
+    _serve_until_signaled(
+        server,
+        service,
+        name="repro-tuningd",
+        drain_deadline_s=_drain_deadline(args),
+    )
 
 
 def _cmd_query(args) -> None:
@@ -227,6 +283,159 @@ def _cmd_query(args) -> None:
             f"(chain {sel['chain_cost_us']:.1f} us, "
             f"{len(sel['transposes'])} transposes for {sel['transpose_us']:.1f} us)"
         )
+
+
+def _cmd_fleet_serve(args) -> None:
+    """Run a fleet coordinator or worker daemon until signaled."""
+    from repro.service import TuningService, make_server
+
+    if args.role == "coordinator":
+        from repro.service.fleet.coordinator import (
+            FleetService,
+            make_fleet_server,
+        )
+
+        service = FleetService(warm=False)
+        server = make_fleet_server(service, args.host, args.port)
+    else:
+        service = TuningService(warm=False)
+        server = make_server(service, args.host, args.port)
+    service.start_warmup()
+    host, port = server.server_address[:2]
+    store = service.store
+    print(
+        f"repro-fleetd {args.role} {__version__} "
+        f"(cost model v{COST_MODEL_VERSION}) "
+        f"listening on http://{host}:{port}"
+    )
+    print(f"sweep store: {store.root if store is not None else 'disabled'}")
+
+    agent = None
+    if args.role == "worker":
+        if args.coordinator_url is None:
+            print(
+                "repro fleet serve: a worker needs --coordinator-url",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+        from repro.service.fleet.worker import WorkerAgent
+
+        agent = WorkerAgent(
+            args.coordinator_url,
+            args.advertise_url or f"http://{host}:{port}",
+            worker_id=args.worker_id,
+            service=service,
+        )
+        agent.start()
+        print(f"fleet: registering {agent.worker_id} with {args.coordinator_url}")
+
+    def _cleanup() -> None:
+        if agent is not None:
+            # Tell the coordinator we are leaving so our keys re-route
+            # now instead of after a TTL expiry.
+            agent.stop(deregister=True)
+
+    _serve_until_signaled(
+        server,
+        service,
+        name="repro-fleetd",
+        drain_deadline_s=_drain_deadline(args),
+        cleanup=_cleanup,
+    )
+
+
+def _cmd_fleet_status(args) -> int:
+    """Print a coordinator's fleet view: workers, health, quarantines."""
+    import json
+
+    from repro.service import ServiceError, TuningClient
+
+    client = TuningClient(args.url, timeout=10.0)
+    try:
+        status = client.fleet_status()
+    except ServiceError as exc:
+        print(f"repro fleet status: {exc}", file=sys.stderr)
+        return 2
+    print(json.dumps(status, indent=2, sort_keys=True))
+    counts = status.get("counts", {})
+    print(
+        f"# {counts.get('ready', 0)}/{counts.get('registered', 0)} workers "
+        f"ready ({counts.get('quarantined', 0)} quarantined)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _fleet_main(argv: list[str]) -> int:
+    """``repro fleet <serve|status>`` — its own parser, shared options."""
+    parser = argparse.ArgumentParser(
+        prog="repro fleet",
+        description="Run or inspect the sharded tuning fleet.",
+    )
+    sub = parser.add_subparsers(dest="fleet_command", required=True)
+
+    serve = sub.add_parser(
+        "serve", help="run a coordinator or worker daemon"
+    )
+    serve.add_argument(
+        "--role", choices=("coordinator", "worker"), default="coordinator",
+        help="what this daemon is (default: coordinator)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=DEFAULT_PORT,
+        help=f"bind port (default {DEFAULT_PORT}; 0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--coordinator-url", default=None, metavar="URL",
+        help="worker: coordinator to register with (required for workers)",
+    )
+    serve.add_argument(
+        "--worker-id", default=None, metavar="ID",
+        help="worker: stable identity on the hash ring "
+             "(default: a random worker-<hex> id)",
+    )
+    serve.add_argument(
+        "--advertise-url", default=None, metavar="URL",
+        help="worker: URL to announce to the coordinator "
+             "(default: the bound http://host:port)",
+    )
+    serve.add_argument(
+        "--sweep-store", default=None, metavar="DIR",
+        help="persistent sweep store directory "
+             "(default: REPRO_SWEEP_STORE or disabled)",
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for cold sweeps (default: REPRO_JOBS)",
+    )
+    serve.add_argument(
+        "--drain-deadline", type=float, default=None, metavar="S",
+        help="SIGTERM: seconds to let in-flight requests finish "
+             "(default: REPRO_DRAIN_DEADLINE_S or 10)",
+    )
+
+    status = sub.add_parser(
+        "status", help="print a coordinator's fleet state"
+    )
+    status.add_argument(
+        "--url", default=f"http://127.0.0.1:{DEFAULT_PORT}",
+        help="base URL of a running coordinator",
+    )
+
+    args = parser.parse_args(argv)
+    if args.fleet_command == "status":
+        return _cmd_fleet_status(args)
+    if args.sweep_store is not None:
+        from repro.engine import set_sweep_store
+
+        set_sweep_store(args.sweep_store)
+    if args.jobs is not None:
+        from repro.engine import set_default_jobs
+
+        set_default_jobs(args.jobs)
+    _cmd_fleet_serve(args)
+    return 0
 
 
 def _resolve_registry(args):
@@ -334,6 +543,12 @@ _COMMANDS = {
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # ``fleet`` has subcommands of its own (serve/status), which the flat
+    # single-positional parser below cannot express — dispatch it first.
+    if argv and argv[0] == "fleet":
+        return _fleet_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce 'Data Movement Is All You Need' (MLSys 2021).",
@@ -383,6 +598,11 @@ def main(argv: list[str] | None = None) -> int:
     service.add_argument(
         "--url", default=f"http://127.0.0.1:{DEFAULT_PORT}",
         help="query: base URL of a running daemon",
+    )
+    service.add_argument(
+        "--drain-deadline", type=float, default=None, metavar="S",
+        help="serve: SIGTERM drain — seconds to let in-flight requests "
+             "finish (default: REPRO_DRAIN_DEADLINE_S or 10)",
     )
     service.add_argument(
         "--health", action="store_true", help="query: print /healthz and exit"

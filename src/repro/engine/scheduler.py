@@ -41,7 +41,13 @@ from .memo import memo_get, memo_key, memo_put
 from .store import SweepStore, compute_payload, get_sweep_store, sweep_digest
 from .sweep import delta_payload_from_store, sweep_from_payload, sweep_op
 
-__all__ = ["DISABLE_STORE", "sweep_graph", "resolve_jobs", "set_default_jobs"]
+__all__ = [
+    "DISABLE_STORE",
+    "graph_sweep_jobs",
+    "resolve_jobs",
+    "set_default_jobs",
+    "sweep_graph",
+]
 
 #: Environment variable giving the default worker count (CLI: ``--jobs``).
 JOBS_ENV_VAR = "REPRO_JOBS"
@@ -156,6 +162,34 @@ def _compute_payloads(
                 stacklevel=3,
             )
     return [compute_payload(op, env, gpu, cap=cap, seed=seed) for op in ops]
+
+
+def graph_sweep_jobs(
+    graph: DataflowGraph,
+    env: DimEnv,
+    gpu: GPUSpec,
+    *,
+    cap: int | None = 2000,
+    seed: int = 0x5EED,
+) -> tuple[dict[str, str], dict[str, OpSpec]]:
+    """Decompose a graph into its deduplicated per-op sweep jobs.
+
+    Returns ``(op_digests, representatives)``: every non-view operator
+    mapped to its store digest, and one representative operator per
+    distinct digest (in graph order).  This is the same digest-level
+    dedup :func:`sweep_graph` performs before evaluating — exposed so the
+    fleet coordinator can shard exactly the jobs a local run would have
+    evaluated, one wire request per *distinct* digest.
+    """
+    op_digests: dict[str, str] = {}
+    representatives: dict[str, OpSpec] = {}
+    for op in graph.ops:
+        if op.is_view:
+            continue
+        digest = sweep_digest(op, env, gpu, cap=cap, seed=seed)
+        op_digests[op.name] = digest
+        representatives.setdefault(digest, op)
+    return op_digests, representatives
 
 
 def sweep_graph(

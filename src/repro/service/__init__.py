@@ -23,7 +23,15 @@ consumer was a batch process.  This package turns the engine into a
   with a background revalidation loop surfaced in ``/metrics``),
   ``GET /healthz``, ``GET /metrics``.
 * :mod:`repro.service.client` — a stdlib ``urllib`` client, used by the
-  ``repro serve`` / ``repro query`` CLI pair.
+  ``repro serve`` / ``repro query`` CLI pair, with bounded
+  exponential-backoff retry for transient transport failures on
+  idempotent requests.
+* :mod:`repro.service.fleet` — the fault-tolerant sharded fleet: a
+  coordinator that consistent-hashes sweep digests across registered
+  worker daemons (``POST /v1/optimize_batch``) with per-request
+  deadlines, retry-with-exclusion and quarantine, degrading to the
+  local engine when the fleet drains; plus the ``REPRO_FAULT_SPEC``
+  fault-injection harness the chaos suite drives.
 
 Responses are canonical JSON (sorted keys, fixed separators) built from
 engine payloads, so every client of a warm digest receives byte-identical

@@ -9,6 +9,7 @@ methods parse JSON for human consumers.
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
@@ -23,12 +24,30 @@ from .protocol import (
     DEFAULT_SWEEP_CAP,
     DEFAULT_TOP_K,
     canonical_json_bytes,
+    fleet_heartbeat_wire,
+    fleet_register_wire,
     optimize_request_wire,
     payload_from_packed,
     sweep_request_wire,
 )
 
 __all__ = ["ServiceError", "TuningClient"]
+
+#: POST paths that are safe to retry on a transient transport failure:
+#: sweeps/optimizations are pure functions of the request (content-
+#: addressed by design), and fleet register/heartbeat are idempotent
+#: lease refreshes.  ``/v1/register`` is deliberately absent — retrying a
+#: registration that may have landed double-counts registry lifecycle
+#: metrics.
+_IDEMPOTENT_POSTS = frozenset(
+    {
+        "/v1/sweep",
+        "/v1/optimize",
+        "/v1/optimize_batch",
+        "/v1/fleet/register",
+        "/v1/fleet/heartbeat",
+    }
+)
 
 
 class ServiceError(RuntimeError):
@@ -48,19 +67,40 @@ class ServiceError(RuntimeError):
 
 
 class TuningClient:
-    """Talk to one tuning daemon at ``base_url``."""
+    """Talk to one tuning daemon at ``base_url``.
 
-    def __init__(self, base_url: str, *, timeout: float = 60.0) -> None:
+    Transient transport failures (connection refused/reset while a daemon
+    restarts, a half-open socket from a crashed peer) are retried with
+    capped exponential backoff + jitter — but only for requests that are
+    safe to repeat: GETs and the idempotent POSTs in
+    :data:`_IDEMPOTENT_POSTS`.  HTTP error *responses* are never retried
+    (the daemon answered; repeating won't change its mind), and
+    ``retries=0`` disables the loop entirely — the fleet coordinator does
+    that, because its retries must move to a different worker instead.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        timeout: float = 60.0,
+        retries: int = 2,
+        backoff_s: float = 0.1,
+        backoff_cap_s: float = 2.0,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = max(0, retries)
+        self.backoff_s = backoff_s
+        self.backoff_cap_s = backoff_cap_s
 
     # -- transport -----------------------------------------------------------
-    def _raw(
+    def _raw_once(
         self,
         path: str,
-        body: dict | None = None,
+        body: dict | None,
         *,
-        headers: dict[str, str] | None = None,
+        headers: dict[str, str] | None,
     ) -> tuple[int, dict[str, str], bytes]:
         """One round trip: ``(status, response headers, body bytes)``.
 
@@ -68,7 +108,9 @@ class TuningClient:
         byte-identity and payload-size checks this client backs are
         meaningless if a transparent proxy re-compresses the body.  A
         ``304 Not Modified`` is a successful revalidation, returned as
-        ``(304, headers, b"")`` rather than raised.
+        ``(304, headers, b"")`` rather than raised.  Transport-level
+        failures (``URLError``/``ConnectionResetError``/timeouts)
+        propagate raw for :meth:`_raw` to classify.
         """
         url = f"{self.base_url}{path}"
         data = None if body is None else canonical_json_bytes(body)
@@ -90,8 +132,46 @@ class TuningClient:
             if exc.code == 304:
                 return 304, dict(exc.headers), b""
             raise self._service_error(path, exc) from exc
+        except TimeoutError:
+            # Distinguishable from connection failures: a deadline blown
+            # mid-read is never retried here (the work may still be
+            # running server-side; the caller owns that policy).
+            raise
         except urllib.error.URLError as exc:
-            raise ServiceError(f"cannot reach {url}: {exc.reason}") from exc
+            if isinstance(exc.reason, TimeoutError):
+                raise TimeoutError(
+                    f"{url} timed out after {self.timeout}s"
+                ) from exc
+            raise
+
+    def _raw(
+        self,
+        path: str,
+        body: dict | None = None,
+        *,
+        headers: dict[str, str] | None = None,
+    ) -> tuple[int, dict[str, str], bytes]:
+        """:meth:`_raw_once` plus bounded retry for transient failures."""
+        retryable = body is None or path in _IDEMPOTENT_POSTS
+        attempts = 1 + (self.retries if retryable else 0)
+        last: Exception | None = None
+        for attempt in range(attempts):
+            if attempt:
+                delay = min(
+                    self.backoff_cap_s, self.backoff_s * 2 ** (attempt - 1)
+                )
+                time.sleep(delay * (0.5 + random.random()))
+            try:
+                return self._raw_once(path, body, headers=headers)
+            except TimeoutError:
+                raise
+            except (urllib.error.URLError, ConnectionResetError) as exc:
+                last = exc
+        reason = getattr(last, "reason", last)
+        raise ServiceError(
+            f"cannot reach {self.base_url}{path} "
+            f"after {attempts} attempt(s): {reason}"
+        ) from last
 
     @staticmethod
     def _service_error(path: str, exc: urllib.error.HTTPError) -> "ServiceError":
@@ -145,6 +225,16 @@ class TuningClient:
     # -- endpoints -----------------------------------------------------------
     def healthz(self) -> dict:
         return self._request_json("/healthz")
+
+    def readyz(self) -> tuple[bool, dict]:
+        """Readiness: ``(ready, detail)``; a 503 is an answer, not an error."""
+        try:
+            status, _, data = self._raw("/readyz")
+        except ServiceError as exc:
+            if exc.status == 503 and exc.body is not None:
+                return False, exc.body
+            raise
+        return status == 200, json.loads(data)
 
     def metrics(self) -> dict:
         return self._request_json("/metrics")
@@ -276,6 +366,95 @@ class TuningClient:
             ),
         )
 
+    def optimize_raw(
+        self,
+        *,
+        model: str = "encoder",
+        qkv_fusion: str = "qkv",
+        include_backward: bool = True,
+        fused: bool = True,
+        env: DimEnv | None = None,
+        gpu: GPUSpec = V100,
+        cap: int | None = DEFAULT_OPTIMIZE_CAP,
+        seed: int = 0x5EED,
+    ) -> bytes:
+        """The exact ``/v1/optimize`` response bytes (for identity checks)."""
+        return self._request(
+            "/v1/optimize",
+            optimize_request_wire(
+                model=model,
+                qkv_fusion=qkv_fusion,
+                include_backward=include_backward,
+                fused=fused,
+                env=env,
+                gpu=gpu,
+                cap=cap,
+                seed=seed,
+            ),
+        )
+
+    def optimize_batch_raw(
+        self,
+        *,
+        model: str = "encoder",
+        qkv_fusion: str = "qkv",
+        include_backward: bool = True,
+        fused: bool = True,
+        env: DimEnv | None = None,
+        gpu: GPUSpec = V100,
+        cap: int | None = DEFAULT_OPTIMIZE_CAP,
+        seed: int = 0x5EED,
+    ) -> bytes:
+        """The exact ``/v1/optimize_batch`` (coordinator) response bytes.
+
+        The body schema — and, by the chaos suite's acceptance criterion,
+        the exact bytes — match :meth:`optimize_raw` for the same request;
+        only the evaluation is sharded across the fleet.
+        """
+        return self._request(
+            "/v1/optimize_batch",
+            optimize_request_wire(
+                model=model,
+                qkv_fusion=qkv_fusion,
+                include_backward=include_backward,
+                fused=fused,
+                env=env,
+                gpu=gpu,
+                cap=cap,
+                seed=seed,
+            ),
+        )
+
+    def optimize_batch(self, **kwargs) -> dict:
+        """A whole-graph tuned schedule from the fleet coordinator."""
+        return json.loads(self.optimize_batch_raw(**kwargs))
+
+    # -- fleet membership ------------------------------------------------------
+    def fleet_register(
+        self, *, worker_id: str, url: str, ready: bool = False
+    ) -> dict:
+        """Announce one worker to a coordinator; returns the lease terms."""
+        return self._request_json(
+            "/v1/fleet/register",
+            fleet_register_wire(worker_id=worker_id, url=url, ready=ready),
+        )
+
+    def fleet_heartbeat(self, *, worker_id: str, ready: bool) -> dict:
+        """Renew one worker lease (404 → the coordinator forgot us)."""
+        return self._request_json(
+            "/v1/fleet/heartbeat",
+            fleet_heartbeat_wire(worker_id=worker_id, ready=ready),
+        )
+
+    def fleet_deregister(self, *, worker_id: str) -> dict:
+        return self._request_json(
+            "/v1/fleet/deregister", {"worker_id": worker_id}
+        )
+
+    def fleet_status(self) -> dict:
+        """Coordinator fleet state: per-worker health, quarantines, knobs."""
+        return self._request_json("/v1/fleet/status")
+
     def register(
         self,
         *,
@@ -316,14 +495,34 @@ class TuningClient:
         """Fetch one registered schedule entry by content digest."""
         return self._request_json(f"/v1/schedule/{digest}")
 
-    def wait_until_ready(self, *, timeout: float = 30.0, interval: float = 0.1) -> dict:
-        """Poll ``/healthz`` until the daemon answers (or raise)."""
+    def wait_until_ready(
+        self,
+        *,
+        timeout: float = 30.0,
+        interval: float = 0.1,
+        readiness: bool = False,
+    ) -> dict:
+        """Poll until the daemon answers (or raise).
+
+        ``readiness=False`` (the default) polls ``/healthz`` — liveness,
+        the historical behavior.  ``readiness=True`` polls ``/readyz``
+        and also waits for it to answer 200: store reachable, engine
+        warm-up done, not draining.
+        """
         deadline = time.monotonic() + timeout
-        last: Exception | None = None
+        last: object = None
         while time.monotonic() < deadline:
             try:
-                return self.healthz()
+                if readiness:
+                    ok, detail = self.readyz()
+                    if ok:
+                        return detail
+                    last = detail
+                else:
+                    return self.healthz()
             except ServiceError as exc:
                 last = exc
-                time.sleep(interval)
-        raise ServiceError(f"daemon at {self.base_url} not ready after {timeout}s: {last}")
+            time.sleep(interval)
+        raise ServiceError(
+            f"daemon at {self.base_url} not ready after {timeout}s: {last}"
+        )

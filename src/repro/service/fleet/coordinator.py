@@ -1,0 +1,395 @@
+"""The fleet coordinator: shard sweeps across workers, survive their faults.
+
+:class:`FleetService` extends the single-node :class:`TuningService` with
+``POST /v1/optimize_batch``: the request graph is decomposed into the same
+deduplicated per-op sweep jobs a local :func:`sweep_graph` run would
+evaluate (one job per *distinct* store digest), and each job is routed by
+consistent-hashing its digest — which is also the wire key and the L2
+store key — onto the registered workers.  Identical jobs land on the same
+worker's warm caches no matter which request carried them.
+
+Failure semantics (the point of this module):
+
+* every remote fetch has a hard deadline (``REPRO_FLEET_DEADLINE_S``);
+* a worker that times out, errors, resets the connection, or returns a
+  payload failing digest verification is **quarantined** for
+  ``REPRO_FLEET_QUARANTINE_S`` and the job retried on the next worker in
+  the ring's failover order — capped exponential backoff with jitter
+  between attempts (``REPRO_FLEET_ATTEMPTS``, ``REPRO_FLEET_BACKOFF_S``,
+  ``REPRO_FLEET_BACKOFF_CAP_S``);
+* when no eligible worker remains (all quarantined, dead, or unready) the
+  job falls back to the coordinator's **local engine** — graceful
+  degradation: a computable request is never answered with a 5xx.
+
+Byte-identity: worker responses are the packed store payloads, validated
+against the job digest on arrival; the response body is assembled by the
+same pure functions ``/v1/optimize`` uses (same request digest, same
+selection, same canonical serialization).  The chaos suite pins that a
+batch answered through any mix of remote, retried, and locally-recovered
+jobs is byte-for-byte the single-node response.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from time import perf_counter
+
+from repro.engine.scheduler import graph_sweep_jobs
+from repro.engine.store import compute_payload
+from repro.engine.sweep import sweep_from_payload
+from repro.hardware.cost_model import CostModel
+
+from ..protocol import (
+    ProtocolError,
+    build_request_graph,
+    optimize_request_digest,
+    optimize_response_from_sweeps,
+    parse_fleet_heartbeat,
+    parse_fleet_register,
+    parse_optimize_request,
+    payload_from_packed,
+)
+from ..server import (
+    MAX_OPTIMIZE_CAP,
+    NotFoundError,
+    TuningService,
+    _Handler,
+    make_server,
+)
+from .hashring import HashRing
+from .registry import DEFAULT_TTL_S, WorkerRegistry
+
+__all__ = ["FleetService", "make_fleet_server"]
+
+#: Concurrent remote fetches per batch request (not per daemon).
+DEFAULT_FAN_OUT = 8
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be a number, got {raw!r}") from None
+
+
+class FleetService(TuningService):
+    """A tuning daemon that also coordinates a worker fleet.
+
+    Every single-node endpoint keeps working (the coordinator *is* a full
+    daemon — that is what the local-engine fallback runs on); the fleet
+    endpoints are layered on top.
+    """
+
+    def __init__(
+        self,
+        *,
+        ttl_s: float | None = None,
+        deadline_s: float | None = None,
+        attempts: int | None = None,
+        backoff_s: float | None = None,
+        backoff_cap_s: float | None = None,
+        quarantine_s: float | None = None,
+        fan_out: int = DEFAULT_FAN_OUT,
+        **kwargs,
+    ) -> None:
+        super().__init__(**kwargs)
+        if deadline_s is None:
+            deadline_s = _env_float("REPRO_FLEET_DEADLINE_S", 30.0)
+        if attempts is None:
+            attempts = int(_env_float("REPRO_FLEET_ATTEMPTS", 4))
+        if backoff_s is None:
+            backoff_s = _env_float("REPRO_FLEET_BACKOFF_S", 0.05)
+        if backoff_cap_s is None:
+            backoff_cap_s = _env_float("REPRO_FLEET_BACKOFF_CAP_S", 1.0)
+        if quarantine_s is None:
+            quarantine_s = _env_float("REPRO_FLEET_QUARANTINE_S", 30.0)
+        if ttl_s is None:
+            ttl_s = _env_float("REPRO_FLEET_TTL_S", DEFAULT_TTL_S)
+        if attempts < 1:
+            raise ValueError("attempts must be at least 1")
+        self.deadline_s = deadline_s
+        self.attempts = attempts
+        self.backoff_s = backoff_s
+        self.backoff_cap_s = backoff_cap_s
+        self.quarantine_s = quarantine_s
+        self.fan_out = max(1, fan_out)
+        self.workers = WorkerRegistry(ttl_s=ttl_s)
+        self._ring_lock = threading.Lock()
+        self._ring: HashRing | None = None
+        self._ring_generation = -1
+
+    # -- routing ----------------------------------------------------------------
+    def _current_ring(self) -> HashRing:
+        """The ring over *registered* workers, rebuilt per membership change.
+
+        Quarantine/readiness never rebuild: they are walk-time exclusions,
+        so a benched worker's keys spill to its ring successors and come
+        home the moment it is eligible again — no other key moves.
+        """
+        generation, ids = self.workers.membership()
+        with self._ring_lock:
+            if self._ring is None or self._ring_generation != generation:
+                self._ring = HashRing(ids)
+                self._ring_generation = generation
+            return self._ring
+
+    def _pick_worker(
+        self, digest: str, excluded: set[str]
+    ) -> tuple[str, str] | None:
+        """The first eligible ``(worker_id, url)`` for a digest, or None."""
+        ring = self._current_ring()
+        eligible = self.workers.eligible()
+        ineligible = {n for n in ring.nodes() if n not in eligible} | excluded
+        worker_id = ring.node_for(digest, exclude=ineligible)
+        if worker_id is None:
+            return None
+        return worker_id, eligible[worker_id].url
+
+    # -- one sharded sweep job ---------------------------------------------------
+    def _fleet_payload(self, digest: str, op, req) -> dict:
+        """One job's payload: remote with retry-with-exclusion, else local.
+
+        ``excluded`` is per-job: a worker benched for this digest still
+        serves other digests until its quarantine actually lands (which it
+        does, immediately after, via the registry) — but within this job
+        it is never asked twice.
+        """
+        from ..client import ServiceError, TuningClient
+
+        excluded: set[str] = set()
+        for attempt in range(1, self.attempts + 1):
+            picked = self._pick_worker(digest, excluded)
+            if picked is None:
+                break  # fleet drained for this key: degrade locally
+            worker_id, url = picked
+            self.workers.record(worker_id, "dispatched")
+            reason = None
+            try:
+                # retries=0: the coordinator *is* the retry loop, and its
+                # retries must move to the next worker, not hammer a dead one.
+                client = TuningClient(url, timeout=self.deadline_s, retries=0)
+                _, _, data = client.sweep_packed_raw(
+                    op, req.env, req.gpu, cap=req.cap, seed=req.seed
+                )
+                payload = payload_from_packed(data, digest=digest)
+            except ProtocolError:
+                # Transport said 200 but the bytes fail digest/structure
+                # verification: the worker is lying or sick — bench it.
+                reason = "corrupt"
+            except TimeoutError:
+                reason = "timeout"  # socket timed out mid-read
+            except ServiceError as exc:
+                reason = "timeout" if "timed out" in str(exc).lower() else "error"
+            except OSError:
+                reason = "error"  # connection reset: a worker died mid-send
+            else:
+                self.workers.record(worker_id, "ok")
+                self.metrics.record_fleet("job_remote")
+                return payload
+            self.workers.record(worker_id, reason)
+            self.workers.quarantine(worker_id, self.quarantine_s, reason)
+            self.metrics.record_fleet("quarantine")
+            excluded.add(worker_id)
+            if attempt < self.attempts:
+                self.metrics.record_fleet("retry")
+                delay = min(
+                    self.backoff_cap_s, self.backoff_s * 2 ** (attempt - 1)
+                )
+                time.sleep(delay * (0.5 + random.random()))
+        # Graceful degradation: the coordinator's own engine computes the
+        # identical payload (same digest, same deterministic evaluation).
+        self.metrics.record_fleet("job_local_fallback")
+        return compute_payload(op, req.env, req.gpu, cap=req.cap, seed=req.seed)
+
+    def _fleet_sweeps(self, graph, req) -> dict:
+        """Sweep a graph through the fleet; keyed by op name.
+
+        The job list is the scheduler's own dedup decomposition
+        (:func:`graph_sweep_jobs`), so the fleet evaluates exactly what a
+        local run would — once per distinct digest — and each job still
+        rides the coordinator's full L1/L2 tier chain (a warm store never
+        touches the network).
+        """
+        op_digests, reps = graph_sweep_jobs(
+            graph, req.env, req.gpu, cap=req.cap, seed=req.seed
+        )
+
+        def _one(item: tuple[str, object]) -> tuple[str, dict]:
+            digest, op = item
+            payload = self._resolve(
+                digest, lambda: self._fleet_payload(digest, op, req)
+            )
+            return digest, payload
+
+        items = list(reps.items())
+        payloads: dict[str, dict] = {}
+        if len(items) <= 1:
+            payloads.update(_one(item) for item in items)
+        else:
+            with ThreadPoolExecutor(
+                max_workers=min(self.fan_out, len(items))
+            ) as pool:
+                payloads.update(pool.map(_one, items))
+        # Rebuild each op's sweep from its *own* spec: deduplicated ops
+        # share a payload but keep their names (exactly like sweep_graph).
+        ops_by_name = {op.name: op for op in graph.ops if not op.is_view}
+        return {
+            name: sweep_from_payload(ops_by_name[name], payloads[digest])
+            for name, digest in op_digests.items()
+        }
+
+    # -- endpoints ----------------------------------------------------------------
+    def handle_optimize_batch(self, body: dict) -> dict:
+        """``/v1/optimize`` semantics, sharded: byte-identical responses.
+
+        Same parse, same request digest, same guard, same response
+        assembly as :meth:`handle_optimize` — only the per-op sweep
+        evaluation is distributed (and survives worker faults).
+        """
+        req = parse_optimize_request(body)
+        if req.cap is None or req.cap > MAX_OPTIMIZE_CAP:
+            raise ProtocolError(
+                f"optimize_batch requires a cap of at most {MAX_OPTIMIZE_CAP} "
+                "(whole graphs contain kernels with ~1e10-config spaces)"
+            )
+        digest = optimize_request_digest(req)
+        self.metrics.record_fleet("batch")
+
+        def _compute() -> dict:
+            from repro.configsel.chain import ChainError
+            from repro.configsel.selector import select_configurations
+            from repro.configsel.sssp import SSSPError
+
+            graph = build_request_graph(req)
+            cost = CostModel(req.gpu)
+            t0 = perf_counter()
+            sweeps = self._fleet_sweeps(graph, req)
+            sweep_s = perf_counter() - t0
+            t0 = perf_counter()
+            try:
+                selection = select_configurations(
+                    graph, req.env, cost, sweeps=sweeps, cap=req.cap
+                )
+            except (SSSPError, ChainError):
+                selection = None
+            select_s = perf_counter() - t0
+            self.metrics.record_optimize_breakdown(sweep_s, select_s)
+            self._bound_engine_memo()
+            return optimize_response_from_sweeps(
+                graph, sweeps, digest=digest, selection=selection
+            )
+
+        return self._resolve(digest, _compute, use_store=False)
+
+    def handle_fleet_register(self, body: dict) -> dict:
+        worker_id, url, ready = parse_fleet_register(body)
+        self.workers.register(worker_id, url, ready=ready)
+        self._current_ring()  # fold the membership change in eagerly
+        return {
+            "worker_id": worker_id,
+            "registered": True,
+            "ttl_s": self.workers.ttl_s,
+            "heartbeat_s": self.workers.ttl_s / 3.0,
+            "workers": self.workers.counts(),
+        }
+
+    def handle_fleet_heartbeat(self, body: dict) -> dict:
+        worker_id, ready = parse_fleet_heartbeat(body)
+        info = self.workers.heartbeat(worker_id, ready=ready)
+        if info is None:
+            # 404 tells the agent to re-register (coordinator restarted, or
+            # the lease was pruned after a long silence).
+            raise NotFoundError(f"unknown worker {worker_id!r}; re-register")
+        return {
+            "worker_id": worker_id,
+            "ttl_s": self.workers.ttl_s,
+            "ready": info.ready,
+            "quarantined": info.quarantined(time.time()),
+        }
+
+    def handle_fleet_deregister(self, body: dict) -> dict:
+        if not isinstance(body, dict) or not isinstance(
+            body.get("worker_id"), str
+        ):
+            raise ProtocolError("deregister requires a worker_id string")
+        worker_id = body["worker_id"]
+        return {
+            "worker_id": worker_id,
+            "deregistered": self.workers.deregister(worker_id),
+        }
+
+    def fleet_status(self) -> dict:
+        """The ``/v1/fleet/status`` body (and ``repro fleet status``)."""
+        return {
+            "role": "coordinator",
+            "config": {
+                "ttl_s": self.workers.ttl_s,
+                "deadline_s": self.deadline_s,
+                "attempts": self.attempts,
+                "backoff_s": self.backoff_s,
+                "backoff_cap_s": self.backoff_cap_s,
+                "quarantine_s": self.quarantine_s,
+                "fan_out": self.fan_out,
+            },
+            "counts": self.workers.counts(),
+            "workers": self.workers.snapshot(),
+        }
+
+    def metrics_body(self) -> dict:
+        body = super().metrics_body()
+        body["fleet"]["counts"] = self.workers.counts()
+        body["fleet"]["workers"] = self.workers.snapshot()
+        return body
+
+
+class _FleetHandler(_Handler):
+    """The single-node routes plus the coordinator's fleet endpoints."""
+
+    service: FleetService
+
+    def _route_get(self, path: str) -> bool:
+        if path == "/v1/fleet/status":
+            self._run("/v1/fleet/status", self.service.fleet_status)
+            return True
+        return super()._route_get(path)
+
+    def _route_post(self, path: str) -> bool:
+        if path == "/v1/optimize_batch":
+            self._run(
+                "/v1/optimize_batch",
+                lambda: self.service.handle_optimize_batch(self._read_body()),
+            )
+            return True
+        if path == "/v1/fleet/register":
+            self._run(
+                "/v1/fleet/register",
+                lambda: self.service.handle_fleet_register(self._read_body()),
+            )
+            return True
+        if path == "/v1/fleet/heartbeat":
+            self._run(
+                "/v1/fleet/heartbeat",
+                lambda: self.service.handle_fleet_heartbeat(self._read_body()),
+            )
+            return True
+        if path == "/v1/fleet/deregister":
+            self._run(
+                "/v1/fleet/deregister",
+                lambda: self.service.handle_fleet_deregister(self._read_body()),
+            )
+            return True
+        return super()._route_post(path)
+
+
+def make_fleet_server(
+    service: FleetService, host: str = "127.0.0.1", port: int = 0
+):
+    """Bind a threaded HTTP server exposing the coordinator's routes."""
+    return make_server(service, host, port, handler_cls=_FleetHandler)

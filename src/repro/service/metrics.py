@@ -18,7 +18,13 @@ import threading
 import time
 from collections import deque
 
-__all__ = ["ServiceMetrics", "RESOLVE_TIERS", "RESPONSE_KINDS", "REGISTRY_EVENTS"]
+__all__ = [
+    "ServiceMetrics",
+    "FLEET_EVENTS",
+    "RESOLVE_TIERS",
+    "RESPONSE_KINDS",
+    "REGISTRY_EVENTS",
+]
 
 #: Where a request's sweep was resolved, cheapest tier first.  ``delta``
 #: counts requests whose exact digest missed L2 but whose payload was
@@ -41,6 +47,19 @@ REGISTRY_EVENTS = (
     "served",
     "revalidate_pass",
     "revalidate_fail",
+)
+
+#: Fleet coordination events: whole ``/v1/optimize_batch`` requests,
+#: per-job outcomes (served by a worker vs. recovered on the local
+#: engine), dispatch retries, and quarantine verdicts.  The chaos suite
+#: asserts on these — a killed worker must show up as quarantine +
+#: retry, never as a changed response body.
+FLEET_EVENTS = (
+    "batch",
+    "job_remote",
+    "job_local_fallback",
+    "retry",
+    "quarantine",
 )
 
 #: Latency samples retained per endpoint.
@@ -73,6 +92,7 @@ class ServiceMetrics:
         self._optimize_select_ms = 0.0
         self._registry_events: dict[str, int] = {e: 0 for e in REGISTRY_EVENTS}
         self._last_revalidation: dict | None = None
+        self._fleet_events: dict[str, int] = {e: 0 for e in FLEET_EVENTS}
 
     # -- recording -----------------------------------------------------------
     def record_request(self, endpoint: str, latency_s: float) -> None:
@@ -114,6 +134,14 @@ class ServiceMetrics:
         with self._lock:
             self._registry_events[event] += 1
 
+    def record_fleet(self, event: str) -> None:
+        if event not in self._fleet_events:
+            raise ValueError(
+                f"unknown fleet event {event!r}; known: {FLEET_EVENTS}"
+            )
+        with self._lock:
+            self._fleet_events[event] += 1
+
     def record_revalidation(self, summary: dict) -> None:
         """Remember the latest background-revalidation sweep's outcome."""
         with self._lock:
@@ -123,6 +151,10 @@ class ServiceMetrics:
     def registry_counts(self) -> dict[str, int]:
         with self._lock:
             return dict(self._registry_events)
+
+    def fleet_counts(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._fleet_events)
 
     def tier_counts(self) -> dict[str, int]:
         with self._lock:
@@ -163,4 +195,5 @@ class ServiceMetrics:
                     "events": dict(self._registry_events),
                     "last_revalidation": self._last_revalidation,
                 },
+                "fleet": {"events": dict(self._fleet_events)},
             }

@@ -42,6 +42,10 @@ __all__ = [
     "accepts_packed",
     "canonical_json_bytes",
     "etag_matches",
+    "fleet_heartbeat_wire",
+    "fleet_register_wire",
+    "parse_fleet_heartbeat",
+    "parse_fleet_register",
     "payload_from_packed",
     "sweep_etag",
     "config_to_wire",
@@ -496,6 +500,48 @@ def optimize_request_digest(req: OptimizeRequest) -> str:
         "seed": req.seed,
     }
     return hashlib.sha256(canonical_json_bytes(key)).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Fleet membership: /v1/fleet/register and /v1/fleet/heartbeat
+# ---------------------------------------------------------------------------
+
+def fleet_register_wire(*, worker_id: str, url: str, ready: bool = False) -> dict:
+    """Client-side builder of a ``/v1/fleet/register`` body."""
+    return {
+        "protocol": PROTOCOL_VERSION,
+        "worker_id": worker_id,
+        "url": url,
+        "ready": ready,
+    }
+
+
+def parse_fleet_register(body: dict) -> tuple[str, str, bool]:
+    """Validate a register body into ``(worker_id, url, ready)``."""
+    worker_id = _require(body, "worker_id", "register")
+    if not isinstance(worker_id, str) or not worker_id:
+        raise ProtocolError("worker_id must be a non-empty string")
+    url = _require(body, "url", "register")
+    if not isinstance(url, str) or not url.startswith(("http://", "https://")):
+        raise ProtocolError(f"url must be an http(s) URL, got {url!r}")
+    return worker_id, url.rstrip("/"), bool(body.get("ready", False))
+
+
+def fleet_heartbeat_wire(*, worker_id: str, ready: bool) -> dict:
+    """Client-side builder of a ``/v1/fleet/heartbeat`` body."""
+    return {
+        "protocol": PROTOCOL_VERSION,
+        "worker_id": worker_id,
+        "ready": ready,
+    }
+
+
+def parse_fleet_heartbeat(body: dict) -> tuple[str, bool]:
+    """Validate a heartbeat body into ``(worker_id, ready)``."""
+    worker_id = _require(body, "worker_id", "heartbeat")
+    if not isinstance(worker_id, str) or not worker_id:
+        raise ProtocolError("worker_id must be a non-empty string")
+    return worker_id, bool(body.get("ready", False))
 
 
 # ---------------------------------------------------------------------------

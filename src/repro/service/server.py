@@ -44,7 +44,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from json import JSONDecodeError, loads
-from time import perf_counter, time
+from time import monotonic, perf_counter, time
 from typing import BinaryIO
 
 from repro import __version__
@@ -62,6 +62,7 @@ from repro.engine.sweep import delta_payload_from_store, sweep_from_payload
 from repro.hardware.cost_model import COST_MODEL_VERSION, CostModel
 
 from .coalesce import BoundedCache, SingleFlight
+from .fleet.faults import FaultInjector
 from .metrics import ServiceMetrics
 from .protocol import (
     BINARY_CONTENT_TYPE,
@@ -148,6 +149,8 @@ class TuningService:
         jobs: int | None = None,
         cache_entries: int = 1024,
         memo_limit: int = 4096,
+        faults: FaultInjector | None | object = _UNSET,
+        warm: bool = True,
     ) -> None:
         if store is _UNSET:
             store = get_sweep_store()
@@ -159,6 +162,11 @@ class TuningService:
 
             registry = get_schedule_registry()
         self.registry = registry
+        if faults is _UNSET:
+            # Fault injection is opt-in per process via REPRO_FAULT_SPEC;
+            # a clean environment yields None and the handler hooks no-op.
+            faults = FaultInjector.from_env()
+        self.faults: FaultInjector | None = faults  # type: ignore[assignment]
         self.jobs = jobs
         self.memo_limit = memo_limit
         self.cache = BoundedCache(cache_entries)
@@ -166,6 +174,14 @@ class TuningService:
         self.metrics = ServiceMetrics()
         self._revalidator: threading.Thread | None = None
         self._revalidate_stop = threading.Event()
+        # Readiness state: ``warm=True`` (the default, and every in-process
+        # test harness) starts ready; daemons pass ``warm=False`` and flip
+        # it via start_warmup() so /readyz distinguishes "up" from "usable".
+        self._warmed = threading.Event()
+        if warm:
+            self._warmed.set()
+        self._draining = threading.Event()
+        self._warmup_thread: threading.Thread | None = None
 
     # -- tiered resolution ---------------------------------------------------
     def _resolve(self, digest: str, compute, *, use_store: bool = True, delta=None):
@@ -545,10 +561,97 @@ class TuningService:
             self._revalidator.join(timeout=5)
             self._revalidator = None
 
+    # -- liveness vs. readiness ------------------------------------------------
+    def ready(self) -> tuple[bool, dict]:
+        """Readiness verdict plus the per-check detail ``/readyz`` serves.
+
+        Liveness (``/healthz``) answers "is the process up"; this answers
+        "should traffic be routed here": the engine warm-up has run, the
+        store directory (if any) is reachable, and the daemon is not
+        draining for shutdown.  The fleet registry keys worker
+        *eligibility* off this distinction.
+        """
+        checks = {
+            "warm": self._warmed.is_set(),
+            "draining": self._draining.is_set(),
+            "store": self.store is None or self._store_reachable(),
+        }
+        ok = checks["warm"] and checks["store"] and not checks["draining"]
+        return ok, checks
+
+    def _store_reachable(self) -> bool:
+        """Can the store's root directory be used?
+
+        The store itself creates its root lazily on first write, so a
+        fresh daemon pointed at a not-yet-existing directory is healthy —
+        do the same idempotent mkdir the first write would and check the
+        result, which also proves the path is actually writable.
+        """
+        try:
+            self.store.root.mkdir(parents=True, exist_ok=True)
+        except OSError:
+            return False
+        return self.store.root.is_dir()
+
+    def handle_readyz(self) -> WireReply:
+        ok, checks = self.ready()
+        body = {"status": "ok" if ok else "unavailable", "checks": checks}
+        return WireReply(
+            status=200 if ok else 503,
+            headers={"Content-Type": "application/json"},
+            body=canonical_json_bytes(body),
+        )
+
+    def start_warmup(self) -> None:
+        """Warm the engine on a background thread, then flip readiness.
+
+        The warm-up sweeps one tiny operator end to end — importing numpy,
+        building the feasibility caches, exercising the vectorized
+        evaluator — so the first real request doesn't pay cold-start
+        latency.  Failure still sets readiness (a degraded daemon beats an
+        unreachable one) but is counted in the error metrics.
+        """
+        if self._warmed.is_set():
+            return
+        if self._warmup_thread is not None and self._warmup_thread.is_alive():
+            return
+
+        def _warm() -> None:
+            try:
+                from repro.ir.dims import bert_large_dims
+                from repro.transformer.graph_builder import build_mha_graph
+
+                graph = build_mha_graph(
+                    qkv_fusion="unfused", include_backward=False
+                )
+                op = next(o for o in graph.ops if not o.is_view)
+                env = bert_large_dims(batch=1, seq=16)
+                from repro.hardware.spec import V100
+
+                compute_payload(op, env, V100, cap=4, seed=0x5EED)
+            except Exception:  # noqa: BLE001 - degraded beats unreachable
+                self.metrics.record_error("warmup")
+            finally:
+                self._warmed.set()
+
+        self._warmup_thread = threading.Thread(
+            target=_warm, daemon=True, name="engine-warmup"
+        )
+        self._warmup_thread.start()
+
+    def begin_drain(self) -> None:
+        """Flip readiness off for shutdown; in-flight requests finish."""
+        self._draining.set()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
     def healthz(self) -> dict:
         return {
             "status": "ok",
             "service": "repro-tuningd",
+            "ready": self.ready()[0],
             "version": __version__,
             "protocol": PROTOCOL_VERSION,
             "cost_model_version": COST_MODEL_VERSION,
@@ -572,6 +675,15 @@ class TuningService:
             None if self.registry is None else self.registry.stats()
         )
         return body
+
+
+def _json_reply(status: int, obj: dict) -> WireReply:
+    """A canonical-JSON :class:`WireReply` (the handler's default shape)."""
+    return WireReply(
+        status=status,
+        headers={"Content-Type": "application/json"},
+        body=canonical_json_bytes(obj),
+    )
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -634,37 +746,55 @@ class _Handler(BaseHTTPRequestHandler):
             raise ProtocolError(f"request body is not valid JSON: {exc}") from exc
 
     def _run(self, endpoint: str, fn) -> None:
+        # In-flight tracking lives here (not in handle_one_request) so an
+        # idle keep-alive connection never counts against graceful drain.
+        tracker = getattr(self.server, "track_request", None)
+        if tracker is None:
+            self._run_tracked(endpoint, fn)
+        else:
+            with tracker():
+                self._run_tracked(endpoint, fn)
+
+    def _run_tracked(self, endpoint: str, fn) -> None:
         start = perf_counter()
         try:
+            faults = self.service.faults
+            if faults is not None:
+                # kill/hang fire before any work: a killed worker leaves a
+                # reset connection, a hung one blows the caller's deadline.
+                faults.before(endpoint)
             # Compute the full body before sending anything: exactly one
             # response ever goes on the wire, so a handler failure cannot
             # corrupt a half-written 200 with a trailing 500.  ``fn`` may
             # return a plain dict (a 200 JSON body) or a WireReply carrying
             # its own status, headers and bytes/stream.
-            reply: WireReply | None = None
-            status, body = 200, {}
             try:
                 result = fn()
                 if isinstance(result, WireReply):
                     reply = result
                 else:
-                    body = result
+                    reply = _json_reply(200, result)
             except RegistrationRejected as exc:
                 self.service.metrics.record_error(endpoint)
-                status, body = 400, {"error": str(exc), "report": exc.report}
+                reply = _json_reply(
+                    400, {"error": str(exc), "report": exc.report}
+                )
             except ProtocolError as exc:
                 self.service.metrics.record_error(endpoint)
-                status, body = 400, {"error": str(exc)}
+                reply = _json_reply(400, {"error": str(exc)})
             except NotFoundError as exc:
                 self.service.metrics.record_error(endpoint)
-                status, body = 404, {"error": str(exc.args[0] if exc.args else exc)}
+                reply = _json_reply(
+                    404, {"error": str(exc.args[0] if exc.args else exc)}
+                )
             except Exception as exc:  # noqa: BLE001 - the daemon must not die
                 self.service.metrics.record_error(endpoint)
-                status, body = 500, {"error": f"{type(exc).__name__}: {exc}"}
-            if reply is not None:
-                self._send_reply(reply)
-            else:
-                self._send_json(status, body)
+                reply = _json_reply(
+                    500, {"error": f"{type(exc).__name__}: {exc}"}
+                )
+            if faults is not None:
+                reply = faults.mangle_reply(endpoint, reply)
+            self._send_reply(reply)
         except (ConnectionError, TimeoutError):
             # The client went away mid-send; nothing left to answer.
             pass
@@ -681,21 +811,35 @@ class _Handler(BaseHTTPRequestHandler):
             pass  # scanner closed the socket mid-404; nothing to answer
 
     # -- routes --------------------------------------------------------------
+    # Split into overridable ``_route_*`` predicates so subclasses (the
+    # fleet coordinator's handler) can add endpoints without re-stating
+    # the base routing table.
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
-        if self.path == "/healthz":
+        if not self._route_get(self.path):
+            self._not_found("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        if not self._route_post(self.path):
+            self._not_found("POST")
+
+    def _route_get(self, path: str) -> bool:
+        if path == "/healthz":
             self._run("/healthz", self.service.healthz)
-        elif self.path == "/metrics":
+        elif path == "/readyz":
+            self._run("/readyz", self.service.handle_readyz)
+        elif path == "/metrics":
             self._run("/metrics", self.service.metrics_body)
-        elif self.path.startswith("/v1/schedule/"):
-            digest = self.path[len("/v1/schedule/"):]
+        elif path.startswith("/v1/schedule/"):
+            digest = path[len("/v1/schedule/"):]
             self._run(
                 "/v1/schedule", lambda: self.service.handle_schedule(digest)
             )
         else:
-            self._not_found("GET")
+            return False
+        return True
 
-    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
-        if self.path == "/v1/sweep":
+    def _route_post(self, path: str) -> bool:
+        if path == "/v1/sweep":
             self._run(
                 "/v1/sweep",
                 lambda: self.service.handle_sweep_wire(
@@ -704,45 +848,97 @@ class _Handler(BaseHTTPRequestHandler):
                     if_none_match=self.headers.get("If-None-Match"),
                 ),
             )
-        elif self.path == "/v1/optimize":
+        elif path == "/v1/optimize":
             self._run(
                 "/v1/optimize",
                 lambda: self.service.handle_optimize(self._read_body()),
             )
-        elif self.path == "/v1/register":
+        elif path == "/v1/register":
             self._run(
                 "/v1/register",
                 lambda: self.service.handle_register(self._read_body()),
             )
         else:
-            self._not_found("POST")
+            return False
+        return True
+
+
+class _ServiceHTTPServer(ThreadingHTTPServer):
+    """A threading server that can count — and drain — in-flight requests.
+
+    ``track_request`` wraps each handled request (entered by
+    ``_Handler._run``, so idle keep-alive connections don't count);
+    ``drain`` blocks until the in-flight count reaches zero or the
+    deadline passes — the SIGTERM graceful-shutdown path.
+    """
+
+    daemon_threads = True
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._inflight = 0
+        self._inflight_cv = threading.Condition()
+
+    @contextmanager
+    def track_request(self):
+        with self._inflight_cv:
+            self._inflight += 1
+        try:
+            yield
+        finally:
+            with self._inflight_cv:
+                self._inflight -= 1
+                self._inflight_cv.notify_all()
+
+    def inflight(self) -> int:
+        with self._inflight_cv:
+            return self._inflight
+
+    def drain(self, deadline_s: float) -> bool:
+        """Wait for in-flight requests to finish; False if any remained."""
+        deadline = monotonic() + deadline_s
+        with self._inflight_cv:
+            while self._inflight > 0:
+                remaining = deadline - monotonic()
+                if remaining <= 0:
+                    return False
+                self._inflight_cv.wait(remaining)
+            return True
 
 
 def make_server(
-    service: TuningService, host: str = "127.0.0.1", port: int = 0
-) -> ThreadingHTTPServer:
+    service: TuningService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    handler_cls: type[_Handler] = _Handler,
+) -> _ServiceHTTPServer:
     """Bind a threaded HTTP server for ``service``.
 
     ``port=0`` binds an ephemeral port; read the actual one from
     ``server.server_address[1]``.  One thread per connection: concurrent
     identical requests genuinely race into the single-flight layer.
+    ``handler_cls`` lets the fleet coordinator extend the routing table.
     """
-    handler = type("BoundHandler", (_Handler,), {"service": service})
-    server = ThreadingHTTPServer((host, port), handler)
-    server.daemon_threads = True
-    return server
+    handler = type("BoundHandler", (handler_cls,), {"service": service})
+    return _ServiceHTTPServer((host, port), handler)
 
 
 @contextmanager
 def serve_background(
-    service: TuningService, host: str = "127.0.0.1", port: int = 0
+    service: TuningService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    factory=make_server,
 ):
     """Run a server on a background thread; yields its base URL.
 
     The in-process harness used by tests, benchmarks and the quickstart
     example — requests travel through real sockets and real threads.
+    Pass ``factory=make_fleet_server`` to serve a coordinator.
     """
-    server = make_server(service, host, port)
+    server = factory(service, host, port)
     bound_host, bound_port = server.server_address[:2]
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()

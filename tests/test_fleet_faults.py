@@ -1,0 +1,253 @@
+"""Chaos suite: real daemons, real faults, byte-identical answers.
+
+Every scenario here runs ``repro fleet serve`` subprocesses — a
+coordinator plus real worker daemons — and injects *genuine* faults via
+``REPRO_FAULT_SPEC``: a worker that ``os._exit``\\ s mid-request, one that
+stalls past the coordinator's deadline, one that flips bytes in otherwise
+well-formed responses.  The acceptance criterion is always the same:
+``POST /v1/optimize_batch`` through the wounded fleet returns exactly the
+bytes a clean single-node ``POST /v1/optimize`` returns.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.ir.dims import bert_large_dims
+from repro.service.client import ServiceError, TuningClient
+from repro.service.fleet.faults import KILL_EXIT_CODE
+from repro.service.server import TuningService, serve_background
+
+pytestmark = pytest.mark.slow
+
+REPO = Path(__file__).resolve().parent.parent
+ENV = bert_large_dims()
+CAP = 60
+BATCH = dict(model="mha", include_backward=False, env=ENV, cap=CAP)
+
+
+@pytest.fixture(scope="module")
+def single_node_bytes() -> bytes:
+    """What a clean, fleet-free daemon answers for the same request."""
+    with serve_background(TuningService(store=None, registry=None)) as url:
+        return TuningClient(url).optimize_raw(**BATCH)
+
+
+def _spawn(
+    argv: list[str],
+    *,
+    store_dir: Path,
+    fault_spec: str | None = None,
+    env_extra: dict[str, str] | None = None,
+) -> tuple[subprocess.Popen, str]:
+    """Start one fleet daemon; returns ``(process, base_url)``."""
+    env = os.environ.copy()
+    env["PYTHONPATH"] = str(REPO / "src")
+    env["PYTHONUNBUFFERED"] = "1"
+    env["REPRO_FLEET_TTL_S"] = "3"  # fast lease expiry for the suite
+    env.pop("REPRO_FAULT_SPEC", None)
+    if fault_spec:
+        env["REPRO_FAULT_SPEC"] = fault_spec
+    if env_extra:
+        env.update(env_extra)
+    cmd = [
+        sys.executable, "-m", "repro", "fleet", "serve",
+        "--port", "0", "--sweep-store", str(store_dir), *argv,
+    ]
+    proc = subprocess.Popen(
+        cmd,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    banner = proc.stdout.readline()
+    match = re.search(r"listening on (http://[\d.]+:\d+)", banner)
+    assert match, f"no banner from {cmd}: {banner!r}"
+    return proc, match.group(1)
+
+
+class _Fleet:
+    """A coordinator plus named workers, each optionally wounded."""
+
+    def __init__(
+        self,
+        tmp_path: Path,
+        *,
+        workers: dict[str, str | None],
+        coordinator_env: dict[str, str] | None = None,
+    ) -> None:
+        self.procs: dict[str, subprocess.Popen] = {}
+        coord, url = _spawn(
+            ["--role", "coordinator"],
+            store_dir=tmp_path / "coord-store",
+            env_extra=coordinator_env,
+        )
+        self.procs["coordinator"] = coord
+        self.url = url
+        self.client = TuningClient(url)
+        for worker_id, fault_spec in workers.items():
+            proc, _ = _spawn(
+                [
+                    "--role", "worker",
+                    "--coordinator-url", url,
+                    "--worker-id", worker_id,
+                ],
+                store_dir=tmp_path / f"{worker_id}-store",
+                fault_spec=fault_spec,
+            )
+            self.procs[worker_id] = proc
+        self._await_ready(len(workers))
+
+    def _await_ready(self, n: int, timeout: float = 90.0) -> None:
+        """Wait until the coordinator is ready and sees ``n`` ready workers."""
+        self.client.wait_until_ready(timeout=timeout, readiness=True)
+        deadline = time.monotonic() + timeout
+        counts: dict = {}
+        while time.monotonic() < deadline:
+            try:
+                counts = self.client.fleet_status()["counts"]
+            except ServiceError:
+                counts = {}
+            if counts.get("ready", 0) >= n:
+                return
+            time.sleep(0.2)
+        raise AssertionError(f"fleet never became ready: {counts}")
+
+    def sigterm(self, name: str, timeout: float = 30.0) -> tuple[int, str]:
+        """SIGTERM one daemon; returns ``(exit code, full stdout)``."""
+        proc = self.procs[name]
+        proc.send_signal(signal.SIGTERM)
+        code = proc.wait(timeout=timeout)
+        return code, proc.stdout.read()
+
+    def kill_all(self) -> None:
+        for proc in self.procs.values():
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+
+
+@pytest.fixture
+def fleet_factory(tmp_path):
+    fleets: list[_Fleet] = []
+
+    def _make(**kwargs) -> _Fleet:
+        fleet = _Fleet(tmp_path, **kwargs)
+        fleets.append(fleet)
+        return fleet
+
+    yield _make
+    for fleet in fleets:
+        fleet.kill_all()
+
+
+def test_fault_free_fleet_is_byte_identical_and_drains_cleanly(
+    fleet_factory, single_node_bytes
+):
+    fleet = fleet_factory(workers={"w1": None, "w2": None})
+    assert fleet.client.optimize_batch_raw(**BATCH) == single_node_bytes
+
+    status = fleet.client.fleet_status()
+    served = {
+        wid: info["counters"]["ok"] for wid, info in status["workers"].items()
+    }
+    assert all(n > 0 for n in served.values()), served
+    events = fleet.client.metrics()["fleet"]["events"]
+    assert events["job_remote"] > 0
+    assert events["job_local_fallback"] == 0
+    assert events["quarantine"] == 0
+
+    # SIGTERM the whole fleet: every daemon drains and exits 0.  Workers
+    # first (they deregister from the still-live coordinator on the way
+    # out), coordinator last.
+    for name in ("w1", "w2", "coordinator"):
+        code, out = fleet.sigterm(name)
+        assert code == 0, f"{name} exited {code}:\n{out}"
+        assert "repro-fleetd: clean shutdown" in out
+
+
+def test_killed_worker_is_survived_byte_identically(
+    fleet_factory, single_node_bytes
+):
+    # w1 genuinely dies (os._exit) on its first sweep request: the client
+    # side sees a connection reset with no response bytes.
+    fleet = fleet_factory(
+        workers={"w1": "kill:path=/v1/sweep:after=1", "w2": None}
+    )
+    assert fleet.client.optimize_batch_raw(**BATCH) == single_node_bytes
+
+    assert fleet.procs["w1"].wait(timeout=10) == KILL_EXIT_CODE
+    info = fleet.client.fleet_status()["workers"]["w1"]
+    assert info["counters"]["error"] > 0
+    assert info["quarantined"] is True
+    events = fleet.client.metrics()["fleet"]["events"]
+    assert events["quarantine"] > 0
+    assert events["job_local_fallback"] == 0  # w2 absorbed every retry
+
+
+def test_hung_worker_is_survived_byte_identically(
+    fleet_factory, single_node_bytes
+):
+    # w1 stalls every sweep for 8 s; the coordinator's 1 s deadline cuts
+    # each attempt loose and the ring's failover order re-routes to w2.
+    fleet = fleet_factory(
+        workers={"w1": "hang:path=/v1/sweep:delay=8:count=0", "w2": None},
+        coordinator_env={
+            "REPRO_FLEET_DEADLINE_S": "1",
+            "REPRO_FLEET_BACKOFF_S": "0.01",
+        },
+    )
+    assert fleet.client.optimize_batch_raw(**BATCH) == single_node_bytes
+
+    info = fleet.client.fleet_status()["workers"]["w1"]
+    assert info["counters"]["timeout"] > 0
+    assert info["quarantine_reason"] == "timeout"
+    assert fleet.client.metrics()["fleet"]["events"]["job_local_fallback"] == 0
+
+
+def test_corrupt_worker_is_survived_byte_identically(
+    fleet_factory, single_node_bytes
+):
+    # w1 answers every sweep with flipped bytes under a truthful
+    # Content-Length: only the coordinator's digest verification of the
+    # packed payload can notice — and must.
+    fleet = fleet_factory(
+        workers={"w1": "corrupt:path=/v1/sweep:count=0", "w2": None}
+    )
+    assert fleet.client.optimize_batch_raw(**BATCH) == single_node_bytes
+
+    info = fleet.client.fleet_status()["workers"]["w1"]
+    assert info["counters"]["corrupt"] > 0
+    assert info["counters"]["ok"] == 0
+    assert info["quarantine_reason"] == "corrupt"
+    assert fleet.client.metrics()["fleet"]["events"]["job_local_fallback"] == 0
+
+
+def test_fully_quarantined_fleet_degrades_to_the_local_engine(
+    fleet_factory, single_node_bytes
+):
+    # Every worker corrupts everything: after retry-with-exclusion
+    # exhausts the ring, each job lands on the coordinator's own engine.
+    # A computable request is never answered with a 5xx.
+    fleet = fleet_factory(
+        workers={
+            "w1": "corrupt:path=/v1/sweep:count=0",
+            "w2": "corrupt:path=/v1/sweep:count=0",
+        }
+    )
+    assert fleet.client.optimize_batch_raw(**BATCH) == single_node_bytes
+
+    events = fleet.client.metrics()["fleet"]["events"]
+    assert events["job_remote"] == 0
+    assert events["job_local_fallback"] > 0
+    counts = fleet.client.fleet_status()["counts"]
+    assert counts["quarantined"] == 2

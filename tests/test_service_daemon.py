@@ -15,6 +15,7 @@ import re
 import signal
 import subprocess
 import sys
+import time
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
@@ -33,31 +34,40 @@ CAP = 60
 pytestmark = pytest.mark.slow
 
 
-@pytest.fixture
-def daemon(tmp_path):
-    """A live ``repro serve`` subprocess; yields (proc, client, store_dir)."""
-    store_dir = tmp_path / "sweep-store"
+def _spawn_daemon(store_dir, *, fault_spec=None, extra_args=()):
+    """Start one ``repro serve`` subprocess; returns (proc, client)."""
     env = dict(
         os.environ,
         PYTHONPATH=str(REPO / "src"),
         PYTHONUNBUFFERED="1",
     )
+    env.pop("REPRO_FAULT_SPEC", None)
+    if fault_spec:
+        env["REPRO_FAULT_SPEC"] = fault_spec
     proc = subprocess.Popen(
         [
             sys.executable, "-m", "repro", "serve",
             "--port", "0",  # ephemeral: parallel CI jobs must not collide
             "--sweep-store", str(store_dir),
+            *extra_args,
         ],
         env=env,
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
         text=True,
     )
+    banner = proc.stdout.readline()
+    match = re.search(r"http://[\d.]+:(\d+)", banner)
+    assert match, f"no listen address in banner: {banner!r}"
+    return proc, TuningClient(f"http://127.0.0.1:{match.group(1)}")
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    """A live ``repro serve`` subprocess; yields (proc, client, store_dir)."""
+    store_dir = tmp_path / "sweep-store"
+    proc, client = _spawn_daemon(store_dir)
     try:
-        banner = proc.stdout.readline()
-        match = re.search(r"http://[\d.]+:(\d+)", banner)
-        assert match, f"no listen address in banner: {banner!r}"
-        client = TuningClient(f"http://127.0.0.1:{match.group(1)}")
         client.wait_until_ready(timeout=30)
         yield proc, client, store_dir
     finally:
@@ -125,6 +135,48 @@ def test_daemon_serves_coalesces_and_shuts_down_cleanly(daemon):
     proc.send_signal(signal.SIGTERM)
     assert proc.wait(timeout=30) == 0
     assert "clean shutdown" in proc.stdout.read()
+
+
+def test_daemon_liveness_precedes_readiness(daemon):
+    """A spawned daemon is live immediately but ready only after warm-up."""
+    proc, client, _ = daemon
+    assert client.healthz()["status"] == "ok"  # liveness: already up
+    detail = client.wait_until_ready(timeout=60, readiness=True)
+    checks = detail["checks"]
+    assert checks["warm"] is True
+    assert checks["store"] is True
+    assert checks["draining"] is False
+    assert client.healthz()["ready"] is True
+
+
+def test_sigterm_finishes_in_flight_requests(tmp_path):
+    """SIGTERM mid-request: the response still completes, then exit 0.
+
+    The daemon hangs its first ``/metrics`` request for 2 s (fault
+    injection — a stand-in for any slow in-flight request).  SIGTERM
+    arrives while that request is being served; the drain path must let
+    it finish with a valid response before the process exits cleanly.
+    """
+    proc, client = _spawn_daemon(
+        tmp_path / "sweep-store",
+        fault_spec="hang:path=/metrics:delay=2:count=1",
+    )
+    try:
+        client.wait_until_ready(timeout=60, readiness=True)
+        with ThreadPoolExecutor(1) as pool:
+            future = pool.submit(client.metrics)
+            time.sleep(0.5)  # the request is now stalled server-side
+            proc.send_signal(signal.SIGTERM)
+            metrics = future.result(timeout=30)
+        assert "resolve_tiers" in metrics  # a complete, valid response
+        assert proc.wait(timeout=30) == 0
+        out = proc.stdout.read()
+        assert "clean shutdown" in out
+        assert "drain deadline" not in out  # it finished, not got cut off
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
 
 
 def test_version_flag():
