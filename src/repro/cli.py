@@ -54,6 +54,19 @@ heartbeat (:mod:`repro.service.fleet`).  Retry/quarantine knobs come from
 ``REPRO_FLEET_*`` environment variables; ``REPRO_FAULT_SPEC`` arms the
 fault-injection harness (see the README's Fleet section).
 
+Distributed tracing::
+
+    python -m repro trace --capture --url http://127.0.0.1:8077 \
+        --model mha --export trace.json --top 5
+    python -m repro trace --trace-id <32-hex id> --url http://127.0.0.1:8077
+
+``trace --capture`` runs one traced optimize against a daemon (set
+``REPRO_TRACE=1`` on the daemon so its spans are retained), prints the
+assembled span tree — against a coordinator this merges the worker-side
+spans into one connected cross-process tree — and ``--export`` writes
+Chrome trace-event JSON loadable in Perfetto (see the README's
+Observability section).
+
 Schedule registry::
 
     python -m repro register --model encoder --cap 400
@@ -285,6 +298,110 @@ def _cmd_query(args) -> None:
         )
 
 
+def _render_trace_tree(spans: list[dict], out=None) -> None:
+    """Print one trace's spans as an indented tree (children by parent_id)."""
+    out = out or sys.stdout
+    by_id = {s["span_id"]: s for s in spans}
+    children: dict[str | None, list[dict]] = {}
+    for s in spans:
+        parent = s.get("parent_id")
+        if parent is not None and parent not in by_id:
+            parent = None  # orphan: show at the root rather than dropping it
+        children.setdefault(parent, []).append(s)
+    for kids in children.values():
+        kids.sort(key=lambda s: s.get("start_us", 0))
+
+    def walk(span: dict, depth: int) -> None:
+        attrs = span.get("attrs") or {}
+        service = attrs.get("service")
+        label = f"{span['name']}" + (f" [{service}]" if service else "")
+        extras = ", ".join(
+            f"{k}={v}" for k, v in sorted(attrs.items()) if k != "service"
+        )
+        status = "" if span.get("status") == "ok" else f" status={span.get('status')}"
+        print(
+            f"{'  ' * depth}{label:<{max(40 - 2 * depth, 1)}s}"
+            f"{span.get('dur_us', 0) / 1e3:9.2f} ms{status}"
+            + (f"  ({extras})" if extras else ""),
+            file=out,
+        )
+        for kid in children.get(span["span_id"], ()):
+            walk(kid, depth + 1)
+
+    for root in children.get(None, ()):
+        walk(root, 0)
+
+
+def _cmd_trace(args) -> int:
+    """Fetch a distributed trace — or capture one live — and inspect it."""
+    import json
+
+    from repro import obs
+    from repro.obs.export import slowest_spans, to_chrome_trace, trace_tree
+    from repro.service import ServiceError, TuningClient
+
+    client = TuningClient(args.url)
+    spans: list[dict] = []
+    trace_id = args.trace_id
+    if args.capture:
+        # Run one traced optimize: the local root span's traceparent rides
+        # the request header, so server/worker spans join this trace id.
+        obs.set_tracing(True)
+        try:
+            with obs.span("cli.capture", service="cli") as root:
+                trace_id = root.trace_id
+                client.optimize(
+                    model=args.model,
+                    qkv_fusion=args.qkv_fusion,
+                    env=_env(args),
+                    cap=args.cap,
+                )
+        except ServiceError as exc:
+            print(f"repro trace: capture failed: {exc}", file=sys.stderr)
+            return 2
+        spans.extend(obs.get_tracer().trace(trace_id))
+    if trace_id is None:
+        print(
+            "repro trace: pass --trace-id ID or --capture", file=sys.stderr
+        )
+        return 2
+    try:
+        remote = client.trace(trace_id)
+    except ServiceError as exc:
+        if not spans:
+            print(f"repro trace: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"repro trace: server has no spans for {trace_id} ({exc}); "
+            "showing client-side spans only — is REPRO_TRACE=1 set on the "
+            "daemon?",
+            file=sys.stderr,
+        )
+        remote = None
+    if remote is not None:
+        seen = {s["span_id"] for s in spans}
+        spans.extend(
+            s for s in remote.get("spans", ()) if s["span_id"] not in seen
+        )
+
+    tree = trace_tree(spans)
+    print(
+        f"trace {trace_id}: {len(spans)} spans, "
+        f"{'connected' if tree['connected'] else 'DISCONNECTED'} "
+        f"({len(tree['roots'])} roots, {len(tree['orphans'])} orphans)"
+    )
+    _render_trace_tree(spans)
+    if args.top:
+        print(f"\nslowest {args.top} spans:")
+        for s in slowest_spans(spans, n=args.top):
+            print(f"  {s.get('dur_us', 0) / 1e3:9.2f} ms  {s['name']}")
+    if args.export is not None:
+        with open(args.export, "w", encoding="utf-8") as fh:
+            json.dump(to_chrome_trace(spans), fh)
+        print(f"\nwrote {args.export} (load in Perfetto / chrome://tracing)")
+    return 0
+
+
 def _cmd_fleet_serve(args) -> None:
     """Run a fleet coordinator or worker daemon until signaled."""
     from repro.service import TuningService, make_server
@@ -326,6 +443,9 @@ def _cmd_fleet_serve(args) -> None:
             worker_id=args.worker_id,
             service=service,
         )
+        # Name the worker's spans/metrics after its fleet identity so the
+        # coordinator-assembled trace tree shows which member did the work.
+        service.service_name = f"worker:{agent.worker_id}"
         agent.start()
         print(f"fleet: registering {agent.worker_id} with {args.coordinator_url}")
 
@@ -537,6 +657,7 @@ _COMMANDS = {
     "calibrate": _cmd_calibrate,
     "serve": _cmd_serve,
     "query": _cmd_query,
+    "trace": _cmd_trace,
     "register": _cmd_register,
     "validate": _cmd_validate,
 }
@@ -618,6 +739,25 @@ def main(argv: list[str] | None = None) -> int:
         "--qkv-fusion", choices=("unfused", "qk", "qkv"), default="qkv",
         help="query: QKV input-projection fusion variant",
     )
+    tracing = parser.add_argument_group("distributed tracing (trace)")
+    tracing.add_argument(
+        "--trace-id", default=None, metavar="ID",
+        help="trace: fetch the stored trace with this 32-hex id",
+    )
+    tracing.add_argument(
+        "--capture", action="store_true",
+        help="trace: run one traced optimize against --url and show its "
+             "trace (uses --model/--qkv-fusion/--batch/--seq/--cap)",
+    )
+    tracing.add_argument(
+        "--export", default=None, metavar="FILE",
+        help="trace: also write the trace as Chrome trace-event JSON "
+             "(loadable in Perfetto or chrome://tracing)",
+    )
+    tracing.add_argument(
+        "--top", type=int, default=0, metavar="N",
+        help="trace: also list the N slowest spans",
+    )
     reg = parser.add_argument_group("schedule registry (register / validate)")
     reg.add_argument(
         "--registry", default=None, metavar="DIR",
@@ -664,8 +804,8 @@ def main(argv: list[str] | None = None) -> int:
         from repro.engine import set_default_jobs
 
         set_default_jobs(args.jobs)
-    _COMMANDS[args.command](args)
-    return 0
+    rc = _COMMANDS[args.command](args)
+    return int(rc) if rc else 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

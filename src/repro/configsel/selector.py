@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.autotuner.tuner import ConfigMeasurement, SweepResult
 from repro.engine import sweep_graph
 from repro.hardware.cost_model import CostModel
@@ -590,8 +591,31 @@ def select_configurations(
     """
     cost = cost or CostModel()
     use_fast = _fast_enabled(fast)
+    obs.set_attr("configsel.fast", use_fast)
     if sweeps is None:
         sweeps = sweep_graph(graph, env, cost, cap=cap, seed=seed, jobs=jobs)
+    with obs.span(
+        "configsel.select", ops=len(sweeps), source=source
+    ):
+        return _select_configurations_swept(
+            graph, env, cost, sweeps=sweeps, source=source, cap=cap,
+            seed=seed, fast=use_fast, register=register,
+        )
+
+
+def _select_configurations_swept(
+    graph: DataflowGraph,
+    env: DimEnv,
+    cost: CostModel,
+    *,
+    sweeps: dict[str, SweepResult],
+    source: str,
+    cap: int | None,
+    seed: int,
+    fast: bool,
+    register,
+) -> SelectedConfiguration:
+    use_fast = fast
     chain = primary_chain(graph, source=source)
     if use_fast:
         mats = build_chain_matrices(graph, chain, sweeps, env, cost)

@@ -30,6 +30,7 @@ import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 
+from repro import obs
 from repro.autotuner.cache import CacheMismatch
 from repro.hardware.cost_model import CostModel
 from repro.hardware.spec import GPUSpec
@@ -91,10 +92,36 @@ def resolve_jobs(jobs: int | None = None) -> int:
     return jobs
 
 
-def _payload_job(args: tuple) -> dict:
-    """Worker entry point: evaluate one sweep into its payload."""
-    op, env, gpu, cap, seed = args
-    return compute_payload(op, env, gpu, cap=cap, seed=seed)
+def _payload_job(args: tuple) -> tuple[dict, list | None]:
+    """Worker entry point: evaluate one sweep into its payload.
+
+    ``ctx`` is the parent's serialized trace context: ``None`` means the
+    parent isn't tracing and this is the zero-overhead path; a string (a
+    ``traceparent`` header value, possibly empty) means the job runs under
+    a private tracer whose finished spans — the job span plus everything
+    the engine opens beneath it — ship back with the payload for the
+    parent to ingest.  Contextvars don't cross process boundaries; this
+    explicit re-parenting is how pool workers join the request's tree.
+    """
+    op, env, gpu, cap, seed, ctx = args
+    if ctx is None:
+        return compute_payload(op, env, gpu, cap=cap, seed=seed), None
+    from repro.obs import trace as _trace
+
+    tracer = _trace.Tracer()
+    # Install as the process tracer for the job's duration so nested
+    # instrumentation (sweep/store spans and events) lands in the private
+    # ring and ships back too; pool workers are reused, so restore.
+    previous = _trace.get_tracer()
+    _trace._TRACER = tracer
+    try:
+        with tracer.span(
+            "engine.sweep_job", parent=ctx or None, op=op.name
+        ):
+            payload = compute_payload(op, env, gpu, cap=cap, seed=seed)
+    finally:
+        _trace._TRACER = previous
+    return payload, tracer.finished()
 
 
 #: Estimated total configs below which a process pool costs more than it
@@ -148,10 +175,17 @@ def _compute_payloads(
         and sum(_estimated_configs(op, env, cap) for op in ops)
         >= _MIN_PARALLEL_CONFIGS
     ):
-        args = [(op, env, gpu, cap, seed) for op in ops]
+        # Serialize the ambient trace context for the workers (None when
+        # tracing is off — the workers' zero-overhead path).
+        ctx = (
+            (obs.current_traceparent() or "")
+            if obs.tracing_enabled()
+            else None
+        )
+        args = [(op, env, gpu, cap, seed, ctx) for op in ops]
         try:
             with ProcessPoolExecutor(max_workers=min(jobs, len(ops))) as pool:
-                return list(pool.map(_payload_job, args))
+                outcomes = list(pool.map(_payload_job, args))
         except (OSError, BrokenProcessPool) as exc:
             # Sandboxes without working process pools degrade to serial;
             # results are identical either way.
@@ -161,7 +195,16 @@ def _compute_payloads(
                 RuntimeWarning,
                 stacklevel=3,
             )
-    return [compute_payload(op, env, gpu, cap=cap, seed=seed) for op in ops]
+        else:
+            shipped = [s for _, spans in outcomes if spans for s in spans]
+            if shipped:
+                obs.get_tracer().ingest(shipped)
+            return [payload for payload, _ in outcomes]
+    payloads = []
+    for op in ops:
+        with obs.span("engine.sweep_job", op=op.name):
+            payloads.append(compute_payload(op, env, gpu, cap=cap, seed=seed))
+    return payloads
 
 
 def graph_sweep_jobs(
@@ -226,55 +269,67 @@ def sweep_graph(
     elif store is None:
         store = get_sweep_store()
 
-    results: dict[str, object] = {}
-    groups: dict[str, list[tuple[OpSpec, object]]] = {}  # digest -> members
-    for op in ops:
-        key = memo_key(op, env, gpu, cap=cap, seed=seed)
-        sweep = memo_get(key)
-        if sweep is not None:
-            results[op.name] = sweep
-            continue
-        digest = sweep_digest(op, env, gpu, cap=cap, seed=seed)
-        groups.setdefault(digest, []).append((op, key))
+    with obs.span("engine.sweep_graph", ops=len(ops)) as graph_span:
+        results: dict[str, object] = {}
+        groups: dict[str, list[tuple[OpSpec, object]]] = {}  # digest -> members
+        for op in ops:
+            key = memo_key(op, env, gpu, cap=cap, seed=seed)
+            sweep = memo_get(key)
+            if sweep is not None:
+                results[op.name] = sweep
+                continue
+            digest = sweep_digest(op, env, gpu, cap=cap, seed=seed)
+            groups.setdefault(digest, []).append((op, key))
 
-    payloads: dict[str, dict] = {}
-    cold: list[str] = []
-    for digest, members in groups.items():
-        payload = None
-        if store is not None:
-            try:
-                payload = store.load(digest)
-            except CacheMismatch:
-                payload = None  # recompute and overwrite below
-            if payload is None:
-                # Exact miss: a structural twin (same op, different dim
-                # sizes) still saves the enumeration — delta re-sweep and
-                # persist under the exact digest before cold fan-out.
-                rep = members[0][0]
-                payload = delta_payload_from_store(
-                    rep, env, gpu, cap=cap, seed=seed, store=store
-                )
-                if payload is not None:
-                    store.save(digest, payload)
-        if payload is None:
-            cold.append(digest)
-        else:
-            payloads[digest] = payload
-
-    if cold:
-        representatives = [groups[d][0][0] for d in cold]
-        computed = _compute_payloads(
-            representatives, env, gpu, cap=cap, seed=seed, jobs=resolve_jobs(jobs)
-        )
-        for digest, payload in zip(cold, computed):
-            payloads[digest] = payload
+        payloads: dict[str, dict] = {}
+        cold: list[str] = []
+        delta_hits = 0
+        for digest, members in groups.items():
+            payload = None
             if store is not None:
-                store.save(digest, payload)
+                try:
+                    payload = store.load(digest)
+                except CacheMismatch:
+                    payload = None  # recompute and overwrite below
+                if payload is None:
+                    # Exact miss: a structural twin (same op, different dim
+                    # sizes) still saves the enumeration — delta re-sweep and
+                    # persist under the exact digest before cold fan-out.
+                    rep = members[0][0]
+                    payload = delta_payload_from_store(
+                        rep, env, gpu, cap=cap, seed=seed, store=store
+                    )
+                    if payload is not None:
+                        delta_hits += 1
+                        store.save(digest, payload)
+            if payload is None:
+                cold.append(digest)
+            else:
+                payloads[digest] = payload
 
-    for digest, members in groups.items():
-        payload = payloads[digest]
-        for op, key in members:
-            sweep = sweep_from_payload(op, payload)
-            memo_put(key, sweep)
-            results[op.name] = sweep
-    return {op.name: results[op.name] for op in ops}
+        if cold:
+            representatives = [groups[d][0][0] for d in cold]
+            computed = _compute_payloads(
+                representatives, env, gpu, cap=cap, seed=seed,
+                jobs=resolve_jobs(jobs),
+            )
+            for digest, payload in zip(cold, computed):
+                payloads[digest] = payload
+                if store is not None:
+                    store.save(digest, payload)
+
+        graph_span.set_attr("memo_hits", len(results))
+        graph_span.set_attr("distinct_digests", len(groups))
+        graph_span.set_attr(
+            "l2_hits", len(groups) - len(cold) - delta_hits
+        )
+        graph_span.set_attr("delta_hits", delta_hits)
+        graph_span.set_attr("cold", len(cold))
+
+        for digest, members in groups.items():
+            payload = payloads[digest]
+            for op, key in members:
+                sweep = sweep_from_payload(op, payload)
+                memo_put(key, sweep)
+                results[op.name] = sweep
+        return {op.name: results[op.name] for op in ops}

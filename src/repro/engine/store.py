@@ -48,6 +48,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro.autotuner.cache import CacheMismatch
 from repro.hardware.cost_model import COST_MODEL_VERSION
 from repro.hardware.efficiency import contraction_layout_units
@@ -669,6 +670,7 @@ class SweepStore:
         if not path.exists():
             with self._lock:
                 self.misses += 1
+            obs.add_event("store.miss", digest=digest)
             return None
         try:
             payload = self._read(path)
@@ -676,19 +678,23 @@ class SweepStore:
         except CacheMismatch:
             with self._lock:
                 self.rejected += 1
+            obs.add_event("store.mismatch", digest=digest)
             raise
         except FileNotFoundError:
             # Evicted (or pruned by another process) between the exists()
             # check and the read: a clean miss, not corruption.
             with self._lock:
                 self.misses += 1
+            obs.add_event("store.miss", digest=digest)
             return None
         except Exception as exc:
             with self._lock:
                 self.rejected += 1
+            obs.add_event("store.mismatch", digest=digest)
             raise CacheMismatch(f"corrupt sweep-store entry {path}: {exc}") from exc
         with self._lock:
             self.hits += 1
+        obs.add_event("store.hit", digest=digest)
         try:
             # Refresh mtime so age-based pruning (e.g. nightly CI) tracks
             # last *use*, not last write.
@@ -863,6 +869,7 @@ class SweepStore:
             evicted.add(path.stem)
             with self._lock:
                 self.evictions += 1
+            obs.add_event("store.evict", digest=path.stem)
         # Evicting an npz also drops its structural sidecar entry, so a
         # structural lookup never dereferences a digest known to be gone.
         self._drop_index_entries(evicted)

@@ -32,6 +32,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro import obs
 from repro.autotuner.cache import CacheMismatch
 from repro.hardware.cost_model import CostModel, KernelTime
 from repro.hardware.spec import GPUSpec
@@ -275,17 +276,24 @@ def load_or_compute_payload(
     if store is None:
         return compute_payload(op, env, gpu, cap=cap, seed=seed)
     digest = sweep_digest(op, env, gpu, cap=cap, seed=seed)
-    try:
-        payload = store.load(digest)
-    except CacheMismatch:
-        payload = None
-    if payload is None:
-        payload = delta_payload_from_store(
-            op, env, gpu, cap=cap, seed=seed, store=store
-        )
+    with obs.span(
+        "engine.payload", op=op.name, digest=digest
+    ) as payload_span:
+        try:
+            payload = store.load(digest)
+            tier = "l2"
+        except CacheMismatch:
+            payload = None
         if payload is None:
-            payload = compute_payload(op, env, gpu, cap=cap, seed=seed)
-        store.save(digest, payload)
+            payload = delta_payload_from_store(
+                op, env, gpu, cap=cap, seed=seed, store=store
+            )
+            tier = "delta"
+            if payload is None:
+                payload = compute_payload(op, env, gpu, cap=cap, seed=seed)
+                tier = "computed"
+            store.save(digest, payload)
+        payload_span.set_attr("resolve.tier", tier)
     return payload
 
 

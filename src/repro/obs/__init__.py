@@ -1,0 +1,72 @@
+"""Observability: distributed trace spans, typed metrics, exporters.
+
+The operational window into the engine/store/fleet stack — see
+``repro.obs.trace`` for the span model, ``repro.obs.metrics`` for the
+typed registry behind ``GET /metrics``, and ``repro.obs.export`` for
+Perfetto/tree exports.  Stdlib-only by design: the engine's hottest
+modules import this package.
+"""
+
+from repro.obs.export import slowest_spans, to_chrome_trace, trace_tree
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    PROMETHEUS_CONTENT_TYPE,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    relabel_exposition,
+    wants_prometheus,
+)
+from repro.obs.trace import (
+    BUFFER_SPANS,
+    TRACE_ENV_VAR,
+    TRACE_LOG_ENV_VAR,
+    TRACEPARENT_HEADER,
+    NullSpan,
+    NullTracer,
+    Span,
+    Tracer,
+    add_event,
+    current_span,
+    current_traceparent,
+    format_traceparent,
+    get_tracer,
+    parse_traceparent,
+    set_attr,
+    set_tracing,
+    span,
+    tracing_enabled,
+)
+
+__all__ = [
+    "BUFFER_SPANS",
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS_S",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullSpan",
+    "NullTracer",
+    "PROMETHEUS_CONTENT_TYPE",
+    "Span",
+    "TRACE_ENV_VAR",
+    "TRACE_LOG_ENV_VAR",
+    "TRACEPARENT_HEADER",
+    "Tracer",
+    "add_event",
+    "current_span",
+    "current_traceparent",
+    "format_traceparent",
+    "get_tracer",
+    "parse_traceparent",
+    "relabel_exposition",
+    "set_attr",
+    "set_tracing",
+    "slowest_spans",
+    "span",
+    "to_chrome_trace",
+    "trace_tree",
+    "tracing_enabled",
+    "wants_prometheus",
+]

@@ -1,0 +1,157 @@
+"""Trace exports: tree assembly, Chrome trace-event / Perfetto JSON, top-N.
+
+The ring buffer holds flat span records (see ``Span.to_dict``); this
+module turns a trace's records into the shapes operators consume:
+
+* :func:`trace_tree` — parent/child nesting plus a connectivity verdict
+  (the obs-smoke CI job asserts one *connected* tree per traced batch);
+* :func:`to_chrome_trace` — the Chrome trace-event JSON Perfetto and
+  ``chrome://tracing`` load directly (``ph:"X"`` complete events, span
+  events as ``ph:"i"`` instants);
+* :func:`slowest_spans` — what ``repro trace --top`` prints when a p99
+  regresses and you need the offending tier in one line.
+"""
+
+from __future__ import annotations
+
+__all__ = ["slowest_spans", "to_chrome_trace", "trace_tree"]
+
+
+def trace_tree(records: list[dict]) -> dict:
+    """Assemble flat span records into a parent/child tree.
+
+    Returns ``{"trace_id", "roots", "spans", "connected", "orphans"}``
+    where ``roots`` are nested nodes (each a span record plus a
+    ``children`` list, children sorted by start time) and ``connected``
+    is True when exactly one root exists and every span reaches it —
+    the single-connected-tree acceptance criterion.
+
+    Duplicate ``span_id``\\ s (the coordinator scrapes itself *and* its
+    workers; a span can arrive twice) are collapsed, keeping the record
+    with the longer duration (the finished one wins over a re-ingested
+    copy).
+    """
+    by_id: dict[str, dict] = {}
+    for rec in records:
+        sid = rec.get("span_id")
+        if not sid:
+            continue
+        prev = by_id.get(sid)
+        if prev is None or rec.get("dur_us", 0) >= prev.get("dur_us", 0):
+            by_id[sid] = rec
+
+    nodes = {sid: {**rec, "children": []} for sid, rec in by_id.items()}
+    roots: list[dict] = []
+    orphans: list[str] = []
+    for sid, node in nodes.items():
+        parent = node.get("parent_id")
+        if parent and parent in nodes:
+            nodes[parent]["children"].append(node)
+        elif parent:
+            # Parent span never arrived (aged out of a ring, or a worker
+            # died before finishing it): still show the subtree.
+            orphans.append(sid)
+            roots.append(node)
+        else:
+            roots.append(node)
+    for node in nodes.values():
+        node["children"].sort(key=lambda n: n.get("start_us", 0))
+    roots.sort(key=lambda n: n.get("start_us", 0))
+
+    trace_ids = {rec.get("trace_id") for rec in by_id.values()}
+    return {
+        "trace_id": next(iter(trace_ids)) if len(trace_ids) == 1 else None,
+        "roots": roots,
+        "spans": len(nodes),
+        "connected": len(roots) == 1 and not orphans and len(nodes) > 0,
+        "orphans": orphans,
+    }
+
+
+def to_chrome_trace(records: list[dict]) -> dict:
+    """Chrome trace-event JSON (Perfetto-loadable) for one trace.
+
+    Spans become ``ph:"X"`` complete events on their real pid/tid tracks;
+    span events become ``ph:"i"`` thread-scoped instants.  Process/thread
+    name metadata rows label coordinator vs. worker tracks in the UI.
+    """
+    events: list[dict] = []
+    seen_procs: dict[int, str] = {}
+    seen_threads: set[tuple[int, int]] = set()
+    for rec in records:
+        pid = rec.get("pid", 0)
+        tid = rec.get("tid", 0)
+        service = rec.get("attrs", {}).get("service")
+        if pid not in seen_procs or (service and seen_procs[pid] == ""):
+            seen_procs[pid] = service or seen_procs.get(pid, "")
+        if (pid, tid) not in seen_threads:
+            seen_threads.add((pid, tid))
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": rec.get("thread", str(tid))},
+                }
+            )
+        args = dict(rec.get("attrs", {}))
+        args["span_id"] = rec.get("span_id")
+        if rec.get("parent_id"):
+            args["parent_id"] = rec["parent_id"]
+        if rec.get("status") and rec["status"] != "ok":
+            args["status"] = rec["status"]
+        events.append(
+            {
+                "ph": "X",
+                "name": rec.get("name", "?"),
+                "cat": "repro",
+                "pid": pid,
+                "tid": tid,
+                "ts": rec.get("start_us", 0),
+                "dur": max(rec.get("dur_us", 0), 1),
+                "args": args,
+            }
+        )
+        for ev in rec.get("events", []):
+            events.append(
+                {
+                    "ph": "i",
+                    "s": "t",
+                    "name": ev.get("name", "event"),
+                    "cat": "repro",
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": ev.get("t_us", rec.get("start_us", 0)),
+                    "args": dict(ev.get("attrs", {})),
+                }
+            )
+    for pid, service in seen_procs.items():
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": service or f"pid {pid}"},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def slowest_spans(records: list[dict], n: int = 10) -> list[dict]:
+    """The ``n`` longest spans, each reduced to one triage-ready line."""
+    ranked = sorted(records, key=lambda r: r.get("dur_us", 0), reverse=True)
+    out = []
+    for rec in ranked[:n]:
+        out.append(
+            {
+                "name": rec.get("name"),
+                "dur_us": round(rec.get("dur_us", 0), 1),
+                "trace_id": rec.get("trace_id"),
+                "span_id": rec.get("span_id"),
+                "status": rec.get("status"),
+                "attrs": dict(rec.get("attrs", {})),
+            }
+        )
+    return out

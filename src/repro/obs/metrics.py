@@ -1,0 +1,417 @@
+"""Typed metric primitives + Prometheus text exposition (stdlib only).
+
+The service's original telemetry was a bag of ad-hoc dicts serialized as
+one JSON blob — fine for a single daemon, useless for a fleet scraper.
+This module is the generalization underneath
+:class:`repro.service.metrics.ServiceMetrics`:
+
+* :class:`Counter` — monotonically increasing, optionally labeled;
+* :class:`Gauge` — settable/incrementable point-in-time values, plus
+  *callback* gauges read at scrape time (cache occupancy, uptime,
+  in-flight requests);
+* :class:`Histogram` — fixed-bucket latency distributions, rendered with
+  cumulative ``le`` buckets exactly as Prometheus expects (these sit
+  *alongside* the bounded ring windows that back the JSON percentiles —
+  histograms aggregate across workers, rings don't);
+* :class:`MetricsRegistry` — the per-service collection, rendering both
+  a JSON snapshot and the Prometheus text exposition format (version
+  0.0.4) that ``GET /metrics`` serves under ``Accept: text/plain``.
+
+Recording is thread-safe (one lock per metric; the daemon's handler
+threads race into these constantly) and never loses counts — pinned by a
+Hypothesis property test.  Scrape-time rendering takes no metric lock
+longer than a dict copy.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from bisect import bisect_left
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS_S",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PROMETHEUS_CONTENT_TYPE",
+    "relabel_exposition",
+    "wants_prometheus",
+]
+
+#: The exposition content type ``GET /metrics`` answers with.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Request-latency bucket upper bounds, in seconds.  Sub-millisecond L1
+#: hits through multi-second cold whole-graph sweeps.
+DEFAULT_LATENCY_BUCKETS_S = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", r"\\").replace("\n", r"\n").replace('"', r"\"")
+    )
+
+
+def _escape_help(value: str) -> str:
+    return value.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample values: integers render bare, floats repr-exact."""
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    return repr(value)
+
+
+def _labels_text(names: tuple[str, ...], values: tuple, extra: str = "") -> str:
+    parts = [
+        f'{n}="{_escape_label_value(str(v))}"' for n, v in zip(names, values)
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+class _Metric:
+    """Shared labeled-children machinery of every metric type."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, labelnames: tuple[str, ...]):
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        for label in labelnames:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r}")
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+        self._children: dict[tuple, object] = {}
+
+    def _key(self, labels: dict) -> tuple:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name} expects labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[n]) for n in self.labelnames)
+
+    def items(self) -> list[tuple[tuple, object]]:
+        """``(label values, value)`` pairs — a consistent point-in-time copy."""
+        with self._lock:
+            return list(self._children.items())
+
+
+class Counter(_Metric):
+    """A monotonically increasing count (int-preserving for JSON parity)."""
+
+    kind = "counter"
+
+    def inc(self, amount: int | float = 1, **labels) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = self._key(labels)
+        with self._lock:
+            self._children[key] = self._children.get(key, 0) + amount
+
+    def value(self, **labels) -> int | float:
+        key = self._key(labels)
+        with self._lock:
+            return self._children.get(key, 0)
+
+    def preset(self, *label_values: str) -> None:
+        """Materialize a zero sample so fixed vocabularies always render."""
+        key = tuple(str(v) for v in label_values)
+        if len(key) != len(self.labelnames):
+            raise ValueError(f"{self.name} expects {len(self.labelnames)} labels")
+        with self._lock:
+            self._children.setdefault(key, 0)
+
+    def _render(self, lines: list[str]) -> None:
+        for key, value in sorted(self.items()):
+            lines.append(
+                f"{self.name}{_labels_text(self.labelnames, key)} "
+                f"{_format_value(value)}"
+            )
+
+
+class Gauge(_Metric):
+    """A value that goes up and down (in-flight requests, occupancy)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._children[key] = value
+
+    def inc(self, amount: int | float = 1, **labels) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._children[key] = self._children.get(key, 0) + amount
+
+    def dec(self, amount: int | float = 1, **labels) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels) -> int | float:
+        key = self._key(labels)
+        with self._lock:
+            return self._children.get(key, 0)
+
+    def _render(self, lines: list[str]) -> None:
+        for key, value in sorted(self.items()):
+            lines.append(
+                f"{self.name}{_labels_text(self.labelnames, key)} "
+                f"{_format_value(value)}"
+            )
+
+
+class _HistogramChild:
+    __slots__ = ("counts", "sum", "count")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.counts = [0] * n_buckets  # per-bucket, cumulated at render
+        self.sum = 0.0
+        self.count = 0
+
+
+class Histogram(_Metric):
+    """Fixed upper-bound buckets; ``observe`` is O(log buckets).
+
+    Bucket semantics match Prometheus: an observation lands in the first
+    bucket whose upper bound is ``>= value`` (``le`` is inclusive), and
+    rendered bucket counts are cumulative with a final ``+Inf``.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: tuple[str, ...],
+        buckets: tuple[float, ...],
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("buckets must be a non-empty ascending sequence")
+        if len(set(buckets)) != len(buckets):
+            raise ValueError("buckets must be strictly ascending")
+        self.buckets = tuple(float(b) for b in buckets)
+
+    def observe(self, value: float, **labels) -> None:
+        key = self._key(labels)
+        idx = bisect_left(self.buckets, value)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._children[key] = _HistogramChild(
+                    len(self.buckets) + 1  # trailing +Inf bucket
+                )
+            child.counts[idx] += 1
+            child.sum += value
+            child.count += 1
+
+    def snapshot_child(self, **labels) -> dict | None:
+        """One child's buckets/sum/count (cumulative), or ``None``."""
+        key = self._key(labels)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                return None
+            counts = list(child.counts)
+            total_sum, count = child.sum, child.count
+        cumulative, running = [], 0
+        for c in counts:
+            running += c
+            cumulative.append(running)
+        return {
+            "buckets": list(self.buckets),
+            "counts": cumulative[:-1],
+            "inf": cumulative[-1],
+            "sum": total_sum,
+            "count": count,
+        }
+
+    def _render(self, lines: list[str]) -> None:
+        for key, child in sorted(self.items(), key=lambda kv: kv[0]):
+            with self._lock:
+                counts = list(child.counts)
+                total_sum, count = child.sum, child.count
+            running = 0
+            for bound, c in zip(self.buckets, counts):
+                running += c
+                le = _labels_text(
+                    self.labelnames, key, extra=f'le="{_format_value(bound)}"'
+                )
+                lines.append(f"{self.name}_bucket{le} {running}")
+            running += counts[-1]
+            inf = _labels_text(self.labelnames, key, extra='le="+Inf"')
+            lines.append(f"{self.name}_bucket{inf} {running}")
+            plain = _labels_text(self.labelnames, key)
+            lines.append(f"{self.name}_sum{plain} {_format_value(total_sum)}")
+            lines.append(f"{self.name}_count{plain} {count}")
+
+
+class _CallbackGauge:
+    """A gauge whose value is read at scrape time (no recording path)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str, fn) -> None:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help
+        self.fn = fn
+
+    def _render(self, lines: list[str]) -> None:
+        try:
+            value = self.fn()
+        except Exception:  # noqa: BLE001 - a scrape must not 500 the daemon
+            return
+        if isinstance(value, dict):
+            # {(labelnames tuple)?: ...} is overkill here; callbacks return
+            # either a scalar or {label-dict-free name suffixes: scalar}.
+            for key, v in sorted(value.items()):
+                lines.append(
+                    f'{self.name}{{item="{_escape_label_value(str(key))}"}} '
+                    f"{_format_value(v)}"
+                )
+        else:
+            lines.append(f"{self.name} {_format_value(value)}")
+
+
+class MetricsRegistry:
+    """One service's metrics, renderable as JSON or Prometheus text."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, object] = {}
+
+    def _get_or_create(self, cls, name, help, labelnames, **kwargs):
+        labelnames = tuple(labelnames)
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls) or existing.labelnames != labelnames:
+                    raise ValueError(
+                        f"metric {name!r} already registered with a "
+                        "different type or label set"
+                    )
+                return existing
+            metric = cls(name, help, labelnames, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(
+        self, name: str, help: str, labelnames: tuple[str, ...] = ()
+    ) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(
+        self, name: str, help: str, labelnames: tuple[str, ...] = ()
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str,
+        labelnames: tuple[str, ...] = (),
+        *,
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_S,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help, labelnames, buckets=tuple(buckets)
+        )
+
+    def gauge_callback(self, name: str, help: str, fn) -> None:
+        """Register a scrape-time gauge (idempotent per name)."""
+        with self._lock:
+            if name not in self._metrics:
+                self._metrics[name] = _CallbackGauge(name, help, fn)
+
+    def render(self) -> str:
+        """The Prometheus text exposition of every registered metric."""
+        with self._lock:
+            metrics = sorted(self._metrics.items())
+        lines: list[str] = []
+        for name, metric in metrics:
+            lines.append(f"# HELP {name} {_escape_help(metric.help)}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+            metric._render(lines)
+        return "\n".join(lines) + "\n"
+
+
+def wants_prometheus(accept: str | None) -> bool:
+    """Whether an ``Accept`` header asks for the text exposition.
+
+    ``GET /metrics`` defaults to the JSON snapshot (every existing
+    consumer); ``text/plain`` or an OpenMetrics type switches to the
+    Prometheus format.  ``*/*`` alone stays JSON — browsers and curl send
+    it by default and the JSON body is the richer human view.
+    """
+    if not accept:
+        return False
+    for part in accept.split(","):
+        media = part.split(";", 1)[0].strip().lower()
+        if media in ("text/plain", "application/openmetrics-text"):
+            return True
+    return False
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<ts>\S+))?$"
+)
+
+
+def relabel_exposition(text: str, **labels) -> str:
+    """Inject constant labels into every sample of an exposition body.
+
+    The fleet coordinator scrapes each worker's ``/metrics`` text and
+    merges them under per-worker labels (``worker="w1"``); comment lines
+    are dropped (the coordinator emits its own HELP/TYPE metadata once —
+    duplicate HELP lines for one metric are a format violation).
+    Unparseable lines are dropped rather than forwarded corrupt.
+    """
+    extra = ",".join(
+        f'{k}="{_escape_label_value(str(v))}"' for k, v in sorted(labels.items())
+    )
+    out: list[str] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            continue
+        name, existing, value = (
+            match.group("name"),
+            match.group("labels"),
+            match.group("value"),
+        )
+        if existing:
+            merged = f"{{{extra},{existing[1:-1]}}}" if existing != "{}" else f"{{{extra}}}"
+        else:
+            merged = f"{{{extra}}}"
+        out.append(f"{name}{merged} {value}")
+    return "\n".join(out) + ("\n" if out else "")

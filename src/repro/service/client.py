@@ -17,6 +17,7 @@ import urllib.request
 from repro.hardware.spec import V100, GPUSpec
 from repro.ir.dims import DimEnv
 from repro.ir.operator import OpSpec
+from repro.obs.trace import TRACEPARENT_HEADER, current_traceparent
 
 from .protocol import (
     BINARY_CONTENT_TYPE,
@@ -117,6 +118,11 @@ class TuningClient:
         merged = {"Accept-Encoding": "identity"}
         if data is not None:
             merged["Content-Type"] = "application/json"
+        # Propagate the ambient trace span, if any: the daemon's server
+        # span adopts this header, linking the hop into one trace tree.
+        carrier = current_traceparent()
+        if carrier is not None:
+            merged[TRACEPARENT_HEADER] = carrier
         if headers:
             merged.update(headers)
         req = urllib.request.Request(
@@ -238,6 +244,27 @@ class TuningClient:
 
     def metrics(self) -> dict:
         return self._request_json("/metrics")
+
+    def metrics_prometheus(self) -> str:
+        """The ``/metrics`` Prometheus text exposition (content-negotiated)."""
+        return self._request("/metrics", headers={"Accept": "text/plain"}).decode(
+            "utf-8"
+        )
+
+    def fleet_metrics_prometheus(self) -> str:
+        """The coordinator's merged fleet exposition (per-worker labels)."""
+        return self._request(
+            "/v1/fleet_metrics", headers={"Accept": "text/plain"}
+        ).decode("utf-8")
+
+    def fleet_metrics(self) -> dict:
+        """The coordinator's JSON fleet metrics: its own + per-worker."""
+        return self._request_json("/v1/fleet_metrics")
+
+    def trace(self, trace_id: str) -> dict:
+        """Retained spans of one trace from this daemon (fleet-aggregated
+        when the daemon is a coordinator)."""
+        return self._request_json(f"/v1/trace/{trace_id}")
 
     def sweep_raw(
         self,

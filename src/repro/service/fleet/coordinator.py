@@ -38,10 +38,17 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from time import perf_counter
 
+from repro import obs
 from repro.engine.scheduler import graph_sweep_jobs
 from repro.engine.store import compute_payload
 from repro.engine.sweep import sweep_from_payload
 from repro.hardware.cost_model import CostModel
+from repro.obs.export import trace_tree
+from repro.obs.metrics import (
+    PROMETHEUS_CONTENT_TYPE,
+    relabel_exposition,
+    wants_prometheus,
+)
 
 from ..protocol import (
     ProtocolError,
@@ -57,6 +64,7 @@ from ..server import (
     MAX_OPTIMIZE_CAP,
     NotFoundError,
     TuningService,
+    WireReply,
     _Handler,
     make_server,
 )
@@ -121,6 +129,7 @@ class FleetService(TuningService):
         self.quarantine_s = quarantine_s
         self.fan_out = max(1, fan_out)
         self.workers = WorkerRegistry(ttl_s=ttl_s)
+        self.service_name = "coordinator"
         self._ring_lock = threading.Lock()
         self._ring: HashRing | None = None
         self._ring_generation = -1
@@ -192,13 +201,19 @@ class FleetService(TuningService):
             else:
                 self.workers.record(worker_id, "ok")
                 self.metrics.record_fleet("job_remote")
+                obs.set_attr("fleet.worker", worker_id)
+                obs.set_attr("fleet.attempts", attempt)
                 return payload
             self.workers.record(worker_id, reason)
             self.workers.quarantine(worker_id, self.quarantine_s, reason)
             self.metrics.record_fleet("quarantine")
+            obs.add_event("quarantine", worker=worker_id, reason=reason)
             excluded.add(worker_id)
             if attempt < self.attempts:
                 self.metrics.record_fleet("retry")
+                obs.add_event(
+                    "retry", worker=worker_id, reason=reason, attempt=attempt
+                )
                 delay = min(
                     self.backoff_cap_s, self.backoff_s * 2 ** (attempt - 1)
                 )
@@ -206,6 +221,7 @@ class FleetService(TuningService):
         # Graceful degradation: the coordinator's own engine computes the
         # identical payload (same digest, same deterministic evaluation).
         self.metrics.record_fleet("job_local_fallback")
+        obs.add_event("local_fallback", excluded=",".join(sorted(excluded)))
         return compute_payload(op, req.env, req.gpu, cap=req.cap, seed=req.seed)
 
     def _fleet_sweeps(self, graph, req) -> dict:
@@ -220,12 +236,18 @@ class FleetService(TuningService):
         op_digests, reps = graph_sweep_jobs(
             graph, req.env, req.gpu, cap=req.cap, seed=req.seed
         )
+        # Contextvars don't cross executor threads: capture the ambient
+        # span here and re-parent each job span onto it explicitly.
+        batch_span = obs.current_span()
 
         def _one(item: tuple[str, object]) -> tuple[str, dict]:
             digest, op = item
-            payload = self._resolve(
-                digest, lambda: self._fleet_payload(digest, op, req)
-            )
+            with obs.span(
+                "fleet.job", parent=batch_span, op=op.name, digest=digest
+            ):
+                payload = self._resolve(
+                    digest, lambda: self._fleet_payload(digest, op, req)
+                )
             return digest, payload
 
         items = list(reps.items())
@@ -348,6 +370,83 @@ class FleetService(TuningService):
         body["fleet"]["workers"] = self.workers.snapshot()
         return body
 
+    # -- fleet-wide observability -------------------------------------------------
+    def _worker_client(self, url: str):
+        from ..client import TuningClient
+
+        # Short deadline + no retries: one slow worker must not stall a
+        # whole fleet scrape, and scrapes are repeated anyway.
+        return TuningClient(url, timeout=min(self.deadline_s, 10.0), retries=0)
+
+    def handle_fleet_metrics(self, accept: str | None = None):
+        """``GET /v1/fleet_metrics``: every member's metrics in one body.
+
+        JSON: the coordinator's full snapshot plus each worker's, keyed by
+        worker id (``None`` for an unreachable member).  Prometheus text:
+        the coordinator's own exposition (with HELP/TYPE metadata)
+        followed by each worker's samples re-labeled ``worker="<id>"`` —
+        comment lines are stripped so metadata appears exactly once.
+        """
+        members = sorted(self.workers.snapshot().items())
+        if wants_prometheus(accept):
+            own = self.metrics.prometheus()
+            parts = [relabel_exposition(own, worker="coordinator")]
+            # HELP/TYPE once, from the coordinator's registry (all members
+            # run the same metric schema).
+            meta = [
+                line for line in own.splitlines() if line.startswith("#")
+            ]
+            for worker_id, info in members:
+                try:
+                    text = self._worker_client(info["url"]).metrics_prometheus()
+                except Exception:  # noqa: BLE001 - scrape what answers
+                    continue
+                parts.append(relabel_exposition(text, worker=worker_id))
+            body = "\n".join(meta) + "\n" + "".join(parts)
+            return WireReply(
+                status=200,
+                headers={"Content-Type": PROMETHEUS_CONTENT_TYPE},
+                body=body.encode("utf-8"),
+            )
+        workers: dict = {}
+        for worker_id, info in members:
+            try:
+                workers[worker_id] = self._worker_client(info["url"]).metrics()
+            except Exception:  # noqa: BLE001 - scrape what answers
+                workers[worker_id] = None
+        return {"coordinator": self.metrics_body(), "workers": workers}
+
+    def handle_trace(self, trace_id: str) -> dict:
+        """The fleet-wide view of one trace: local spans plus every
+        reachable worker's, deduplicated by span id.
+
+        This is what makes a traced ``/v1/optimize_batch`` export as one
+        connected tree — the worker-side server/sweep spans live in the
+        workers' ring buffers, not here.
+        """
+        if not trace_id or "/" in trace_id:
+            raise ProtocolError(f"malformed trace id {trace_id!r}")
+        spans = list(obs.get_tracer().trace(trace_id))
+        seen = {s["span_id"] for s in spans}
+        for worker_id, info in sorted(self.workers.snapshot().items()):
+            try:
+                remote = self._worker_client(info["url"]).trace(trace_id)
+            except Exception:  # noqa: BLE001 - a 404/dead worker has no spans
+                continue
+            for rec in remote.get("spans", []):
+                if isinstance(rec, dict) and rec.get("span_id") not in seen:
+                    seen.add(rec["span_id"])
+                    spans.append(rec)
+        if not spans:
+            raise NotFoundError(f"no spans retained for trace {trace_id}")
+        tree = trace_tree(spans)
+        return {
+            "trace_id": trace_id,
+            "span_count": tree["spans"],
+            "connected": tree["connected"],
+            "spans": spans,
+        }
+
 
 class _FleetHandler(_Handler):
     """The single-node routes plus the coordinator's fleet endpoints."""
@@ -357,6 +456,14 @@ class _FleetHandler(_Handler):
     def _route_get(self, path: str) -> bool:
         if path == "/v1/fleet/status":
             self._run("/v1/fleet/status", self.service.fleet_status)
+            return True
+        if path == "/v1/fleet_metrics":
+            self._run(
+                "/v1/fleet_metrics",
+                lambda: self.service.handle_fleet_metrics(
+                    self.headers.get("Accept")
+                ),
+            )
             return True
         return super()._route_get(path)
 

@@ -1,15 +1,28 @@
-"""Service observability: per-tier hit counters and latency percentiles.
+"""Service observability: typed counters, latency windows, Prometheus text.
 
 The daemon resolves every sweep through a tier chain — bounded in-memory
-cache, in-flight coalescing, persistent L2 store, cold evaluation — and
-each request is attributed to exactly one tier.  ``GET /metrics`` serves a
-snapshot of these counters plus p50/p95/p99 request latencies per
-endpoint, which is how the load harness asserts "N concurrent identical
-requests cost one evaluation".
+cache, in-flight coalescing, persistent L2 store, delta reconstruction,
+cold evaluation — and each request is attributed to exactly one tier.
+``GET /metrics`` serves a snapshot of these counters plus p50/p95/p99
+request latencies per endpoint, which is how the load harness asserts "N
+concurrent identical requests cost one evaluation".
+
+Counters live in a typed :class:`repro.obs.metrics.MetricsRegistry`, so
+the same recording path feeds two renderings: the JSON snapshot every
+existing consumer reads, and the Prometheus text exposition served under
+``Accept: text/plain`` (see ``repro.obs.metrics.wants_prometheus``).
+Alongside the counters, each endpoint gets a fixed-bucket latency
+*histogram* (aggregatable across a fleet, unlike percentiles) and an
+in-flight-requests gauge.
 
 Latencies are kept in a bounded ring (last :data:`WINDOW` samples per
 endpoint): a long-lived daemon must not grow memory with request count,
 and recent-window percentiles are the operationally useful ones anyway.
+Windows are *copied* under the lock and sorted outside it — sorting 4096
+samples per endpoint inside the global lock measurably stalled the
+recording path whenever ``/metrics`` was scraped under load.  All
+durations come from monotonic clocks (``time.perf_counter``): an NTP
+step must never produce a negative latency sample or a jumped uptime.
 """
 
 from __future__ import annotations
@@ -17,6 +30,8 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
+
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS_S, MetricsRegistry
 
 __all__ = [
     "ServiceMetrics",
@@ -75,125 +90,215 @@ def _percentile(sorted_samples: list[float], q: float) -> float:
 
 
 class ServiceMetrics:
-    """Thread-safe counters and latency windows for one daemon."""
+    """Thread-safe counters and latency windows for one daemon.
+
+    The JSON ``snapshot()`` shape is load-bearing (clients, the load
+    harness, and the chaos suite all parse it); the typed registry
+    underneath additionally renders the whole set as Prometheus text via
+    :meth:`prometheus`.
+    """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._started = time.time()
-        self._requests: dict[str, int] = {}
-        self._errors: dict[str, int] = {}
-        self._tiers: dict[str, int] = {tier: 0 for tier in RESOLVE_TIERS}
-        self._responses: dict[str, int] = {kind: 0 for kind in RESPONSE_KINDS}
+        self._started_mono = time.perf_counter()
         self._latency: dict[str, deque[float]] = {}
-        # Cold /v1/optimize phase breakdown: how much of each computed
-        # response went into sweeping vs. configuration selection.
-        self._optimize_runs = 0
-        self._optimize_sweep_ms = 0.0
-        self._optimize_select_ms = 0.0
-        self._registry_events: dict[str, int] = {e: 0 for e in REGISTRY_EVENTS}
         self._last_revalidation: dict | None = None
-        self._fleet_events: dict[str, int] = {e: 0 for e in FLEET_EVENTS}
+
+        reg = self.registry = MetricsRegistry()
+        self._requests = reg.counter(
+            "repro_requests_total", "Requests served, by endpoint.",
+            ("endpoint",),
+        )
+        self._errors = reg.counter(
+            "repro_errors_total", "Error responses, by endpoint.",
+            ("endpoint",),
+        )
+        self._tiers = reg.counter(
+            "repro_resolve_tier_total",
+            "Sweep resolutions, by tier (each request hits exactly one).",
+            ("tier",),
+        )
+        self._responses = reg.counter(
+            "repro_responses_total",
+            "Sweep responses, by wire representation.",
+            ("kind",),
+        )
+        self._registry_events = reg.counter(
+            "repro_registry_events_total",
+            "Schedule-registry lifecycle events.",
+            ("event",),
+        )
+        self._fleet_events = reg.counter(
+            "repro_fleet_events_total",
+            "Fleet coordination events.",
+            ("event",),
+        )
+        self._optimize_runs = reg.counter(
+            "repro_optimize_runs_total",
+            "Cold /v1/optimize computations.",
+        )
+        self._optimize_phase_ms = reg.counter(
+            "repro_optimize_phase_ms_total",
+            "Cold /v1/optimize time, by phase (sweep vs. selection), ms.",
+            ("phase",),
+        )
+        self._latency_hist = reg.histogram(
+            "repro_request_latency_seconds",
+            "Request latency, by endpoint.",
+            ("endpoint",),
+            buckets=DEFAULT_LATENCY_BUCKETS_S,
+        )
+        self._inflight = reg.gauge(
+            "repro_inflight_requests",
+            "Requests currently being handled.",
+        )
+        self._inflight.set(0)  # render from the first scrape, not first request
+        reg.gauge_callback(
+            "repro_uptime_seconds",
+            "Seconds since the daemon started (monotonic).",
+            lambda: time.perf_counter() - self._started_mono,
+        )
+        # Fixed vocabularies render at zero from the first scrape: a
+        # dashboard must distinguish "no quarantines" from "not exported".
+        for tier in RESOLVE_TIERS:
+            self._tiers.preset(tier)
+        for kind in RESPONSE_KINDS:
+            self._responses.preset(kind)
+        for event in REGISTRY_EVENTS:
+            self._registry_events.preset(event)
+        for event in FLEET_EVENTS:
+            self._fleet_events.preset(event)
+        self._optimize_runs.preset()
+        self._optimize_phase_ms.preset("sweep")
+        self._optimize_phase_ms.preset("select")
 
     # -- recording -----------------------------------------------------------
     def record_request(self, endpoint: str, latency_s: float) -> None:
+        self._requests.inc(endpoint=endpoint)
+        self._latency_hist.observe(latency_s, endpoint=endpoint)
         with self._lock:
-            self._requests[endpoint] = self._requests.get(endpoint, 0) + 1
             window = self._latency.get(endpoint)
             if window is None:
                 window = self._latency[endpoint] = deque(maxlen=WINDOW)
             window.append(latency_s * 1e3)
 
     def record_error(self, endpoint: str) -> None:
-        with self._lock:
-            self._errors[endpoint] = self._errors.get(endpoint, 0) + 1
+        self._errors.inc(endpoint=endpoint)
 
     def record_tier(self, tier: str) -> None:
-        if tier not in self._tiers:
+        if tier not in RESOLVE_TIERS:
             raise ValueError(f"unknown resolve tier {tier!r}; known: {RESOLVE_TIERS}")
-        with self._lock:
-            self._tiers[tier] += 1
+        self._tiers.inc(tier=tier)
 
     def record_response(self, kind: str) -> None:
-        if kind not in self._responses:
+        if kind not in RESPONSE_KINDS:
             raise ValueError(f"unknown response kind {kind!r}; known: {RESPONSE_KINDS}")
-        with self._lock:
-            self._responses[kind] += 1
+        self._responses.inc(kind=kind)
 
     def record_optimize_breakdown(self, sweep_s: float, select_s: float) -> None:
         """Attribute one cold ``/v1/optimize`` computation to its phases."""
-        with self._lock:
-            self._optimize_runs += 1
-            self._optimize_sweep_ms += sweep_s * 1e3
-            self._optimize_select_ms += select_s * 1e3
+        self._optimize_runs.inc()
+        self._optimize_phase_ms.inc(sweep_s * 1e3, phase="sweep")
+        self._optimize_phase_ms.inc(select_s * 1e3, phase="select")
 
     def record_registry(self, event: str) -> None:
-        if event not in self._registry_events:
+        if event not in REGISTRY_EVENTS:
             raise ValueError(
                 f"unknown registry event {event!r}; known: {REGISTRY_EVENTS}"
             )
-        with self._lock:
-            self._registry_events[event] += 1
+        self._registry_events.inc(event=event)
 
     def record_fleet(self, event: str) -> None:
-        if event not in self._fleet_events:
+        if event not in FLEET_EVENTS:
             raise ValueError(
                 f"unknown fleet event {event!r}; known: {FLEET_EVENTS}"
             )
-        with self._lock:
-            self._fleet_events[event] += 1
+        self._fleet_events.inc(event=event)
 
     def record_revalidation(self, summary: dict) -> None:
         """Remember the latest background-revalidation sweep's outcome."""
         with self._lock:
             self._last_revalidation = dict(summary)
 
+    def request_started(self) -> None:
+        self._inflight.inc()
+
+    def request_finished(self) -> None:
+        self._inflight.dec()
+
     # -- reading -------------------------------------------------------------
+    @staticmethod
+    def _by_label(counter) -> dict[str, int | float]:
+        return {key[0]: value for key, value in counter.items()}
+
     def registry_counts(self) -> dict[str, int]:
-        with self._lock:
-            return dict(self._registry_events)
+        counts = self._by_label(self._registry_events)
+        return {event: counts.get(event, 0) for event in REGISTRY_EVENTS}
 
     def fleet_counts(self) -> dict[str, int]:
-        with self._lock:
-            return dict(self._fleet_events)
+        counts = self._by_label(self._fleet_events)
+        return {event: counts.get(event, 0) for event in FLEET_EVENTS}
 
     def tier_counts(self) -> dict[str, int]:
-        with self._lock:
-            return dict(self._tiers)
+        counts = self._by_label(self._tiers)
+        return {tier: counts.get(tier, 0) for tier in RESOLVE_TIERS}
+
+    def inflight(self) -> int | float:
+        return self._inflight.value()
+
+    def prometheus(self) -> str:
+        """The Prometheus text exposition of every registered metric."""
+        return self.registry.render()
 
     def snapshot(self) -> dict:
         """One JSON-able view of everything (the ``/metrics`` body)."""
+        # Copy each ring under the lock; sort outside it.  Sorting 4096
+        # floats per endpoint while holding the recording lock stalls
+        # every handler thread for the duration of the scrape.
         with self._lock:
-            latency = {}
-            for endpoint, window in self._latency.items():
-                samples = sorted(window)
-                latency[endpoint] = {
-                    "count": len(samples),
-                    "p50_ms": _percentile(samples, 0.50),
-                    "p95_ms": _percentile(samples, 0.95),
-                    "p99_ms": _percentile(samples, 0.99),
-                    "max_ms": samples[-1] if samples else 0.0,
-                }
-            runs = self._optimize_runs
-            return {
-                "uptime_s": time.time() - self._started,
-                "requests": dict(self._requests),
-                "errors": dict(self._errors),
-                "resolve_tiers": dict(self._tiers),
-                "responses": dict(self._responses),
-                "latency_ms": latency,
-                # Where cold /v1/optimize time goes: the sweep phase
-                # (engine evaluation through the scheduler) vs. the
-                # configuration-selection phase.
-                "optimize_breakdown": {
-                    "computed": runs,
-                    "sweep_ms_total": self._optimize_sweep_ms,
-                    "select_ms_total": self._optimize_select_ms,
-                    "sweep_ms_avg": self._optimize_sweep_ms / runs if runs else 0.0,
-                    "select_ms_avg": self._optimize_select_ms / runs if runs else 0.0,
-                },
-                "registry": {
-                    "events": dict(self._registry_events),
-                    "last_revalidation": self._last_revalidation,
-                },
-                "fleet": {"events": dict(self._fleet_events)},
+            windows = {
+                endpoint: list(window)
+                for endpoint, window in self._latency.items()
             }
+            last_revalidation = self._last_revalidation
+        latency = {}
+        for endpoint, samples in windows.items():
+            samples.sort()
+            latency[endpoint] = {
+                "count": len(samples),
+                "p50_ms": _percentile(samples, 0.50),
+                "p95_ms": _percentile(samples, 0.95),
+                "p99_ms": _percentile(samples, 0.99),
+                "max_ms": samples[-1] if samples else 0.0,
+            }
+        runs = self._optimize_runs.value()
+        phase_ms = self._by_label(self._optimize_phase_ms)
+        sweep_ms = phase_ms.get("sweep", 0.0) or 0.0
+        select_ms = phase_ms.get("select", 0.0) or 0.0
+        responses = self._by_label(self._responses)
+        return {
+            "uptime_s": time.perf_counter() - self._started_mono,
+            "inflight": self.inflight(),
+            "requests": self._by_label(self._requests),
+            "errors": self._by_label(self._errors),
+            "resolve_tiers": self.tier_counts(),
+            "responses": {
+                kind: responses.get(kind, 0) for kind in RESPONSE_KINDS
+            },
+            "latency_ms": latency,
+            # Where cold /v1/optimize time goes: the sweep phase (engine
+            # evaluation through the scheduler) vs. the
+            # configuration-selection phase.
+            "optimize_breakdown": {
+                "computed": runs,
+                "sweep_ms_total": float(sweep_ms),
+                "select_ms_total": float(select_ms),
+                "sweep_ms_avg": sweep_ms / runs if runs else 0.0,
+                "select_ms_avg": select_ms / runs if runs else 0.0,
+            },
+            "registry": {
+                "events": self.registry_counts(),
+                "last_revalidation": last_revalidation,
+            },
+            "fleet": {"events": self.fleet_counts()},
+        }

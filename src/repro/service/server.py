@@ -26,7 +26,16 @@ Endpoints (all JSON, canonical serialization):
 * ``GET /healthz`` — liveness plus identity: package version,
   ``COST_MODEL_VERSION``, payload format, cache/store/registry occupancy.
 * ``GET /metrics`` — tier hit counts, p50/p95/p99 latencies, registry
-  lifecycle counters and the latest background-revalidation sweep.
+  lifecycle counters and the latest background-revalidation sweep; the
+  same counters render as Prometheus text exposition under ``Accept:
+  text/plain`` (content negotiation, JSON stays the default).
+* ``GET /v1/trace/<trace_id>`` — every span this process retains for one
+  trace (the ring buffer behind ``repro trace``).
+
+Every request runs inside a trace span (``repro.obs``) that adopts the
+client's ``traceparent`` header when present, so a traced request through
+the fleet yields one connected cross-process tree.  With tracing off
+(the default) the span machinery is a shared no-op object.
 
 The request path never touches the engine's unbounded process memo: sweep
 payloads live in the service's :class:`~repro.service.coalesce.BoundedCache`.
@@ -47,7 +56,7 @@ from json import JSONDecodeError, loads
 from time import monotonic, perf_counter, time
 from typing import BinaryIO
 
-from repro import __version__
+from repro import __version__, obs
 from repro.autotuner.cache import CacheMismatch
 from repro.engine.memo import clear_sweep_memo, sweep_memo_stats
 from repro.engine.scheduler import DISABLE_STORE, sweep_graph
@@ -60,6 +69,8 @@ from repro.engine.store import (
 )
 from repro.engine.sweep import delta_payload_from_store, sweep_from_payload
 from repro.hardware.cost_model import COST_MODEL_VERSION, CostModel
+from repro.obs.export import trace_tree
+from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE, wants_prometheus
 
 from .coalesce import BoundedCache, SingleFlight
 from .fleet.faults import FaultInjector
@@ -172,6 +183,19 @@ class TuningService:
         self.cache = BoundedCache(cache_entries)
         self.flights = SingleFlight()
         self.metrics = ServiceMetrics()
+        # How this process labels its spans/metrics in a fleet trace; the
+        # CLI overwrites it per role ("coordinator", "worker:<id>").
+        self.service_name = "tuningd"
+        self.metrics.registry.gauge_callback(
+            "repro_l1_cache_entries",
+            "Entries currently held by the L1 payload cache.",
+            lambda: self.cache.stats()["entries"],
+        )
+        self.metrics.registry.gauge_callback(
+            "repro_coalesced_inflight",
+            "Evaluations currently led through the single-flight layer.",
+            lambda: self.flights.inflight(),
+        )
         self._revalidator: threading.Thread | None = None
         self._revalidate_stop = threading.Event()
         # Readiness state: ``warm=True`` (the default, and every in-process
@@ -198,6 +222,7 @@ class TuningService:
         value = self.cache.get(digest)
         if value is not None:
             self.metrics.record_tier("l1")
+            obs.set_attr("resolve.tier", "l1")
             return value
         store = self.store if use_store else None
 
@@ -238,6 +263,7 @@ class TuningService:
         if not leader:
             tier = "coalesced"
         self.metrics.record_tier(tier)
+        obs.set_attr("resolve.tier", tier)
         return value
 
     def _bound_engine_memo(self) -> None:
@@ -253,6 +279,7 @@ class TuningService:
         # an uncapped wide-kernel request from OOM-killing the daemon.
         from repro.engine.scheduler import _estimated_configs
 
+        obs.set_attr("store.digest", digest)
         estimated = _estimated_configs(req.op, req.env, req.cap)
         if estimated > MAX_SWEEP_CONFIGS:
             raise ProtocolError(
@@ -341,6 +368,7 @@ class TuningService:
                 "(whole graphs contain kernels with ~1e10-config spaces)"
             )
         digest = optimize_request_digest(req)
+        obs.set_attr("request.digest", digest)
 
         def _compute() -> dict:
             from repro.configsel.chain import ChainError
@@ -676,6 +704,37 @@ class TuningService:
         )
         return body
 
+    def metrics_reply(self, accept: str | None = None):
+        """``GET /metrics``: the JSON snapshot, or Prometheus text under
+        ``Accept: text/plain`` (existing consumers send no Accept header
+        and keep getting JSON)."""
+        if wants_prometheus(accept):
+            return WireReply(
+                status=200,
+                headers={"Content-Type": PROMETHEUS_CONTENT_TYPE},
+                body=self.metrics.prometheus().encode("utf-8"),
+            )
+        return self.metrics_body()
+
+    def handle_trace(self, trace_id: str) -> dict:
+        """``GET /v1/trace/<id>``: this process's retained spans of a trace.
+
+        404 distinguishes "never saw it / aged out" from an empty list —
+        the coordinator's fleet aggregation skips 404ing members.
+        """
+        if not trace_id or "/" in trace_id:
+            raise ProtocolError(f"malformed trace id {trace_id!r}")
+        spans = obs.get_tracer().trace(trace_id)
+        if not spans:
+            raise NotFoundError(f"no spans retained for trace {trace_id}")
+        tree = trace_tree(spans)
+        return {
+            "trace_id": trace_id,
+            "span_count": tree["spans"],
+            "connected": tree["connected"],
+            "spans": spans,
+        }
+
 
 def _json_reply(status: int, obj: dict) -> WireReply:
     """A canonical-JSON :class:`WireReply` (the handler's default shape)."""
@@ -756,7 +815,25 @@ class _Handler(BaseHTTPRequestHandler):
                 self._run_tracked(endpoint, fn)
 
     def _run_tracked(self, endpoint: str, fn) -> None:
+        # Latency from a monotonic clock (an NTP step must never yield a
+        # negative sample), inside a server span that adopts the caller's
+        # traceparent header — the cross-process link of a fleet trace.
+        metrics = self.service.metrics
+        metrics.request_started()
         start = perf_counter()
+        try:
+            with obs.span(
+                f"server{endpoint}",
+                parent=self.headers.get(obs.TRACEPARENT_HEADER),
+                service=self.service.service_name,
+                endpoint=endpoint,
+            ):
+                self._respond(endpoint, fn)
+        finally:
+            metrics.request_finished()
+            metrics.record_request(endpoint, perf_counter() - start)
+
+    def _respond(self, endpoint: str, fn) -> None:
         try:
             faults = self.service.faults
             if faults is not None:
@@ -794,12 +871,11 @@ class _Handler(BaseHTTPRequestHandler):
                 )
             if faults is not None:
                 reply = faults.mangle_reply(endpoint, reply)
+            obs.set_attr("http.status", reply.status)
             self._send_reply(reply)
         except (ConnectionError, TimeoutError):
             # The client went away mid-send; nothing left to answer.
             pass
-        finally:
-            self.service.metrics.record_request(endpoint, perf_counter() - start)
 
     def _not_found(self, method: str) -> None:
         self.service.metrics.record_error("404")
@@ -828,7 +904,13 @@ class _Handler(BaseHTTPRequestHandler):
         elif path == "/readyz":
             self._run("/readyz", self.service.handle_readyz)
         elif path == "/metrics":
-            self._run("/metrics", self.service.metrics_body)
+            self._run(
+                "/metrics",
+                lambda: self.service.metrics_reply(self.headers.get("Accept")),
+            )
+        elif path.startswith("/v1/trace/"):
+            trace_id = path[len("/v1/trace/"):]
+            self._run("/v1/trace", lambda: self.service.handle_trace(trace_id))
         elif path.startswith("/v1/schedule/"):
             digest = path[len("/v1/schedule/"):]
             self._run(

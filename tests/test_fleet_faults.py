@@ -53,6 +53,7 @@ def _spawn(
     env["PYTHONPATH"] = str(REPO / "src")
     env["PYTHONUNBUFFERED"] = "1"
     env["REPRO_FLEET_TTL_S"] = "3"  # fast lease expiry for the suite
+    env["REPRO_TRACE"] = "1"  # fault handling must leave a span trail
     env.pop("REPRO_FAULT_SPEC", None)
     if fault_spec:
         env["REPRO_FAULT_SPEC"] = fault_spec
@@ -178,12 +179,22 @@ def test_fault_free_fleet_is_byte_identical_and_drains_cleanly(
 def test_killed_worker_is_survived_byte_identically(
     fleet_factory, single_node_bytes
 ):
+    from repro import obs
+
     # w1 genuinely dies (os._exit) on its first sweep request: the client
-    # side sees a connection reset with no response bytes.
+    # side sees a connection reset with no response bytes.  The batch runs
+    # under a client span so the coordinator's fault handling leaves an
+    # attributable trail in the trace, not just aggregate counters.
     fleet = fleet_factory(
         workers={"w1": "kill:path=/v1/sweep:after=1", "w2": None}
     )
-    assert fleet.client.optimize_batch_raw(**BATCH) == single_node_bytes
+    obs.set_tracing(True)
+    try:
+        with obs.span("chaos.batch") as root:
+            raw = fleet.client.optimize_batch_raw(**BATCH)
+    finally:
+        obs.set_tracing(None)
+    assert raw == single_node_bytes
 
     assert fleet.procs["w1"].wait(timeout=10) == KILL_EXIT_CODE
     info = fleet.client.fleet_status()["workers"]["w1"]
@@ -192,6 +203,26 @@ def test_killed_worker_is_survived_byte_identically(
     events = fleet.client.metrics()["fleet"]["events"]
     assert events["quarantine"] > 0
     assert events["job_local_fallback"] == 0  # w2 absorbed every retry
+
+    # The trace names the culprit: the wounded job's span carries `retry`
+    # and `quarantine` events whose attributes identify the excluded
+    # worker — that is what turns "p99 regressed" into "w1 died".
+    spans = fleet.client.trace(root.trace_id)["spans"]
+    span_events = [
+        (span, event) for span in spans for event in span["events"]
+    ]
+    retries = [e for _, e in span_events if e["name"] == "retry"]
+    quarantines = [e for _, e in span_events if e["name"] == "quarantine"]
+    assert any(e["attrs"].get("worker") == "w1" for e in retries), retries
+    assert any(
+        e["attrs"].get("worker") == "w1" for e in quarantines
+    ), quarantines
+    wounded = [
+        span for span, event in span_events
+        if event["name"] == "quarantine" and event["attrs"].get("worker") == "w1"
+    ]
+    assert all(s["name"] == "fleet.job" for s in wounded)
+    assert all(s["trace_id"] == root.trace_id for s in spans)
 
 
 def test_hung_worker_is_survived_byte_identically(

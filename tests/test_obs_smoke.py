@@ -1,0 +1,219 @@
+"""Obs smoke: one traced batch across a real 2-worker fleet, one tree.
+
+The acceptance criterion of the tracing tentpole, end to end with real
+daemons: a traced ``POST /v1/optimize_batch`` against a coordinator with
+two worker subprocesses must export a **single connected** span tree —
+client root, coordinator server span, per-job fan-out spans, and the
+worker-side server/sweep spans (shipped via the ``traceparent`` header
+and scraped from each worker's ring) whose attributes carry the resolve
+tier and the store digest.  The same fleet must serve valid Prometheus
+text on ``GET /metrics`` and the merged per-worker view on
+``GET /v1/fleet_metrics``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.obs.export import to_chrome_trace, trace_tree
+from repro.ir.dims import bert_large_dims
+from repro.service.client import ServiceError, TuningClient
+
+pytestmark = pytest.mark.slow
+
+REPO = Path(__file__).resolve().parent.parent
+ENV = bert_large_dims()
+BATCH = dict(model="mha", include_backward=False, env=ENV, cap=60)
+
+
+def _spawn(argv: list[str], *, store_dir: Path) -> tuple[subprocess.Popen, str]:
+    """One traced fleet daemon; returns ``(process, base_url)``."""
+    env = os.environ.copy()
+    env["PYTHONPATH"] = str(REPO / "src")
+    env["PYTHONUNBUFFERED"] = "1"
+    env["REPRO_TRACE"] = "1"
+    env.pop("REPRO_FAULT_SPEC", None)
+    cmd = [
+        sys.executable, "-m", "repro", "fleet", "serve",
+        "--port", "0", "--sweep-store", str(store_dir), *argv,
+    ]
+    proc = subprocess.Popen(
+        cmd, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=env,
+    )
+    banner = proc.stdout.readline()
+    match = re.search(r"listening on (http://[\d.]+:\d+)", banner)
+    assert match, f"no banner from {cmd}: {banner!r}"
+    return proc, match.group(1)
+
+
+@pytest.fixture
+def traced_fleet(tmp_path):
+    """A coordinator plus two workers, every daemon tracing."""
+    procs: list[subprocess.Popen] = []
+    try:
+        coord, url = _spawn(
+            ["--role", "coordinator"], store_dir=tmp_path / "coord-store"
+        )
+        procs.append(coord)
+        for worker_id in ("w1", "w2"):
+            proc, _ = _spawn(
+                [
+                    "--role", "worker",
+                    "--coordinator-url", url,
+                    "--worker-id", worker_id,
+                ],
+                store_dir=tmp_path / f"{worker_id}-store",
+            )
+            procs.append(proc)
+        client = TuningClient(url)
+        client.wait_until_ready(timeout=90.0, readiness=True)
+        deadline = time.monotonic() + 90.0
+        while time.monotonic() < deadline:
+            try:
+                counts = client.fleet_status()["counts"]
+            except ServiceError:
+                counts = {}
+            if counts.get("ready", 0) >= 2:
+                break
+            time.sleep(0.2)
+        else:
+            raise AssertionError(f"fleet never became ready: {counts}")
+        yield client
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+
+
+def _poll(fn, timeout: float = 20.0):
+    """Retry ``fn`` until it stops raising: a server span only reaches the
+    ring *after* the response bytes go out, so an immediate scrape of
+    ``/v1/trace`` or ``/metrics`` can miss the request that just returned."""
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            return fn()
+        except (AssertionError, ServiceError):
+            if time.monotonic() > deadline:
+                raise
+            time.sleep(0.25)
+
+
+def test_traced_batch_is_one_connected_tree(traced_fleet, tmp_path):
+    client = traced_fleet
+    obs.set_tracing(True)
+    try:
+        with obs.span("client.batch", service="test-client") as root:
+            client.optimize_batch(**BATCH)
+        local = obs.get_tracer().trace(root.trace_id)
+    finally:
+        obs.set_tracing(None)
+
+    seen = {s["span_id"] for s in local}
+
+    def connected_tree():
+        served = client.trace(root.trace_id)
+        merged = local + [
+            s for s in served["spans"] if s["span_id"] not in seen
+        ]
+        tree = trace_tree(merged)
+        assert tree["connected"] is True, (
+            f"{tree['spans']} spans, roots="
+            f"{[r['name'] for r in tree['roots']]}, orphans={tree['orphans']}"
+        )
+        return merged, tree
+
+    spans, tree = _poll(connected_tree)
+    assert tree["trace_id"] == root.trace_id
+
+    services = {s["attrs"].get("service") for s in spans}
+    workers = {s for s in services if s and s.startswith("worker:")}
+    assert workers == {"worker:w1", "worker:w2"}, services
+    assert "coordinator" in services
+
+    # The coordinator fanned each distinct digest out as a fleet.job span.
+    jobs = [s for s in spans if s["name"] == "fleet.job"]
+    assert jobs and all(s["attrs"].get("digest") for s in jobs)
+
+    # Worker-side leaves: each served sweep's span is tagged with the
+    # tier that resolved it and the store digest it was served under.
+    worker_server_spans = [
+        s for s in spans
+        if s["name"] == "server/v1/sweep"
+        and s["attrs"].get("service") in workers
+    ]
+    assert worker_server_spans
+    for s in worker_server_spans:
+        assert s["attrs"].get("resolve.tier") in (
+            "l1", "coalesced", "l2", "delta", "computed"
+        ), s["attrs"]
+        assert re.fullmatch(r"[0-9a-f]{64}", s["attrs"].get("store.digest", ""))
+        # Each worker span hangs off a coordinator fleet.job span for the
+        # same digest — the cross-process edge of the tree.
+        parent = next(
+            p for p in spans if p["span_id"] == s["parent_id"]
+        )
+        assert parent["name"] == "fleet.job"
+        assert parent["attrs"]["digest"] == s["attrs"]["store.digest"]
+
+    # And the whole thing exports as Perfetto-loadable JSON.
+    doc = to_chrome_trace(spans)
+    out = tmp_path / "batch-trace.json"
+    out.write_text(json.dumps(doc))
+    loaded = json.loads(out.read_text())
+    names = {e["args"]["name"] for e in loaded["traceEvents"]
+             if e["ph"] == "M" and e["name"] == "process_name"}
+    assert {"coordinator", "worker:w1", "worker:w2"} <= names
+
+
+def test_fleet_serves_valid_prometheus_text(traced_fleet):
+    client = traced_fleet
+    client.optimize_batch(**BATCH)
+
+    def batch_accounted():
+        own = client.metrics_prometheus()
+        assert re.search(
+            r'^repro_requests_total\{endpoint="/v1/optimize_batch"\} [1-9]\d*$',
+            own, re.M,
+        )
+        return own
+
+    own = _poll(batch_accounted)
+    assert "# TYPE repro_requests_total counter" in own
+    assert re.search(
+        r'^repro_fleet_events_total\{event="batch"\} [1-9]\d*$', own, re.M
+    )
+    assert re.search(
+        r'^repro_request_latency_seconds_bucket\{.*le="\+Inf"\} \d+$',
+        own, re.M,
+    )
+
+    merged = client.fleet_metrics_prometheus()
+    # Every sample line is labeled with its fleet member; HELP/TYPE
+    # metadata appears exactly once per metric.
+    for worker in ("coordinator", "w1", "w2"):
+        assert re.search(
+            rf'^repro_requests_total\{{worker="{worker}",', merged, re.M
+        ), f"no samples for {worker}"
+    assert merged.count("# TYPE repro_requests_total counter") == 1
+    for line in merged.splitlines():
+        if line.startswith("#") or not line:
+            continue
+        assert re.match(
+            r'^[a-zA-Z_:][a-zA-Z0-9_:]*\{worker="[^"]+"', line
+        ), f"unlabeled sample: {line!r}"
+
+    as_json = client.fleet_metrics()
+    assert set(as_json["workers"]) == {"w1", "w2"}
+    assert as_json["coordinator"]["fleet"]["events"]["batch"] >= 1
