@@ -16,7 +16,8 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-from repro.hardware.cost_model import COST_MODEL_VERSION, KernelTime
+from repro.hardware.cost_model import KernelTime
+from repro.hardware.params import active_cost_model_version
 from repro.ir.operator import OpSpec
 from repro.layouts.config import OpConfig
 from repro.layouts.layout import Layout
@@ -57,7 +58,7 @@ def _config_from_dict(d: dict) -> OpConfig:
 def sweep_to_dict(sweep: SweepResult) -> dict:
     """Serializable form of a sweep (op identity + all measurements)."""
     return {
-        "cost_model_version": COST_MODEL_VERSION,
+        "cost_model_version": active_cost_model_version(),
         "op_name": sweep.op.name,
         "measurements": [
             {
@@ -78,11 +79,12 @@ def sweep_from_dict(data: dict, op: OpSpec) -> SweepResult:
     different (or unversioned, pre-versioning) cost model.
     """
     version = data.get("cost_model_version")
-    if version != COST_MODEL_VERSION:
+    served = active_cost_model_version()
+    if version != served:
         raise CacheMismatch(
             f"cached sweep for {data.get('op_name')!r} was measured under cost "
             f"model version {version!r}, but this process runs version "
-            f"{COST_MODEL_VERSION!r}; re-run the sweep instead of reusing it"
+            f"{served!r}; re-run the sweep instead of reusing it"
         )
     if data["op_name"] != op.name:
         raise CacheMismatch(

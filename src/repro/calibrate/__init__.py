@@ -1,0 +1,56 @@
+"""Online calibration: measurement feedback, fitting, staged rollout.
+
+The cost model ships with hand-derived efficiency constants
+(:data:`repro.hardware.params.DEFAULT_PARAMS`).  This package closes the
+loop against reality without ever letting an unvetted model serve:
+
+* :mod:`repro.calibrate.feedback` — a crash-safe JSONL store of measured
+  kernel timings (``POST /v1/report`` / ``repro report``), each record
+  digest-chained so corruption is detected on load;
+* :mod:`repro.calibrate.fit` — fits a :class:`CandidateModel` (new
+  parameters + derived version tag + provenance) to the retained
+  measurements, deterministically;
+* :mod:`repro.calibrate.rollout` — the staged rollout state machine:
+  SHADOW (candidate must beat the served model on the retained corpus)
+  → CANARY (a deterministic slice of live traffic is dual-scored; the
+  active model always serves) → PROMOTE (atomic, journaled, crash-safe)
+  or AUTO-ROLLBACK (metadata-only; the active model never changed).
+"""
+
+from .feedback import (
+    CALIBRATION_DIR_ENV_VAR,
+    FeedbackError,
+    FeedbackStore,
+    record_digest,
+    resolve_calibration_root,
+    table3_corpus,
+    validate_record,
+)
+from .fit import (
+    CandidateModel,
+    calibration_targets,
+    fit_candidate,
+    score_params,
+)
+from .rollout import (
+    ROLLOUT_PHASES,
+    RolloutError,
+    RolloutManager,
+)
+
+__all__ = [
+    "CALIBRATION_DIR_ENV_VAR",
+    "CandidateModel",
+    "FeedbackError",
+    "FeedbackStore",
+    "ROLLOUT_PHASES",
+    "RolloutError",
+    "RolloutManager",
+    "calibration_targets",
+    "fit_candidate",
+    "record_digest",
+    "resolve_calibration_root",
+    "score_params",
+    "table3_corpus",
+    "validate_record",
+]

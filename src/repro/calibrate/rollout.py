@@ -1,0 +1,478 @@
+"""The staged rollout state machine: shadow → canary → promote/rollback.
+
+A candidate cost model never serves until it has survived two gates:
+
+* **SHADOW** — :meth:`RolloutManager.propose` scores the candidate against
+  the retained feedback corpus *offline*; a candidate that does not
+  strictly improve calibration error is rejected on the spot.  The served
+  model is untouched.
+* **CANARY** — a deterministic slice of live sweep requests (selected by
+  request digest, so the slice is stable and replayable) is *dual-scored*:
+  the active model computes and serves the response as always, and the
+  candidate re-predicts the chosen best configuration.  The relative
+  divergence is recorded; one divergence beyond the guardrail triggers
+  **auto-rollback**, and enough healthy samples trigger promotion.  At no
+  point does the candidate's number reach a client.
+* **PROMOTE** — the only step that changes what serves, and it is built
+  around a single atomic commit point: the journaled intent is written,
+  then the new state file lands via temp-file + ``os.replace``, then the
+  parameters are installed in-process.  A crash anywhere leaves the disk
+  state on exactly one side of the commit — recovery re-reads the state
+  file and serves exactly one of {prior, promoted}, which the chaos suite
+  kills processes to prove.  Promotion bumps the served version, which
+  atomically orphans both cache tiers and every wire/registry artifact
+  (they all key on :func:`~repro.hardware.params.active_cost_model_version`).
+* **ROLLBACK** — metadata-only: the candidate is discarded and the state
+  returns to idle.  Nothing to undo, because nothing was installed.
+
+Every transition is journaled (append + fsync) for the audit trail; the
+state *file* is the single recovery authority.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from pathlib import Path
+
+from repro.hardware.params import (
+    DEFAULT_PARAMS,
+    EfficiencyParams,
+    ParamsError,
+    active_cost_model_version,
+    active_params,
+    install_params,
+    params_from_wire,
+)
+from repro.hardware.spec import V100, GPUSpec
+
+from .fit import CandidateModel, calibration_targets, score_params
+
+__all__ = [
+    "CANARY_FRACTION_ENV_VAR",
+    "CANARY_MAX_DIVERGENCE_ENV_VAR",
+    "CANARY_MIN_SAMPLES_ENV_VAR",
+    "ROLLOUT_PHASES",
+    "RolloutError",
+    "RolloutManager",
+]
+
+ROLLOUT_PHASES = ("idle", "canary")
+
+STATE_FILE_NAME = "rollout_state.json"
+JOURNAL_FILE_NAME = "rollout_journal.jsonl"
+
+#: Fraction of live sweep traffic dual-scored while a canary is active.
+CANARY_FRACTION_ENV_VAR = "REPRO_CANARY_FRACTION"
+#: Healthy dual-scored samples required before auto-promotion.
+CANARY_MIN_SAMPLES_ENV_VAR = "REPRO_CANARY_MIN_SAMPLES"
+#: Relative divergence (|candidate - active| / active) that instantly
+#: auto-rolls the candidate back.
+CANARY_MAX_DIVERGENCE_ENV_VAR = "REPRO_CANARY_MAX_DIVERGENCE"
+
+_FAULT_PRE_COMMIT = "rollout-pre-commit"
+_FAULT_POST_COMMIT = "rollout-post-commit"
+
+
+class RolloutError(ValueError):
+    """An invalid rollout transition or a rejected candidate."""
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be a number, got {raw!r}") from None
+
+
+class RolloutManager:
+    """Owns the rollout state, its journal, and the served parameters.
+
+    ``root=None`` keeps everything in memory (tests, ephemeral daemons):
+    the state machine works identically but does not survive the process.
+    """
+
+    def __init__(
+        self,
+        root: str | Path | None = None,
+        *,
+        metrics=None,
+        faults=None,
+        gpu: GPUSpec = V100,
+        fraction: float | None = None,
+        min_samples: int | None = None,
+        max_divergence: float | None = None,
+    ) -> None:
+        self.root = Path(root).expanduser() if root is not None else None
+        self.metrics = metrics
+        self.faults = faults
+        self.gpu = gpu
+        self.fraction = (
+            fraction
+            if fraction is not None
+            else _env_float(CANARY_FRACTION_ENV_VAR, 0.25)
+        )
+        self.min_samples = (
+            min_samples
+            if min_samples is not None
+            else int(_env_float(CANARY_MIN_SAMPLES_ENV_VAR, 8))
+        )
+        self.max_divergence = (
+            max_divergence
+            if max_divergence is not None
+            else _env_float(CANARY_MAX_DIVERGENCE_ENV_VAR, 0.5)
+        )
+        if not (0.0 <= self.fraction <= 1.0):
+            raise ValueError("canary fraction must be within [0, 1]")
+        if self.min_samples < 1:
+            raise ValueError("canary min_samples must be at least 1")
+        if self.max_divergence <= 0:
+            raise ValueError("canary max_divergence must be positive")
+        self._lock = threading.Lock()
+        self._journal_memory: list[dict] = []
+        self._candidate_params: EfficiencyParams | None = None
+        self._state = self._initial_state()
+        self._record_state()
+
+    # -- state persistence and recovery -----------------------------------------
+    @property
+    def state_path(self) -> Path | None:
+        return None if self.root is None else self.root / STATE_FILE_NAME
+
+    @property
+    def journal_path(self) -> Path | None:
+        return None if self.root is None else self.root / JOURNAL_FILE_NAME
+
+    def _initial_state(self) -> dict:
+        """Load-or-adopt: the state file is the single recovery authority.
+
+        With a durable state file present, its verdict wins — the recorded
+        served parameters are (re)installed, which is exactly how a daemon
+        killed *after* the promote commit point comes back serving the
+        promoted model, and one killed *before* it comes back on the prior
+        model.  Without one, the manager adopts whatever the process
+        already serves.
+        """
+        if self.state_path is not None and self.state_path.exists():
+            try:
+                state = json.loads(self.state_path.read_bytes())
+            except ValueError as exc:
+                raise RolloutError(
+                    f"corrupt rollout state at {self.state_path}: {exc} "
+                    f"(the write path is atomic; this file was edited)"
+                ) from exc
+            self._install_from_state(state)
+            self._journal({"event": "recovered", "phase": state["phase"],
+                           "served_version": state["served_version"]})
+            return state
+        return {
+            "phase": "idle",
+            "served_version": active_cost_model_version(),
+            "served_params": None
+            if active_params() == DEFAULT_PARAMS
+            else active_params().to_wire(),
+            "candidate": None,
+            "canary": _fresh_canary(),
+            "last_transition": None,
+        }
+
+    def _install_from_state(self, state: dict) -> None:
+        wire = state.get("served_params")
+        if wire is None:
+            install_params(DEFAULT_PARAMS)
+            return
+        try:
+            params = params_from_wire(wire, "rollout state served_params")
+        except ParamsError as exc:
+            raise RolloutError(str(exc)) from exc
+        install_params(params, state.get("served_version"))
+
+    def _write_state_locked(self) -> None:
+        """Atomically persist the current state (the promote commit point)."""
+        if self.root is None:
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        blob = json.dumps(self._state, sort_keys=True, indent=1).encode("utf-8")
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(blob)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.state_path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    def _journal(self, event: dict) -> None:
+        if self.root is None:
+            self._journal_memory.append(event)
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(event, sort_keys=True) + "\n"
+        with open(self.journal_path, "ab") as fh:
+            fh.write(line.encode("utf-8"))
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def journal_events(self) -> list[dict]:
+        if self.root is None:
+            return list(self._journal_memory)
+        if not self.journal_path.exists():
+            return []
+        out = []
+        for line in self.journal_path.read_bytes().split(b"\n"):
+            if not line:
+                continue
+            try:
+                out.append(json.loads(line))
+            except ValueError:
+                continue  # torn tail from a crash mid-append
+        return out
+
+    def _fault(self, point: str) -> None:
+        if self.faults is not None:
+            self.faults.before(point)
+
+    def _count(self, event: str) -> None:
+        if self.metrics is not None:
+            self.metrics.record_calibration(event)
+
+    def _record_state(self) -> None:
+        if self.metrics is not None:
+            self.metrics.record_rollout(self.status())
+
+    # -- observability ----------------------------------------------------------
+    def status(self) -> dict:
+        with self._lock:
+            candidate = self._state.get("candidate")
+            return {
+                "phase": self._state["phase"],
+                "served_version": self._state["served_version"],
+                "candidate_version": None
+                if candidate is None
+                else candidate.get("version"),
+                "candidate": None if candidate is None else dict(candidate),
+                "canary": dict(self._state["canary"]),
+                "last_transition": self._state.get("last_transition"),
+                "knobs": {
+                    "fraction": self.fraction,
+                    "min_samples": self.min_samples,
+                    "max_divergence": self.max_divergence,
+                },
+                "durable": self.root is not None,
+            }
+
+    # -- shadow: propose a candidate --------------------------------------------
+    def propose(
+        self,
+        candidate: CandidateModel,
+        records: list[dict],
+        *,
+        force: bool = False,
+    ) -> dict:
+        """Shadow-score a candidate; on pass, start its canary.
+
+        ``force=True`` skips the shadow gate (the regression-injection
+        knob the chaos suite uses) — the canary guardrail still stands
+        between a forced candidate and promotion.
+        """
+        if candidate.version == active_cost_model_version():
+            raise RolloutError(
+                f"candidate version {candidate.version!r} is already serving"
+            )
+        shadow: dict = {"forced": force}
+        if not force:
+            if not records:
+                raise RolloutError(
+                    "no retained measurements to shadow-score against; "
+                    "POST /v1/report (or `repro report`) first"
+                )
+            targets = calibration_targets()
+            base = score_params(
+                active_params(), records, gpu=self.gpu, targets=targets
+            )
+            cand = score_params(
+                candidate.params, records, gpu=self.gpu, targets=targets
+            )
+            shadow.update({"base_error": base["error"], "candidate_error": cand["error"],
+                           "scored": cand["scored"]})
+            if cand["error"] is None or base["error"] is None:
+                self._count("shadow_reject")
+                raise RolloutError(
+                    "shadow scoring produced no scorable records; the corpus "
+                    "does not cover any predictable Table III operator"
+                )
+            if cand["error"] >= base["error"]:
+                with self._lock:
+                    self._journal({"event": "shadow_reject", **shadow,
+                                   "candidate_version": candidate.version})
+                self._count("shadow_reject")
+                raise RolloutError(
+                    f"candidate {candidate.version!r} does not improve "
+                    f"calibration error ({cand['error']:.4f} vs served "
+                    f"{base['error']:.4f}); rejected in shadow"
+                )
+        with self._lock:
+            if self._state["phase"] != "idle":
+                raise RolloutError(
+                    f"a rollout is already in phase {self._state['phase']!r}; "
+                    f"promote or roll it back first"
+                )
+            self._state["candidate"] = candidate.to_wire()
+            self._state["canary"] = _fresh_canary()
+            self._state["phase"] = "canary"
+            self._state["last_transition"] = "shadow_pass"
+            self._candidate_params = candidate.params
+            self._journal({"event": "shadow_pass", **shadow,
+                           "candidate_version": candidate.version})
+            self._write_state_locked()
+        self._count("shadow_pass")
+        self._record_state()
+        return self.status()
+
+    # -- canary: dual-score a deterministic slice of live traffic ----------------
+    def should_canary(self, digest: str) -> bool:
+        """Deterministic slice membership for one request digest."""
+        if self._state["phase"] != "canary":
+            return False
+        try:
+            bucket = int(digest[:8], 16) / 2**32
+        except (TypeError, ValueError):
+            return False
+        return bucket < self.fraction
+
+    def candidate_params(self) -> EfficiencyParams | None:
+        with self._lock:
+            if self._state["phase"] != "canary":
+                return None
+            if self._candidate_params is None:
+                wire = self._state.get("candidate")
+                if wire is None:
+                    return None
+                self._candidate_params = params_from_wire(
+                    wire["params"], "rollout candidate params"
+                )
+            return self._candidate_params
+
+    def record_canary(self, divergence: float) -> str:
+        """Fold one dual-score into the canary; returns the outcome:
+        ``"canary"`` (still sampling), ``"promoted"``, ``"rolled_back"``,
+        or ``"idle"`` (no rollout in flight — a benign race)."""
+        promoted = False
+        with self._lock:
+            if self._state["phase"] != "canary":
+                return "idle"
+            canary = self._state["canary"]
+            canary["samples"] += 1
+            canary["max_divergence_seen"] = max(
+                canary["max_divergence_seen"], divergence
+            )
+            if divergence > self.max_divergence:
+                canary["regressions"] += 1
+                self._journal({
+                    "event": "canary_regression",
+                    "divergence": divergence,
+                    "samples": canary["samples"],
+                })
+                self._rollback_locked(
+                    f"canary divergence {divergence:.4f} exceeded guardrail "
+                    f"{self.max_divergence:.4f}"
+                )
+                outcome = "rolled_back"
+            elif canary["samples"] >= self.min_samples:
+                self._promote_locked()
+                promoted = True
+                outcome = "promoted"
+            else:
+                self._write_state_locked()
+                outcome = "canary"
+        if outcome == "rolled_back":
+            self._count("canary_regression")
+            self._count("rollback")
+        elif promoted:
+            self._count("promote")
+        self._record_state()
+        return outcome
+
+    # -- promote / rollback ------------------------------------------------------
+    def promote(self) -> dict:
+        """Manually promote the canary candidate (operator override)."""
+        with self._lock:
+            if self._state["phase"] != "canary":
+                raise RolloutError(
+                    "nothing to promote: no candidate is in canary"
+                )
+            self._promote_locked()
+        self._count("promote")
+        self._record_state()
+        return self.status()
+
+    def _promote_locked(self) -> None:
+        """The atomic promotion: journal intent, commit state, install.
+
+        The ``os.replace`` inside :meth:`_write_state_locked` is the
+        commit point.  A crash before it (the ``rollout-pre-commit``
+        fault) recovers to the prior model; a crash after it (the
+        ``rollout-post-commit`` fault) recovers to the promoted model —
+        never anything in between.
+        """
+        wire = self._state["candidate"]
+        params = params_from_wire(wire["params"], "rollout candidate params")
+        version = wire["version"]
+        prior = self._state["served_version"]
+        self._journal({"event": "promote_intent", "version": version,
+                       "prior_version": prior})
+        self._fault(_FAULT_PRE_COMMIT)
+        self._state = {
+            "phase": "idle",
+            "served_version": version,
+            "served_params": params.to_wire(),
+            "candidate": None,
+            "canary": _fresh_canary(),
+            "last_transition": "promote",
+        }
+        self._write_state_locked()  # <-- commit point
+        self._fault(_FAULT_POST_COMMIT)
+        install_params(params, version)
+        self._candidate_params = None
+        self._journal({"event": "promote_committed", "version": version,
+                       "prior_version": prior})
+
+    def rollback(self, reason: str = "manual") -> dict:
+        with self._lock:
+            if self._state["phase"] != "canary":
+                raise RolloutError(
+                    "nothing to roll back: no candidate is in canary"
+                )
+            self._rollback_locked(reason)
+        self._count("rollback")
+        self._record_state()
+        return self.status()
+
+    def _rollback_locked(self, reason: str) -> None:
+        """Metadata-only: the active model never changed, so discarding the
+        candidate and returning to idle *is* the whole rollback."""
+        candidate = self._state.get("candidate") or {}
+        self._journal({
+            "event": "rollback",
+            "reason": reason,
+            "candidate_version": candidate.get("version"),
+            "canary": dict(self._state["canary"]),
+        })
+        self._state["phase"] = "idle"
+        self._state["candidate"] = None
+        self._state["canary"] = _fresh_canary()
+        self._state["last_transition"] = "rollback"
+        self._candidate_params = None
+        self._write_state_locked()
+
+
+def _fresh_canary() -> dict:
+    return {"samples": 0, "regressions": 0, "max_divergence_seen": 0.0}

@@ -79,6 +79,19 @@ replays the layered validator stack (:mod:`repro.validation`) over one
 entry (``--digest``) or every entry (``--all``) and exits non-zero if
 any fails.  ``--registry DIR`` overrides the registry location
 (default: ``REPRO_SCHEDULE_REGISTRY`` or ``<sweep-store>/registry``).
+
+Calibration & rollout::
+
+    python -m repro report --url http://127.0.0.1:8077
+    python -m repro rollout --propose --url http://127.0.0.1:8077
+    python -m repro rollout --url http://127.0.0.1:8077
+
+``report`` submits measured kernel timings to a daemon's calibration
+feedback store (by default the paper's own Table III measurements);
+``rollout`` inspects or drives the staged cost-model rollout — fit and
+shadow-gate a candidate (``--propose``), then let canary traffic promote
+it (or manually ``--promote`` / ``--rollback``).  See the README's
+"Calibration & rollout" section.
 """
 
 from __future__ import annotations
@@ -645,6 +658,73 @@ def _cmd_validate(args) -> None:
         raise SystemExit(1)
 
 
+def _cmd_report(args) -> int:
+    """Submit measured timings to a daemon's calibration feedback store."""
+    import json
+
+    from repro.service import ServiceError, TuningClient
+
+    client = TuningClient(args.url)
+    if args.records is not None:
+        with open(args.records, encoding="utf-8") as fh:
+            records = json.load(fh)
+        if not isinstance(records, list):
+            print(
+                "repro report: --records file must hold a JSON list",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+    else:
+        # Default corpus: the paper's own Table III measurements, stamped
+        # with whatever cost-model version the daemon currently serves.
+        from repro.calibrate import table3_corpus
+
+        try:
+            served = client.healthz().get("cost_model_version")
+        except ServiceError as exc:
+            print(f"repro report: {exc}", file=sys.stderr)
+            raise SystemExit(2) from exc
+        records = table3_corpus(served)
+    try:
+        resp = client.report(records)
+    except ServiceError as exc:
+        print(f"repro report: {exc}", file=sys.stderr)
+        raise SystemExit(2) from exc
+    print(
+        f"accepted {resp['accepted']} record(s); store holds {resp['total']} "
+        f"(corpus {resp['corpus_digest'][:12]}, "
+        f"cost model v{resp['cost_model_version']})"
+    )
+    return 0
+
+
+def _cmd_rollout(args) -> int:
+    """Inspect or drive a daemon's staged cost-model rollout."""
+    import json
+
+    from repro.service import ServiceError, TuningClient
+
+    client = TuningClient(args.url)
+    try:
+        if args.propose:
+            params = None
+            if args.params is not None:
+                with open(args.params, encoding="utf-8") as fh:
+                    params = json.load(fh)
+            resp = client.calibrate_propose(params=params, force=args.force)
+        elif args.promote:
+            resp = client.rollout_action("promote")
+        elif args.rollback:
+            resp = client.rollout_action("rollback")
+        else:
+            resp = client.rollout_status()
+    except ServiceError as exc:
+        print(f"repro rollout: {exc}", file=sys.stderr)
+        raise SystemExit(2) from exc
+    print(json.dumps(resp, indent=2, sort_keys=True))
+    return 0
+
+
 _COMMANDS = {
     "table1": _cmd_table1,
     "table2": _cmd_table2,
@@ -660,6 +740,8 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "register": _cmd_register,
     "validate": _cmd_validate,
+    "report": _cmd_report,
+    "rollout": _cmd_rollout,
 }
 
 
@@ -784,6 +866,34 @@ def main(argv: list[str] | None = None) -> int:
     reg.add_argument(
         "--unfused", action="store_true",
         help="register: skip the paper's operator fusion",
+    )
+    cal = parser.add_argument_group("calibration & rollout (report / rollout)")
+    cal.add_argument(
+        "--records", default=None, metavar="FILE",
+        help="report: JSON file with a list of feedback records "
+             "(default: submit the paper's Table III corpus)",
+    )
+    cal.add_argument(
+        "--propose", action="store_true",
+        help="rollout: fit a candidate from the daemon's feedback store "
+             "and shadow-gate it into canary",
+    )
+    cal.add_argument(
+        "--params", default=None, metavar="FILE",
+        help="rollout: propose these explicit efficiency params (JSON "
+             "object) instead of fitting from feedback",
+    )
+    cal.add_argument(
+        "--force", action="store_true",
+        help="rollout: skip the shadow error gate when proposing",
+    )
+    cal.add_argument(
+        "--promote", action="store_true",
+        help="rollout: promote the canary candidate immediately",
+    )
+    cal.add_argument(
+        "--rollback", action="store_true",
+        help="rollout: abandon the canary candidate",
     )
     args = parser.parse_args(argv)
     if args.no_fast_select:

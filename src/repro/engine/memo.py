@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Hashable
 
-from repro.hardware.cost_model import COST_MODEL_VERSION
+from repro.hardware.params import active_cost_model_version
 from repro.hardware.spec import GPUSpec
 from repro.ir.dims import DimEnv
 from repro.ir.operator import OpClass, OpSpec
@@ -60,7 +60,9 @@ def memo_key(
         knobs: tuple = ("contraction",)
     else:
         knobs = ("kernel", cap, seed)
-    return (COST_MODEL_VERSION, op, env, gpu, knobs)
+    # The *served* version, resolved per call: promoting a calibration
+    # candidate changes every key, which is the whole-memo invalidation.
+    return (active_cost_model_version(), op, env, gpu, knobs)
 
 
 def memo_get(key: Hashable) -> "SweepResult | None":

@@ -50,8 +50,8 @@ import numpy as np
 
 from repro import obs
 from repro.autotuner.cache import CacheMismatch
-from repro.hardware.cost_model import COST_MODEL_VERSION
 from repro.hardware.efficiency import contraction_layout_units
+from repro.hardware.params import active_cost_model_version
 from repro.hardware.spec import GPUSpec
 from repro.ir.dims import DimEnv
 from repro.ir.operator import OpClass, OpSpec
@@ -174,7 +174,7 @@ def canonical_sweep_key(
     include_name = op.op_class is not OpClass.TENSOR_CONTRACTION
     return {
         "format": PAYLOAD_FORMAT,
-        "version": COST_MODEL_VERSION,
+        "version": active_cost_model_version(),
         "op": _op_signature(op, include_name=include_name),
         "env": sorted((d, env[d]) for d in _op_dims(op)),
         "gpu": asdict(gpu),
@@ -252,7 +252,7 @@ def _finish_payload(op: OpSpec, times, extra: dict, structural: str) -> dict:
     order = np.argsort(times.total_us, kind="stable")
     payload = {
         "format": PAYLOAD_FORMAT,
-        "version": COST_MODEL_VERSION,
+        "version": active_cost_model_version(),
         "op_name": op.name,
         "structural": structural,
         "launch_us": times.launch_us,
@@ -456,10 +456,11 @@ def _validate_payload(
             f"not {PAYLOAD_FORMAT!r}"
         )
     version = payload.get("version")
-    if version != COST_MODEL_VERSION:
+    served = active_cost_model_version()
+    if version != served:
         raise CacheMismatch(
             f"{where} was measured under cost model version {version!r}, but "
-            f"this process runs version {COST_MODEL_VERSION!r}; re-sweep "
+            f"this process serves version {served!r}; re-sweep "
             f"instead of reusing it"
         )
     if digest is not None and payload.get("digest") != digest:

@@ -24,24 +24,34 @@ from repro.layouts.configspace import default_config
 from repro.layouts.layout import transpose_cost_bytes
 
 from .efficiency import Efficiency, op_efficiency
+from .params import DEFAULT_VERSION, EfficiencyParams, active_params
 from .spec import GPUSpec, V100
 
 __all__ = ["KernelTime", "CostModel", "COST_MODEL_VERSION"]
 
 #: Version tag of the analytic cost model (roofline formula, efficiency
 #: constants, jitter keying, enumeration semantics).  Persisted sweep
-#: artifacts and the process-level sweep memo embed this tag; a mismatch
+#: artifacts and the process-level sweep memo embed the *served* version
+#: (:func:`repro.hardware.params.active_cost_model_version`); a mismatch
 #: means cached numbers were produced by a different model and must be
 #: re-measured, not silently reused.
 #:
-#: **Bump rule:** increment whenever a change alters any predicted kernel
-#: time — efficiency constants or formulas in
-#: :mod:`repro.hardware.efficiency`, the roofline composition in this
-#: module, GPU spec defaults, or the configuration enumeration (ordering
-#: changes that re-rank equal-time configs count too).  Pure refactors that
-#: keep every sweep bit-identical (the engine/reference contract) must NOT
-#: bump it.
-COST_MODEL_VERSION = 1
+#: **Bump rule (parameterized models):** this constant is the version of
+#: the *default* :class:`~repro.hardware.params.EfficiencyParams` model.
+#: Increment it whenever a change alters any predicted kernel time under
+#: the default params — efficiency formulas in
+#: :mod:`repro.hardware.efficiency`, the default constants in
+#: :mod:`repro.hardware.params`, the roofline composition in this module,
+#: GPU spec defaults, or the configuration enumeration (ordering changes
+#: that re-rank equal-time configs count too).  Pure refactors that keep
+#: every sweep bit-identical (the engine/reference contract) must NOT bump
+#: it.  *Fitted* parameter sets never bump this constant: an online
+#: calibration **promotion is the bump** — the rollout manager serves the
+#: candidate under its derived tag (``"1-cal-<digest12>"``), which flows
+#: through every digest and wire key exactly as an integer bump would,
+#: and rolling back simply restores the prior served version.  Default
+#: params never mint a tag and never bump.
+COST_MODEL_VERSION = DEFAULT_VERSION
 
 
 @dataclass(frozen=True)
@@ -74,10 +84,25 @@ class KernelTime:
 
 
 class CostModel:
-    """Predicts kernel times for operators under configurations on a GPU."""
+    """Predicts kernel times for operators under configurations on a GPU.
 
-    def __init__(self, gpu: GPUSpec = V100) -> None:
+    ``params`` pins the efficiency constants for this instance (the canary
+    dual-scoring path builds one per candidate); the default ``None``
+    resolves the process-active model *at call time*, so long-lived default
+    instances — the daemon's, the CLI's — track an online-calibration
+    promotion without being rebuilt.
+    """
+
+    def __init__(
+        self, gpu: GPUSpec = V100, params: EfficiencyParams | None = None
+    ) -> None:
         self.gpu = gpu
+        self._params = params
+
+    @property
+    def params(self) -> EfficiencyParams:
+        """The efficiency constants this model predicts under (resolved)."""
+        return self._params if self._params is not None else active_params()
 
     # -- core prediction -----------------------------------------------------
     def time_op(
@@ -97,7 +122,7 @@ class CostModel:
             raise ValueError("env is required")
         if config is None:
             config = default_config(op)
-        eff = op_efficiency(op, config, env, self.gpu)
+        eff = op_efficiency(op, config, env, self.gpu, self._params)
         if eff is None:
             return None
         return self._time_from_eff(op.flops(env), op.io_bytes(env), eff, op.op_class,

@@ -25,6 +25,13 @@ Memory-bound kernels (statistical normalization / element-wise / fused):
   coalesced scalar access 0.55; accesses strided by ``s`` decay like
   ``0.5/sqrt(s)`` (the catastrophic long tails of Fig. 5).  Matching the
   warp-reduce and vector dimensions adds the paper's register-pressure bonus.
+
+The constants themselves live in :class:`repro.hardware.params
+.EfficiencyParams`; every public entry point takes an optional ``params``
+and resolves ``None`` to the process-active model *at call time*, so an
+online-calibration promotion takes effect without touching callers.  The
+internal ``lru_cache``s key on the resolved params value — two models
+never share a cached factor.
 """
 
 from __future__ import annotations
@@ -42,6 +49,7 @@ from repro.layouts.gemm_mapping import GemmShape, map_to_gemm
 from repro.layouts.layout import Layout
 from repro.ops.einsum_utils import parse_einsum
 
+from .params import EfficiencyParams, active_params
 from .spec import GPUSpec, V100
 
 __all__ = [
@@ -60,25 +68,6 @@ __all__ = [
 
 #: 128-bit vector loads hold 8 fp16 words.
 VECTOR_WIDTH_FP16 = 8
-
-# -- calibrated constants ------------------------------------------------------
-_GEMM_TC_BASE = 0.72
-_GEMM_FP16_BASE = 0.80
-_GEMM_TC_SAT_REF = 256.0
-_GEMM_TC_SAT_EXP = 0.9
-_GEMM_FP16_SAT_EXP = 0.2
-_GEMM_MEM_EFF = 0.70
-_LAYOUT_FACTOR_RANGE = (0.80, 1.0)
-_ALGO_FACTOR_RANGE = (0.84, 1.0)
-
-_VECTORIZED_EFF = 0.92
-_COALESCED_EFF = 0.55
-_STRIDED_COEF = 0.5
-_STRIDED_FLOOR = 0.015
-_REGISTER_BONUS = 1.08
-_NARROW_WARP_PENALTY = 0.7
-_KERNEL_COMPUTE_EFF = 0.40
-_JITTER = 0.10
 
 
 @dataclass(frozen=True)
@@ -114,25 +103,30 @@ def heuristic_algorithm(shape: GemmShape) -> int:
     return zlib.crc32(shape.label().encode()) % NUM_GEMM_ALGORITHMS
 
 
-def best_algorithm(shape: GemmShape, layouts_key: str = "") -> int:
+def best_algorithm(
+    shape: GemmShape,
+    layouts_key: str = "",
+    params: EfficiencyParams | None = None,
+) -> int:
     """The algorithm with the highest algo_factor for this shape/layout."""
+    p = params if params is not None else active_params()
     return max(
         range(NUM_GEMM_ALGORITHMS),
-        key=lambda a: _in_range(_unit("algo", shape.label(), layouts_key, a), _ALGO_FACTOR_RANGE),
+        key=lambda a: _in_range(_unit("algo", shape.label(), layouts_key, a), p.algo_factor_range),
     )
 
 
-def _tc_saturation(shape: GemmShape) -> float:
+def _tc_saturation(shape: GemmShape, p: EfficiencyParams) -> float:
     sat = 1.0
     for d in (shape.m, shape.n, shape.k):
-        sat *= min(1.0, d / _GEMM_TC_SAT_REF) ** _GEMM_TC_SAT_EXP
+        sat *= min(1.0, d / p.gemm_tc_sat_ref) ** p.gemm_tc_sat_exp
     return sat
 
 
-def _fp16_saturation(shape: GemmShape) -> float:
+def _fp16_saturation(shape: GemmShape, p: EfficiencyParams) -> float:
     sat = 1.0
     for d in (shape.m, shape.n, shape.k):
-        sat *= min(1.0, d / _GEMM_TC_SAT_REF) ** _GEMM_FP16_SAT_EXP
+        sat *= min(1.0, d / p.gemm_tc_sat_ref) ** p.gemm_fp16_sat_exp
     return sat
 
 
@@ -157,9 +151,14 @@ def _wave_quantization(shape: GemmShape, gpu: GPUSpec) -> float:
 
 
 def contraction_efficiency(
-    op: OpSpec, config: OpConfig, env: DimEnv, gpu: GPUSpec = V100
+    op: OpSpec,
+    config: OpConfig,
+    env: DimEnv,
+    gpu: GPUSpec = V100,
+    params: EfficiencyParams | None = None,
 ) -> Efficiency | None:
     """Efficiency of a contraction configuration, or None if not GEMM-mappable."""
+    p = params if params is not None else active_params()
     spec = parse_einsum(op.einsum)
     la, lb = config.input_layouts[0], config.input_layouts[1]
     lc = config.output_layouts[0]
@@ -179,32 +178,36 @@ def contraction_efficiency(
         algo = heuristic_algorithm(shape)
     layout_factor = _in_range(
         _unit("gemm-layout", op.einsum, layouts_key, shape.trans_a, shape.trans_b),
-        _LAYOUT_FACTOR_RANGE,
+        p.layout_factor_range,
     )
     algo_factor = _in_range(
-        _unit("algo", shape.label(), layouts_key, algo), _ALGO_FACTOR_RANGE
+        _unit("algo", shape.label(), layouts_key, algo), p.algo_factor_range
     )
     if tc_legal:
-        compute = _GEMM_TC_BASE * _tc_saturation(shape) * layout_factor * algo_factor
+        compute = p.gemm_tc_base * _tc_saturation(shape, p) * layout_factor * algo_factor
     else:
-        compute = _GEMM_FP16_BASE * _fp16_saturation(shape) * layout_factor * algo_factor
+        compute = p.gemm_fp16_base * _fp16_saturation(shape, p) * layout_factor * algo_factor
     compute /= _wave_quantization(shape, gpu)
     compute = max(compute, 1e-4)
-    return Efficiency(compute=compute, memory=_GEMM_MEM_EFF, tensor_cores=tc_legal)
+    return Efficiency(compute=compute, memory=p.gemm_mem_eff, tensor_cores=tc_legal)
 
 
 @lru_cache(maxsize=4096)
-def _shape_factors(shape: GemmShape, gpu: GPUSpec) -> tuple[float, float, float, bool, str]:
+def _shape_factors(
+    shape: GemmShape, gpu: GPUSpec, p: EfficiencyParams
+) -> tuple[float, float, float, bool, str]:
     """Size-only factors shared by every layout triple mapping to ``shape``.
 
     Hot in the batched engine: an operator's feasible triples collapse to a
     handful of distinct GEMM shapes, so the saturation/wave transcendentals
-    run once per shape instead of once per triple.  Pure value cache —
-    identical inputs, identical floats — so bit-identity is untouched.
+    run once per shape instead of once per triple.  Pure value cache keyed
+    by the resolved params — identical inputs, identical floats — so
+    bit-identity is untouched and a promoted model never reads a stale
+    default-model factor.
     """
     return (
-        _tc_saturation(shape),
-        _fp16_saturation(shape),
+        _tc_saturation(shape, p),
+        _fp16_saturation(shape, p),
         _wave_quantization(shape, gpu),
         shape.m % 8 == 0 and shape.n % 8 == 0 and shape.k % 8 == 0,
         shape.label(),
@@ -216,7 +219,13 @@ _ALGO_SUFFIXES = tuple(str(a).encode() for a in range(NUM_GEMM_ALGORITHMS))
 
 
 def contraction_shared_factors(
-    op: OpSpec, la: Layout, lb: Layout, lc: Layout, shape: GemmShape, gpu: GPUSpec
+    op: OpSpec,
+    la: Layout,
+    lb: Layout,
+    lc: Layout,
+    shape: GemmShape,
+    gpu: GPUSpec,
+    params: EfficiencyParams | None = None,
 ) -> tuple[float, float, float, bool, tuple[float, ...]]:
     """Per-layout-triple factors shared by every (tc, algo) configuration.
 
@@ -233,17 +242,18 @@ def contraction_shared_factors(
     derived from them in :func:`_in_range`'s exact arithmetic — are the
     same bits the one-shot hash produces.
     """
+    p = params if params is not None else active_params()
     layouts_key = f"{la}/{lb}/{lc}"
     layout_factor = _in_range(
         _unit("gemm-layout", op.einsum, layouts_key, shape.trans_a, shape.trans_b),
-        _LAYOUT_FACTOR_RANGE,
+        p.layout_factor_range,
     )
-    sat_tc, sat_fp16, wave, tc_divisible, label = _shape_factors(shape, gpu)
-    pre_tc = _GEMM_TC_BASE * sat_tc * layout_factor
-    pre_fp16 = _GEMM_FP16_BASE * sat_fp16 * layout_factor
+    sat_tc, sat_fp16, wave, tc_divisible, label = _shape_factors(shape, gpu, p)
+    pre_tc = p.gemm_tc_base * sat_tc * layout_factor
+    pre_fp16 = p.gemm_fp16_base * sat_fp16 * layout_factor
     crc32 = zlib.crc32
     prefix = crc32(f"algo|{label}|{layouts_key}|".encode())
-    lo, hi = _ALGO_FACTOR_RANGE
+    lo, hi = p.algo_factor_range
     span = hi - lo
     algo_factors = tuple(
         lo + (crc32(suffix, prefix) / 2**32) * span for suffix in _ALGO_SUFFIXES
@@ -256,9 +266,10 @@ def contraction_layout_units(op: OpSpec, triples) -> np.ndarray:
 
     ``triples`` is a ``(layout_a, layout_b, layout_c, shape)`` sequence.
     The units depend on the einsum, the layout strings and the transpose
-    flags — never on dim *sizes* — so a delta re-sweep reuses the persisted
-    array instead of re-hashing every key.  ``crc32 / 2**32`` is exact in
-    float64, so the round trip through a stored payload is bit-identical.
+    flags — never on dim *sizes* or the calibrated constants — so a delta
+    re-sweep reuses the persisted array instead of re-hashing every key.
+    ``crc32 / 2**32`` is exact in float64, so the round trip through a
+    stored payload is bit-identical.
     """
     units = np.empty(len(triples))
     for i, (la, lb, lc, shape) in enumerate(triples):
@@ -269,7 +280,12 @@ def contraction_layout_units(op: OpSpec, triples) -> np.ndarray:
 
 
 def contraction_triple_factors(
-    op: OpSpec, triples, gpu: GPUSpec, *, layout_units: np.ndarray | None = None
+    op: OpSpec,
+    triples,
+    gpu: GPUSpec,
+    *,
+    layout_units: np.ndarray | None = None,
+    params: EfficiencyParams | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """:func:`contraction_shared_factors` over a whole triple list, batched.
 
@@ -291,6 +307,7 @@ def contraction_triple_factors(
     :func:`contraction_layout_units` (e.g. from a stored payload on the
     delta re-sweep path); ``None`` computes them here.
     """
+    p = params if params is not None else active_params()
     t = len(triples)
     sat_tc = np.empty(t)
     sat_fp16 = np.empty(t)
@@ -302,7 +319,7 @@ def contraction_triple_factors(
     crc32 = zlib.crc32
     label_base: dict[str, int] = {}
     for i, (la, lb, lc, shape) in enumerate(triples):
-        s_tc, s_fp, w, d8, label = _shape_factors(shape, gpu)
+        s_tc, s_fp, w, d8, label = _shape_factors(shape, gpu, p)
         sat_tc[i] = s_tc
         sat_fp16[i] = s_fp
         wave[i] = w
@@ -314,17 +331,18 @@ def contraction_triple_factors(
         row = algo_crcs[i]
         for a, suffix in enumerate(_ALGO_SUFFIXES):
             row[a] = crc32(suffix, mid)
-    lo, hi = _LAYOUT_FACTOR_RANGE
+    lo, hi = p.layout_factor_range
     layout_factor = lo + layout_units * (hi - lo)
-    pre_tc = (_GEMM_TC_BASE * sat_tc) * layout_factor
-    pre_fp16 = (_GEMM_FP16_BASE * sat_fp16) * layout_factor
-    lo_a, hi_a = _ALGO_FACTOR_RANGE
+    pre_tc = (p.gemm_tc_base * sat_tc) * layout_factor
+    pre_fp16 = (p.gemm_fp16_base * sat_fp16) * layout_factor
+    lo_a, hi_a = p.algo_factor_range
     algo_factors = lo_a + (algo_crcs / 2**32) * (hi_a - lo_a)
     return pre_tc, pre_fp16, wave, div8, algo_factors, layout_units
 
 
+@lru_cache(maxsize=65536)
 def _operand_access_eff(
-    layout: Layout, vector_dim: str | None, env: DimEnv
+    layout: Layout, vector_dim: str | None, env: DimEnv, p: EfficiencyParams
 ) -> float:
     """Memory efficiency of one operand under a kernel's access pattern.
 
@@ -339,23 +357,36 @@ def _operand_access_eff(
         return 0.80
     if layout.contiguous_dim == vector_dim:
         if env[vector_dim] % VECTOR_WIDTH_FP16 == 0:
-            return _VECTORIZED_EFF
-        return _COALESCED_EFF
-    stride = 1
+            return p.vectorized_eff
+        return p.coalesced_eff
     strides = layout.strides(env)
     stride = strides[vector_dim]
-    return max(_STRIDED_FLOOR, _STRIDED_COEF / (stride**0.5))
+    return max(p.strided_floor, p.strided_coef / (stride**0.5))
 
 
-#: Public name for the per-operand access model (the batched engine tabulates
-#: it once per (operand, layout, vector-dim) instead of once per config).
-#: Cached: the same (layout, vector-dim, env) cells recur across operators
-#: and sweeps, and the function is pure — identical inputs, identical float.
-operand_access_eff = lru_cache(maxsize=65536)(_operand_access_eff)
+def operand_access_eff(
+    layout: Layout,
+    vector_dim: str | None,
+    env: DimEnv,
+    params: EfficiencyParams | None = None,
+) -> float:
+    """Public name for the per-operand access model (the batched engine
+    tabulates it once per (operand, layout, vector-dim) instead of once per
+    config).  Cached on the resolved params: the same (layout, vector-dim,
+    env, model) cells recur across operators and sweeps, and the function
+    is pure — identical inputs, identical float."""
+    p = params if params is not None else active_params()
+    return _operand_access_eff(layout, vector_dim, env, p)
 
 
-def kernel_efficiency(op: OpSpec, config: OpConfig, env: DimEnv) -> Efficiency:
+def kernel_efficiency(
+    op: OpSpec,
+    config: OpConfig,
+    env: DimEnv,
+    params: EfficiencyParams | None = None,
+) -> Efficiency:
     """Efficiency of a (possibly fused) memory-bound kernel configuration."""
+    p = params if params is not None else active_params()
     if op.op_class is OpClass.TENSOR_CONTRACTION:
         raise ValueError(f"{op.name!r} is a contraction; use contraction_efficiency")
     operands = list(op.inputs) + list(op.outputs)
@@ -369,7 +400,7 @@ def kernel_efficiency(op: OpSpec, config: OpConfig, env: DimEnv) -> Efficiency:
     for spec, layout in zip(operands, layouts):
         nbytes = spec.nbytes(env)
         total_bytes += nbytes
-        weighted += nbytes * _operand_access_eff(layout, config.vector_dim, env)
+        weighted += nbytes * _operand_access_eff(layout, config.vector_dim, env, p)
     mem = weighted / total_bytes if total_bytes else 0.5
 
     if op.ispace.reduction and config.warp_reduce_dim:
@@ -377,19 +408,24 @@ def kernel_efficiency(op: OpSpec, config: OpConfig, env: DimEnv) -> Efficiency:
             # Shared reduce/vector dim shrinks per-thread register footprint
             # (paper Sec. V-B: "decreases the number of registers ... from
             # the vector size (eight at FP16) to one").
-            mem = min(0.95, mem * _REGISTER_BONUS)
+            mem = min(0.95, mem * p.register_bonus)
         if env[config.warp_reduce_dim] < 32:
-            mem *= _NARROW_WARP_PENALTY
+            mem *= p.narrow_warp_penalty
 
-    jitter = 1.0 + _JITTER * (2.0 * _unit("kernel", config.key()) - 1.0)
-    mem = min(0.95, max(_STRIDED_FLOOR / 2, mem * jitter))
-    return Efficiency(compute=_KERNEL_COMPUTE_EFF, memory=mem, tensor_cores=False)
+    jitter = 1.0 + p.jitter * (2.0 * _unit("kernel", config.key()) - 1.0)
+    mem = min(0.95, max(p.strided_floor / 2, mem * jitter))
+    return Efficiency(compute=p.kernel_compute_eff, memory=mem, tensor_cores=False)
 
 
 def op_efficiency(
-    op: OpSpec, config: OpConfig, env: DimEnv, gpu: GPUSpec = V100
+    op: OpSpec,
+    config: OpConfig,
+    env: DimEnv,
+    gpu: GPUSpec = V100,
+    params: EfficiencyParams | None = None,
 ) -> Efficiency | None:
     """Dispatch on operator class."""
+    p = params if params is not None else active_params()
     if op.op_class is OpClass.TENSOR_CONTRACTION:
-        return contraction_efficiency(op, config, env, gpu)
-    return kernel_efficiency(op, config, env)
+        return contraction_efficiency(op, config, env, gpu, p)
+    return kernel_efficiency(op, config, env, p)

@@ -36,7 +36,8 @@ import json
 from dataclasses import dataclass, field
 
 from repro.autotuner.tuner import ConfigMeasurement
-from repro.hardware.cost_model import COST_MODEL_VERSION, KernelTime
+from repro.hardware.cost_model import KernelTime
+from repro.hardware.params import active_cost_model_version
 from repro.hardware.spec import GPUSpec
 from repro.ir.dims import DimEnv
 from repro.ir.graph import DataflowGraph, GraphValidationError
@@ -255,18 +256,22 @@ def schedule_digest(
     cap: int | None,
     seed: int,
     source: str = "x",
-    version: int = COST_MODEL_VERSION,
+    version: int | str | None = None,
 ) -> str:
     """Stable content digest of one schedule's tuning problem.
 
-    Hashes ``(graph signature, dim sizes, GPUSpec, knobs,
-    COST_MODEL_VERSION)`` — everything that determines the selection —
+    Hashes ``(graph signature, dim sizes, GPUSpec, knobs, served
+    cost-model version)`` — everything that determines the selection —
     so the digest is process- and session-independent (pinned by a
     spawned-interpreter test, like the sweep store's).  ``version``
-    defaults to the running cost-model version; loaders pass an entry's
-    *recorded* version so key verification still works on stale entries
-    (staleness is a validator's report, not a load failure).
+    defaults (``None``) to the *served* cost-model version, resolved at
+    call time so a calibration promotion changes every fresh digest;
+    loaders pass an entry's *recorded* version so key verification still
+    works on stale entries (staleness is a validator's report, not a load
+    failure).
     """
+    if version is None:
+        version = active_cost_model_version()
     key = {
         "kind": "schedule",
         "format": REGISTRY_FORMAT,
@@ -310,7 +315,7 @@ class ScheduleEntry:
     """One registered schedule: problem, solution, and provenance."""
 
     digest: str
-    cost_model_version: int
+    cost_model_version: int | str  # int for defaults, "1-cal-…" tags for fitted
     graph: dict  # wire form (graph_to_wire)
     env: dict[str, int]
     gpu: dict  # wire form (gpu_to_wire)
@@ -339,7 +344,7 @@ class ScheduleEntry:
             cap=knobs.get("cap"),
             seed=int(knobs.get("seed", 0)),
             source=str(knobs.get("source", "x")),
-            version=int(self.cost_model_version),
+            version=self.cost_model_version,
         )
 
     # -- serialization -------------------------------------------------------
@@ -374,11 +379,18 @@ class ScheduleEntry:
         sel = wire["selection"]
         if not isinstance(sel, dict) or "chosen" not in sel or "total_us" not in sel:
             raise EntryError(f"{where}.selection is missing chosen/total_us")
+        version = wire["cost_model_version"]
+        # int for default-params models, string tags ("1-cal-<digest12>")
+        # for promoted calibration candidates — both are valid identities.
+        if isinstance(version, bool) or not isinstance(version, (int, str)):
+            raise EntryError(
+                f"{where}.cost_model_version must be an integer or string tag"
+            )
         try:
             return cls(
                 digest=str(wire["digest"]),
                 registry_format=int(fmt),
-                cost_model_version=int(wire["cost_model_version"]),
+                cost_model_version=version,
                 graph=wire["graph"],
                 env={str(k): int(v) for k, v in dict(wire["env"]).items()},
                 gpu=wire["gpu"],

@@ -30,7 +30,8 @@ from pathlib import Path
 from repro import __version__
 from repro.autotuner.cache import CacheMismatch
 from repro.engine.store import get_sweep_store, sweep_digest
-from repro.hardware.cost_model import COST_MODEL_VERSION, CostModel
+from repro.hardware.cost_model import CostModel
+from repro.hardware.params import active_cost_model_version
 from repro.ir.dims import DimEnv
 from repro.ir.graph import DataflowGraph
 from repro.service.protocol import gpu_to_wire
@@ -217,7 +218,7 @@ def build_entry(
     }
     return ScheduleEntry(
         digest=digest,
-        cost_model_version=COST_MODEL_VERSION,
+        cost_model_version=active_cost_model_version(),
         graph=graph_to_wire(graph),
         env={d: env[d] for d in sorted(_entry_dims(graph))},
         gpu=gpu_to_wire(gpu),

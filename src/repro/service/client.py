@@ -39,7 +39,9 @@ __all__ = ["ServiceError", "TuningClient"]
 #: addressed by design), and fleet register/heartbeat are idempotent
 #: lease refreshes.  ``/v1/register`` is deliberately absent — retrying a
 #: registration that may have landed double-counts registry lifecycle
-#: metrics.
+#: metrics.  ``/v1/report`` is absent for the same reason: an append that
+#: landed before the connection dropped would be double-counted into the
+#: calibration corpus by a blind retry.
 _IDEMPOTENT_POSTS = frozenset(
     {
         "/v1/sweep",
@@ -508,6 +510,40 @@ class TuningClient:
                 seed=seed,
             ),
         )
+
+    # -- calibration & rollout --------------------------------------------------
+    def report(self, records: list[dict]) -> dict:
+        """Submit measured timings to the daemon's feedback store.
+
+        All-or-nothing server-side: one malformed record rejects the
+        whole batch with a structured 400 and stores nothing.  Not
+        retried on transport failure (an append is not idempotent).
+        """
+        return self._request_json("/v1/report", {"records": records})
+
+    def calibrate_propose(
+        self, *, params: dict | None = None, force: bool = False
+    ) -> dict:
+        """Fit (or inject) a candidate cost model and shadow-gate it.
+
+        Without ``params`` the daemon fits from its retained feedback;
+        with ``params`` the explicit wire is the candidate (the rollout
+        smoke test's regression-injection knob, usually with ``force``).
+        """
+        body: dict = {"force": force}
+        if params is not None:
+            body["params"] = params
+        return self._request_json("/v1/calibrate/propose", body)
+
+    def rollout_status(self) -> dict:
+        return self._request_json("/v1/rollout")
+
+    def rollout_action(self, action: str, *, reason: str | None = None) -> dict:
+        """Manually ``promote`` or ``rollback`` the canary candidate."""
+        body: dict = {"action": action}
+        if reason is not None:
+            body["reason"] = reason
+        return self._request_json("/v1/rollout", body)
 
     def register_entry(self, entry_wire: dict) -> dict:
         """Submit a pre-built schedule entry; the daemon validates first.

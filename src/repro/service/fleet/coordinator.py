@@ -311,8 +311,10 @@ class FleetService(TuningService):
         return self._resolve(digest, _compute, use_store=False)
 
     def handle_fleet_register(self, body: dict) -> dict:
-        worker_id, url, ready = parse_fleet_register(body)
-        self.workers.register(worker_id, url, ready=ready)
+        worker_id, url, ready, version = parse_fleet_register(body)
+        self.workers.register(
+            worker_id, url, ready=ready, cost_model_version=version
+        )
         self._current_ring()  # fold the membership change in eagerly
         return {
             "worker_id": worker_id,
@@ -323,8 +325,10 @@ class FleetService(TuningService):
         }
 
     def handle_fleet_heartbeat(self, body: dict) -> dict:
-        worker_id, ready = parse_fleet_heartbeat(body)
-        info = self.workers.heartbeat(worker_id, ready=ready)
+        worker_id, ready, version = parse_fleet_heartbeat(body)
+        info = self.workers.heartbeat(
+            worker_id, ready=ready, cost_model_version=version
+        )
         if info is None:
             # 404 tells the agent to re-register (coordinator restarted, or
             # the lease was pruned after a long silence).
@@ -349,6 +353,22 @@ class FleetService(TuningService):
 
     def fleet_status(self) -> dict:
         """The ``/v1/fleet/status`` body (and ``repro fleet status``)."""
+        from repro.hardware.params import active_cost_model_version
+
+        snapshot = self.workers.snapshot()
+        # Version skew: a staged calibration promotion rolls through a
+        # fleet one member at a time, and the window where members serve
+        # different cost models must be *visible*, not silent (payload
+        # verification already keeps a skewed worker's bytes out).
+        served = active_cost_model_version()
+        versions = sorted(
+            {
+                str(info["cost_model_version"])
+                for info in snapshot.values()
+                if info["live"] and info["cost_model_version"] is not None
+            }
+            | {str(served)}
+        )
         return {
             "role": "coordinator",
             "config": {
@@ -361,7 +381,10 @@ class FleetService(TuningService):
                 "fan_out": self.fan_out,
             },
             "counts": self.workers.counts(),
-            "workers": self.workers.snapshot(),
+            "cost_model_version": served,
+            "cost_model_versions": versions,
+            "version_skew": len(versions) > 1,
+            "workers": snapshot,
         }
 
     def metrics_body(self) -> dict:

@@ -13,7 +13,7 @@ Spec grammar (whitespace around separators is ignored)::
 
     REPRO_FAULT_SPEC = clause[,clause...]
     clause           = kind[:field=value...]
-    kind             = kill | hang | corrupt
+    kind             = kill | hang | corrupt | crash-rollout
     field            = path=<substring>    endpoint filter (default "/v1/")
                      | after=<N>           fire from the Nth match on (default 1)
                      | count=<M>           fire at most M times; 0 = unlimited
@@ -30,7 +30,12 @@ Examples::
 written — the client sees a connection reset, exactly what a crashed
 worker looks like.  ``corrupt`` flips bytes mid-body while preserving
 ``Content-Length``, so the transport layer is happy and only payload
-verification (npz CRC / digest check) can notice.
+verification (npz CRC / digest check) can notice.  ``crash-rollout`` is a
+kill aimed at the calibration rollout's commit hooks instead of an HTTP
+route: its default ``path`` is ``rollout-pre-commit`` (die just before
+the promote commit point; ``path=rollout-post-commit`` dies just after),
+which the chaos suite uses to prove promotion recovers to exactly one of
+{prior, promoted}.
 """
 
 from __future__ import annotations
@@ -51,7 +56,7 @@ __all__ = [
 ]
 
 ENV_VAR = "REPRO_FAULT_SPEC"
-FAULT_KINDS = ("kill", "hang", "corrupt")
+FAULT_KINDS = ("kill", "hang", "corrupt", "crash-rollout")
 
 #: Exit status of a ``kill`` fault — distinguishable from a clean 0 and
 #: from Python's generic 1 in process tables and test assertions.
@@ -113,6 +118,11 @@ def parse_fault_spec(spec: str) -> list[FaultClause]:
                 f"known: {list(FAULT_KINDS)}"
             )
         clause = FaultClause(kind=kind)
+        if kind == "crash-rollout":
+            # This kind targets the rollout manager's commit hooks, not an
+            # HTTP route; default to dying just before the commit point
+            # (``path=rollout-post-commit`` crashes just after it).
+            clause.path = "rollout-pre-commit"
         if rest:
             for part in rest.split(":"):
                 key, eq, value = part.partition("=")
@@ -198,7 +208,9 @@ class FaultInjector:
         no atexit cleanup.
         """
         for clause in self.clauses:
-            if clause.kind == "kill" and self._fires(clause, endpoint):
+            if clause.kind in ("kill", "crash-rollout") and self._fires(
+                clause, endpoint
+            ):
                 os._exit(KILL_EXIT_CODE)
             if clause.kind == "hang" and self._fires(clause, endpoint):
                 time.sleep(clause.delay)

@@ -57,6 +57,10 @@ class WorkerInfo:
     registered_at: float
     last_heartbeat: float
     ready: bool = False
+    #: The cost-model version the worker reports serving (register +
+    #: every heartbeat) — a staged calibration promotion rolls through a
+    #: fleet worker-by-worker, and the coordinator surfaces the skew.
+    cost_model_version: int | str | None = None
     quarantined_until: float = 0.0
     quarantine_reason: str = ""
     counters: dict[str, int] = field(
@@ -89,7 +93,12 @@ class WorkerRegistry:
 
     # -- lifecycle --------------------------------------------------------------
     def register(
-        self, worker_id: str, url: str, *, ready: bool = False
+        self,
+        worker_id: str,
+        url: str,
+        *,
+        ready: bool = False,
+        cost_model_version: int | str | None = None,
     ) -> WorkerInfo:
         """Admit (or refresh) one worker; clears any standing quarantine.
 
@@ -110,6 +119,7 @@ class WorkerRegistry:
                     registered_at=now,
                     last_heartbeat=now,
                     ready=ready,
+                    cost_model_version=cost_model_version,
                 )
                 self._workers[worker_id] = info
                 self.generation += 1
@@ -118,11 +128,18 @@ class WorkerRegistry:
                 info.registered_at = now
                 info.last_heartbeat = now
                 info.ready = ready
+                info.cost_model_version = cost_model_version
                 info.quarantined_until = 0.0
                 info.quarantine_reason = ""
             return info
 
-    def heartbeat(self, worker_id: str, *, ready: bool) -> WorkerInfo | None:
+    def heartbeat(
+        self,
+        worker_id: str,
+        *,
+        ready: bool,
+        cost_model_version: int | str | None = None,
+    ) -> WorkerInfo | None:
         """Renew one lease; None for an unknown worker (re-register)."""
         now = time.time()
         with self._lock:
@@ -131,6 +148,8 @@ class WorkerRegistry:
                 return None
             info.last_heartbeat = now
             info.ready = ready
+            if cost_model_version is not None:
+                info.cost_model_version = cost_model_version
             return info
 
     def deregister(self, worker_id: str) -> bool:
@@ -235,6 +254,7 @@ class WorkerRegistry:
                     "url": info.url,
                     "live": info.live(now, self.ttl_s),
                     "ready": info.ready,
+                    "cost_model_version": info.cost_model_version,
                     "quarantined": info.quarantined(now),
                     "quarantine_reason": info.quarantine_reason,
                     "quarantined_for_s": max(

@@ -35,6 +35,7 @@ from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS_S, MetricsRegistry
 
 __all__ = [
     "ServiceMetrics",
+    "CALIBRATION_EVENTS",
     "FLEET_EVENTS",
     "RESOLVE_TIERS",
     "RESPONSE_KINDS",
@@ -77,6 +78,23 @@ FLEET_EVENTS = (
     "quarantine",
 )
 
+#: Calibration/rollout lifecycle events: accepted and rejected
+#: ``/v1/report`` batches, shadow-gate verdicts, canary dual-scores and
+#: the regression verdicts they produce, promotions and rollbacks.  The
+#: rollout smoke suite asserts on these — a regressing candidate must
+#: show up as ``canary_regression`` + ``rollback`` and *zero* changed
+#: responses.
+CALIBRATION_EVENTS = (
+    "report",
+    "report_rejected",
+    "shadow_pass",
+    "shadow_reject",
+    "canary_request",
+    "canary_regression",
+    "promote",
+    "rollback",
+)
+
 #: Latency samples retained per endpoint.
 WINDOW = 4096
 
@@ -103,6 +121,7 @@ class ServiceMetrics:
         self._started_mono = time.perf_counter()
         self._latency: dict[str, deque[float]] = {}
         self._last_revalidation: dict | None = None
+        self._last_rollout: dict | None = None
 
         reg = self.registry = MetricsRegistry()
         self._requests = reg.counter(
@@ -131,6 +150,11 @@ class ServiceMetrics:
         self._fleet_events = reg.counter(
             "repro_fleet_events_total",
             "Fleet coordination events.",
+            ("event",),
+        )
+        self._calibration_events = reg.counter(
+            "repro_calibration_events_total",
+            "Calibration feedback and rollout lifecycle events.",
             ("event",),
         )
         self._optimize_runs = reg.counter(
@@ -168,6 +192,8 @@ class ServiceMetrics:
             self._registry_events.preset(event)
         for event in FLEET_EVENTS:
             self._fleet_events.preset(event)
+        for event in CALIBRATION_EVENTS:
+            self._calibration_events.preset(event)
         self._optimize_runs.preset()
         self._optimize_phase_ms.preset("sweep")
         self._optimize_phase_ms.preset("select")
@@ -220,6 +246,18 @@ class ServiceMetrics:
         with self._lock:
             self._last_revalidation = dict(summary)
 
+    def record_calibration(self, event: str) -> None:
+        if event not in CALIBRATION_EVENTS:
+            raise ValueError(
+                f"unknown calibration event {event!r}; known: {CALIBRATION_EVENTS}"
+            )
+        self._calibration_events.inc(event=event)
+
+    def record_rollout(self, status: dict) -> None:
+        """Remember the rollout state machine's latest status snapshot."""
+        with self._lock:
+            self._last_rollout = dict(status)
+
     def request_started(self) -> None:
         self._inflight.inc()
 
@@ -238,6 +276,10 @@ class ServiceMetrics:
     def fleet_counts(self) -> dict[str, int]:
         counts = self._by_label(self._fleet_events)
         return {event: counts.get(event, 0) for event in FLEET_EVENTS}
+
+    def calibration_counts(self) -> dict[str, int]:
+        counts = self._by_label(self._calibration_events)
+        return {event: counts.get(event, 0) for event in CALIBRATION_EVENTS}
 
     def tier_counts(self) -> dict[str, int]:
         counts = self._by_label(self._tiers)
@@ -261,6 +303,7 @@ class ServiceMetrics:
                 for endpoint, window in self._latency.items()
             }
             last_revalidation = self._last_revalidation
+            last_rollout = self._last_rollout
         latency = {}
         for endpoint, samples in windows.items():
             samples.sort()
@@ -301,4 +344,8 @@ class ServiceMetrics:
                 "last_revalidation": last_revalidation,
             },
             "fleet": {"events": self.fleet_counts()},
+            "calibration": {
+                "events": self.calibration_counts(),
+                "rollout": last_rollout,
+            },
         }

@@ -23,7 +23,7 @@ import hashlib
 import json
 from dataclasses import asdict, dataclass
 
-from repro.hardware.cost_model import COST_MODEL_VERSION
+from repro.hardware.params import active_cost_model_version
 from repro.hardware.spec import A100, V100, GPUSpec
 from repro.ir.dims import DimEnv, bert_large_dims
 from repro.ir.graph import DataflowGraph
@@ -484,12 +484,13 @@ def optimize_request_digest(req: OptimizeRequest) -> str:
     Sweep-level reuse already happens through the store digests; this key
     only needs to identify the *whole response*, so it hashes the parsed
     request (not the raw body — unknown fields and key order don't split
-    the cache) plus ``COST_MODEL_VERSION``.
+    the cache) plus the *served* cost-model version, so a calibration
+    promotion atomically orphans every cached optimize response.
     """
     key = {
         "kind": "optimize",
         "protocol": PROTOCOL_VERSION,
-        "version": COST_MODEL_VERSION,
+        "version": active_cost_model_version(),
         "model": req.model,
         "qkv_fusion": req.qkv_fusion,
         "include_backward": req.include_backward,
@@ -506,42 +507,91 @@ def optimize_request_digest(req: OptimizeRequest) -> str:
 # Fleet membership: /v1/fleet/register and /v1/fleet/heartbeat
 # ---------------------------------------------------------------------------
 
-def fleet_register_wire(*, worker_id: str, url: str, ready: bool = False) -> dict:
-    """Client-side builder of a ``/v1/fleet/register`` body."""
+def _parse_member_version(body: dict, where: str) -> int | str | None:
+    """The cost-model version a fleet member claims to serve.
+
+    Optional (older workers omit it — reported as ``None``, which the
+    coordinator surfaces as unknown skew); when present it must be an int
+    or a non-empty string tag such as ``"1-cal-<digest12>"``.
+    """
+    version = body.get("cost_model_version")
+    if version is None:
+        return None
+    if isinstance(version, bool) or not isinstance(version, (int, str)):
+        raise ProtocolError(
+            f"{where}.cost_model_version must be an integer or string tag"
+        )
+    if isinstance(version, str) and not version:
+        raise ProtocolError(f"{where}.cost_model_version must be non-empty")
+    return version
+
+
+def fleet_register_wire(
+    *,
+    worker_id: str,
+    url: str,
+    ready: bool = False,
+    cost_model_version: int | str | None = None,
+) -> dict:
+    """Client-side builder of a ``/v1/fleet/register`` body.
+
+    ``cost_model_version`` defaults to the process-active served version so
+    the coordinator can report fleet-wide version skew.
+    """
+    if cost_model_version is None:
+        cost_model_version = active_cost_model_version()
     return {
         "protocol": PROTOCOL_VERSION,
         "worker_id": worker_id,
         "url": url,
         "ready": ready,
+        "cost_model_version": cost_model_version,
     }
 
 
-def parse_fleet_register(body: dict) -> tuple[str, str, bool]:
-    """Validate a register body into ``(worker_id, url, ready)``."""
+def parse_fleet_register(body: dict) -> tuple[str, str, bool, int | str | None]:
+    """Validate a register body into ``(worker_id, url, ready, version)``."""
     worker_id = _require(body, "worker_id", "register")
     if not isinstance(worker_id, str) or not worker_id:
         raise ProtocolError("worker_id must be a non-empty string")
     url = _require(body, "url", "register")
     if not isinstance(url, str) or not url.startswith(("http://", "https://")):
         raise ProtocolError(f"url must be an http(s) URL, got {url!r}")
-    return worker_id, url.rstrip("/"), bool(body.get("ready", False))
+    return (
+        worker_id,
+        url.rstrip("/"),
+        bool(body.get("ready", False)),
+        _parse_member_version(body, "register"),
+    )
 
 
-def fleet_heartbeat_wire(*, worker_id: str, ready: bool) -> dict:
+def fleet_heartbeat_wire(
+    *,
+    worker_id: str,
+    ready: bool,
+    cost_model_version: int | str | None = None,
+) -> dict:
     """Client-side builder of a ``/v1/fleet/heartbeat`` body."""
+    if cost_model_version is None:
+        cost_model_version = active_cost_model_version()
     return {
         "protocol": PROTOCOL_VERSION,
         "worker_id": worker_id,
         "ready": ready,
+        "cost_model_version": cost_model_version,
     }
 
 
-def parse_fleet_heartbeat(body: dict) -> tuple[str, bool]:
-    """Validate a heartbeat body into ``(worker_id, ready)``."""
+def parse_fleet_heartbeat(body: dict) -> tuple[str, bool, int | str | None]:
+    """Validate a heartbeat body into ``(worker_id, ready, version)``."""
     worker_id = _require(body, "worker_id", "heartbeat")
     if not isinstance(worker_id, str) or not worker_id:
         raise ProtocolError("worker_id must be a non-empty string")
-    return worker_id, bool(body.get("ready", False))
+    return (
+        worker_id,
+        bool(body.get("ready", False)),
+        _parse_member_version(body, "heartbeat"),
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -655,7 +705,7 @@ def sweep_response_from_sweep(sweep, *, digest: str, top_k: int) -> dict:
     k = min(top_k, sweep.num_configs)
     return {
         "protocol": PROTOCOL_VERSION,
-        "cost_model_version": COST_MODEL_VERSION,
+        "cost_model_version": active_cost_model_version(),
         "digest": digest,
         "op": sweep.op.name,
         "num_configs": sweep.num_configs,
@@ -732,7 +782,7 @@ def optimize_response_from_sweeps(
             forward_us += best.total_us
     return {
         "protocol": PROTOCOL_VERSION,
-        "cost_model_version": COST_MODEL_VERSION,
+        "cost_model_version": active_cost_model_version(),
         "digest": digest,
         "graph": graph.name,
         "num_kernels": len(kernels),

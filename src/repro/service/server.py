@@ -23,8 +23,19 @@ Endpoints (all JSON, canonical serialization):
   never stored.
 * ``GET /v1/schedule/<digest>`` — one registered entry by content digest
   (404 on a miss).
-* ``GET /healthz`` — liveness plus identity: package version,
-  ``COST_MODEL_VERSION``, payload format, cache/store/registry occupancy.
+* ``POST /v1/report`` — retain measured kernel timings in the crash-safe
+  calibration feedback store (validate-all-before-append-any; a batch
+  with one malformed record changes nothing).
+* ``POST /v1/calibrate/propose`` — fit a candidate cost model from the
+  retained feedback (or accept explicit parameters) and shadow-gate it
+  into a canary rollout.
+* ``GET/POST /v1/rollout`` — rollout status / manual promote-or-rollback
+  of the canary candidate.  While a canary is live, a deterministic
+  slice of ``/v1/sweep`` traffic is dual-scored against the candidate;
+  the active model always serves.
+* ``GET /healthz`` — liveness plus identity: package version, the
+  *served* cost-model version, payload format, cache/store/registry
+  occupancy.
 * ``GET /metrics`` — tier hit counts, p50/p95/p99 latencies, registry
   lifecycle counters and the latest background-revalidation sweep; the
   same counters render as Prometheus text exposition under ``Accept:
@@ -68,7 +79,8 @@ from repro.engine.store import (
     pack_payload_bytes,
 )
 from repro.engine.sweep import delta_payload_from_store, sweep_from_payload
-from repro.hardware.cost_model import COST_MODEL_VERSION, CostModel
+from repro.hardware.cost_model import CostModel
+from repro.hardware.params import active_cost_model_version
 from repro.obs.export import trace_tree
 from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE, wants_prometheus
 
@@ -162,6 +174,7 @@ class TuningService:
         memo_limit: int = 4096,
         faults: FaultInjector | None | object = _UNSET,
         warm: bool = True,
+        calibration_dir=_UNSET,
     ) -> None:
         if store is _UNSET:
             store = get_sweep_store()
@@ -206,6 +219,25 @@ class TuningService:
             self._warmed.set()
         self._draining = threading.Event()
         self._warmup_thread: threading.Thread | None = None
+        # Calibration: measurement feedback + the staged rollout manager.
+        # The directory resolves like the registry's (explicit >
+        # REPRO_CALIBRATION_DIR > alongside the store > in-memory); the
+        # manager's recovery runs here, so a daemon restarted mid-promotion
+        # comes up serving exactly one of {prior, promoted}.
+        from repro.calibrate import (
+            FeedbackStore,
+            RolloutManager,
+            resolve_calibration_root,
+        )
+
+        if calibration_dir is _UNSET:
+            root = resolve_calibration_root(store=self.store)
+        else:
+            root = calibration_dir  # None = explicitly in-memory
+        self.feedback = FeedbackStore(root)
+        self.rollout = RolloutManager(
+            root, metrics=self.metrics, faults=self.faults
+        )
 
     # -- tiered resolution ---------------------------------------------------
     def _resolve(self, digest: str, compute, *, use_store: bool = True, delta=None):
@@ -286,7 +318,7 @@ class TuningService:
                 f"sweep of ~{estimated} configurations exceeds the served "
                 f"limit of {MAX_SWEEP_CONFIGS}; pass a smaller cap"
             )
-        return self._resolve(
+        payload = self._resolve(
             digest,
             lambda: compute_payload(
                 req.op, req.env, req.gpu, cap=req.cap, seed=req.seed
@@ -296,6 +328,49 @@ class TuningService:
                 store=self.store,
             ),
         )
+        self._maybe_canary(req, digest, payload)
+        return payload
+
+    def _maybe_canary(self, req, digest: str, payload: dict) -> None:
+        """Dual-score one resolved sweep while a canary rollout is live.
+
+        The slice is a deterministic function of the request digest, so
+        the same traffic mix always canaries the same requests.  The
+        candidate model re-predicts the *chosen best* configuration with
+        an explicit-parameters :class:`CostModel` — the globally served
+        parameters are never touched, and the response the caller is
+        about to serve is entirely the active model's.  Divergence
+        verdicts (including auto-rollback and auto-promotion) fold into
+        the rollout manager.
+        """
+        rollout = self.rollout
+        if not rollout.should_canary(digest):
+            return
+        candidate = rollout.candidate_params()
+        if candidate is None:
+            return
+        try:
+            from repro.engine.sweep import space_from_payload
+
+            order = payload.get("order")
+            totals = payload.get("sorted_totals")
+            if order is None or totals is None or not len(totals):
+                return
+            active_best = float(totals[0])
+            if active_best <= 0:
+                return
+            config = space_from_payload(req.op, payload).config_at(int(order[0]))
+            kt = CostModel(req.gpu, params=candidate).time_op(
+                req.op, config, req.env
+            )
+            if kt is None:
+                return
+            divergence = abs(kt.total_us - active_best) / active_best
+        except Exception:  # noqa: BLE001 - scoring must never break serving
+            self.metrics.record_error("canary")
+            return
+        self.metrics.record_calibration("canary_request")
+        rollout.record_canary(divergence)
 
     def handle_sweep(self, body: dict) -> dict:
         req = parse_sweep_request(body)
@@ -524,6 +599,114 @@ class TuningService:
         self.metrics.record_registry("served")
         return entry.to_wire()
 
+    # -- calibration & rollout ------------------------------------------------
+    def handle_report(self, body: dict) -> dict:
+        """``POST /v1/report``: retain measured timings, all-or-nothing.
+
+        Every record is validated *before* any is appended — a batch with
+        one malformed record (bad label, NaN/negative timing, a version
+        that is not the served one, unknown fields) is rejected with a
+        structured 400 and the feedback store's bytes are unchanged.
+        """
+        from repro.calibrate import FeedbackError, validate_record
+
+        if not isinstance(body, dict):
+            raise ProtocolError("request body must be a JSON object")
+        records = body.get("records")
+        if not isinstance(records, list) or not records:
+            raise ProtocolError("report requires a non-empty records list")
+        served = active_cost_model_version()
+        validated = []
+        try:
+            for i, wire in enumerate(records):
+                validated.append(
+                    validate_record(
+                        wire, f"records[{i}]", served_version=served
+                    )
+                )
+        except FeedbackError as exc:
+            self.metrics.record_calibration("report_rejected")
+            raise ProtocolError(str(exc)) from exc
+        accepted = self.feedback.append(validated)
+        self.metrics.record_calibration("report")
+        return {
+            "accepted": accepted,
+            "total": self.feedback.count(),
+            "corpus_digest": self.feedback.corpus_digest(),
+            "cost_model_version": served,
+        }
+
+    def handle_calibrate_propose(self, body: dict) -> dict:
+        """``POST /v1/calibrate/propose``: fit (or accept) a candidate and
+        shadow-gate it into canary.
+
+        Without ``params`` the candidate is fitted from the retained
+        feedback corpus.  An explicit ``params`` wire is the injection
+        knob the rollout smoke test uses to push a deliberately-regressing
+        candidate (with ``force=true`` to skip the shadow gate — the
+        canary guardrail still stands).
+        """
+        from repro.calibrate import CandidateModel, RolloutError, fit_candidate
+        from repro.hardware.params import ParamsError, params_from_wire
+
+        if not isinstance(body, dict):
+            raise ProtocolError("request body must be a JSON object")
+        force = body.get("force", False)
+        if not isinstance(force, bool):
+            raise ProtocolError("force must be a boolean")
+        records = self.feedback.records()
+        try:
+            if "params" in body:
+                params = params_from_wire(body["params"], "params")
+                candidate = CandidateModel.build(
+                    params, {"source": "explicit-params"}
+                )
+            else:
+                if not records:
+                    raise ProtocolError(
+                        "the feedback store is empty; POST /v1/report "
+                        "(or run `repro report`) before proposing"
+                    )
+                candidate = fit_candidate(records)
+        except ParamsError as exc:
+            raise ProtocolError(str(exc)) from exc
+        try:
+            status = self.rollout.propose(candidate, records, force=force)
+        except RolloutError as exc:
+            raise ProtocolError(str(exc)) from exc
+        return {
+            "proposed": True,
+            "candidate_version": candidate.version,
+            "provenance": dict(candidate.provenance),
+            "rollout": status,
+        }
+
+    def handle_rollout_status(self) -> dict:
+        return {"rollout": self.rollout.status()}
+
+    def handle_rollout_action(self, body: dict) -> dict:
+        """``POST /v1/rollout``: manual ``promote`` / ``rollback``."""
+        from repro.calibrate import RolloutError
+
+        if not isinstance(body, dict):
+            raise ProtocolError("request body must be a JSON object")
+        action = body.get("action")
+        try:
+            if action == "promote":
+                status = self.rollout.promote()
+            elif action == "rollback":
+                status = self.rollout.rollback(
+                    str(body.get("reason", "manual"))
+                )
+            else:
+                raise ProtocolError(
+                    f"unknown rollout action {action!r}; "
+                    f"known: promote, rollback"
+                )
+        except RolloutError as exc:
+            raise ProtocolError(str(exc)) from exc
+        return {"action": action, "rollout": status}
+
     def revalidate_registry(self, *, deep: bool = False) -> dict:
         """Re-validate every registered entry; summarize into ``/metrics``.
 
@@ -682,7 +865,9 @@ class TuningService:
             "ready": self.ready()[0],
             "version": __version__,
             "protocol": PROTOCOL_VERSION,
-            "cost_model_version": COST_MODEL_VERSION,
+            # The *served* version: a promotion changes this atomically.
+            "cost_model_version": active_cost_model_version(),
+            "rollout_phase": self.rollout.status()["phase"],
             "payload_format": PAYLOAD_FORMAT,
             "store": None if self.store is None else self.store.stats(),
             "registry": None if self.registry is None else self.registry.stats(),
@@ -916,6 +1101,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._run(
                 "/v1/schedule", lambda: self.service.handle_schedule(digest)
             )
+        elif path == "/v1/rollout":
+            self._run("/v1/rollout", self.service.handle_rollout_status)
         else:
             return False
         return True
@@ -939,6 +1126,21 @@ class _Handler(BaseHTTPRequestHandler):
             self._run(
                 "/v1/register",
                 lambda: self.service.handle_register(self._read_body()),
+            )
+        elif path == "/v1/report":
+            self._run(
+                "/v1/report",
+                lambda: self.service.handle_report(self._read_body()),
+            )
+        elif path == "/v1/calibrate/propose":
+            self._run(
+                "/v1/calibrate/propose",
+                lambda: self.service.handle_calibrate_propose(self._read_body()),
+            )
+        elif path == "/v1/rollout":
+            self._run(
+                "/v1/rollout",
+                lambda: self.service.handle_rollout_action(self._read_body()),
             )
         else:
             return False

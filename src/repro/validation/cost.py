@@ -29,7 +29,7 @@ version drift as tampering.
 
 from __future__ import annotations
 
-from repro.hardware.cost_model import COST_MODEL_VERSION
+from repro.hardware.params import active_cost_model_version
 
 from .base import BaseValidator, ValidationContext, ValidationIssue
 
@@ -42,13 +42,14 @@ class CostValidator(BaseValidator):
     name = "cost"
 
     def validate(self, ctx: ValidationContext) -> list[ValidationIssue]:
-        if ctx.entry.cost_model_version != COST_MODEL_VERSION:
+        served = active_cost_model_version()
+        if ctx.entry.cost_model_version != served:
             return [
                 self.info(
                     "recompute-skipped",
                     f"entry was costed under model version "
-                    f"{ctx.entry.cost_model_version}, the running model is "
-                    f"{COST_MODEL_VERSION}; skipping recomputation (see the "
+                    f"{ctx.entry.cost_model_version!r}, the served model is "
+                    f"{served!r}; skipping recomputation (see the "
                     f"staleness report)",
                 )
             ]

@@ -20,7 +20,7 @@ operator should know the audit trail is broken).
 from __future__ import annotations
 
 from repro.engine.store import get_sweep_store
-from repro.hardware.cost_model import COST_MODEL_VERSION
+from repro.hardware.params import active_cost_model_version
 from repro.registry.entry import REGISTRY_FORMAT, schedule_digest
 
 from .base import BaseValidator, ValidationContext, ValidationIssue
@@ -46,7 +46,8 @@ class StalenessValidator(BaseValidator):
                 )
             )
 
-        if entry.cost_model_version != COST_MODEL_VERSION:
+        served = active_cost_model_version()
+        if entry.cost_model_version != served:
             knobs = entry.knobs
             fresh = schedule_digest(
                 ctx.graph,
@@ -60,8 +61,8 @@ class StalenessValidator(BaseValidator):
                 self.error(
                     "cost-model-version",
                     f"entry was registered under cost-model version "
-                    f"{entry.cost_model_version}; the running model is version "
-                    f"{COST_MODEL_VERSION}, so its claimed times no longer "
+                    f"{entry.cost_model_version!r}; the served model is version "
+                    f"{served!r}, so its claimed times no longer "
                     f"describe this software. Re-tune and re-register this "
                     f"schedule; under the current model it will live at digest "
                     f"{fresh} (the stale entry is orphaned, not overwritten).",

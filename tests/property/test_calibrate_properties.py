@@ -1,0 +1,105 @@
+"""Hypothesis property tests: calibration fitting is deterministic.
+
+Two contracts the rollout machinery leans on:
+
+* **Fitting is a pure function of the feedback corpus.**  Any shuffle,
+  any duplication pattern, any noise profile — the same multiset of
+  records always yields the byte-identical ``CandidateModel`` wire form,
+  so two daemons fitting the same store propose the same version tag.
+* **Default params are the historical constants.**  With
+  ``EfficiencyParams()`` installed (or passed explicitly), every op the
+  scalar reference sweep can cost is bit-for-bit what an implicit-params
+  ``CostModel`` produces, and the served version stays 1 — calibration
+  is invisible until a candidate is actually promoted.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.frameworks import framework_graph
+from repro.baselines.policy import OURS
+from repro.calibrate import table3_corpus
+from repro.calibrate.fit import fit_candidate, score_params
+from repro.hardware.cost_model import CostModel
+from repro.hardware.params import (
+    DEFAULT_PARAMS,
+    DEFAULT_VERSION,
+    EfficiencyParams,
+    active_cost_model_version,
+)
+from repro.ir.dims import bert_large_dims
+from repro.service.protocol import canonical_json_bytes
+
+_CORPUS = table3_corpus(DEFAULT_VERSION)
+_ENV = bert_large_dims(2, 128)
+
+
+@st.composite
+def _corpora(draw):
+    """A shuffled, noise-perturbed subsample of the Table III corpus."""
+    idx = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=len(_CORPUS) - 1),
+            min_size=8,
+            max_size=48,
+            unique=True,
+        )
+    )
+    noise = draw(
+        st.lists(
+            st.floats(min_value=0.5, max_value=2.0),
+            min_size=len(idx),
+            max_size=len(idx),
+        )
+    )
+    return [
+        {**_CORPUS[i], "measured_us": _CORPUS[i]["measured_us"] * n}
+        for i, n in zip(idx, noise)
+    ]
+
+
+@given(corpus=_corpora(), seed=st.randoms(use_true_random=False))
+@settings(max_examples=20, deadline=None)
+def test_fit_is_order_insensitive_and_byte_deterministic(corpus, seed):
+    reference = canonical_json_bytes(fit_candidate(corpus).to_wire())
+    shuffled = list(corpus)
+    seed.shuffle(shuffled)
+    assert canonical_json_bytes(fit_candidate(shuffled).to_wire()) == reference
+
+
+@given(seed=st.randoms(use_true_random=False))
+@settings(max_examples=10, deadline=None)
+def test_score_is_order_insensitive(seed):
+    corpus = list(_CORPUS)
+    seed.shuffle(corpus)
+    assert score_params(DEFAULT_PARAMS, corpus) == score_params(
+        DEFAULT_PARAMS, _CORPUS
+    )
+
+
+def test_default_params_reproduce_the_reference_costs_bitwise():
+    # The implicit-params model (what every historical sweep used) and an
+    # explicitly-constructed default must agree exactly, op by op.
+    assert EfficiencyParams() == DEFAULT_PARAMS
+    assert active_cost_model_version() == DEFAULT_VERSION
+    implicit = CostModel()
+    explicit = CostModel(params=DEFAULT_PARAMS)
+    graph = framework_graph(OURS, _ENV)
+    costed = 0
+    for op in graph.ops:
+        if op.is_view:
+            continue
+        a = implicit.time_op(op, None, _ENV)
+        b = explicit.time_op(op, None, _ENV)
+        if a is None or b is None:
+            assert a is b, op
+            continue
+        assert (a.compute_us, a.memory_us, a.launch_us) == (
+            b.compute_us,
+            b.memory_us,
+            b.launch_us,
+        ), op
+        costed += 1
+    assert costed > 0

@@ -1,0 +1,238 @@
+"""E2E + chaos: staged cost-model rollout against real daemons.
+
+The CI ``calibration-rollout-smoke`` job runs this file.  It drives a
+spawned ``repro serve`` through the full lifecycle — ``repro report``
+submits the Table III corpus, ``repro rollout --propose`` fits and
+shadow-gates a candidate, live sweep traffic dual-scores the canary, and
+promotion flips the served cost-model version — then proves the two
+safety claims: a regressing candidate is auto-rolled-back while the
+active model answers every request, and a daemon killed mid-promotion
+(the ``crash-rollout`` fault, both sides of the commit point) restarts
+serving *exactly one* of {prior, promoted}.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.baselines.frameworks import framework_graph
+from repro.baselines.policy import OURS
+from repro.hardware.params import DEFAULT_PARAMS, DEFAULT_VERSION
+from repro.ir.dims import bert_large_dims
+from repro.service.client import ServiceError, TuningClient
+from repro.service.fleet.faults import KILL_EXIT_CODE
+
+pytestmark = pytest.mark.slow
+
+REPO = Path(__file__).resolve().parent.parent
+ENV = bert_large_dims(2, 128)
+CAP = 60
+
+#: Non-view ops from the paper's own fused graph: canary traffic.
+SWEEP_OPS = [op for op in framework_graph(OURS, ENV).ops if not op.is_view]
+
+
+def _spawn(
+    store_dir,
+    *,
+    fault_spec=None,
+    fraction="1.0",
+    min_samples="2",
+    max_divergence="0.5",
+):
+    """One ``repro serve`` with deterministic canary knobs."""
+    env = dict(
+        os.environ,
+        PYTHONPATH=str(REPO / "src"),
+        PYTHONUNBUFFERED="1",
+        REPRO_CANARY_FRACTION=fraction,
+        REPRO_CANARY_MIN_SAMPLES=min_samples,
+        REPRO_CANARY_MAX_DIVERGENCE=max_divergence,
+    )
+    env.pop("REPRO_FAULT_SPEC", None)
+    if fault_spec:
+        env["REPRO_FAULT_SPEC"] = fault_spec
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0",
+            "--sweep-store", str(store_dir),
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    banner = proc.stdout.readline()
+    match = re.search(r"http://[\d.]+:(\d+)", banner)
+    assert match, f"no listen address in banner: {banner!r}"
+    client = TuningClient(f"http://127.0.0.1:{match.group(1)}")
+    client.wait_until_ready(timeout=30)
+    return proc, client
+
+
+def _kill(proc):
+    if proc.poll() is None:
+        proc.kill()
+        proc.wait(timeout=10)
+
+
+def _cli(*argv):
+    """Run one ``repro`` CLI command; returns (exit code, output)."""
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+    env.pop("REPRO_FAULT_SPEC", None)
+    res = subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    return res.returncode, res.stdout + res.stderr
+
+
+def test_report_fit_canary_promote_end_to_end(tmp_path):
+    proc, client = _spawn(tmp_path / "store")
+    try:
+        # 1. Feed the paper's Table III measurements through the CLI.
+        code, out = _cli("report", "--url", client.base_url)
+        assert code == 0, out
+        assert "accepted 64 record(s)" in out
+
+        # 2. Fit + shadow-gate a candidate through the CLI.
+        code, out = _cli("rollout", "--propose", "--url", client.base_url)
+        assert code == 0, out
+        status = client.rollout_status()["rollout"]
+        assert status["phase"] == "canary"
+        prov = status["candidate"]["provenance"]
+        assert prov["fitted_error"] < prov["base_error"]
+
+        # 3. The active model still serves while the canary is scored.
+        health = client.healthz()
+        assert health["cost_model_version"] == DEFAULT_VERSION
+        assert health["rollout_phase"] == "canary"
+
+        # 4. Live sweeps dual-score the candidate; min_samples=2 promotes.
+        for op in SWEEP_OPS:
+            client.sweep(op, ENV, cap=CAP)
+            if client.healthz()["rollout_phase"] == "idle":
+                break
+        health = client.healthz()
+        assert health["rollout_phase"] == "idle"
+        promoted = health["cost_model_version"]
+        assert isinstance(promoted, str) and promoted.startswith("1-cal-")
+
+        counts = client.metrics()["calibration"]["events"]
+        assert counts["promote"] == 1 and counts["rollback"] == 0
+        assert counts["canary_request"] >= 2
+
+        # 5. Post-promotion sweeps carry the promoted version on the wire.
+        payload = client.sweep(SWEEP_OPS[0], ENV, cap=CAP)
+        assert payload["cost_model_version"] == promoted
+    finally:
+        _kill(proc)
+
+    # 6. A restart on the same store recovers the promoted model.
+    proc, client = _spawn(tmp_path / "store")
+    try:
+        assert client.healthz()["cost_model_version"] == promoted
+    finally:
+        _kill(proc)
+
+
+def test_regressing_candidate_is_auto_rolled_back(tmp_path):
+    # min_samples high + tight divergence budget: the bad candidate can
+    # only leave canary through the rollback door.
+    proc, client = _spawn(
+        tmp_path / "store", min_samples="50", max_divergence="0.05"
+    )
+    try:
+        code, out = _cli("report", "--url", client.base_url)
+        assert code == 0, out
+        # Inject an obviously-wrong candidate, skipping the shadow gate
+        # the way an operator pushing hand-edited params would.
+        bad = {
+            **DEFAULT_PARAMS.to_wire(),
+            "gemm_mem_eff": 0.001,
+            "vectorized_eff": 0.001,
+        }
+        client.calibrate_propose(params=bad, force=True)
+        assert client.healthz()["rollout_phase"] == "canary"
+
+        for op in SWEEP_OPS:
+            client.sweep(op, ENV, cap=CAP)
+            health = client.healthz()
+            # Invariant: the candidate never serves — the active version
+            # answers every request right up to (and after) rollback.
+            assert health["cost_model_version"] == DEFAULT_VERSION
+            if health["rollout_phase"] == "idle":
+                break
+        assert client.healthz()["rollout_phase"] == "idle"
+
+        counts = client.metrics()["calibration"]["events"]
+        assert counts["rollback"] == 1 and counts["promote"] == 0
+        assert counts["canary_regression"] >= 1
+        status = client.rollout_status()["rollout"]
+        assert status["candidate"] is None
+        assert status["served_version"] == DEFAULT_VERSION
+    finally:
+        _kill(proc)
+
+
+def _drive_until_crash(client):
+    """Send canary traffic until the daemon dies mid-promotion."""
+    for op in SWEEP_OPS:
+        try:
+            client.sweep(op, ENV, cap=CAP)
+        except ServiceError:
+            return True
+    return False
+
+
+@pytest.mark.parametrize(
+    ("fault_spec", "expect_promoted"),
+    [
+        ("crash-rollout", False),  # default: dies just before the commit
+        ("crash-rollout:path=rollout-post-commit", True),
+    ],
+    ids=["pre-commit", "post-commit"],
+)
+def test_kill_mid_promotion_recovers_to_exactly_one_side(
+    tmp_path, fault_spec, expect_promoted
+):
+    proc, client = _spawn(
+        tmp_path / "store", fault_spec=fault_spec, min_samples="1"
+    )
+    try:
+        code, out = _cli("report", "--url", client.base_url)
+        assert code == 0, out
+        client.calibrate_propose()
+        candidate = client.rollout_status()["rollout"]["candidate"]["version"]
+        assert _drive_until_crash(client), "daemon survived the kill fault"
+        assert proc.wait(timeout=30) == KILL_EXIT_CODE
+    finally:
+        _kill(proc)
+
+    # Recovery must land on exactly one side of the commit point: the
+    # prior model (crash before the state-file rename) or the promoted
+    # one (crash after) — never anything in between.
+    proc, client = _spawn(tmp_path / "store")
+    try:
+        health = client.healthz()
+        if expect_promoted:
+            assert health["cost_model_version"] == candidate
+            assert health["rollout_phase"] == "idle"
+        else:
+            assert health["cost_model_version"] == DEFAULT_VERSION
+            # The canary (and its candidate) survive to finish later.
+            assert health["rollout_phase"] == "canary"
+            status = client.rollout_status()["rollout"]
+            assert status["candidate"]["version"] == candidate
+    finally:
+        _kill(proc)

@@ -29,6 +29,7 @@ from repro.service.fleet.hashring import HashRing
 from repro.service.fleet.registry import WorkerRegistry
 from repro.service.protocol import (
     ProtocolError,
+    fleet_register_wire,
     parse_fleet_heartbeat,
     parse_fleet_register,
 )
@@ -264,10 +265,12 @@ class TestWorkerRegistry:
 
 class TestFleetProtocol:
     def test_register_roundtrip_and_validation(self):
-        wid, url, ready = parse_fleet_register(
+        wid, url, ready, version = parse_fleet_register(
             {"worker_id": "w1", "url": "http://h:1/", "ready": True}
         )
-        assert (wid, url, ready) == ("w1", "http://h:1", True)
+        assert (wid, url, ready, version) == ("w1", "http://h:1", True, None)
+        wire = fleet_register_wire(worker_id="w1", url="http://h:1")
+        assert parse_fleet_register(wire)[3] == wire["cost_model_version"]
         with pytest.raises(ProtocolError):
             parse_fleet_register({"worker_id": "", "url": "http://h:1"})
         with pytest.raises(ProtocolError):
@@ -276,7 +279,7 @@ class TestFleetProtocol:
             parse_fleet_register({"url": "http://h:1"})
 
     def test_heartbeat_roundtrip(self):
-        assert parse_fleet_heartbeat({"worker_id": "w1"}) == ("w1", False)
+        assert parse_fleet_heartbeat({"worker_id": "w1"}) == ("w1", False, None)
         with pytest.raises(ProtocolError):
             parse_fleet_heartbeat({"ready": True})
 
